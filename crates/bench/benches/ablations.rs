@@ -1,0 +1,185 @@
+//! Ablation benchmarks for the design decisions the paper calls out:
+//!
+//! * **Recovery optimization (§3.2.1)** — Harris' list with SCOT, with the
+//!   dangerous-zone recovery enabled versus disabled (restart-only), under HP.
+//!   The paper states the optimization helps the list but not the tree.
+//! * **Limbo-scan snapshot (HP vs HPopt, HE vs HEopt, IBR vs IBRopt)** — the
+//!   scan-time optimization evaluated throughout §5.
+//! * **Scan threshold / era frequency calibration** — the paper's calibrated
+//!   values (scan every 128 retirements, era advance every 12×threads) versus
+//!   much smaller and much larger settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot::{ConcurrentSet, HarrisList};
+use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use scot_smr::{Hp, Smr, SmrConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+/// Runs a fixed-op mixed workload directly against a `HarrisList` built with
+/// or without the recovery optimization.
+fn run_harris_list(recovery: bool, threads: usize, key_range: u64) -> Duration {
+    let cfg = SmrConfig::for_threads(threads);
+    let domain = Hp::new(cfg);
+    let list: Arc<HarrisList<u64, Hp>> = Arc::new(if recovery {
+        HarrisList::new(domain)
+    } else {
+        HarrisList::without_recovery(domain)
+    });
+    // Prefill half the range.
+    {
+        let mut h = list.handle();
+        let mut k = 0;
+        while k < key_range {
+            list.insert(&mut h, k);
+            k += 2;
+        }
+    }
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let list = list.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut h = list.handle();
+                let mut x = (t as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                for _ in 0..OPS_PER_THREAD {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % key_range;
+                    match x % 4 {
+                        0 => {
+                            list.insert(&mut h, key);
+                        }
+                        1 => {
+                            list.remove(&mut h, &key);
+                        }
+                        _ => {
+                            list.contains(&mut h, &key);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn ablation_recovery(c: &mut Criterion) {
+    let threads = 2;
+    let mut group = c.benchmark_group("ablation_recovery_optimization");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for (label, recovery) in [("with_recovery", true), ("restart_only", false)] {
+        group.bench_function(BenchmarkId::new("HList_HP", label), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_harris_list(recovery, threads, 512);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_snapshot_scan(c: &mut Criterion) {
+    let threads = 2;
+    let mut group = c.benchmark_group("ablation_snapshot_scan");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for (base, opt) in [
+        (SmrKind::Hp, SmrKind::HpOpt),
+        (SmrKind::He, SmrKind::HeOpt),
+        (SmrKind::Ibr, SmrKind::IbrOpt),
+    ] {
+        for smr in [base, opt] {
+            group.bench_function(BenchmarkId::new("HList", smr.name()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cfg = RunConfig::paper_default(threads, 512);
+                        let (_, elapsed, _) =
+                            run_fixed_ops(DsKind::ListLf, smr, &cfg, OPS_PER_THREAD);
+                        total += Duration::from_secs_f64(elapsed);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn ablation_scan_threshold(c: &mut Criterion) {
+    let threads = 2;
+    let mut group = c.benchmark_group("ablation_scan_threshold");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for threshold in [8usize, 128, 1024] {
+        group.bench_function(BenchmarkId::new("HList_HP", threshold), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = SmrConfig::for_threads(threads);
+                    cfg.scan_threshold = threshold;
+                    let domain = Hp::new(cfg);
+                    let list: Arc<HarrisList<u64, Hp>> = Arc::new(HarrisList::new(domain));
+                    {
+                        let mut h = list.handle();
+                        for k in (0..512u64).step_by(2) {
+                            list.insert(&mut h, k);
+                        }
+                    }
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let list = list.clone();
+                            s.spawn(move || {
+                                let mut h = list.handle();
+                                let mut x = (t as u64 + 1).wrapping_mul(0x9e3779b9);
+                                for _ in 0..OPS_PER_THREAD {
+                                    x ^= x << 13;
+                                    x ^= x >> 7;
+                                    x ^= x << 17;
+                                    let key = x % 512;
+                                    if x % 2 == 0 {
+                                        list.insert(&mut h, key);
+                                    } else {
+                                        list.remove(&mut h, &key);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_recovery,
+    ablation_snapshot_scan,
+    ablation_scan_threshold
+);
+criterion_main!(benches);

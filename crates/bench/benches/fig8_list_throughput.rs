@@ -1,0 +1,63 @@
+//! Figure 8 — linked-list throughput, 50% read / 50% write workload.
+//!
+//! The paper compares the Harris-Michael list (HMList) against Harris' list
+//! with SCOT (HList, both lock-free and wait-free traversal variants) under
+//! NR/EBR/HP/HPopt/IBR/HE/Hyaline-1S for key ranges 512 (Figure 8a) and
+//! 10,000 (Figure 8b).  Criterion reports elements/second, i.e. operations per
+//! second, so "higher is better" exactly as in the figure; the expected shape
+//! is HList ≥ HMList for every robust scheme, with the gap largest at the
+//! small key range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn bench_key_range(c: &mut Criterion, figure: &str, key_range: u64) {
+    let threads = 2;
+    let structures = [DsKind::HmList, DsKind::ListLf, DsKind::ListWf];
+    let schemes = [
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+        SmrKind::Hyaline,
+    ];
+    let mut group = c.benchmark_group(figure);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for ds in structures {
+        for smr in schemes {
+            let id = BenchmarkId::new(ds.name(), smr.name());
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cfg = RunConfig::paper_default(threads, key_range);
+                        let (_, elapsed, _) = run_fixed_ops(ds, smr, &cfg, OPS_PER_THREAD);
+                        total += Duration::from_secs_f64(elapsed);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig8a(c: &mut Criterion) {
+    bench_key_range(c, "fig8a_list_range_512", 512);
+}
+
+fn fig8b(c: &mut Criterion) {
+    bench_key_range(c, "fig8b_list_range_10000", 10_000);
+}
+
+criterion_group!(benches, fig8a, fig8b);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 9 — Natarajan-Mittal tree throughput, 50% read / 50% write.
+//!
+//! Key range 128 (Figure 9a) and 100,000 (Figure 9b); the paper's headline
+//! observation is that the SCOT tree under robust schemes (HPopt, IBR, HE,
+//! Hyaline-1S) approaches the EBR throughput that used to be out of reach for
+//! these schemes, with Hyaline-1S closest to EBR at high thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 30_000;
+
+fn bench_key_range(c: &mut Criterion, figure: &str, key_range: u64) {
+    let threads = 2;
+    let schemes = [
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+        SmrKind::Hyaline,
+    ];
+    let mut group = c.benchmark_group(figure);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for smr in schemes {
+        let id = BenchmarkId::new("NMTree", smr.name());
+        group.bench_function(id, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = RunConfig::paper_default(threads, key_range);
+                    let (_, elapsed, _) = run_fixed_ops(DsKind::Tree, smr, &cfg, OPS_PER_THREAD);
+                    total += Duration::from_secs_f64(elapsed);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig9a(c: &mut Criterion) {
+    bench_key_range(c, "fig9a_tree_range_128", 128);
+}
+
+fn fig9b(c: &mut Criterion) {
+    bench_key_range(c, "fig9b_tree_range_100000", 100_000);
+}
+
+criterion_group!(benches, fig9a, fig9b);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 2 — restart statistics for the Harris-Michael list versus Harris'
+//! list (SCOT) under HP with key range 10,000.
+//!
+//! The paper reports that the Harris-Michael list restarts up to 8.19% of its
+//! operations at 256 threads while Harris' list with SCOT stays at ≈0%, which
+//! (together with the reduced CAS count) explains the throughput gap of
+//! Figure 8.  This benchmark measures the timed throughput of both lists and
+//! prints the observed restart counts and rates alongside the Criterion
+//! timings, so the table rows can be read off the bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 40_000;
+const KEY_RANGE: u64 = 10_000;
+
+fn tab2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab2_restarts_hp_range_10000");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    for threads in [1usize, 2, 4] {
+        for ds in [DsKind::HmList, DsKind::ListLf] {
+            group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+            let id = BenchmarkId::new(ds.name(), format!("{threads}thr"));
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    let mut restarts = 0u64;
+                    let mut ops = 0u64;
+                    for _ in 0..iters {
+                        let cfg = RunConfig::paper_default(threads, KEY_RANGE);
+                        let (o, elapsed, r) =
+                            run_fixed_ops(ds, SmrKind::Hp, &cfg, OPS_PER_THREAD);
+                        total += Duration::from_secs_f64(elapsed);
+                        restarts += r;
+                        ops += o;
+                    }
+                    eprintln!(
+                        "[tab2] {} threads={} restarts={} ops={} restart%={:.3}",
+                        ds.name(),
+                        threads,
+                        restarts,
+                        ops,
+                        100.0 * restarts as f64 / ops.max(1) as f64
+                    );
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tab2);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! `scot-bench` — the command-line benchmark driver, mirroring the paper
+//! artifact's `./bench` binary and its experiment scripts.
+//!
+//! Usage:
+//!
+//! ```text
+//! scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>
+//! scot-bench exp <experiment-id | all> [--quick] [--seconds N] [--runs N] [--json DIR]
+//! scot-bench list
+//! ```
+//!
+//! Examples (the first mirrors the paper's `./bench listlf 2 512 1 50 25 25 EBR 4`):
+//!
+//! ```text
+//! scot-bench run listlf 2 512 4 50 25 25 EBR
+//! scot-bench exp fig8a --quick
+//! scot-bench exp all --seconds 2 --json results/
+//! ```
+
+use scot_harness::experiments::{
+    compatibility_matrix, restart_table, run_experiment, ExperimentOptions, ALL_EXPERIMENTS,
+};
+use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {what}: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_run(args: &[String]) {
+    if args.len() != 8 {
+        usage();
+    }
+    let ds = DsKind::parse(&args[0]).unwrap_or_else(|| usage());
+    let seconds: f64 = parse(&args[1], "seconds");
+    let key_range: u64 = parse(&args[2], "key range");
+    let threads: usize = parse(&args[3], "threads");
+    let read: u32 = parse(&args[4], "read%");
+    let ins: u32 = parse(&args[5], "insert%");
+    let del: u32 = parse(&args[6], "delete%");
+    let smr = SmrKind::parse(&args[7]).unwrap_or_else(|| usage());
+    let cfg = RunConfig {
+        threads,
+        key_range,
+        mix: Mix {
+            read_pct: read,
+            insert_pct: ins,
+            delete_pct: del,
+        },
+        duration: Duration::from_secs_f64(seconds),
+        sample_interval: Duration::from_millis(10),
+        seed: 0x5c07,
+    };
+    let result = run_timed(ds, smr, &cfg);
+    println!("{}", result.row());
+    println!("{}", serde_json::to_string_pretty(&result).unwrap());
+}
+
+fn write_json(dir: &str, id: &str, results: &[RunResult]) {
+    std::fs::create_dir_all(dir).expect("cannot create output directory");
+    let path = format!("{dir}/{id}.json");
+    let json = serde_json::to_string_pretty(results).unwrap();
+    std::fs::write(&path, json).expect("cannot write results file");
+    println!("wrote {path}");
+}
+
+fn cmd_exp(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let id = args[0].to_ascii_lowercase();
+    let mut opts = ExperimentOptions::default();
+    let mut json_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts = ExperimentOptions::quick();
+            }
+            "--seconds" => {
+                i += 1;
+                let secs: f64 = parse(&args[i], "--seconds");
+                opts.duration = Duration::from_secs_f64(secs);
+            }
+            "--runs" => {
+                i += 1;
+                opts.runs = parse(&args[i], "--runs");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args[i]
+                    .split(',')
+                    .map(|t| parse(t, "--threads"))
+                    .collect();
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<String> = if id == "all" {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        vec![id]
+    };
+
+    for id in &ids {
+        println!("=== {id} ===");
+        let Some(results) = run_experiment(id, &opts, |r| println!("{}", r.row())) else {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+        };
+        match id.as_str() {
+            "tab1" => println!("\n{}", compatibility_matrix(&results)),
+            "tab2" => println!("\n{}", restart_table(&results)),
+            _ => {}
+        }
+        if let Some(dir) = &json_dir {
+            write_json(dir, id, &results);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("exp") => cmd_exp(&args[1..]),
+        Some("list") => {
+            let opts = ExperimentOptions::quick();
+            for id in ALL_EXPERIMENTS {
+                let s = scot_harness::experiments::spec(id, &opts).unwrap();
+                println!("{:<8} {}", id, s.description);
+            }
+        }
+        _ => usage(),
+    }
+}

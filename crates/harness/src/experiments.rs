@@ -1,0 +1,348 @@
+//! Experiment presets: one entry per table and figure of the paper's
+//! evaluation section, so `scot-bench exp fig8a` regenerates the corresponding
+//! data series.
+//!
+//! | id     | paper artifact | workload |
+//! |--------|----------------|----------|
+//! | fig8a  | Figure 8a  | list throughput, key range 512, 50r/50w |
+//! | fig8b  | Figure 8b  | list throughput, key range 10,000 |
+//! | fig9a  | Figure 9a  | NMTree throughput, key range 128 |
+//! | fig9b  | Figure 9b  | NMTree throughput, key range 100,000 |
+//! | fig10a | Figure 10a | list unreclaimed objects, key range 512 |
+//! | fig10b | Figure 10b | list unreclaimed objects, key range 10,000 |
+//! | fig11a | Figure 11a | NMTree unreclaimed objects, key range 128 |
+//! | fig11b | Figure 11b | NMTree unreclaimed objects, key range 100,000 |
+//! | fig12a | Figure 12a | NMTree throughput, key range 50,000,000 |
+//! | fig12b | Figure 12b | NMTree unreclaimed objects, key range 50,000,000 |
+//! | tab1   | Table 1    | compatibility matrix (every DS × every SMR) |
+//! | tab2   | Table 2    | restart statistics, HP, key range 10,000 |
+//!
+//! Key ranges and mixes match the paper exactly; thread counts are scaled to
+//! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
+//! down with `ExperimentOptions::scale_large_range` so the sweep finishes on
+//! small machines while still exceeding cache capacity.
+
+use crate::workload::{run_timed, DsKind, Mix, RunConfig, RunResult};
+use crate::{default_thread_counts, SmrKind};
+
+use std::time::Duration;
+
+/// Options controlling how a preset is executed.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Seconds per run (the paper uses 10; the default here is 1).
+    pub duration: Duration,
+    /// Repetitions per configuration; the median throughput is reported, as in
+    /// the paper (which uses 5 runs).
+    pub runs: usize,
+    /// Thread counts to sweep; defaults to [`default_thread_counts`].
+    pub threads: Vec<usize>,
+    /// Scale factor applied to the 50M key range of Figure 12 (1 = full size).
+    pub scale_large_range: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            duration: Duration::from_millis(1000),
+            runs: 3,
+            threads: default_thread_counts(),
+            scale_large_range: 50,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Quick mode: short runs, single repetition — used by tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            duration: Duration::from_millis(120),
+            runs: 1,
+            threads: vec![1, 2],
+            scale_large_range: 5_000,
+        }
+    }
+}
+
+/// A fully described experiment (one paper table/figure).
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Identifier (e.g. `fig8a`).
+    pub id: &'static str,
+    /// Human description matching the paper caption.
+    pub description: &'static str,
+    /// Data structures compared.
+    pub structures: Vec<DsKind>,
+    /// Reclamation schemes compared.
+    pub schemes: Vec<SmrKind>,
+    /// Key range.
+    pub key_range: u64,
+    /// Whether the headline metric is memory overhead rather than throughput.
+    pub memory_metric: bool,
+}
+
+/// All experiment identifiers, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
+    "fig12b", "tab1", "tab2",
+];
+
+/// The scheme list used by the paper's figures, in legend order.
+fn paper_schemes() -> Vec<SmrKind> {
+    vec![
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+        SmrKind::Hyaline,
+    ]
+}
+
+/// Robust schemes for which the paper reports memory overhead (Hyaline is
+/// skipped, exactly as in §5).
+fn memory_schemes() -> Vec<SmrKind> {
+    vec![
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+    ]
+}
+
+/// Looks up the specification for an experiment id.
+pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
+    let lists = vec![DsKind::HmList, DsKind::ListLf, DsKind::ListWf];
+    let tree = vec![DsKind::Tree];
+    let large_range = 50_000_000 / opts.scale_large_range.max(1);
+    let s = match id {
+        "fig8a" => ExperimentSpec {
+            id: "fig8a",
+            description: "Linked list throughput, 50% read / 50% write, key range 512",
+            structures: lists,
+            schemes: paper_schemes(),
+            key_range: 512,
+            memory_metric: false,
+        },
+        "fig8b" => ExperimentSpec {
+            id: "fig8b",
+            description: "Linked list throughput, 50% read / 50% write, key range 10,000",
+            structures: lists,
+            schemes: paper_schemes(),
+            key_range: 10_000,
+            memory_metric: false,
+        },
+        "fig9a" => ExperimentSpec {
+            id: "fig9a",
+            description: "NMTree throughput, 50% read / 50% write, key range 128",
+            structures: tree,
+            schemes: paper_schemes(),
+            key_range: 128,
+            memory_metric: false,
+        },
+        "fig9b" => ExperimentSpec {
+            id: "fig9b",
+            description: "NMTree throughput, 50% read / 50% write, key range 100,000",
+            structures: tree,
+            schemes: paper_schemes(),
+            key_range: 100_000,
+            memory_metric: false,
+        },
+        "fig10a" => ExperimentSpec {
+            id: "fig10a",
+            description: "Linked list avg. not-yet-reclaimed objects, key range 512",
+            structures: lists,
+            schemes: memory_schemes(),
+            key_range: 512,
+            memory_metric: true,
+        },
+        "fig10b" => ExperimentSpec {
+            id: "fig10b",
+            description: "Linked list avg. not-yet-reclaimed objects, key range 10,000",
+            structures: lists,
+            schemes: memory_schemes(),
+            key_range: 10_000,
+            memory_metric: true,
+        },
+        "fig11a" => ExperimentSpec {
+            id: "fig11a",
+            description: "NMTree avg. not-yet-reclaimed objects, key range 128",
+            structures: tree,
+            schemes: memory_schemes(),
+            key_range: 128,
+            memory_metric: true,
+        },
+        "fig11b" => ExperimentSpec {
+            id: "fig11b",
+            description: "NMTree avg. not-yet-reclaimed objects, key range 100,000",
+            structures: tree,
+            schemes: memory_schemes(),
+            key_range: 100_000,
+            memory_metric: true,
+        },
+        "fig12a" => ExperimentSpec {
+            id: "fig12a",
+            description: "NMTree throughput, key range 50,000,000 (out of cache)",
+            structures: tree,
+            schemes: paper_schemes(),
+            key_range: large_range,
+            memory_metric: false,
+        },
+        "fig12b" => ExperimentSpec {
+            id: "fig12b",
+            description: "NMTree avg. not-yet-reclaimed objects, key range 50,000,000",
+            structures: tree,
+            schemes: memory_schemes(),
+            key_range: large_range,
+            memory_metric: true,
+        },
+        "tab1" => ExperimentSpec {
+            id: "tab1",
+            description: "Compatibility matrix: every data structure under every SMR scheme",
+            structures: DsKind::ALL.to_vec(),
+            schemes: SmrKind::ALL.to_vec(),
+            key_range: 256,
+            memory_metric: false,
+        },
+        "tab2" => ExperimentSpec {
+            id: "tab2",
+            description: "Restart statistics under HP, key range 10,000 (Harris-Michael vs Harris)",
+            structures: vec![DsKind::HmList, DsKind::ListLf],
+            schemes: vec![SmrKind::Hp],
+            key_range: 10_000,
+            memory_metric: false,
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// Runs one experiment preset, returning every measured point.
+/// `progress` is invoked after each completed run with its textual row.
+pub fn run_experiment(
+    id: &str,
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&RunResult),
+) -> Option<Vec<RunResult>> {
+    let spec = spec(id, opts)?;
+    let thread_counts: Vec<usize> = if id == "tab1" {
+        vec![*opts.threads.last().unwrap_or(&2)]
+    } else {
+        opts.threads.clone()
+    };
+    let mut results = Vec::new();
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            for &threads in &thread_counts {
+                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
+                cfg.duration = opts.duration;
+                cfg.mix = Mix::READ_50;
+                // Median of `runs` repetitions, as in the paper.
+                let mut runs: Vec<RunResult> =
+                    (0..opts.runs).map(|_| run_timed(ds, smr, &cfg)).collect();
+                runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+                let median = runs.swap_remove(runs.len() / 2);
+                progress(&median);
+                results.push(median);
+            }
+        }
+    }
+    Some(results)
+}
+
+/// Renders a compatibility matrix (Table 1) from smoke-run results: a
+/// structure is "compatible" with a scheme if its runs completed operations.
+pub fn compatibility_matrix(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12}", "structure"));
+    for smr in SmrKind::ALL {
+        out.push_str(&format!("{:>9}", smr.name()));
+    }
+    out.push('\n');
+    for ds in DsKind::ALL {
+        out.push_str(&format!("{:<12}", ds.name()));
+        for smr in SmrKind::ALL {
+            let ok = results
+                .iter()
+                .any(|r| r.ds == ds.name() && r.smr == smr.name() && r.ops > 0);
+            out.push_str(&format!("{:>9}", if ok { "ok" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 2 (restart statistics) from the tab2 results.
+pub fn restart_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Restart statistics under HP, key range 10,000 (paper Table 2)\n");
+    out.push_str(&format!(
+        "{:<12}{:>10}{:>16}{:>16}{:>12}\n",
+        "structure", "threads", "restarts", "ops/sec", "restart %"
+    ));
+    for r in results {
+        let pct = if r.ops > 0 {
+            100.0 * r.restarts as f64 / r.ops as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<12}{:>10}{:>16}{:>16.0}{:>11.2}%\n",
+            r.ds, r.threads, r.restarts, r.ops_per_sec, pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_id_has_a_spec() {
+        let opts = ExperimentOptions::quick();
+        for id in ALL_EXPERIMENTS {
+            assert!(spec(id, &opts).is_some(), "missing spec for {id}");
+        }
+        assert!(spec("fig99", &opts).is_none());
+    }
+
+    #[test]
+    fn memory_experiments_skip_hyaline_and_nr() {
+        let opts = ExperimentOptions::quick();
+        for id in ["fig10a", "fig10b", "fig11a", "fig11b", "fig12b"] {
+            let s = spec(id, &opts).unwrap();
+            assert!(s.memory_metric);
+            assert!(!s.schemes.contains(&SmrKind::Hyaline));
+            assert!(!s.schemes.contains(&SmrKind::Nr));
+        }
+    }
+
+    #[test]
+    fn key_ranges_match_the_paper() {
+        let opts = ExperimentOptions::quick();
+        assert_eq!(spec("fig8a", &opts).unwrap().key_range, 512);
+        assert_eq!(spec("fig8b", &opts).unwrap().key_range, 10_000);
+        assert_eq!(spec("fig9a", &opts).unwrap().key_range, 128);
+        assert_eq!(spec("fig9b", &opts).unwrap().key_range, 100_000);
+        assert_eq!(spec("tab2", &opts).unwrap().key_range, 10_000);
+        // fig12 honours the scale factor.
+        let full = ExperimentOptions {
+            scale_large_range: 1,
+            ..ExperimentOptions::quick()
+        };
+        assert_eq!(spec("fig12a", &full).unwrap().key_range, 50_000_000);
+    }
+
+    #[test]
+    fn quick_tab2_runs_and_renders() {
+        let opts = ExperimentOptions::quick();
+        let results = run_experiment("tab2", &opts, |_| {}).unwrap();
+        assert!(!results.is_empty());
+        let table = restart_table(&results);
+        assert!(table.contains("HMList"));
+        assert!(table.contains("HList"));
+    }
+}

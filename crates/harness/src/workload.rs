@@ -1,0 +1,608 @@
+//! Workload generator and runner: the Rust counterpart of the C++ benchmark
+//! the paper extends (prefill, timed mixed workload, memory-overhead sampler).
+
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrKind};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A tiny, dependency-free xorshift64* generator used in the measurement hot
+/// loop (the same generator family the original C++ harness uses); keeping the
+/// RNG trivial ensures the benchmark measures the data structure, not the RNG.
+#[derive(Clone)]
+pub(crate) struct FastRng(u64);
+
+impl FastRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform-enough value in `[0, bound)` (modulo bias is irrelevant at the
+    /// key-range sizes used by the paper's workloads).
+    #[inline]
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// The data structures evaluated by the paper (plus the hash-map extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsKind {
+    /// Harris' list with SCOT, lock-free traversals (`listlf` in the artifact).
+    ListLf,
+    /// Harris' list with SCOT and wait-free traversals (`listwf`).
+    ListWf,
+    /// Harris-Michael list (`hmlist`), the eager-unlink baseline.
+    HmList,
+    /// Natarajan-Mittal tree with SCOT (`tree`).
+    Tree,
+    /// Hash map built from Harris lists (extension, Table 1).
+    HashMap,
+}
+
+impl DsKind {
+    /// All kinds, in the order the figures present them.
+    pub const ALL: [DsKind; 5] = [
+        DsKind::HmList,
+        DsKind::ListLf,
+        DsKind::ListWf,
+        DsKind::Tree,
+        DsKind::HashMap,
+    ];
+
+    /// Parses the artifact's names (`listlf`, `listwf`, `hmlist`, `tree`,
+    /// `hashmap`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "listlf" | "hlist" | "harris" => Some(DsKind::ListLf),
+            "listwf" | "hlistwf" => Some(DsKind::ListWf),
+            "hmlist" | "listhm" | "harris-michael" => Some(DsKind::HmList),
+            "tree" | "nmtree" => Some(DsKind::Tree),
+            "hashmap" | "hash" | "map" => Some(DsKind::HashMap),
+            _ => None,
+        }
+    }
+
+    /// Display name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DsKind::ListLf => "HList",
+            DsKind::ListWf => "HList-WF",
+            DsKind::HmList => "HMList",
+            DsKind::Tree => "NMTree",
+            DsKind::HashMap => "HashMap",
+        }
+    }
+}
+
+impl std::fmt::Display for DsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operation mix in percent; the remainder after reads is split between
+/// inserts and deletes.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Mix {
+    /// Percentage of `contains` operations.
+    pub read_pct: u32,
+    /// Percentage of `insert` operations.
+    pub insert_pct: u32,
+    /// Percentage of `remove` operations.
+    pub delete_pct: u32,
+}
+
+impl Mix {
+    /// The paper's headline workload: 50% read, 25% insert, 25% delete.
+    pub const READ_50: Mix = Mix {
+        read_pct: 50,
+        insert_pct: 25,
+        delete_pct: 25,
+    };
+    /// Read-dominated workload (90% read).
+    pub const READ_90: Mix = Mix {
+        read_pct: 90,
+        insert_pct: 5,
+        delete_pct: 5,
+    };
+    /// Write-only workload (50% insert, 50% delete).
+    pub const WRITE_ONLY: Mix = Mix {
+        read_pct: 0,
+        insert_pct: 50,
+        delete_pct: 50,
+    };
+
+    fn validate(&self) {
+        assert_eq!(
+            self.read_pct + self.insert_pct + self.delete_pct,
+            100,
+            "operation mix must sum to 100%"
+        );
+    }
+}
+
+/// One benchmark configuration (a single point of a figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Key range; keys are drawn uniformly from `[0, key_range)`.
+    pub key_range: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Wall-clock duration of a timed run.
+    pub duration: Duration,
+    /// Interval between memory-overhead samples.
+    pub sample_interval: Duration,
+    /// Seed for the per-thread RNGs (results are repeatable modulo scheduling).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A configuration matching the paper's defaults for the given thread
+    /// count and key range (50/25/25 mix).
+    pub fn paper_default(threads: usize, key_range: u64) -> Self {
+        Self {
+            threads,
+            key_range,
+            mix: Mix::READ_50,
+            duration: Duration::from_millis(1000),
+            sample_interval: Duration::from_millis(10),
+            seed: 0x5c07,
+        }
+    }
+
+    /// Shrinks the run duration (used by `--quick` sweeps and unit tests).
+    pub fn quick(mut self) -> Self {
+        self.duration = Duration::from_millis(150);
+        self
+    }
+}
+
+/// The outcome of one run: the numbers behind one point of one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Data structure under test.
+    pub ds: String,
+    /// Reclamation scheme under test.
+    pub smr: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Key range.
+    pub key_range: u64,
+    /// Total completed operations.
+    pub ops: u64,
+    /// Throughput in operations per second (Figures 8, 9, 12a).
+    pub ops_per_sec: f64,
+    /// Average number of retired-but-unreclaimed objects, sampled during the
+    /// run (Figures 10, 11, 12b).  `None` for Hyaline, as in the paper.
+    pub avg_unreclaimed: Option<f64>,
+    /// Peak sampled number of unreclaimed objects.
+    pub max_unreclaimed: Option<usize>,
+    /// Total traversal restarts (Table 2).
+    pub restarts: u64,
+    /// Wall-clock seconds the measurement ran for.
+    pub elapsed_secs: f64,
+}
+
+impl RunResult {
+    /// One-line human-readable summary (the format the binary prints).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<10} {:<7} thr={:<4} range={:<10} ops/s={:<14.0} unreclaimed(avg)={:<12} restarts={}",
+            self.ds,
+            self.smr,
+            self.threads,
+            self.key_range,
+            self.ops_per_sec,
+            self.avg_unreclaimed
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "n/a".into()),
+            self.restarts
+        )
+    }
+}
+
+/// Internal: everything the generic runner needs from a concrete structure.
+struct Target<C> {
+    set: Arc<C>,
+    unreclaimed: Arc<dyn Fn() -> usize + Send + Sync>,
+    restarts: Arc<dyn Fn() -> u64 + Send + Sync>,
+    track_memory: bool,
+}
+
+fn smr_config(kind: SmrKind, threads: usize) -> SmrConfig {
+    let mut cfg = SmrConfig::for_threads(threads);
+    if matches!(kind, SmrKind::HpOpt | SmrKind::HeOpt | SmrKind::IbrOpt) {
+        cfg = cfg.with_snapshot_scan();
+    }
+    cfg
+}
+
+/// Number of hash-map buckets used by the harness (a fraction of the key
+/// range, mirroring typical load factors in the artifact's hash-map tests).
+fn hash_buckets(key_range: u64) -> usize {
+    ((key_range / 16).clamp(16, 65_536)) as usize
+}
+
+/// Builds the requested structure/scheme pair and hands it to `f`.
+///
+/// This is the single dispatch point where the (data structure × SMR) matrix
+/// is monomorphized, exactly once for the whole harness.
+fn with_target<R>(
+    ds: DsKind,
+    smr: SmrKind,
+    threads: usize,
+    key_range: u64,
+    f: impl FnOnce(TargetAny) -> R,
+) -> R {
+    macro_rules! build_for_scheme {
+        ($scheme:ty) => {{
+            let cfg = smr_config(smr, threads);
+            let domain = <$scheme as Smr>::new(cfg.clone());
+            let track_memory = smr != SmrKind::Hyaline;
+            match ds {
+                DsKind::ListLf => {
+                    let set: Arc<HarrisList<u64, $scheme>> =
+                        Arc::new(HarrisList::new(domain.clone()));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restarts()),
+                        track_memory,
+                    }))
+                }
+                DsKind::ListWf => {
+                    let set: Arc<WfHarrisList<u64, $scheme>> =
+                        Arc::new(WfHarrisList::new(domain.clone(), cfg.max_threads));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restarts()),
+                        track_memory,
+                    }))
+                }
+                DsKind::HmList => {
+                    let set: Arc<HarrisMichaelList<u64, $scheme>> =
+                        Arc::new(HarrisMichaelList::new(domain.clone()));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restarts()),
+                        track_memory,
+                    }))
+                }
+                DsKind::Tree => {
+                    let set: Arc<NmTree<u64, $scheme>> = Arc::new(NmTree::new(domain.clone()));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restarts()),
+                        track_memory,
+                    }))
+                }
+                DsKind::HashMap => {
+                    let set: Arc<HashMap<u64, $scheme>> =
+                        Arc::new(HashMap::new(hash_buckets(key_range), domain.clone()));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restart_count()),
+                        track_memory,
+                    }))
+                }
+            }
+        }};
+    }
+
+    match smr {
+        SmrKind::Nr => build_for_scheme!(Nr),
+        SmrKind::Ebr => build_for_scheme!(Ebr),
+        SmrKind::Hp | SmrKind::HpOpt => build_for_scheme!(Hp),
+        SmrKind::He | SmrKind::HeOpt => build_for_scheme!(He),
+        SmrKind::Ibr | SmrKind::IbrOpt => build_for_scheme!(Ibr),
+        SmrKind::Hyaline => build_for_scheme!(Hyaline),
+    }
+}
+
+/// Type-erased target: the generic runner functions below are instantiated per
+/// concrete set type through this enum-free trampoline.
+struct TargetAny {
+    run_timed: Box<dyn FnOnce(&RunConfig) -> (u64, f64, Vec<usize>, u64) + Send>,
+    run_fixed: Box<dyn FnOnce(&RunConfig, u64) -> (u64, f64, u64) + Send>,
+}
+
+impl<C> From<Target<C>> for TargetAny
+where
+    C: ConcurrentSet<u64> + 'static,
+{
+    fn from(target: Target<C>) -> Self {
+        let t2 = Target {
+            set: target.set.clone(),
+            unreclaimed: target.unreclaimed.clone(),
+            restarts: target.restarts.clone(),
+            track_memory: target.track_memory,
+        };
+        TargetAny {
+            run_timed: Box::new(move |cfg| timed_inner(&target, cfg)),
+            run_fixed: Box::new(move |cfg, ops| fixed_inner(&t2, cfg, ops)),
+        }
+    }
+}
+
+/// Prefills the structure with unique keys covering 50% of the key range,
+/// exactly like the paper's benchmark.
+fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64) {
+    let mut handle = set.handle();
+    let mut rng = FastRng::new(seed);
+    let target = (key_range / 2).max(1);
+    let mut inserted = 0u64;
+    // Insert random unique keys until half the range is populated; for tiny
+    // ranges fall back to inserting every other key deterministically.
+    if key_range <= 1024 {
+        let mut k = 0;
+        while inserted < target {
+            if set.insert(&mut handle, k) {
+                inserted += 1;
+            }
+            k = (k + 2) % key_range.max(1);
+            if k == 0 {
+                k = 1;
+            }
+        }
+    } else {
+        while inserted < target {
+            let k = rng.below(key_range);
+            if set.insert(&mut handle, k) {
+                inserted += 1;
+            }
+        }
+    }
+}
+
+fn op_loop<C: ConcurrentSet<u64>>(
+    set: &C,
+    cfg: &RunConfig,
+    stop: &AtomicBool,
+    thread_idx: usize,
+    max_ops: Option<u64>,
+) -> u64 {
+    let mut handle = set.handle();
+    let mut rng = FastRng::new(cfg.seed ^ (thread_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut ops = 0u64;
+    loop {
+        if let Some(limit) = max_ops {
+            if ops >= limit {
+                break;
+            }
+        }
+        // Check the stop flag only every few operations to keep the hot loop
+        // tight, as the original benchmark does.
+        if ops % 64 == 0 && stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let key = rng.below(cfg.key_range);
+        let op = (rng.next_u64() % 100) as u32;
+        if op < cfg.mix.read_pct {
+            set.contains(&mut handle, &key);
+        } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
+            set.insert(&mut handle, key);
+        } else {
+            set.remove(&mut handle, &key);
+        }
+        ops += 1;
+    }
+    ops
+}
+
+fn timed_inner<C: ConcurrentSet<u64> + 'static>(
+    target: &Target<C>,
+    cfg: &RunConfig,
+) -> (u64, f64, Vec<usize>, u64) {
+    cfg.mix.validate();
+    prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut samples = Vec::new();
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let set = target.set.clone();
+            let stop = stop.clone();
+            let total_ops = total_ops.clone();
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let ops = op_loop(set.as_ref(), &cfg, &stop, t, None);
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // The main thread doubles as the memory-overhead sampler.
+        let deadline = start + cfg.duration;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if target.track_memory {
+                samples.push((target.unreclaimed)());
+            }
+            std::thread::sleep(cfg.sample_interval.min(deadline - now));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        total_ops.load(Ordering::Relaxed),
+        elapsed,
+        samples,
+        (target.restarts)(),
+    )
+}
+
+fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
+    target: &Target<C>,
+    cfg: &RunConfig,
+    ops_per_thread: u64,
+) -> (u64, f64, u64) {
+    cfg.mix.validate();
+    prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let set = target.set.clone();
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let ops = op_loop(set.as_ref(), &cfg, stop, t, Some(ops_per_thread));
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        total_ops.load(Ordering::Relaxed),
+        elapsed,
+        (target.restarts)(),
+    )
+}
+
+/// Runs a timed workload (the paper's main measurement mode) and returns the
+/// numbers behind one figure point.
+pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
+    let (ops, elapsed, samples, restarts) =
+        with_target(ds, smr, cfg.threads, cfg.key_range, |t| (t.run_timed)(cfg));
+    let (avg, max) = if samples.is_empty() {
+        (None, None)
+    } else {
+        let sum: usize = samples.iter().sum();
+        (
+            Some(sum as f64 / samples.len() as f64),
+            samples.iter().copied().max(),
+        )
+    };
+    RunResult {
+        ds: ds.name().to_string(),
+        smr: smr.name().to_string(),
+        threads: cfg.threads,
+        key_range: cfg.key_range,
+        ops,
+        ops_per_sec: ops as f64 / elapsed,
+        avg_unreclaimed: avg,
+        max_unreclaimed: max,
+        restarts,
+        elapsed_secs: elapsed,
+    }
+}
+
+/// Runs a fixed number of operations per thread and returns
+/// `(total_ops, elapsed_seconds, restarts)`.  Used by the Criterion benches.
+pub fn run_fixed_ops(
+    ds: DsKind,
+    smr: SmrKind,
+    cfg: &RunConfig,
+    ops_per_thread: u64,
+) -> (u64, f64, u64) {
+    with_target(ds, smr, cfg.threads, cfg.key_range, |t| {
+        (t.run_fixed)(cfg, ops_per_thread)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ds_kind_parse_roundtrip() {
+        for k in DsKind::ALL {
+            assert!(DsKind::parse(k.name()).is_some() || k == DsKind::ListWf || k == DsKind::ListLf);
+        }
+        assert_eq!(DsKind::parse("listlf"), Some(DsKind::ListLf));
+        assert_eq!(DsKind::parse("LISTWF"), Some(DsKind::ListWf));
+        assert_eq!(DsKind::parse("hmlist"), Some(DsKind::HmList));
+        assert_eq!(DsKind::parse("tree"), Some(DsKind::Tree));
+        assert_eq!(DsKind::parse("hashmap"), Some(DsKind::HashMap));
+        assert_eq!(DsKind::parse("bogus"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 100")]
+    fn invalid_mix_is_rejected() {
+        let mix = Mix {
+            read_pct: 50,
+            insert_pct: 50,
+            delete_pct: 50,
+        };
+        mix.validate();
+    }
+
+    #[test]
+    fn quick_timed_run_produces_sane_numbers() {
+        let cfg = RunConfig::paper_default(2, 256).quick();
+        let r = run_timed(DsKind::ListLf, SmrKind::Hp, &cfg);
+        assert!(r.ops > 0, "no operations completed");
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.avg_unreclaimed.is_some(), "HP must report memory overhead");
+        assert_eq!(r.ds, "HList");
+        assert_eq!(r.smr, "HP");
+    }
+
+    #[test]
+    fn hyaline_runs_without_memory_sampling() {
+        let cfg = RunConfig::paper_default(2, 256).quick();
+        let r = run_timed(DsKind::HmList, SmrKind::Hyaline, &cfg);
+        assert!(r.ops > 0);
+        assert!(
+            r.avg_unreclaimed.is_none(),
+            "Hyaline memory overhead is skipped, as in the paper"
+        );
+    }
+
+    #[test]
+    fn fixed_ops_mode_executes_exactly_the_requested_work() {
+        let cfg = RunConfig::paper_default(2, 128).quick();
+        let (ops, elapsed, _) = run_fixed_ops(DsKind::Tree, SmrKind::Ebr, &cfg, 1_000);
+        assert_eq!(ops, 2 * 1_000);
+        assert!(elapsed > 0.0);
+    }
+
+    #[test]
+    fn every_ds_smr_pair_smoke_runs() {
+        // Table 1: every structure must work under every scheme.
+        let cfg = RunConfig {
+            duration: Duration::from_millis(40),
+            ..RunConfig::paper_default(2, 64)
+        };
+        for ds in DsKind::ALL {
+            for smr in SmrKind::ALL {
+                let r = run_timed(ds, smr, &cfg);
+                assert!(r.ops > 0, "{ds} under {smr} completed no operations");
+            }
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Harris' lock-free ordered list with **SCOT** safe optimistic traversals
+//! (paper §2.4, §3.2, Figure 5).
+//!
+//! Harris' list performs *logical* deletion by tagging the victim's `next`
+//! pointer and defers the *physical* unlink: a later traversal removes a whole
+//! chain of consecutively marked nodes with a single CAS, and `Search` simply
+//! skips over marked nodes.  This is what makes it faster than the
+//! Harris-Michael variant — fewer CAS operations and almost no restarts
+//! (Table 2 of the paper) — but it is exactly what breaks hazard-pointer-style
+//! reclamation: a traversal can step from a marked node to a successor that
+//! has already been unlinked *and reclaimed* by someone else (Figure 2).
+//!
+//! SCOT's fix (§3.1): while traversing a chain of marked nodes (the
+//! *dangerous zone*) keep one extra hazard slot on the **first unsafe node**
+//! and, before every step deeper into the zone, validate that the **last safe
+//! node still points at it**.  If the validation fails the chain may have been
+//! unlinked, so the traversal either escapes to the last safe node's new
+//! successor (§3.2.1 recovery) or restarts from the head.
+//!
+//! Hazard-slot roles (Figure 5):
+//!
+//! | slot | role |
+//! |------|------|
+//! | `Hp0` | next node (`next`) |
+//! | `Hp1` | current node (`curr`) |
+//! | `Hp2` | last safe node (`prev`) |
+//! | `Hp3` | first unsafe node (dangerous-zone anchor) |
+//!
+//! `dup` always copies a lower slot into a higher slot, which together with
+//! ascending-order scans closes the race window discussed in §3.2.
+//!
+//! One deliberate deviation from Figure 5 (right): the dangerous-zone
+//! validation is performed **before** the successor of the first unsafe node
+//! is dereferenced (i.e. it is hoisted to the zone entry), matching the
+//! simple variant on the figure's left and the prose of §3.1.  As printed, the
+//! unrolled pseudocode issues its first validation only after one dereference
+//! into the zone, which would leave a window on the very first step.
+
+use crate::{ConcurrentSet, Key, Stats};
+use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Hazard slot protecting the next node.
+pub(crate) const HP_NEXT: usize = 0;
+/// Hazard slot protecting the current node.
+pub(crate) const HP_CURR: usize = 1;
+/// Hazard slot protecting the last safe (predecessor) node.
+pub(crate) const HP_PREV: usize = 2;
+/// Hazard slot protecting the first unsafe node of a dangerous zone.
+pub(crate) const HP_ANCHOR: usize = 3;
+
+/// Tag bit marking a node as logically deleted (stored in the node's own
+/// `next` pointer, exactly as in Harris' original algorithm).
+pub(crate) const MARK: usize = 1;
+
+/// A list node: key plus the tagged successor pointer.
+pub(crate) struct Node<K> {
+    pub(crate) next: Atomic<Node<K>>,
+    pub(crate) key: K,
+}
+
+/// Result of the internal `Do_Find`: the predecessor link and the protected
+/// `curr`/`next` snapshot, exactly the triple the paper's pseudocode returns.
+pub(crate) struct FindResult<K> {
+    pub(crate) prev: Link<Node<K>>,
+    pub(crate) curr: Shared<Node<K>>,
+    pub(crate) next: Shared<Node<K>>,
+    pub(crate) found: bool,
+}
+
+/// Harris' ordered set with SCOT traversals, parameterized by the reclamation
+/// scheme.
+///
+/// ```
+/// use scot::HarrisList;
+/// use scot::ConcurrentSet;
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let list: HarrisList<u64, Hp> = HarrisList::new(Hp::new(SmrConfig::default()));
+/// let mut handle = list.handle();
+/// assert!(list.insert(&mut handle, 7));
+/// assert!(list.contains(&mut handle, &7));
+/// assert!(list.remove(&mut handle, &7));
+/// assert!(!list.contains(&mut handle, &7));
+/// ```
+pub struct HarrisList<K, S: Smr> {
+    pub(crate) head: Atomic<Node<K>>,
+    pub(crate) smr: Arc<S>,
+    stats: Stats,
+    /// Whether the §3.2.1 recovery optimization is enabled (on by default;
+    /// the ablation benchmark disables it to quantify its benefit).
+    recovery: bool,
+}
+
+unsafe impl<K: Key, S: Smr> Send for HarrisList<K, S> {}
+unsafe impl<K: Key, S: Smr> Sync for HarrisList<K, S> {}
+
+/// Per-thread handle for [`HarrisList`].
+pub struct HarrisListHandle<S: Smr> {
+    pub(crate) smr: S::Handle,
+}
+
+impl<S: Smr> HarrisListHandle<S> {
+    /// Forces a reclamation pass (limbo scan / epoch advance) on this
+    /// thread's SMR handle; useful in tests and at controlled quiescence
+    /// points.
+    pub fn flush(&mut self) {
+        self.smr.flush();
+    }
+}
+
+impl<K: Key, S: Smr> HarrisList<K, S> {
+    /// Creates an empty list managed by the given reclamation domain.
+    pub fn new(smr: Arc<S>) -> Self {
+        Self {
+            head: Atomic::null(),
+            smr,
+            stats: Stats::default(),
+            recovery: true,
+        }
+    }
+
+    /// Creates an empty list with a freshly created domain using `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self::new(S::new(config))
+    }
+
+    /// Like [`HarrisList::new`], but with the §3.2.1 recovery optimization
+    /// disabled: every dangerous-zone validation failure restarts from the
+    /// head.  Used by the recovery ablation benchmark.
+    pub fn without_recovery(smr: Arc<S>) -> Self {
+        let mut list = Self::new(smr);
+        list.recovery = false;
+        list
+    }
+
+    /// The reclamation domain backing this list (used by the harness to read
+    /// memory-overhead statistics).
+    pub fn domain(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> HarrisListHandle<S> {
+        HarrisListHandle {
+            smr: self.smr.register(),
+        }
+    }
+
+    /// Number of full traversal restarts (Table 2).
+    pub fn restarts(&self) -> u64 {
+        self.stats.restarts()
+    }
+
+    /// Number of §3.2.1 recovery events (dangerous-zone escapes that avoided a
+    /// full restart); used by the recovery-optimization ablation benchmark.
+    pub fn recoveries(&self) -> u64 {
+        self.stats.recoveries()
+    }
+
+    /// Internal `Do_Find` (Figure 5, right-hand unrolled version plus the
+    /// §3.2.1 recovery optimization).  On return the hazard slots still
+    /// protect `prev`, `curr` and `next`, so the caller can immediately use
+    /// them for its insert/delete CAS.
+    pub(crate) fn find<G: SmrGuard>(&self, g: &mut G, key: &K, is_search: bool) -> FindResult<K> {
+        'restart: loop {
+            // L33-36: start from the implicit pre-head sentinel (&Head).
+            let mut prev: Link<Node<K>> = self.head.as_link();
+            let mut prev_next: Shared<Node<K>> = Shared::null();
+            let mut curr = g.protect(HP_CURR, &self.head);
+            let mut next = if curr.is_null() {
+                Shared::null()
+            } else {
+                // SAFETY: `curr` was protected against the head link; the head
+                // is never deallocated and the protect re-read confirmed the
+                // head still points at `curr`, so `curr` was not yet retired
+                // when the protection became visible.
+                g.protect(HP_NEXT, unsafe { &curr.deref().next })
+            };
+
+            'traverse: loop {
+                // ---------- Phase 1: safe zone (L38-47) ----------
+                loop {
+                    if curr.is_null() {
+                        break 'traverse;
+                    }
+                    if next.tag() != 0 {
+                        // `curr` is logically deleted: switch to Phase 2.
+                        break;
+                    }
+                    // SAFETY: `curr` is protected and was validated reachable
+                    // from an unmarked predecessor when that protection was
+                    // published (standard Harris-Michael argument), or by the
+                    // SCOT validation when arriving from a dangerous zone.
+                    let curr_ref = unsafe { curr.deref() };
+                    if curr_ref.key >= *key {
+                        break 'traverse;
+                    }
+                    // Advance: `curr` becomes the last safe node.
+                    prev = curr_ref.next.as_link();
+                    prev_next = Shared::null();
+                    g.dup(HP_CURR, HP_PREV);
+                    curr = next;
+                    if curr.is_null() {
+                        break 'traverse;
+                    }
+                    g.dup(HP_NEXT, HP_CURR);
+                    // SAFETY: `curr` was published (HP_NEXT) by the protect
+                    // that read it from an unmarked predecessor, hence durable.
+                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                }
+
+                // ---------- Phase 2: dangerous zone (L48-56) ----------
+                // `curr` is the first unsafe node; anchor it in Hp3 so the
+                // validation below can rely on pointer comparison even if the
+                // zone is concurrently unlinked (ABA prevention, §3.2).
+                g.dup(HP_CURR, HP_ANCHOR);
+                prev_next = curr;
+                loop {
+                    // SCOT validation: the last safe node must still point at
+                    // the first unsafe node.  Performed *before* dereferencing
+                    // deeper into the zone (see the module documentation).
+                    //
+                    // SAFETY: `prev` is either the list head or a field of the
+                    // node protected by HP_PREV.
+                    let observed = unsafe { prev.load(Ordering::Acquire) };
+                    if observed != prev_next {
+                        // §3.2.1 recovery: if the last safe node is still not
+                        // logically deleted it merely points at a new
+                        // successor (a fresh insert, or the chain has already
+                        // been cleaned up); continue from there instead of
+                        // restarting from the head.
+                        if observed.tag() == 0 && self.recovery {
+                            self.stats.record_recovery();
+                            // SAFETY: as above; the protect re-reads the link,
+                            // and the owner of `prev` is unmarked, so the
+                            // returned pointer was not retired when published.
+                            curr = g.protect(HP_CURR, unsafe { prev.as_atomic() });
+                            if curr.tag() != 0 {
+                                // The last safe node got marked after all.
+                                self.stats.record_restart();
+                                continue 'restart;
+                            }
+                            prev_next = Shared::null();
+                            if curr.is_null() {
+                                next = Shared::null();
+                                break 'traverse;
+                            }
+                            // SAFETY: protected and validated just above.
+                            next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                            continue 'traverse;
+                        }
+                        self.stats.record_restart();
+                        continue 'restart;
+                    }
+                    if next.tag() == 0 {
+                        // End of the marked chain: back to the safe zone with
+                        // the pending cleanup information intact.
+                        continue 'traverse;
+                    }
+                    // Step deeper into the zone.
+                    curr = next.untagged();
+                    if curr.is_null() {
+                        break 'traverse;
+                    }
+                    g.dup(HP_NEXT, HP_CURR);
+                    // SAFETY: `curr` was published in HP_NEXT by the protect
+                    // that read it, and the validation above confirmed the
+                    // zone was still linked after that publication, so the
+                    // protection is durable (Theorem 2).
+                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                }
+            }
+
+            // ---------- Cleanup + output (L57-62) ----------
+            if !is_search && !prev_next.is_null() && prev_next != curr {
+                // Unlink the chain of marked nodes [prev_next, curr) with one
+                // CAS; on failure another thread changed the link, restart.
+                //
+                // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
+                if unsafe { prev.cas(prev_next, curr) }.is_err() {
+                    self.stats.record_restart();
+                    continue 'restart;
+                }
+                // SAFETY: we won the unlink CAS, so this thread exclusively
+                // retires the chain (Do_Retire, Figure 5 L24-29).
+                unsafe { self.retire_chain(g, prev_next, curr) };
+            }
+
+            let found = !curr.is_null() && {
+                // SAFETY: `curr` is protected (HP_CURR) and durable.
+                unsafe { curr.deref() }.key == *key
+            };
+            return FindResult {
+                prev,
+                curr,
+                next,
+                found,
+            };
+        }
+    }
+
+    /// Retires every node of the just-unlinked chain `[from, to)`.
+    ///
+    /// # Safety
+    /// The caller must have won the unlink CAS that removed exactly this chain
+    /// from the list, which makes it the unique retirer of these nodes.
+    unsafe fn retire_chain<G: SmrGuard>(&self, g: &mut G, from: Shared<Node<K>>, to: Shared<Node<K>>) {
+        let mut cur = from;
+        while cur != to {
+            debug_assert!(!cur.is_null(), "marked chain must end at `to`");
+            let next = cur.deref().next.load(Ordering::Acquire).untagged();
+            g.retire(cur);
+            cur = next;
+        }
+    }
+
+    fn insert_impl(&self, handle: &mut HarrisListHandle<S>, key: K) -> bool {
+        let mut g = handle.smr.pin();
+        let new = g.alloc(Node {
+            next: Atomic::null(),
+            key,
+        });
+        loop {
+            let r = self.find(&mut g, &key, false);
+            if r.found {
+                // SAFETY: `new` was never published.
+                unsafe { g.dealloc(new) };
+                return false;
+            }
+            // SAFETY: `new` is owned by us until the CAS below publishes it.
+            unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
+            // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
+            if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
+                return true;
+            }
+        }
+    }
+
+    fn remove_impl(&self, handle: &mut HarrisListHandle<S>, key: &K) -> bool {
+        let mut g = handle.smr.pin();
+        loop {
+            let r = self.find(&mut g, key, false);
+            if !r.found {
+                return false;
+            }
+            // SAFETY: `curr` is protected (HP_CURR).
+            let curr_ref = unsafe { r.curr.deref() };
+            // Logical deletion: tag curr's next pointer (Figure 3, L21).
+            if curr_ref
+                .next
+                .compare_exchange(r.next, r.next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // One attempt at physical unlinking (Figure 3, L22); if it fails a
+            // later traversal will clean the node up and retire it.
+            //
+            // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
+            if unsafe { r.prev.cas(r.curr, r.next) }.is_ok() {
+                // SAFETY: we won the unlink CAS, so we are the unique retirer.
+                unsafe { g.retire(r.curr) };
+            }
+            return true;
+        }
+    }
+
+    fn contains_impl(&self, handle: &mut HarrisListHandle<S>, key: &K) -> bool {
+        let mut g = handle.smr.pin();
+        self.find(&mut g, key, true).found
+    }
+
+    /// Iterates over the keys currently reachable and not logically deleted.
+    ///
+    /// Intended for testing and diagnostics only: the snapshot is not atomic
+    /// and, because it deliberately skips the SCOT validation, it must not run
+    /// concurrently with removals when a robust SMR scheme (HP/HE/IBR/Hyaline)
+    /// is in use.  The test suites only call it after worker threads joined.
+    pub fn collect_keys(&self, handle: &mut HarrisListHandle<S>) -> Vec<K> {
+        let mut g = handle.smr.pin();
+        let mut out = Vec::new();
+        let mut curr = g.protect(HP_CURR, &self.head);
+        while !curr.is_null() {
+            // SAFETY: protected by HP_CURR / HP_NEXT ping-pong below.
+            let node = unsafe { curr.deref() };
+            let next = g.protect(HP_NEXT, &node.next);
+            if next.tag() == 0 {
+                out.push(node.key);
+            }
+            curr = next.untagged();
+            g.dup(HP_NEXT, HP_CURR);
+        }
+        out
+    }
+}
+
+impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisList<K, S> {
+    type Handle = HarrisListHandle<S>;
+
+    fn handle(&self) -> Self::Handle {
+        HarrisList::handle(self)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
+        self.insert_impl(handle, key)
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.remove_impl(handle, key)
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.contains_impl(handle, key)
+    }
+
+    fn restart_count(&self) -> u64 {
+        self.stats.restarts()
+    }
+}
+
+impl<K, S: Smr> Drop for HarrisList<K, S> {
+    fn drop(&mut self) {
+        // Free every node still reachable from the head.  Retired nodes are no
+        // longer reachable and are released by the reclamation domain.
+        let mut curr = self.head.load(Ordering::Relaxed).untagged();
+        while !curr.is_null() {
+            // SAFETY: exclusive access during drop; each reachable node is
+            // visited exactly once.
+            unsafe {
+                let next = curr.deref().next.load(Ordering::Relaxed).untagged();
+                scot_smr::free_block(scot_smr::header_of(curr.as_ptr()));
+                curr = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            max_threads: 16,
+            scan_threshold: 8,
+            epoch_freq_per_thread: 1,
+            snapshot_scan: false,
+        }
+    }
+
+    fn basic_set_semantics<S: Smr>() {
+        let list: HarrisList<u64, S> = HarrisList::with_config(cfg());
+        let mut h = list.handle();
+        assert!(!list.contains(&mut h, &5));
+        assert!(list.insert(&mut h, 5));
+        assert!(!list.insert(&mut h, 5), "duplicate insert must fail");
+        assert!(list.insert(&mut h, 3));
+        assert!(list.insert(&mut h, 9));
+        assert!(list.contains(&mut h, &3));
+        assert!(list.contains(&mut h, &5));
+        assert!(list.contains(&mut h, &9));
+        assert!(!list.contains(&mut h, &4));
+        assert_eq!(list.collect_keys(&mut h), vec![3, 5, 9]);
+        assert!(list.remove(&mut h, &5));
+        assert!(!list.remove(&mut h, &5), "double remove must fail");
+        assert!(!list.contains(&mut h, &5));
+        assert_eq!(list.collect_keys(&mut h), vec![3, 9]);
+    }
+
+    #[test]
+    fn basic_semantics_under_every_scheme() {
+        basic_set_semantics::<Nr>();
+        basic_set_semantics::<Ebr>();
+        basic_set_semantics::<Hp>();
+        basic_set_semantics::<He>();
+        basic_set_semantics::<Ibr>();
+        basic_set_semantics::<Hyaline>();
+    }
+
+    #[test]
+    fn keys_stay_sorted_and_unique() {
+        let list: HarrisList<u32, Hp> = HarrisList::with_config(cfg());
+        let mut h = list.handle();
+        for k in [5u32, 1, 9, 3, 7, 3, 9, 0] {
+            list.insert(&mut h, k);
+        }
+        let keys = list.collect_keys(&mut h);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys, vec![0, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_sequence() {
+        let list: HarrisList<u64, Ebr> = HarrisList::with_config(cfg());
+        let mut h = list.handle();
+        for i in 0..200u64 {
+            assert!(list.insert(&mut h, i));
+        }
+        for i in (0..200u64).step_by(2) {
+            assert!(list.remove(&mut h, &i));
+        }
+        for i in 0..200u64 {
+            assert_eq!(list.contains(&mut h, &i), i % 2 == 1, "key {i}");
+        }
+        assert_eq!(list.collect_keys(&mut h).len(), 100);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let list: Arc<HarrisList<u64, Hp>> = Arc::new(HarrisList::with_config(cfg()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let list = list.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..200u64 {
+                        assert!(list.insert(&mut h, t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let mut h = list.handle();
+        for t in 0..4u64 {
+            for i in 0..200u64 {
+                assert!(list.contains(&mut h, &(t * 1000 + i)));
+            }
+        }
+        assert_eq!(list.collect_keys(&mut h).len(), 800);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        // Threads fight over a small key range; afterwards each key's
+        // membership must be a valid boolean (no corruption / crash) and the
+        // list must stay sorted & duplicate-free.
+        fn run<S: Smr>() {
+            let list: Arc<HarrisList<u32, S>> = Arc::new(HarrisList::with_config(cfg()));
+            std::thread::scope(|s| {
+                for t in 0..8u32 {
+                    let list = list.clone();
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        let mut x = t as u64 + 1;
+                        for _ in 0..3000 {
+                            // xorshift
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let key = (x % 64) as u32;
+                            match x % 3 {
+                                0 => {
+                                    list.insert(&mut h, key);
+                                }
+                                1 => {
+                                    list.remove(&mut h, &key);
+                                }
+                                _ => {
+                                    list.contains(&mut h, &key);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let mut h = list.handle();
+            let keys = list.collect_keys(&mut h);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(keys, sorted, "list must remain sorted and duplicate-free");
+        }
+        run::<Hp>();
+        run::<Ebr>();
+        run::<He>();
+        run::<Ibr>();
+        run::<Hyaline>();
+    }
+
+    #[test]
+    fn all_retired_nodes_are_reclaimed_after_quiescence() {
+        let domain = Hp::new(cfg());
+        let list: Arc<HarrisList<u64, Hp>> = Arc::new(HarrisList::new(domain.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let list = list.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..500 {
+                        let k = t * 10_000 + i;
+                        list.insert(&mut h, k);
+                        list.remove(&mut h, &k);
+                    }
+                    h.smr.flush();
+                });
+            }
+        });
+        let mut h = list.handle();
+        h.smr.flush();
+        drop(h);
+        assert_eq!(domain.unreclaimed(), 0, "no retired node may remain once quiescent");
+    }
+
+    #[test]
+    fn restart_counter_stays_zero_single_threaded() {
+        let list: HarrisList<u64, Hp> = HarrisList::with_config(cfg());
+        let mut h = list.handle();
+        for i in 0..100 {
+            list.insert(&mut h, i);
+        }
+        for i in 0..100 {
+            list.remove(&mut h, &i);
+        }
+        assert_eq!(list.restarts(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Lock-free hash set built, exactly as the paper notes in §2.3 and §6.2, as
+//! an array of Harris lists ("hash maps ... are simply arrays of Harris' or
+//! Harris-Michael lists").
+//!
+//! Keys are partitioned into a fixed number of buckets by a multiplicative
+//! hash; each bucket is an independent [`HarrisList`] (with SCOT traversals),
+//! and all buckets share one reclamation domain so memory-overhead accounting
+//! matches the paper's methodology.
+
+use crate::harris_list::{HarrisList, HarrisListHandle};
+use crate::{ConcurrentSet, Key};
+use scot_smr::{Smr, SmrConfig};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A lock-free hash set: `buckets` Harris lists sharing one SMR domain.
+///
+/// ```
+/// use scot::{ConcurrentSet, HashMap};
+/// use scot_smr::{Ibr, Smr, SmrConfig};
+///
+/// let map: HashMap<u64, Ibr> = HashMap::with_config(64, SmrConfig::default());
+/// let mut h = map.handle();
+/// assert!(map.insert(&mut h, 42));
+/// assert!(map.contains(&mut h, &42));
+/// ```
+pub struct HashMap<K, S: Smr> {
+    buckets: Box<[HarrisList<K, S>]>,
+    smr: Arc<S>,
+}
+
+/// Per-thread handle for [`HashMap`].
+pub struct HashMapHandle<S: Smr> {
+    inner: HarrisListHandle<S>,
+}
+
+impl<S: Smr> HashMapHandle<S> {
+    /// Forces a reclamation pass on this thread's SMR handle.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+impl<K: Key + Hash, S: Smr> HashMap<K, S> {
+    /// Creates a hash set with `buckets` buckets sharing the given domain.
+    pub fn new(buckets: usize, smr: Arc<S>) -> Self {
+        assert!(buckets > 0, "at least one bucket is required");
+        let buckets = (0..buckets)
+            .map(|_| HarrisList::new(smr.clone()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { buckets, smr }
+    }
+
+    /// Creates a hash set with a freshly created domain.
+    pub fn with_config(buckets: usize, config: SmrConfig) -> Self {
+        Self::new(buckets, S::new(config))
+    }
+
+    /// The shared reclamation domain.
+    pub fn domain(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> HashMapHandle<S> {
+        HashMapHandle {
+            inner: HarrisListHandle {
+                smr: self.smr.register(),
+            },
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &HarrisList<K, S> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let idx = (hasher.finish() as usize) % self.buckets.len();
+        &self.buckets[idx]
+    }
+
+    /// Total number of live keys (testing/diagnostics; not atomic).
+    pub fn len(&self, handle: &mut HashMapHandle<S>) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.collect_keys(&mut handle.inner).len())
+            .sum()
+    }
+
+    /// True if no live keys are present (testing/diagnostics; not atomic).
+    pub fn is_empty(&self, handle: &mut HashMapHandle<S>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K: Key + Hash, S: Smr> ConcurrentSet<K> for HashMap<K, S> {
+    type Handle = HashMapHandle<S>;
+
+    fn handle(&self) -> Self::Handle {
+        HashMap::handle(self)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
+        self.bucket(&key).insert(&mut handle.inner, key)
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.bucket(key).remove(&mut handle.inner, key)
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.bucket(key).contains(&mut handle.inner, key)
+    }
+
+    fn restart_count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.restarts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scot_smr::{Ebr, Hp, Hyaline, SmrHandle};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            max_threads: 16,
+            scan_threshold: 8,
+            epoch_freq_per_thread: 1,
+            snapshot_scan: false,
+        }
+    }
+
+    #[test]
+    fn basic_semantics() {
+        let map: HashMap<u64, Hp> = HashMap::with_config(8, cfg());
+        let mut h = map.handle();
+        assert!(map.is_empty(&mut h));
+        for i in 0..100u64 {
+            assert!(map.insert(&mut h, i));
+        }
+        for i in 0..100u64 {
+            assert!(!map.insert(&mut h, i), "duplicate insert of {i}");
+            assert!(map.contains(&mut h, &i));
+        }
+        assert_eq!(map.len(&mut h), 100);
+        for i in (0..100u64).step_by(3) {
+            assert!(map.remove(&mut h, &i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(map.contains(&mut h, &i), i % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn keys_distribute_over_buckets() {
+        let map: HashMap<u64, Ebr> = HashMap::with_config(16, cfg());
+        let mut h = map.handle();
+        for i in 0..512u64 {
+            map.insert(&mut h, i);
+        }
+        let nonempty = map
+            .buckets
+            .iter()
+            .filter(|b| !b.collect_keys(&mut h.inner).is_empty())
+            .count();
+        assert!(
+            nonempty >= 12,
+            "expected the hash to spread keys over most buckets (got {nonempty}/16)"
+        );
+    }
+
+    #[test]
+    fn concurrent_stress_reclaims_everything() {
+        let domain = Hyaline::new(cfg());
+        let map: Arc<HashMap<u64, Hyaline>> = Arc::new(HashMap::new(32, domain.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = map.clone();
+                s.spawn(move || {
+                    let mut h = map.handle();
+                    let mut x = t + 1;
+                    for _ in 0..4000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % 256;
+                        if x % 2 == 0 {
+                            map.insert(&mut h, key);
+                        } else {
+                            map.remove(&mut h, &key);
+                        }
+                    }
+                    h.inner.smr.flush();
+                });
+            }
+        });
+        let mut h = map.handle();
+        h.inner.smr.flush();
+        drop(h);
+        assert_eq!(domain.unreclaimed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _: HashMap<u64, Hp> = HashMap::with_config(0, cfg());
+    }
+}

@@ -1,0 +1,394 @@
+//! The Harris-Michael lock-free ordered list (Michael 2002) — the baseline the
+//! paper compares SCOT against (paper §2.4, "Why Michael's Approach Works").
+//!
+//! Michael's modification of Harris' list makes it compatible with hazard
+//! pointers out of the box: whenever a traversal encounters a logically
+//! deleted node it **immediately** attempts to unlink that single node and, if
+//! the unlink CAS fails, restarts the whole traversal from the head.  The
+//! successor of a marked node is therefore never traversed, which is exactly
+//! the property plain HP needs — and exactly what costs performance: more CAS
+//! operations under contention and a restart rate that grows with the thread
+//! count (the paper's Table 2 measures 8.19% restarts at 256 threads versus
+//! ≈0% for Harris' list with SCOT).
+//!
+//! The hazard-slot roles are the classic three: `Hp0` = next, `Hp1` = curr,
+//! `Hp2` = prev.  No dangerous zone ever forms, so no anchor slot is needed.
+
+use crate::harris_list::{Node, HP_CURR, HP_NEXT, HP_PREV, MARK};
+use crate::{ConcurrentSet, Key, Stats};
+use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Result of the internal find.
+struct FindResult<K> {
+    prev: Link<Node<K>>,
+    curr: Shared<Node<K>>,
+    next: Shared<Node<K>>,
+    found: bool,
+}
+
+/// Harris-Michael ordered set, parameterized by the reclamation scheme.
+///
+/// ```
+/// use scot::{ConcurrentSet, HarrisMichaelList};
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let list: HarrisMichaelList<u64, Hp> =
+///     HarrisMichaelList::new(Hp::new(SmrConfig::default()));
+/// let mut h = list.handle();
+/// assert!(list.insert(&mut h, 1));
+/// assert!(list.remove(&mut h, &1));
+/// ```
+pub struct HarrisMichaelList<K, S: Smr> {
+    head: Atomic<Node<K>>,
+    smr: Arc<S>,
+    stats: Stats,
+}
+
+unsafe impl<K: Key, S: Smr> Send for HarrisMichaelList<K, S> {}
+unsafe impl<K: Key, S: Smr> Sync for HarrisMichaelList<K, S> {}
+
+/// Per-thread handle for [`HarrisMichaelList`].
+pub struct HmListHandle<S: Smr> {
+    pub(crate) smr: S::Handle,
+}
+
+impl<S: Smr> HmListHandle<S> {
+    /// Forces a reclamation pass on this thread's SMR handle.
+    pub fn flush(&mut self) {
+        self.smr.flush();
+    }
+}
+
+impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
+    /// Creates an empty list managed by the given reclamation domain.
+    pub fn new(smr: Arc<S>) -> Self {
+        Self {
+            head: Atomic::null(),
+            smr,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Creates an empty list with a freshly created domain using `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self::new(S::new(config))
+    }
+
+    /// The reclamation domain backing this list.
+    pub fn domain(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> HmListHandle<S> {
+        HmListHandle {
+            smr: self.smr.register(),
+        }
+    }
+
+    /// Number of full traversal restarts (Table 2).
+    pub fn restarts(&self) -> u64 {
+        self.stats.restarts()
+    }
+
+    /// Michael's find: locate the position for `key`, eagerly unlinking any
+    /// marked node encountered on the way (restarting if the unlink fails).
+    fn find<G: SmrGuard>(&self, g: &mut G, key: &K) -> FindResult<K> {
+        'restart: loop {
+            let mut prev: Link<Node<K>> = self.head.as_link();
+            let mut curr = g.protect(HP_CURR, &self.head);
+            loop {
+                if curr.is_null() {
+                    return FindResult {
+                        prev,
+                        curr,
+                        next: Shared::null(),
+                        found: false,
+                    };
+                }
+                // SAFETY: `curr` is protected; the protect that published it
+                // re-read the predecessor link, and the predecessor is known
+                // unmarked (we unlink marked nodes before ever advancing past
+                // them), so `curr` was not retired when the protection became
+                // visible — Michael's original argument.
+                let curr_ref = unsafe { curr.deref() };
+                let next = g.protect(HP_NEXT, &curr_ref.next);
+                // Re-validate that the predecessor still points at `curr`:
+                // this both detects concurrent unlinks and keeps the "prev is
+                // unmarked" invariant needed by the protection argument.
+                //
+                // SAFETY: `prev` is the head or a field of the HP_PREV node.
+                if unsafe { prev.load(Ordering::Acquire) } != curr {
+                    self.stats.record_restart();
+                    continue 'restart;
+                }
+                if next.tag() != 0 {
+                    // Logically deleted: unlink this single node right now
+                    // (the defining difference from Harris' list).
+                    //
+                    // SAFETY: as above for `prev`.
+                    if unsafe { prev.cas(curr, next.untagged()) }.is_err() {
+                        self.stats.record_restart();
+                        continue 'restart;
+                    }
+                    // SAFETY: we won the unlink CAS — unique retirer.
+                    unsafe { g.retire(curr) };
+                    curr = next.untagged();
+                    g.dup(HP_NEXT, HP_CURR);
+                    continue;
+                }
+                if curr_ref.key >= *key {
+                    return FindResult {
+                        prev,
+                        curr,
+                        next,
+                        found: curr_ref.key == *key,
+                    };
+                }
+                prev = curr_ref.next.as_link();
+                g.dup(HP_CURR, HP_PREV);
+                curr = next;
+                g.dup(HP_NEXT, HP_CURR);
+            }
+        }
+    }
+
+    fn insert_impl(&self, handle: &mut HmListHandle<S>, key: K) -> bool {
+        let mut g = handle.smr.pin();
+        let new = g.alloc(Node {
+            next: Atomic::null(),
+            key,
+        });
+        loop {
+            let r = self.find(&mut g, &key);
+            if r.found {
+                // SAFETY: never published.
+                unsafe { g.dealloc(new) };
+                return false;
+            }
+            // SAFETY: exclusively owned until the publishing CAS.
+            unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
+            // SAFETY: `prev` owner protected or head.
+            if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
+                return true;
+            }
+        }
+    }
+
+    fn remove_impl(&self, handle: &mut HmListHandle<S>, key: &K) -> bool {
+        let mut g = handle.smr.pin();
+        loop {
+            let r = self.find(&mut g, key);
+            if !r.found {
+                return false;
+            }
+            // SAFETY: protected by HP_CURR.
+            let curr_ref = unsafe { r.curr.deref() };
+            if curr_ref
+                .next
+                .compare_exchange(r.next, r.next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: `prev` owner protected or head.
+            if unsafe { r.prev.cas(r.curr, r.next) }.is_ok() {
+                // SAFETY: unlink winner is the unique retirer.
+                unsafe { g.retire(r.curr) };
+            } else {
+                // Someone else will (or did) unlink it during their find.
+            }
+            return true;
+        }
+    }
+
+    fn contains_impl(&self, handle: &mut HmListHandle<S>, key: &K) -> bool {
+        let mut g = handle.smr.pin();
+        self.find(&mut g, key).found
+    }
+
+    /// Collects the live keys (testing/diagnostics; not an atomic snapshot).
+    pub fn collect_keys(&self, handle: &mut HmListHandle<S>) -> Vec<K> {
+        let mut g = handle.smr.pin();
+        let mut out = Vec::new();
+        let mut curr = g.protect(HP_CURR, &self.head);
+        while !curr.is_null() {
+            // SAFETY: see `find` — only used quiescently in tests.
+            let node = unsafe { curr.deref() };
+            let next = g.protect(HP_NEXT, &node.next);
+            if next.tag() == 0 {
+                out.push(node.key);
+            }
+            curr = next.untagged();
+            g.dup(HP_NEXT, HP_CURR);
+        }
+        out
+    }
+}
+
+impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisMichaelList<K, S> {
+    type Handle = HmListHandle<S>;
+
+    fn handle(&self) -> Self::Handle {
+        HarrisMichaelList::handle(self)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
+        self.insert_impl(handle, key)
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.remove_impl(handle, key)
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.contains_impl(handle, key)
+    }
+
+    fn restart_count(&self) -> u64 {
+        self.stats.restarts()
+    }
+}
+
+impl<K, S: Smr> Drop for HarrisMichaelList<K, S> {
+    fn drop(&mut self) {
+        let mut curr = self.head.load(Ordering::Relaxed).untagged();
+        while !curr.is_null() {
+            // SAFETY: exclusive access during drop.
+            unsafe {
+                let next = curr.deref().next.load(Ordering::Relaxed).untagged();
+                scot_smr::free_block(scot_smr::header_of(curr.as_ptr()));
+                curr = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            max_threads: 16,
+            scan_threshold: 8,
+            epoch_freq_per_thread: 1,
+            snapshot_scan: false,
+        }
+    }
+
+    fn basic_set_semantics<S: Smr>() {
+        let list: HarrisMichaelList<u64, S> = HarrisMichaelList::with_config(cfg());
+        let mut h = list.handle();
+        assert!(list.insert(&mut h, 10));
+        assert!(list.insert(&mut h, 20));
+        assert!(list.insert(&mut h, 15));
+        assert!(!list.insert(&mut h, 15));
+        assert!(list.contains(&mut h, &15));
+        assert!(list.remove(&mut h, &15));
+        assert!(!list.contains(&mut h, &15));
+        assert_eq!(list.collect_keys(&mut h), vec![10, 20]);
+    }
+
+    #[test]
+    fn basic_semantics_under_every_scheme() {
+        basic_set_semantics::<Nr>();
+        basic_set_semantics::<Ebr>();
+        basic_set_semantics::<Hp>();
+        basic_set_semantics::<He>();
+        basic_set_semantics::<Ibr>();
+        basic_set_semantics::<Hyaline>();
+    }
+
+    #[test]
+    fn marked_nodes_are_unlinked_during_traversal() {
+        // After removing interior keys, a subsequent contains() physically
+        // cleans the list; all removed nodes must end up retired.
+        let domain = Hp::new(cfg());
+        let list: HarrisMichaelList<u64, Hp> = HarrisMichaelList::new(domain.clone());
+        let mut h = list.handle();
+        for i in 0..64 {
+            list.insert(&mut h, i);
+        }
+        for i in 0..64 {
+            if i % 2 == 0 {
+                list.remove(&mut h, &i);
+            }
+        }
+        // Traverse to the end to trigger any remaining cleanup.
+        assert!(!list.contains(&mut h, &1000));
+        h.smr.flush();
+        drop(h);
+        assert_eq!(domain.unreclaimed(), 0);
+        let mut h = list.handle();
+        assert_eq!(list.collect_keys(&mut h).len(), 32);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        fn run<S: Smr>() {
+            let list: Arc<HarrisMichaelList<u32, S>> =
+                Arc::new(HarrisMichaelList::with_config(cfg()));
+            std::thread::scope(|s| {
+                for t in 0..8u32 {
+                    let list = list.clone();
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        let mut x = t as u64 + 1;
+                        for _ in 0..3000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let key = (x % 64) as u32;
+                            match x % 3 {
+                                0 => {
+                                    list.insert(&mut h, key);
+                                }
+                                1 => {
+                                    list.remove(&mut h, &key);
+                                }
+                                _ => {
+                                    list.contains(&mut h, &key);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let mut h = list.handle();
+            let keys = list.collect_keys(&mut h);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(keys, sorted);
+        }
+        run::<Hp>();
+        run::<Ebr>();
+        run::<Hyaline>();
+    }
+
+    #[test]
+    fn agreement_with_harris_list_on_random_sequence() {
+        use crate::HarrisList;
+        let hm: HarrisMichaelList<u32, Hp> = HarrisMichaelList::with_config(cfg());
+        let harris: HarrisList<u32, Hp> = HarrisList::with_config(cfg());
+        let mut hh = hm.handle();
+        let mut gh = harris.handle();
+        let mut x = 0xdeadbeefu64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 128) as u32;
+            match x % 3 {
+                0 => assert_eq!(hm.insert(&mut hh, key), harris.insert(&mut gh, key)),
+                1 => assert_eq!(hm.remove(&mut hh, &key), harris.remove(&mut gh, &key)),
+                _ => assert_eq!(hm.contains(&mut hh, &key), harris.contains(&mut gh, &key)),
+            }
+        }
+        assert_eq!(hm.collect_keys(&mut hh), harris.collect_keys(&mut gh));
+    }
+}

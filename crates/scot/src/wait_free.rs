@@ -1,0 +1,602 @@
+//! Wait-free traversals for SCOT-based data structures (paper §3.4, Figure 7).
+//!
+//! SCOT's validation may force a traversal to restart from the head, which
+//! keeps updates lock-free but makes `Search` only lock-free too (the same
+//! limitation HP++ has).  The paper's fix is a custom fast-path/slow-path
+//! helping protocol tailored to traversals:
+//!
+//! * A `Search` first runs the ordinary SCOT traversal for a bounded number of
+//!   restarts (the *fast path*).  If it keeps getting disrupted, it publishes
+//!   a help request — its key and a per-thread, monotonically increasing tag —
+//!   in a per-thread announcement record (`thrdrec_t` in Figure 7) and
+//!   switches to `Slow_Search`.
+//! * Every `Insert`/`Delete` periodically polls the announcement array
+//!   (`Help_Threads`, amortized by the `DELAY` counter and a round-robin
+//!   cursor) and, when it finds a pending request, runs the same `Slow_Search`
+//!   on behalf of the requester before doing its own update.
+//! * Whoever finishes first — helper or requester — publishes the boolean
+//!   result with a single CAS keyed by the request tag (`⟨v, In⟩ → ⟨r, Out⟩`),
+//!   so exactly one output is ever installed per request (Lemma 5) and stale
+//!   helpers can never overwrite a newer request.
+//! * `Slow_Search` re-checks the announcement record on every traversal step,
+//!   so as soon as anyone produces the answer every participant stops.
+//!
+//! Updates themselves remain lock-free; only traversals gain wait-freedom
+//! (Theorem 7), which matches the evaluation's `listwf` configuration.
+
+use crate::harris_list::{HarrisList, HarrisListHandle, Node, HP_ANCHOR, HP_CURR, HP_NEXT, HP_PREV};
+use crate::{ConcurrentSet, Key, Stats};
+use crossbeam_utils::CachePadded;
+use scot_smr::{Link, Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of `Help_Threads` calls between actual help checks (the `DELAY`
+/// amortization constant of Figure 7).
+const DELAY: usize = 16;
+
+/// Number of fast-path restarts a `Search` tolerates before requesting help.
+const FAST_PATH_RESTARTS: usize = 8;
+
+/// Packed `helpTag` word: bit 0 is `IsInput`, the remaining bits carry either
+/// the request tag (input) or the boolean result (output).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct HelpTag(u64);
+
+impl HelpTag {
+    const INPUT_BIT: u64 = 1;
+
+    fn input(tag: u64) -> Self {
+        Self((tag << 1) | Self::INPUT_BIT)
+    }
+
+    fn output(result: bool) -> Self {
+        Self((result as u64) << 1)
+    }
+
+    fn is_input(self) -> bool {
+        self.0 & Self::INPUT_BIT != 0
+    }
+
+    fn value(self) -> u64 {
+        self.0 >> 1
+    }
+}
+
+/// Per-thread announcement record (`thrdrec_t` in Figure 7).  `help_key`
+/// stores the raw key bits; it is only interpreted after the double read of
+/// `help_tag` confirms the record is stable (Figure 7, L20-L23).
+struct HelpRecord {
+    help_key: AtomicU64,
+    help_tag: AtomicU64,
+}
+
+impl HelpRecord {
+    fn new() -> Self {
+        Self {
+            help_key: AtomicU64::new(0),
+            help_tag: AtomicU64::new(HelpTag::output(false).0),
+        }
+    }
+}
+
+/// Keys usable with the wait-free list: they must round-trip through a 64-bit
+/// announcement word so helpers can read them without locks.
+pub trait WfKey: Key {
+    /// Encodes the key into 64 bits.
+    fn encode(self) -> u64;
+    /// Decodes a key previously produced by [`WfKey::encode`].
+    fn decode(bits: u64) -> Self;
+}
+
+macro_rules! impl_wf_key {
+    ($($t:ty),*) => {$(
+        impl WfKey for $t {
+            fn encode(self) -> u64 {
+                self as u64
+            }
+            fn decode(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_wf_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Harris' list with SCOT traversals **and** the wait-free search extension.
+///
+/// ```
+/// use scot::{ConcurrentSet, WfHarrisList};
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let cfg = SmrConfig::default();
+/// let list: WfHarrisList<u64, Hp> = WfHarrisList::new(Hp::new(cfg.clone()), cfg.max_threads);
+/// let mut h = list.handle();
+/// assert!(list.insert(&mut h, 3));
+/// assert!(list.contains(&mut h, &3));
+/// ```
+pub struct WfHarrisList<K, S: Smr> {
+    list: HarrisList<K, S>,
+    records: Box<[CachePadded<HelpRecord>]>,
+    record_slots: Arc<SlotRegistry>,
+    stats: Stats,
+}
+
+/// Per-thread handle for [`WfHarrisList`].
+pub struct WfListHandle<S: Smr> {
+    inner: HarrisListHandle<S>,
+    /// Registry the announcement-record index was claimed from.
+    record_slots: Arc<SlotRegistry>,
+    /// Index of this thread's announcement record.
+    index: usize,
+    /// `nextCheck` amortization counter.
+    next_check: usize,
+    /// Round-robin cursor over the announcement array.
+    next_tid: usize,
+    /// Next slow-path request tag (monotonically increasing).
+    local_tag: u64,
+}
+
+impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
+    /// Creates an empty list.  `max_threads` bounds the number of concurrently
+    /// registered handles (it normally matches the SMR domain configuration).
+    pub fn new(smr: Arc<S>, max_threads: usize) -> Self {
+        let records = (0..max_threads)
+            .map(|_| CachePadded::new(HelpRecord::new()))
+            .collect();
+        Self {
+            list: HarrisList::new(smr),
+            records,
+            record_slots: Arc::new(SlotRegistry::new(max_threads)),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Creates an empty list with a freshly created domain using `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        let max_threads = config.max_threads;
+        Self::new(S::new(config), max_threads)
+    }
+
+    /// The reclamation domain backing this list.
+    pub fn domain(&self) -> &Arc<S> {
+        self.list.domain()
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> WfListHandle<S> {
+        WfListHandle {
+            inner: self.list.handle(),
+            record_slots: self.record_slots.clone(),
+            index: self.record_slots.claim(),
+            next_check: DELAY,
+            next_tid: 0,
+            local_tag: 1,
+        }
+    }
+
+    /// Number of full traversal restarts of the underlying list (Table 2).
+    pub fn restarts(&self) -> u64 {
+        self.list.restarts() + self.stats.restarts()
+    }
+
+    /// Number of slow-path searches that were actually entered; exposed for
+    /// the wait-free ablation benchmark.
+    pub fn slow_path_entries(&self) -> u64 {
+        self.stats.recoveries()
+    }
+
+    /// `Help_Threads` (Figure 7, L12-L26): every `DELAY` calls, examine one
+    /// announcement record in round-robin order and return its request if one
+    /// is pending.
+    fn poll_help_request(&self, handle: &mut WfListHandle<S>) -> Option<(K, HelpTag, usize)> {
+        handle.next_check -= 1;
+        if handle.next_check != 0 {
+            return None;
+        }
+        handle.next_check = DELAY;
+        let curr_tid = handle.next_tid;
+        handle.next_tid = (curr_tid + 1) % self.records.len();
+        if curr_tid == handle.index {
+            return None;
+        }
+        let rec = &self.records[curr_tid];
+        let tag = HelpTag(rec.help_tag.load(Ordering::Acquire));
+        if !tag.is_input() {
+            return None;
+        }
+        let key_bits = rec.help_key.load(Ordering::Acquire);
+        // Confirm the key belongs to the tag we saw (Figure 7, L23).
+        if rec.help_tag.load(Ordering::Acquire) != tag.0 {
+            return None;
+        }
+        Some((K::decode(key_bits), tag, curr_tid))
+    }
+
+    /// Helps at most one pending search request before an update operation.
+    fn maybe_help(&self, handle: &mut WfListHandle<S>) {
+        if let Some((key, tag, tid)) = self.poll_help_request(handle) {
+            let mut g = handle.inner.smr.pin();
+            self.slow_search(&mut g, &key, tid, tag);
+        }
+    }
+
+    /// `Request_Help` (Figure 7, L27-L32): publish the key and a fresh input
+    /// tag in this thread's announcement record.
+    fn request_help(&self, handle: &mut WfListHandle<S>, key: K) -> HelpTag {
+        let rec = &self.records[handle.index];
+        rec.help_key.store(key.encode(), Ordering::Release);
+        let tag = HelpTag::input(handle.local_tag);
+        rec.help_tag.store(tag.0, Ordering::Release);
+        handle.local_tag += 1;
+        tag
+    }
+
+    /// Read-only SCOT traversal shared by the fast path and `Slow_Search`.
+    ///
+    /// `max_restarts = None` means unbounded (slow path); `check` is consulted
+    /// on every step and may abort the traversal with an externally produced
+    /// result.  Returns `None` when the restart budget is exhausted.
+    fn traverse<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        key: &K,
+        max_restarts: Option<usize>,
+        mut check: impl FnMut() -> Option<bool>,
+    ) -> Option<bool> {
+        let mut restarts = 0usize;
+        'restart: loop {
+            if let Some(done) = check() {
+                return Some(done);
+            }
+            if let Some(limit) = max_restarts {
+                if restarts > limit {
+                    return None;
+                }
+            }
+            restarts += 1;
+
+            let mut prev: Link<Node<K>> = self.list.head.as_link();
+            // `prev_next` mirrors Figure 5's variable of the same name; in the
+            // read-only traversal it is only consulted by the validation load.
+            #[allow(unused_assignments)]
+            let mut prev_next: Shared<Node<K>> = Shared::null();
+            let mut curr = g.protect(HP_CURR, &self.list.head);
+            let mut next = if curr.is_null() {
+                Shared::null()
+            } else {
+                // SAFETY: protected against the immortal head link.
+                g.protect(HP_NEXT, unsafe { &curr.deref().next })
+            };
+            'traverse: loop {
+                // Safe zone.
+                loop {
+                    if let Some(done) = check() {
+                        return Some(done);
+                    }
+                    if curr.is_null() {
+                        return Some(false);
+                    }
+                    if next.tag() != 0 {
+                        break;
+                    }
+                    // SAFETY: same protection discipline as `HarrisList::find`.
+                    let curr_ref = unsafe { curr.deref() };
+                    if curr_ref.key >= *key {
+                        return Some(curr_ref.key == *key);
+                    }
+                    prev = curr_ref.next.as_link();
+                    prev_next = Shared::null();
+                    g.dup(HP_CURR, HP_PREV);
+                    curr = next;
+                    if curr.is_null() {
+                        return Some(false);
+                    }
+                    g.dup(HP_NEXT, HP_CURR);
+                    // SAFETY: durable protection (read from an unmarked,
+                    // validated predecessor).
+                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                }
+                // Dangerous zone.
+                g.dup(HP_CURR, HP_ANCHOR);
+                prev_next = curr;
+                loop {
+                    if let Some(done) = check() {
+                        return Some(done);
+                    }
+                    // SCOT validation before dereferencing deeper.
+                    //
+                    // SAFETY: `prev` is the head link or a field of the node
+                    // protected by HP_PREV.
+                    let observed = unsafe { prev.load(Ordering::Acquire) };
+                    if observed != prev_next {
+                        if observed.tag() == 0 {
+                            // §3.2.1 recovery.
+                            // SAFETY: as above.
+                            curr = g.protect(HP_CURR, unsafe { prev.as_atomic() });
+                            if curr.tag() != 0 {
+                                self.stats.record_restart();
+                                continue 'restart;
+                            }
+                            prev_next = Shared::null();
+                            if curr.is_null() {
+                                return Some(false);
+                            }
+                            // SAFETY: protected and validated just above.
+                            next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                            continue 'traverse;
+                        }
+                        self.stats.record_restart();
+                        continue 'restart;
+                    }
+                    if next.tag() == 0 {
+                        continue 'traverse;
+                    }
+                    curr = next.untagged();
+                    if curr.is_null() {
+                        return Some(false);
+                    }
+                    g.dup(HP_NEXT, HP_CURR);
+                    // SAFETY: published before the validation above succeeded.
+                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+                }
+            }
+        }
+    }
+
+    /// `Slow_Search` (Figure 7, L33-L42): run the traversal on behalf of
+    /// `help_tid`'s request, aborting as soon as anyone published a result,
+    /// and publish our own result with a tag-keyed CAS when we finish first.
+    fn slow_search<G: SmrGuard>(&self, g: &mut G, key: &K, help_tid: usize, tag: HelpTag) -> bool {
+        let rec = &self.records[help_tid];
+        let outcome = self.traverse(g, key, None, || {
+            let r = HelpTag(rec.help_tag.load(Ordering::Acquire));
+            if r != tag {
+                // Either the output is available or (for helpers only) the
+                // requester has already moved on to a newer request.
+                return Some(!r.is_input() && r.value() != 0);
+            }
+            None
+        });
+        let found = outcome.unwrap_or(false);
+        // Publish the result; only the first CAS for this tag wins (Lemma 5).
+        let _ = rec.help_tag.compare_exchange(
+            tag.0,
+            HelpTag::output(found).0,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        // Re-read: the value that actually got installed is the answer the
+        // requester will use, so the requester itself returns exactly that.
+        let installed = HelpTag(rec.help_tag.load(Ordering::Acquire));
+        if !installed.is_input() {
+            installed.value() != 0
+        } else {
+            found
+        }
+    }
+
+    fn insert_impl(&self, handle: &mut WfListHandle<S>, key: K) -> bool {
+        self.maybe_help(handle);
+        self.list.insert(&mut handle.inner, key)
+    }
+
+    fn remove_impl(&self, handle: &mut WfListHandle<S>, key: &K) -> bool {
+        self.maybe_help(handle);
+        self.list.remove(&mut handle.inner, key)
+    }
+
+    fn contains_impl(&self, handle: &mut WfListHandle<S>, key: &K) -> bool {
+        // Fast path: bounded number of ordinary SCOT traversals.
+        {
+            let mut g = handle.inner.smr.pin();
+            if let Some(found) = self.traverse(&mut g, key, Some(FAST_PATH_RESTARTS), || None) {
+                return found;
+            }
+        }
+        // Slow path: announce the request and search with helpers.
+        self.stats.record_recovery();
+        let tag = self.request_help(handle, *key);
+        let mut g = handle.inner.smr.pin();
+        self.slow_search(&mut g, key, handle.index, tag)
+    }
+
+    /// Collects the live keys (testing/diagnostics; see
+    /// [`HarrisList::collect_keys`]).
+    pub fn collect_keys(&self, handle: &mut WfListHandle<S>) -> Vec<K> {
+        self.list.collect_keys(&mut handle.inner)
+    }
+}
+
+impl<K: WfKey, S: Smr> ConcurrentSet<K> for WfHarrisList<K, S> {
+    type Handle = WfListHandle<S>;
+
+    fn handle(&self) -> Self::Handle {
+        WfHarrisList::handle(self)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
+        self.insert_impl(handle, key)
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.remove_impl(handle, key)
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.contains_impl(handle, key)
+    }
+
+    fn restart_count(&self) -> u64 {
+        self.restarts()
+    }
+}
+
+impl<S: Smr> WfListHandle<S> {
+    /// Index of this handle's announcement record (diagnostics).
+    pub fn record_index(&self) -> usize {
+        self.index
+    }
+
+    /// Forces a reclamation pass on this thread's SMR handle.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+impl<S: Smr> Drop for WfListHandle<S> {
+    fn drop(&mut self) {
+        self.record_slots.release(self.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scot_smr::{Ebr, Hp, Hyaline, Ibr};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            max_threads: 16,
+            scan_threshold: 8,
+            epoch_freq_per_thread: 1,
+            snapshot_scan: false,
+        }
+    }
+
+    #[test]
+    fn help_tag_packing() {
+        let t = HelpTag::input(42);
+        assert!(t.is_input());
+        assert_eq!(t.value(), 42);
+        let o = HelpTag::output(true);
+        assert!(!o.is_input());
+        assert_eq!(o.value(), 1);
+        let o = HelpTag::output(false);
+        assert_eq!(o.value(), 0);
+        assert_ne!(HelpTag::input(0), HelpTag::output(false));
+    }
+
+    #[test]
+    fn wf_key_roundtrip() {
+        assert_eq!(u32::decode(123u32.encode()), 123);
+        assert_eq!(i64::decode((-5i64).encode()), -5);
+        assert_eq!(u64::decode(u64::MAX.encode()), u64::MAX);
+    }
+
+    fn basic_set_semantics<S: Smr>() {
+        let list: WfHarrisList<u64, S> = WfHarrisList::with_config(cfg());
+        let mut h = list.handle();
+        assert!(list.insert(&mut h, 4));
+        assert!(list.insert(&mut h, 2));
+        assert!(!list.insert(&mut h, 4));
+        assert!(list.contains(&mut h, &2));
+        assert!(list.contains(&mut h, &4));
+        assert!(!list.contains(&mut h, &3));
+        assert!(list.remove(&mut h, &2));
+        assert!(!list.contains(&mut h, &2));
+        assert_eq!(list.collect_keys(&mut h), vec![4]);
+    }
+
+    #[test]
+    fn basic_semantics_under_every_scheme() {
+        basic_set_semantics::<Ebr>();
+        basic_set_semantics::<Hp>();
+        basic_set_semantics::<Ibr>();
+        basic_set_semantics::<Hyaline>();
+    }
+
+    #[test]
+    fn slow_path_produces_correct_results() {
+        // Force the slow path by requesting help directly and then answering
+        // it from another handle (acting as the helper).
+        let list: WfHarrisList<u64, Hp> = WfHarrisList::with_config(cfg());
+        let mut searcher = list.handle();
+        let mut helper = list.handle();
+        for i in 0..64 {
+            list.insert(&mut searcher, i);
+        }
+        // Searcher announces a request but does not run the search yet.
+        let tag = list.request_help(&mut searcher, 17);
+        // Helper finds the pending request by polling round-robin.
+        let mut served = false;
+        for _ in 0..(DELAY * cfg().max_threads * 2) {
+            if let Some((key, t, tid)) = list.poll_help_request(&mut helper) {
+                assert_eq!(key, 17);
+                assert_eq!(tid, searcher.index);
+                assert_eq!(t, tag);
+                let mut g = helper.inner.smr.pin();
+                assert!(list.slow_search(&mut g, &key, tid, t));
+                served = true;
+                break;
+            }
+        }
+        assert!(served, "helper never observed the pending request");
+        // The searcher's own slow search immediately sees the published output.
+        let idx = searcher.index;
+        let mut g = searcher.inner.smr.pin();
+        assert!(list.slow_search(&mut g, &17, idx, tag));
+        drop(g);
+        // The record now carries an output; a new request gets a fresh tag.
+        let tag2 = list.request_help(&mut searcher, 9999);
+        assert_ne!(tag2, tag);
+    }
+
+    #[test]
+    fn stale_helper_cannot_overwrite_newer_request() {
+        // Lemma 5: a CAS keyed on an old input tag must fail once the record
+        // has moved on.
+        let list: WfHarrisList<u64, Hp> = WfHarrisList::with_config(cfg());
+        let mut a = list.handle();
+        let old_tag = list.request_help(&mut a, 1);
+        let new_tag = list.request_help(&mut a, 2);
+        assert_ne!(old_tag, new_tag);
+        let rec = &list.records[a.index];
+        // Simulate a stale helper publishing for the old tag.
+        assert!(rec
+            .help_tag
+            .compare_exchange(
+                old_tag.0,
+                HelpTag::output(true).0,
+                Ordering::AcqRel,
+                Ordering::Acquire
+            )
+            .is_err());
+        assert_eq!(rec.help_tag.load(Ordering::Acquire), new_tag.0);
+    }
+
+    #[test]
+    fn concurrent_searches_and_updates_agree_with_membership() {
+        let list: Arc<WfHarrisList<u32, Ibr>> = Arc::new(WfHarrisList::with_config(cfg()));
+        // Pre-fill even keys; they are never removed, odd keys churn.
+        {
+            let mut h = list.handle();
+            for k in (0..128u32).step_by(2) {
+                list.insert(&mut h, k);
+            }
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let list = list.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut x = t as u64 + 99;
+                    for _ in 0..4000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let odd = ((x % 64) * 2 + 1) as u32;
+                        if x % 2 == 0 {
+                            list.insert(&mut h, odd);
+                        } else {
+                            list.remove(&mut h, &odd);
+                        }
+                        // Stable keys must always be visible to searches.
+                        let even = ((x % 64) * 2) as u32;
+                        assert!(list.contains(&mut h, &even), "stable key {even} vanished");
+                    }
+                });
+            }
+        });
+    }
+}

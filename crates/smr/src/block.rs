@@ -1,0 +1,265 @@
+//! SMR-managed allocation blocks.
+//!
+//! Every node handed to a reclamation scheme in this crate is allocated as a
+//! [`Block<T>`]: a fixed-layout [`Header`] followed by the user value.  The
+//! header carries the per-object metadata that the era-based schemes (HE, IBR,
+//! Hyaline-1S) need — birth era, retire era — plus the intrusive links used by
+//! Hyaline's batch reclamation and a type-erased drop function so that limbo
+//! lists can be kept homogeneous (`*mut Header`) regardless of the node type.
+//!
+//! Schemes that do not need a given field simply ignore it; the uniform layout
+//! is what lets a single data-structure implementation run unmodified under
+//! every scheme, exactly as in the paper's benchmark harness.
+
+use core::mem;
+use core::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize};
+
+/// Per-object header preceding every SMR-managed allocation.
+///
+/// Field usage by scheme:
+///
+/// | field        | EBR            | HP/HPopt | HE/IBR           | Hyaline-1S                      |
+/// |--------------|----------------|----------|------------------|---------------------------------|
+/// | `birth_era`  | –              | –        | allocation era   | allocation era                  |
+/// | `retire_era` | retire epoch   | –        | retire era       | – (batches use min birth)       |
+/// | `next`       | –              | –        | –                | per-slot retirement-list link   |
+/// | `batch_link` | –              | –        | –                | pointer to the batch REFS node  |
+/// | `batch_all`  | –              | –        | –                | intra-batch chain for freeing   |
+/// | `refs`       | –              | –        | –                | batch reference counter (REFS)  |
+/// | `drop_fn`    | all schemes: type-erased deallocation function |||
+#[repr(C)]
+pub struct Header {
+    /// Global era at allocation time (HE / IBR / Hyaline-1S).
+    pub birth_era: AtomicU64,
+    /// Global era / epoch at retirement time (EBR / HE / IBR).
+    pub retire_era: AtomicU64,
+    /// Hyaline: link in a slot's retirement list.
+    pub next: AtomicUsize,
+    /// Hyaline: every node of a batch points to the batch's REFS node.
+    pub batch_link: AtomicUsize,
+    /// Hyaline: chain threading all nodes of one batch so the last acker can
+    /// free them together.
+    pub batch_all: AtomicUsize,
+    /// Hyaline: reference counter, meaningful only on the REFS node of a batch.
+    pub refs: AtomicIsize,
+    /// Deallocates the whole block (header + value), running the value's
+    /// destructor.  Installed by [`alloc_block`].
+    pub drop_fn: unsafe fn(*mut Header),
+}
+
+impl Header {
+    fn new(drop_fn: unsafe fn(*mut Header)) -> Self {
+        Self {
+            birth_era: AtomicU64::new(0),
+            retire_era: AtomicU64::new(0),
+            next: AtomicUsize::new(0),
+            batch_link: AtomicUsize::new(0),
+            batch_all: AtomicUsize::new(0),
+            refs: AtomicIsize::new(0),
+            drop_fn,
+        }
+    }
+}
+
+/// An SMR-managed allocation: header followed by the user value.
+#[repr(C)]
+pub struct Block<T> {
+    /// SMR metadata (eras, reclamation links, type-erased destructor).
+    pub header: Header,
+    /// The user value (e.g. a list node or tree node).
+    pub value: T,
+}
+
+/// Byte offset from a value pointer back to its enclosing block header.
+///
+/// Constant for a given `T`; the header layout does not depend on `T`.
+#[inline]
+pub fn value_offset<T>() -> usize {
+    mem::offset_of!(Block<T>, value)
+}
+
+/// Drops a `Block<T>` given only its header address.  Used as the type-erased
+/// `drop_fn` installed into every header.
+///
+/// # Safety
+/// `hdr` must point to the header of a live, heap-allocated `Block<T>` created
+/// by [`alloc_block`], and it must not be dropped twice.
+unsafe fn drop_block<T>(hdr: *mut Header) {
+    drop(Box::from_raw(hdr as *mut Block<T>));
+}
+
+/// Allocates a new block holding `value` and returns a pointer to the **value**
+/// part.  The header is reachable via [`header_of`].
+///
+/// The returned pointer is at least 8-byte aligned (the header contains
+/// `u64`/`usize` fields and the layout is `repr(C)`), so the low three bits are
+/// usable as logical-deletion tags, which the data-structure crates rely on.
+pub fn alloc_block<T>(value: T) -> *mut T {
+    // The tag bits in `Shared` require 8-byte alignment of the value pointer.
+    // This holds structurally (see the doc comment) but is cheap to assert.
+    debug_assert!(value_offset::<T>() % 8 == 0);
+    debug_assert!(mem::align_of::<Block<T>>() % 8 == 0);
+    let block = Box::new(Block {
+        header: Header::new(drop_block::<T>),
+        value,
+    });
+    let raw = Box::into_raw(block);
+    unsafe { core::ptr::addr_of_mut!((*raw).value) }
+}
+
+/// Returns the header of the block that `value` was allocated in.
+///
+/// # Safety
+/// `value` must have been returned by [`alloc_block`] (tag bits stripped) and
+/// the block must still be live.
+#[inline]
+pub unsafe fn header_of<T>(value: *mut T) -> *mut Header {
+    (value as *mut u8).sub(value_offset::<T>()) as *mut Header
+}
+
+/// Returns the value pointer of a block given its header.
+///
+/// # Safety
+/// `hdr` must point to a live block header produced by [`alloc_block`] for the
+/// *same* `T`.
+#[inline]
+pub unsafe fn value_of<T>(hdr: *mut Header) -> *mut T {
+    (hdr as *mut u8).add(value_offset::<T>()) as *mut T
+}
+
+/// Immediately frees a block (running the destructor) given its header.
+///
+/// # Safety
+/// The block must not be reachable by any thread and must not be freed again.
+#[inline]
+pub unsafe fn free_block(hdr: *mut Header) {
+    ((*hdr).drop_fn)(hdr)
+}
+
+/// A retired-but-not-yet-reclaimed block, as stored in per-thread limbo lists.
+///
+/// `Retired` is a thin record: the header pointer (birth/retire eras and the
+/// type-erased destructor live in the header) plus the address of the value
+/// part, which is what hazard-pointer slots publish and therefore what limbo
+/// scans must compare against.
+#[derive(Clone, Copy)]
+pub struct Retired {
+    /// Header of the retired block.
+    pub hdr: *mut Header,
+    /// Address of the value part (what `Shared::as_ptr` / hazard slots hold).
+    pub value: usize,
+}
+
+// Retired blocks are unreachable from the data structure; moving them between
+// threads (orphan lists, Hyaline's any-thread reclamation) is part of the SMR
+// contract which requires node payloads to be `Send`.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Captures a retired block from a value pointer (tag bits must already be
+    /// stripped by the caller).
+    ///
+    /// # Safety
+    /// `value` must have been allocated with [`alloc_block`] and already be
+    /// unlinked from the data structure.
+    pub unsafe fn from_value<T>(value: *mut T) -> Self {
+        Self {
+            hdr: header_of(value),
+            value: value as usize,
+        }
+    }
+
+    /// Era at which the block was allocated.
+    #[inline]
+    pub fn birth_era(&self) -> u64 {
+        unsafe { (*self.hdr).birth_era.load(core::sync::atomic::Ordering::Relaxed) }
+    }
+
+    /// Era at which the block was retired.
+    #[inline]
+    pub fn retire_era(&self) -> u64 {
+        unsafe { (*self.hdr).retire_era.load(core::sync::atomic::Ordering::Relaxed) }
+    }
+
+    /// Frees the block.
+    ///
+    /// # Safety
+    /// No thread may still hold a protected reference to the block.
+    #[inline]
+    pub unsafe fn free(self) {
+        free_block(self.hdr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_and_free_runs_destructor() {
+        struct DropCounter(Arc<StdAtomicUsize>);
+        impl Drop for DropCounter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let count = Arc::new(StdAtomicUsize::new(0));
+        let v = alloc_block(DropCounter(count.clone()));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        unsafe {
+            let hdr = header_of(v);
+            free_block(hdr);
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn header_value_roundtrip() {
+        let v = alloc_block(12345u64);
+        unsafe {
+            assert_eq!(*v, 12345);
+            let hdr = header_of(v);
+            let v2 = value_of::<u64>(hdr);
+            assert_eq!(v, v2);
+            free_block(hdr);
+        }
+    }
+
+    #[test]
+    fn value_pointer_is_tag_aligned() {
+        // Different payload sizes/alignments must all yield 8-byte-aligned
+        // value pointers, otherwise logical-deletion tag bits would corrupt
+        // the pointer.
+        let a = alloc_block(1u8);
+        let b = alloc_block(1u16);
+        let c = alloc_block([1u8; 3]);
+        let d = alloc_block(1u128);
+        assert_eq!(a as usize % 8, 0);
+        assert_eq!(b as usize % 8, 0);
+        assert_eq!(c as usize % 8, 0);
+        assert_eq!(d as usize % 8, 0);
+        unsafe {
+            free_block(header_of(a));
+            free_block(header_of(b));
+            free_block(header_of(c));
+            free_block(header_of(d));
+        }
+    }
+
+    #[test]
+    fn retired_reads_eras_from_header() {
+        let v = alloc_block(7u32);
+        unsafe {
+            let hdr = header_of(v);
+            (*hdr).birth_era.store(3, Ordering::Relaxed);
+            (*hdr).retire_era.store(9, Ordering::Relaxed);
+            let r = Retired::from_value(v);
+            assert_eq!(r.birth_era(), 3);
+            assert_eq!(r.retire_era(), 9);
+            assert_eq!(r.value, v as usize);
+            r.free();
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! EBR — epoch-based reclamation (Fraser 2004, Hart et al. 2007).
+//!
+//! Threads entering a critical section publish the current global epoch;
+//! retired nodes are tagged with the epoch at retirement and reclaimed once
+//! the global epoch has advanced by two, which implies every thread active at
+//! retirement has since passed through a quiescent point.
+//!
+//! EBR is the paper's "fast but fragile" baseline: it imposes almost no
+//! per-access overhead (a single epoch announcement per operation) and is
+//! compatible with every data structure, but a single stalled thread freezes
+//! the global epoch and memory grows without bound — the behaviour exercised
+//! by the `stalled_reader` example and the robustness integration tests.
+
+use crate::block::{header_of, Retired};
+use crate::ptr::{Atomic, Shared};
+use crate::registry::SlotRegistry;
+use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Epoch value meaning "not in a critical section".
+const INACTIVE: u64 = 0;
+/// First valid epoch.  Starting above `INACTIVE + 2` keeps the "retire epoch
+/// + 2" comparison free of underflow special cases.
+const FIRST_EPOCH: u64 = 4;
+
+struct EbrSlot {
+    /// Epoch announced by the slot's owner, or [`INACTIVE`].
+    epoch: AtomicU64,
+}
+
+/// The epoch-based reclamation domain.
+pub struct Ebr {
+    config: SmrConfig,
+    registry: SlotRegistry,
+    global_epoch: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<EbrSlot>]>,
+    unreclaimed: AtomicUsize,
+    /// Limbo entries inherited from threads that deregistered before their
+    /// retired nodes became reclaimable.
+    orphans: Mutex<Vec<Retired>>,
+}
+
+impl Smr for Ebr {
+    type Handle = EbrHandle;
+
+    fn new(config: SmrConfig) -> Arc<Self> {
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(EbrSlot {
+                    epoch: AtomicU64::new(INACTIVE),
+                })
+            })
+            .collect();
+        Arc::new(Self {
+            registry: SlotRegistry::new(config.max_threads),
+            global_epoch: CachePadded::new(AtomicU64::new(FIRST_EPOCH)),
+            slots,
+            unreclaimed: AtomicUsize::new(0),
+            orphans: Mutex::new(Vec::new()),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> EbrHandle {
+        let slot = self.registry.claim();
+        EbrHandle {
+            domain: self.clone(),
+            slot,
+            limbo: Vec::new(),
+            retire_count: 0,
+        }
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Ebr
+    }
+}
+
+impl Ebr {
+    /// Attempts to advance the global epoch.  Succeeds only if every active
+    /// thread has announced the current epoch — the quiescence condition that
+    /// a stalled thread blocks forever.
+    fn try_advance(&self) -> u64 {
+        let global = self.global_epoch.load(Ordering::SeqCst);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let e = slot.epoch.load(Ordering::SeqCst);
+            if e != INACTIVE && e != global {
+                return global;
+            }
+        }
+        // A failed CAS means another thread advanced it; either way the epoch
+        // is now at least `global`.
+        let _ = self.global_epoch.compare_exchange(
+            global,
+            global + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.global_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Frees every entry of `limbo` whose grace period has elapsed, keeping
+    /// the rest.
+    fn sweep(&self, limbo: &mut Vec<Retired>) {
+        let global = self.global_epoch.load(Ordering::SeqCst);
+        let mut freed = 0usize;
+        limbo.retain(|r| {
+            if r.retire_era().saturating_add(2) <= global {
+                unsafe { r.free() };
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if freed > 0 {
+            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+
+    /// Adopts and sweeps orphaned limbo entries left by deregistered threads.
+    fn sweep_orphans(&self) {
+        if let Some(mut orphans) = self.orphans.try_lock() {
+            if !orphans.is_empty() {
+                self.sweep(&mut orphans);
+            }
+        }
+    }
+}
+
+impl Drop for Ebr {
+    fn drop(&mut self) {
+        // No handles remain (they hold `Arc<Ebr>`), so nothing can be
+        // protected any more: release whatever is still in the orphan list.
+        let mut orphans = self.orphans.lock();
+        for r in orphans.drain(..) {
+            unsafe { r.free() };
+        }
+    }
+}
+
+/// Per-thread handle for [`Ebr`].
+pub struct EbrHandle {
+    domain: Arc<Ebr>,
+    slot: usize,
+    limbo: Vec<Retired>,
+    retire_count: usize,
+}
+
+impl EbrHandle {
+    fn scan(&mut self) {
+        self.domain.try_advance();
+        let domain = self.domain.clone();
+        domain.sweep(&mut self.limbo);
+        domain.sweep_orphans();
+    }
+}
+
+impl SmrHandle for EbrHandle {
+    type Guard<'g> = EbrGuard<'g>;
+
+    fn pin(&mut self) -> EbrGuard<'_> {
+        let slot = &self.domain.slots[self.slot];
+        // Publish the epoch we observed and confirm it is still current; if it
+        // moved we re-announce so we never run a critical section under an
+        // announcement older than the epoch we entered at.
+        loop {
+            let e = self.domain.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if self.domain.global_epoch.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+        EbrGuard { handle: self }
+    }
+
+    fn flush(&mut self) {
+        self.scan();
+    }
+}
+
+impl Drop for EbrHandle {
+    fn drop(&mut self) {
+        self.domain.slots[self.slot]
+            .epoch
+            .store(INACTIVE, Ordering::SeqCst);
+        if !self.limbo.is_empty() {
+            self.domain.orphans.lock().append(&mut self.limbo);
+        }
+        self.domain.registry.release(self.slot);
+    }
+}
+
+/// Critical-section guard for [`Ebr`].
+pub struct EbrGuard<'g> {
+    handle: &'g mut EbrHandle,
+}
+
+impl Drop for EbrGuard<'_> {
+    fn drop(&mut self) {
+        let domain = &self.handle.domain;
+        domain.slots[self.handle.slot]
+            .epoch
+            .store(INACTIVE, Ordering::Release);
+    }
+}
+
+impl SmrGuard for EbrGuard<'_> {
+    #[inline]
+    fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        // The epoch announcement made at `pin` already protects everything
+        // reachable; per-pointer work is unnecessary, which is precisely why
+        // EBR is the paper's performance yardstick.
+        src.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {}
+
+    #[inline]
+    fn dup(&mut self, _from: usize, _to: usize) {}
+
+    #[inline]
+    fn clear(&mut self, _idx: usize) {}
+
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
+        Shared::from_ptr(crate::block::alloc_block(value))
+    }
+
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
+        let value = ptr.untagged().as_ptr();
+        debug_assert!(!value.is_null());
+        let retired = Retired::from_value(value);
+        (*retired.hdr).retire_era.store(
+            self.handle.domain.global_epoch.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.handle.limbo.push(retired);
+        self.handle.retire_count += 1;
+        self.handle
+            .domain
+            .unreclaimed
+            .fetch_add(1, Ordering::Relaxed);
+        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
+            // Amortized reclamation: one epoch-advance attempt plus a sweep of
+            // the local limbo list per `scan_threshold` retirements (§5).
+            self.handle.domain.try_advance();
+            let domain = self.handle.domain.clone();
+            domain.sweep(&mut self.handle.limbo);
+            domain.sweep_orphans();
+        }
+    }
+
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
+        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SmrConfig {
+        SmrConfig {
+            max_threads: 4,
+            scan_threshold: 4,
+            ..SmrConfig::default()
+        }
+    }
+
+    #[test]
+    fn retired_nodes_are_eventually_freed() {
+        let d = Ebr::new(small_config());
+        let mut h = d.register();
+        for i in 0..64u64 {
+            let mut g = h.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        // Repeated flushes advance the epoch twice past the last retirement.
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn stalled_guard_blocks_reclamation() {
+        let d = Ebr::new(small_config());
+        let mut stalled = d.register();
+        let mut worker = d.register();
+
+        // `stalled` enters a critical section and never leaves.
+        let _guard = stalled.pin();
+
+        for i in 0..256u64 {
+            let mut g = worker.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        worker.flush();
+        // The stalled thread pins an old epoch: nothing can be reclaimed from
+        // (at most) two epochs onward, so the limbo population stays large.
+        assert!(
+            d.unreclaimed() > 128,
+            "EBR should not reclaim past a stalled thread (got {})",
+            d.unreclaimed()
+        );
+    }
+
+    #[test]
+    fn orphans_are_freed_on_domain_drop() {
+        let d = Ebr::new(small_config());
+        {
+            let mut h = d.register();
+            let mut g = h.pin();
+            let p = g.alloc(1u64);
+            unsafe { g.retire(p) };
+            // Handle dropped with a non-empty limbo list -> orphaned.
+        }
+        assert_eq!(d.unreclaimed(), 1);
+        drop(d);
+        // Nothing to assert directly (the memory is freed); absence of leaks
+        // is verified by the drop-counting integration tests.
+    }
+
+    #[test]
+    fn epoch_advances_without_active_threads() {
+        let d = Ebr::new(small_config());
+        let before = d.global_epoch.load(Ordering::SeqCst);
+        let after = d.try_advance();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn multi_threaded_retire_storm_reclaims_everything() {
+        let d = Ebr::new(SmrConfig {
+            max_threads: 8,
+            scan_threshold: 16,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let mut h = d.register();
+                    for i in 0..1000u64 {
+                        let mut g = h.pin();
+                        let p = g.alloc(t * 10_000 + i);
+                        unsafe { g.retire(p) };
+                    }
+                    for _ in 0..8 {
+                        h.flush();
+                    }
+                });
+            }
+        });
+        let mut h = d.register();
+        for _ in 0..8 {
+            h.flush();
+        }
+        drop(h);
+        assert_eq!(d.unreclaimed(), 0);
+    }
+}

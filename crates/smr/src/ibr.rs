@@ -1,0 +1,429 @@
+//! IBR — interval-based reclamation (Wen et al. 2018), 2GEIBR variant.
+//!
+//! Instead of one reservation per traversal role (HP/HE), each thread
+//! maintains a single *interval* `[lower, upper]` of eras: `lower` is set when
+//! the operation begins and `upper` is extended to the current era every time
+//! a pointer is read.  A retired object is reclaimable once no thread's
+//! interval overlaps the object's lifetime `[birth_era, retire_era]`.
+//!
+//! Because protection is attached to the operation rather than to individual
+//! pointers, `dup`, `announce` and `clear` are no-ops and the hazard-slot
+//! indices passed by data structures are ignored — this is the "simpler
+//! programming model" the paper credits IBR with (§2.2.4).  The safety
+//! contract is the same as for HP/HE: data structures must not traverse past
+//! physically-unlinked nodes, which is exactly what SCOT validation (or the
+//! Harris-Michael eager unlink) guarantees.
+
+use crate::block::{header_of, Retired};
+use crate::ptr::{Atomic, Shared};
+use crate::registry::SlotRegistry;
+use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// First era handed out.
+const FIRST_ERA: u64 = 1;
+
+struct IbrSlot {
+    /// Era at the start of the current operation; `u64::MAX` when inactive.
+    lower: AtomicU64,
+    /// Most recent era observed during the current operation; `0` when
+    /// inactive, so the empty interval `[MAX, 0]` overlaps nothing.
+    upper: AtomicU64,
+}
+
+/// The interval-based reclamation domain.
+pub struct Ibr {
+    config: SmrConfig,
+    registry: SlotRegistry,
+    global_era: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<IbrSlot>]>,
+    unreclaimed: AtomicUsize,
+    orphans: Mutex<Vec<Retired>>,
+}
+
+impl Smr for Ibr {
+    type Handle = IbrHandle;
+
+    fn new(config: SmrConfig) -> Arc<Self> {
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(IbrSlot {
+                    lower: AtomicU64::new(u64::MAX),
+                    upper: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        Arc::new(Self {
+            registry: SlotRegistry::new(config.max_threads),
+            global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
+            slots,
+            unreclaimed: AtomicUsize::new(0),
+            orphans: Mutex::new(Vec::new()),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> IbrHandle {
+        let slot = self.registry.claim();
+        self.slots[slot].lower.store(u64::MAX, Ordering::Relaxed);
+        self.slots[slot].upper.store(0, Ordering::Relaxed);
+        IbrHandle {
+            domain: self.clone(),
+            slot,
+            limbo: Vec::new(),
+            alloc_count: 0,
+            retire_count: 0,
+        }
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> SmrKind {
+        if self.config.snapshot_scan {
+            SmrKind::IbrOpt
+        } else {
+            SmrKind::Ibr
+        }
+    }
+}
+
+impl Ibr {
+    /// True if some thread's interval overlaps `[birth, retire]`.
+    fn is_protected(&self, birth: u64, retire: u64) -> bool {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let lower = slot.lower.load(Ordering::SeqCst);
+            let upper = slot.upper.load(Ordering::SeqCst);
+            if birth <= upper && retire >= lower {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Snapshot of all active intervals (IBRopt sweep).
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut snap = Vec::with_capacity(self.config.max_threads);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let lower = slot.lower.load(Ordering::SeqCst);
+            let upper = slot.upper.load(Ordering::SeqCst);
+            if lower <= upper {
+                snap.push((lower, upper));
+            }
+        }
+        snap
+    }
+
+    fn sweep(&self, limbo: &mut Vec<Retired>) {
+        let mut freed = 0usize;
+        if self.config.snapshot_scan {
+            let snap = self.snapshot();
+            limbo.retain(|r| {
+                let birth = r.birth_era();
+                let retire = r.retire_era();
+                let protected = snap
+                    .iter()
+                    .any(|&(lo, hi)| birth <= hi && retire >= lo);
+                if protected {
+                    true
+                } else {
+                    unsafe { r.free() };
+                    freed += 1;
+                    false
+                }
+            });
+        } else {
+            limbo.retain(|r| {
+                if self.is_protected(r.birth_era(), r.retire_era()) {
+                    true
+                } else {
+                    unsafe { r.free() };
+                    freed += 1;
+                    false
+                }
+            });
+        }
+        if freed > 0 {
+            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+
+    fn sweep_orphans(&self) {
+        if let Some(mut orphans) = self.orphans.try_lock() {
+            if !orphans.is_empty() {
+                self.sweep(&mut orphans);
+            }
+        }
+    }
+}
+
+impl Drop for Ibr {
+    fn drop(&mut self) {
+        let mut orphans = self.orphans.lock();
+        for r in orphans.drain(..) {
+            unsafe { r.free() };
+        }
+    }
+}
+
+/// Per-thread handle for [`Ibr`].
+pub struct IbrHandle {
+    domain: Arc<Ibr>,
+    slot: usize,
+    limbo: Vec<Retired>,
+    alloc_count: usize,
+    retire_count: usize,
+}
+
+impl SmrHandle for IbrHandle {
+    type Guard<'g> = IbrGuard<'g>;
+
+    fn pin(&mut self) -> IbrGuard<'_> {
+        let slot = &self.domain.slots[self.slot];
+        let era = self.domain.global_era.load(Ordering::SeqCst);
+        slot.upper.store(era, Ordering::SeqCst);
+        slot.lower.store(era, Ordering::SeqCst);
+        IbrGuard {
+            cached_upper: era,
+            handle: self,
+        }
+    }
+
+    fn flush(&mut self) {
+        let domain = self.domain.clone();
+        domain.sweep(&mut self.limbo);
+        domain.sweep_orphans();
+    }
+}
+
+impl Drop for IbrHandle {
+    fn drop(&mut self) {
+        let slot = &self.domain.slots[self.slot];
+        slot.lower.store(u64::MAX, Ordering::Release);
+        slot.upper.store(0, Ordering::Release);
+        let domain = self.domain.clone();
+        domain.sweep(&mut self.limbo);
+        if !self.limbo.is_empty() {
+            self.domain.orphans.lock().append(&mut self.limbo);
+        }
+        self.domain.registry.release(self.slot);
+    }
+}
+
+/// Critical-section guard for [`Ibr`].
+pub struct IbrGuard<'g> {
+    handle: &'g mut IbrHandle,
+    /// Local cache of the published `upper`, avoiding an atomic load per
+    /// protect call on the fast path.
+    cached_upper: u64,
+}
+
+impl Drop for IbrGuard<'_> {
+    fn drop(&mut self) {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        slot.lower.store(u64::MAX, Ordering::Release);
+        slot.upper.store(0, Ordering::Release);
+    }
+}
+
+impl SmrGuard for IbrGuard<'_> {
+    #[inline]
+    fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        let global = &self.handle.domain.global_era;
+        loop {
+            let ptr = src.load(Ordering::Acquire);
+            let era = global.load(Ordering::SeqCst);
+            if era == self.cached_upper {
+                return ptr;
+            }
+            // The interval is extended *before* the pointer is re-read, so any
+            // pointer we return was loaded under an already-published upper
+            // bound covering its birth era.
+            slot.upper.store(era, Ordering::SeqCst);
+            self.cached_upper = era;
+        }
+    }
+
+    #[inline]
+    fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        let era = self.handle.domain.global_era.load(Ordering::SeqCst);
+        slot.upper.store(era, Ordering::SeqCst);
+        self.cached_upper = era;
+    }
+
+    #[inline]
+    fn dup(&mut self, _from: usize, _to: usize) {}
+
+    #[inline]
+    fn clear(&mut self, _idx: usize) {}
+
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
+        let ptr = crate::block::alloc_block(value);
+        let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
+        self.handle.alloc_count += 1;
+        if self.handle.alloc_count % self.handle.domain.config.epoch_freq() == 0 {
+            self.handle
+                .domain
+                .global_era
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        Shared::from_ptr(ptr)
+    }
+
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
+        let value = ptr.untagged().as_ptr();
+        debug_assert!(!value.is_null());
+        let retired = Retired::from_value(value);
+        let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
+        self.handle.limbo.push(retired);
+        self.handle.retire_count += 1;
+        self.handle
+            .domain
+            .unreclaimed
+            .fetch_add(1, Ordering::Relaxed);
+        if self.handle.retire_count % self.handle.domain.config.epoch_freq() == 0 {
+            self.handle
+                .domain
+                .global_era
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
+            let domain = self.handle.domain.clone();
+            domain.sweep(&mut self.handle.limbo);
+            domain.sweep_orphans();
+        }
+    }
+
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
+        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(snapshot: bool) -> SmrConfig {
+        SmrConfig {
+            max_threads: 4,
+            scan_threshold: 8,
+            epoch_freq_per_thread: 1,
+            snapshot_scan: snapshot,
+        }
+    }
+
+    #[test]
+    fn kind_reflects_snapshot_mode() {
+        assert_eq!(Ibr::new(config(false)).kind(), SmrKind::Ibr);
+        assert_eq!(Ibr::new(config(true)).kind(), SmrKind::IbrOpt);
+    }
+
+    #[test]
+    fn active_interval_protects_overlapping_lifetimes() {
+        for snapshot in [false, true] {
+            let d = Ibr::new(config(snapshot));
+            let mut reader = d.register();
+            let mut worker = d.register();
+
+            let target = {
+                let mut g = worker.pin();
+                g.alloc(5u64)
+            };
+            let cell = Atomic::new(target);
+
+            // Reader starts an operation overlapping the target's lifetime and
+            // stalls inside it.
+            {
+                let mut g = reader.pin();
+                let seen = g.protect(0, &cell);
+                assert_eq!(seen, target);
+                core::mem::forget(g);
+            }
+            {
+                let mut g = worker.pin();
+                unsafe { g.retire(target) };
+            }
+            worker.flush();
+            assert_eq!(d.unreclaimed(), 1, "snapshot={snapshot}");
+
+            // Simulate the reader finally finishing its operation.
+            d.slots[0].lower.store(u64::MAX, Ordering::SeqCst);
+            d.slots[0].upper.store(0, Ordering::SeqCst);
+            worker.flush();
+            assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
+        }
+    }
+
+    #[test]
+    fn nodes_born_after_a_stalled_interval_are_reclaimable() {
+        let d = Ibr::new(config(true));
+        let mut stalled = d.register();
+        let mut worker = d.register();
+        {
+            let g = stalled.pin();
+            core::mem::forget(g);
+        }
+        // Advance the era and churn nodes that are born strictly after the
+        // stalled thread's (frozen) upper bound: these must be reclaimed.
+        for i in 0..512u64 {
+            let mut g = worker.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() < 64,
+            "IBR must reclaim nodes born after a stalled interval (got {})",
+            d.unreclaimed()
+        );
+    }
+
+    #[test]
+    fn guard_drop_deactivates_interval() {
+        let d = Ibr::new(config(false));
+        let mut h = d.register();
+        {
+            let _g = h.pin();
+            assert!(d.slots[0].lower.load(Ordering::SeqCst) <= d.slots[0].upper.load(Ordering::SeqCst));
+        }
+        assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), u64::MAX);
+        assert_eq!(d.slots[0].upper.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn everything_reclaimed_after_quiescence() {
+        let d = Ibr::new(config(true));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let mut h = d.register();
+                    for i in 0..1000u64 {
+                        let mut g = h.pin();
+                        let p = g.alloc(i);
+                        unsafe { g.retire(p) };
+                    }
+                    h.flush();
+                });
+            }
+        });
+        let mut h = d.register();
+        h.flush();
+        drop(h);
+        assert_eq!(d.unreclaimed(), 0);
+    }
+}

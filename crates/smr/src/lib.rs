@@ -1,0 +1,338 @@
+//! Safe memory reclamation (SMR) schemes for the SCOT reproduction.
+//!
+//! This crate implements, from scratch, every reclamation scheme evaluated in
+//! *"Fixing Non-blocking Data Structures for Better Compatibility with Memory
+//! Reclamation Schemes"* (PPoPP '26):
+//!
+//! * [`Nr`] — no reclamation (leak everything); the throughput "upper bound"
+//!   baseline of the paper's figures.
+//! * [`Ebr`] — epoch-based reclamation (Fraser-style), fast but not robust:
+//!   a stalled thread prevents epoch advancement and memory grows unboundedly.
+//! * [`Hp`] — hazard pointers (Michael 2004), robust; `HPopt` is the same
+//!   scheme with the limbo-scan snapshot optimization the paper attributes to
+//!   the Hyaline work: the scan collects all hazard slots once into a sorted
+//!   local snapshot instead of rescanning the global array per retired node.
+//! * [`He`] — hazard eras (Ramalhete & Correia), era reservations per slot.
+//! * [`Ibr`] — interval-based reclamation (2GEIBR variant of Wen et al.),
+//!   per-thread `[lower, upper]` era intervals.
+//! * [`Hyaline`] — a Hyaline-1S-style scheme: per-thread retirement slots,
+//!   batched retirement with reference counting performed only during
+//!   reclamation, birth-era exemption for robustness, and any-thread freeing.
+//!
+//! All schemes expose the same narrow interface — [`Smr`] / [`SmrHandle`] /
+//! [`SmrGuard`] — modeled directly on the paper's Figure 1 (`protect`, `dup`)
+//! plus allocation and retirement.  Index-based hazard slots are a no-op for
+//! the schemes that do not need them (EBR, NR, IBR, Hyaline), which is what
+//! allows a single data-structure implementation to run under every scheme.
+//!
+//! # Compatibility contract
+//!
+//! As the paper explains at length, the robust schemes (HP, HE, IBR,
+//! Hyaline-1S) are **not** safe for arbitrary data structures: a structure
+//! with optimistic traversals must either unlink logically-deleted nodes
+//! eagerly (Harris-Michael style) or follow the SCOT discipline (validate that
+//! the last safe node still points to the first unsafe node at every step of a
+//! dangerous-zone traversal).  The data structures in the `scot` crate uphold
+//! this contract; nothing in this crate can check it for you.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod ptr;
+pub mod registry;
+
+mod ebr;
+mod he;
+mod hp;
+mod hyaline;
+mod ibr;
+mod nr;
+
+pub use block::{alloc_block, free_block, header_of, Block, Header, Retired};
+pub use ebr::Ebr;
+pub use he::He;
+pub use hp::Hp;
+pub use hyaline::Hyaline;
+pub use ibr::Ibr;
+pub use nr::Nr;
+pub use ptr::{Atomic, Link, Shared, TAG_MASK};
+pub use registry::SlotRegistry;
+
+use std::sync::Arc;
+
+/// Number of hazard/era slots available to each thread for each domain.
+///
+/// Harris' list with SCOT needs 4 (`Hp0`–`Hp3`), the Natarajan-Mittal tree
+/// needs 5 (`Hp0`–`Hp4`); 8 leaves headroom for the skip list and future
+/// structures.
+pub const MAX_HAZARDS: usize = 8;
+
+/// Identifies a reclamation scheme; used by the benchmark harness to select
+/// schemes by name exactly like the paper's `./bench ... EBR ...` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmrKind {
+    /// No reclamation (leak).
+    Nr,
+    /// Epoch-based reclamation.
+    Ebr,
+    /// Hazard pointers, naive per-node scan.
+    Hp,
+    /// Hazard pointers with the snapshot scan optimization.
+    HpOpt,
+    /// Hazard eras.
+    He,
+    /// Hazard eras with the snapshot scan optimization.
+    HeOpt,
+    /// Interval-based reclamation (2GEIBR).
+    Ibr,
+    /// Interval-based reclamation with the snapshot scan optimization.
+    IbrOpt,
+    /// Hyaline-1S-style reclamation.
+    Hyaline,
+}
+
+impl SmrKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub const ALL: [SmrKind; 9] = [
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::IbrOpt,
+        SmrKind::He,
+        SmrKind::HeOpt,
+        SmrKind::Hyaline,
+    ];
+
+    /// Parses the names used by the paper's artifact (`NR`, `EBR`, `HP`,
+    /// `HPopt`/`HPO`, `HE`, `IBR`, `HLN`/`Hyaline`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "NR" => Some(SmrKind::Nr),
+            "EBR" => Some(SmrKind::Ebr),
+            "HP" => Some(SmrKind::Hp),
+            "HPOPT" | "HPO" => Some(SmrKind::HpOpt),
+            "HE" => Some(SmrKind::He),
+            "HEOPT" | "HEO" => Some(SmrKind::HeOpt),
+            "IBR" => Some(SmrKind::Ibr),
+            "IBROPT" | "IBRO" => Some(SmrKind::IbrOpt),
+            "HLN" | "HYALINE" | "HYALINE-1S" | "HYALINE1S" => Some(SmrKind::Hyaline),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SmrKind::Nr => "NR",
+            SmrKind::Ebr => "EBR",
+            SmrKind::Hp => "HP",
+            SmrKind::HpOpt => "HPopt",
+            SmrKind::He => "HE",
+            SmrKind::HeOpt => "HEopt",
+            SmrKind::Ibr => "IBR",
+            SmrKind::IbrOpt => "IBRopt",
+            SmrKind::Hyaline => "HLN",
+        }
+    }
+
+    /// Whether the scheme is robust to stalled threads (bounded memory, the
+    /// paper's property (A)).
+    pub fn is_robust(&self) -> bool {
+        !matches!(self, SmrKind::Nr | SmrKind::Ebr)
+    }
+}
+
+impl std::fmt::Display for SmrKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning knobs shared by all schemes, with the defaults used in the paper's
+/// evaluation (§5): limbo-list scans are amortized to one scan per 128 retire
+/// calls, and the era/epoch counter is advanced once every
+/// `12 × thread-count` allocations or retirements.
+#[derive(Debug, Clone)]
+pub struct SmrConfig {
+    /// Maximum number of threads that may register concurrently.
+    pub max_threads: usize,
+    /// Retired nodes accumulated before attempting a reclamation pass.
+    pub scan_threshold: usize,
+    /// Allocations/retirements between era (epoch) increments, expressed as a
+    /// multiple of the thread count.
+    pub epoch_freq_per_thread: usize,
+    /// Use the snapshot scan optimization (HPopt / HEopt / IBRopt).
+    pub snapshot_scan: bool,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        Self {
+            max_threads: 192,
+            scan_threshold: 128,
+            epoch_freq_per_thread: 12,
+            snapshot_scan: false,
+        }
+    }
+}
+
+impl SmrConfig {
+    /// Configuration sized for `threads` worker threads, using the paper's
+    /// calibration values.
+    pub fn for_threads(threads: usize) -> Self {
+        Self {
+            max_threads: threads + 2,
+            ..Self::default()
+        }
+    }
+
+    /// Absolute era increment frequency.
+    pub fn epoch_freq(&self) -> usize {
+        (self.epoch_freq_per_thread * self.max_threads).max(1)
+    }
+
+    /// Returns a copy with the snapshot scan optimization enabled.
+    pub fn with_snapshot_scan(mut self) -> Self {
+        self.snapshot_scan = true;
+        self
+    }
+}
+
+/// A reclamation domain: one instance per data structure (or shared between
+/// structures whose nodes may reference each other).
+///
+/// Domains are reference counted (`Arc`) so per-thread handles can be moved
+/// freely into worker threads without borrowing the data structure.
+pub trait Smr: Send + Sync + Sized + 'static {
+    /// Per-thread state: hazard slots, era reservations, limbo list.
+    type Handle: SmrHandle + Send;
+
+    /// Creates a new domain.
+    fn new(config: SmrConfig) -> Arc<Self>;
+
+    /// Registers the calling thread, claiming a thread slot.  Panics if more
+    /// than `config.max_threads` handles are live simultaneously.
+    fn register(self: &Arc<Self>) -> Self::Handle;
+
+    /// Number of retired-but-not-yet-reclaimed blocks across the whole domain.
+    /// This is the quantity plotted in the paper's Figures 10–12b.
+    fn unreclaimed(&self) -> usize;
+
+    /// Scheme kind.
+    fn kind(&self) -> SmrKind;
+
+    /// Display name of the scheme.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// Per-thread SMR state.  Handles are not `Sync`: each worker thread owns one.
+pub trait SmrHandle {
+    /// Guard marking a critical section (one data-structure operation).
+    type Guard<'g>: SmrGuard
+    where
+        Self: 'g;
+
+    /// Enters a critical section: publishes the epoch/era, makes the thread
+    /// visible to reclaimers.  Dropping the guard leaves the critical section.
+    fn pin(&mut self) -> Self::Guard<'_>;
+
+    /// Forces a reclamation attempt (limbo scan / epoch advance), regardless
+    /// of the amortization threshold.  Used by tests and at thread shutdown.
+    fn flush(&mut self);
+}
+
+/// Operations available inside a critical section.  The method set mirrors the
+/// paper's Figure 1 plus allocation and retirement.
+pub trait SmrGuard {
+    /// Reads `src` and protects the result in hazard slot `idx`
+    /// (`protect` in Figure 1).
+    ///
+    /// * HP: publishes the (untagged) pointer in the slot and re-reads `src`
+    ///   until stable.
+    /// * HE: publishes the current era in the slot's reservation and re-reads
+    ///   until the era is stable.
+    /// * IBR / Hyaline-1S: extends the thread's interval to the current era
+    ///   and re-reads until stable (slots are ignored).
+    /// * EBR / NR: a plain `Acquire` load.
+    ///
+    /// The returned pointer preserves tag bits; the published protection always
+    /// refers to the untagged address.
+    fn protect<T>(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T>;
+
+    /// Publishes an already-validated pointer in slot `idx` without re-reading
+    /// any source.  Only meaningful for HP/HE; no-op elsewhere.  The caller is
+    /// responsible for re-validating reachability afterwards (this is exactly
+    /// the SCOT validation step).
+    fn announce<T>(&mut self, idx: usize, ptr: Shared<T>);
+
+    /// Copies the protection in slot `from` to slot `to` (`dup` in Figure 1).
+    /// Per §3.2, callers must only duplicate from a lower to a higher index on
+    /// the traversal path they rely on.
+    fn dup(&mut self, from: usize, to: usize);
+
+    /// Clears slot `idx`.
+    fn clear(&mut self, idx: usize);
+
+    /// Allocates a new SMR-managed node, stamping its birth era.
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T>;
+
+    /// Retires a node that has been unlinked from the data structure.  The
+    /// node is reclaimed (destructor run, memory freed) once the scheme can
+    /// prove no thread still holds a protected reference.
+    ///
+    /// # Safety
+    /// * `ptr` must have been produced by [`SmrGuard::alloc`] on this domain.
+    /// * The node must be unreachable for new operations (physically unlinked).
+    /// * It must be retired exactly once.
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>);
+
+    /// Immediately frees a node that was allocated but never published to the
+    /// data structure (e.g. an `Insert` that lost its CAS and gives up).
+    ///
+    /// # Safety
+    /// No other thread may have observed the pointer.
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in SmrKind::ALL {
+            assert_eq!(SmrKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(SmrKind::parse("ebr"), Some(SmrKind::Ebr));
+        assert_eq!(SmrKind::parse("hyaline-1s"), Some(SmrKind::Hyaline));
+        assert_eq!(SmrKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn robustness_classification() {
+        assert!(!SmrKind::Nr.is_robust());
+        assert!(!SmrKind::Ebr.is_robust());
+        for k in [
+            SmrKind::Hp,
+            SmrKind::HpOpt,
+            SmrKind::He,
+            SmrKind::Ibr,
+            SmrKind::Hyaline,
+        ] {
+            assert!(k.is_robust(), "{k} should be robust");
+        }
+    }
+
+    #[test]
+    fn config_defaults_match_paper_calibration() {
+        let c = SmrConfig::default();
+        assert_eq!(c.scan_threshold, 128);
+        assert_eq!(c.epoch_freq_per_thread, 12);
+        let c = SmrConfig::for_threads(16);
+        assert_eq!(c.epoch_freq(), 12 * 18);
+    }
+}

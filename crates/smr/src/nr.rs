@@ -1,0 +1,135 @@
+//! NR — no reclamation.
+//!
+//! The paper's throughput figures include an "NR" baseline that simply leaks
+//! retired nodes; it serves as a practical upper bound for throughput since it
+//! performs no reclamation work at all (but, as the paper notes, allocation
+//! cost sometimes makes real SMR schemes faster because they recycle memory
+//! through the allocator).
+
+use crate::block::{header_of, Retired};
+use crate::ptr::{Atomic, Shared};
+use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The no-reclamation "scheme".
+pub struct Nr {
+    retired: AtomicUsize,
+}
+
+impl Smr for Nr {
+    type Handle = NrHandle;
+
+    fn new(_config: SmrConfig) -> Arc<Self> {
+        Arc::new(Self {
+            retired: AtomicUsize::new(0),
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> NrHandle {
+        NrHandle {
+            domain: self.clone(),
+        }
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Nr
+    }
+}
+
+/// Per-thread handle for [`Nr`].
+pub struct NrHandle {
+    domain: Arc<Nr>,
+}
+
+impl SmrHandle for NrHandle {
+    type Guard<'g> = NrGuard<'g>;
+
+    fn pin(&mut self) -> NrGuard<'_> {
+        NrGuard { handle: self }
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// Critical-section guard for [`Nr`]; every operation is a plain load.
+pub struct NrGuard<'g> {
+    handle: &'g mut NrHandle,
+}
+
+impl SmrGuard for NrGuard<'_> {
+    #[inline]
+    fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        src.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {}
+
+    #[inline]
+    fn dup(&mut self, _from: usize, _to: usize) {}
+
+    #[inline]
+    fn clear(&mut self, _idx: usize) {}
+
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
+        Shared::from_ptr(crate::block::alloc_block(value))
+    }
+
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
+        // Leak: only account for it so memory-overhead experiments can report
+        // the (ever-growing) number of unreclaimed objects.
+        debug_assert!(!ptr.is_null());
+        let _ = Retired::from_value(ptr.untagged().as_ptr());
+        self.handle.domain.retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
+        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_leaks_and_counts() {
+        let d = Nr::new(SmrConfig::default());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(41u64);
+        unsafe {
+            assert_eq!(*p.deref(), 41);
+            g.retire(p);
+        }
+        drop(g);
+        assert_eq!(d.unreclaimed(), 1);
+    }
+
+    #[test]
+    fn protect_is_a_plain_load() {
+        let d = Nr::new(SmrConfig::default());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(7u32);
+        let cell = Atomic::new(p);
+        let seen = g.protect(0, &cell);
+        assert_eq!(seen, p);
+        unsafe { g.dealloc(p) };
+    }
+
+    #[test]
+    fn dealloc_frees_immediately() {
+        let d = Nr::new(SmrConfig::default());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(String::from("x"));
+        unsafe { g.dealloc(p) };
+        assert_eq!(d.unreclaimed(), 0);
+    }
+}

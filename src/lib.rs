@@ -1,0 +1,5 @@
+//! Umbrella crate for the SCOT reproduction: re-exports the public API of the
+//! member crates so examples and integration tests have a single import root.
+pub use scot;
+pub use scot_harness as harness;
+pub use scot_smr as smr;

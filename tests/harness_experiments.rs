@@ -1,0 +1,102 @@
+//! Integration tests for the benchmark harness: every experiment preset of the
+//! paper must be runnable end to end (in quick mode) and produce sane data.
+
+use scot_harness::experiments::{
+    compatibility_matrix, restart_table, run_experiment, ExperimentOptions, ALL_EXPERIMENTS,
+};
+use scot_harness::{run_timed, DsKind, Mix, RunConfig, SmrKind};
+use std::time::Duration;
+
+fn tiny() -> ExperimentOptions {
+    ExperimentOptions {
+        duration: Duration::from_millis(60),
+        runs: 1,
+        threads: vec![2],
+        scale_large_range: 50_000,
+    }
+}
+
+#[test]
+fn throughput_experiments_produce_positive_throughput() {
+    for id in ["fig8a", "fig9a"] {
+        let results = run_experiment(id, &tiny(), |_| {}).unwrap();
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.ops_per_sec > 0.0, "{id}: {} under {} idle", r.ds, r.smr);
+        }
+    }
+}
+
+#[test]
+fn memory_experiments_report_unreclaimed_counts() {
+    let results = run_experiment("fig10a", &tiny(), |_| {}).unwrap();
+    for r in &results {
+        assert!(
+            r.avg_unreclaimed.is_some(),
+            "memory experiment must sample unreclaimed counts ({} / {})",
+            r.ds,
+            r.smr
+        );
+    }
+    // The robust schemes must not exceed EBR by orders of magnitude; EBR is
+    // expected to be the high-water mark overall (paper Figures 10-11), but on
+    // short quick-mode runs we only assert the data is present and plausible.
+    assert!(results.iter().any(|r| r.smr == "EBR"));
+    assert!(results.iter().any(|r| r.smr == "HP"));
+}
+
+#[test]
+fn tab1_matrix_covers_every_pair() {
+    let results = run_experiment("tab1", &tiny(), |_| {}).unwrap();
+    let matrix = compatibility_matrix(&results);
+    for ds in DsKind::ALL {
+        assert!(matrix.contains(ds.name()), "matrix missing {}", ds.name());
+    }
+    for smr in SmrKind::ALL {
+        assert!(matrix.contains(smr.name()), "matrix missing {}", smr.name());
+    }
+    // Every pair must have completed operations ("ok" appears 5*9 times).
+    assert_eq!(matrix.matches(" ok").count(), DsKind::ALL.len() * SmrKind::ALL.len());
+}
+
+#[test]
+fn tab2_reports_restarts_for_both_lists() {
+    let results = run_experiment("tab2", &tiny(), |_| {}).unwrap();
+    let table = restart_table(&results);
+    assert!(table.contains("HMList"));
+    assert!(table.contains("HList"));
+    assert!(table.contains("restart"));
+}
+
+#[test]
+fn all_experiment_ids_resolve() {
+    let opts = tiny();
+    for id in ALL_EXPERIMENTS {
+        assert!(
+            scot_harness::experiments::spec(id, &opts).is_some(),
+            "unknown experiment {id}"
+        );
+    }
+}
+
+#[test]
+fn custom_mix_run_matches_requested_shape() {
+    // A write-only run on the tree must complete operations and keep restart
+    // counts finite; a read-only-ish run must too.
+    let cfg = RunConfig {
+        threads: 2,
+        key_range: 1024,
+        mix: Mix::WRITE_ONLY,
+        duration: Duration::from_millis(80),
+        sample_interval: Duration::from_millis(5),
+        seed: 42,
+    };
+    let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
+    assert!(r.ops > 0);
+    let cfg = RunConfig {
+        mix: Mix::READ_90,
+        ..cfg
+    };
+    let r = run_timed(DsKind::ListLf, SmrKind::He, &cfg);
+    assert!(r.ops > 0);
+}

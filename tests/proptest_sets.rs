@@ -1,0 +1,151 @@
+//! Property-based tests (proptest): every structure, under a robust scheme
+//! and under EBR, must agree with a `BTreeSet` oracle on arbitrary operation
+//! sequences, and the low-level pointer/packing invariants must hold for
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot_smr::{Ebr, Hp, Hyaline, Smr, SmrConfig, SmrHandle};
+use std::collections::BTreeSet;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        max_threads: 8,
+        scan_threshold: 8,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+    }
+}
+
+/// A single set operation for the oracle comparison.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Contains(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u16>().prop_map(|k| Op::Insert(k % 256)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 256)),
+        any::<u16>().prop_map(|k| Op::Contains(k % 256)),
+    ]
+}
+
+fn check_against_oracle<C: ConcurrentSet<u64>>(set: &C, ops: &[Op]) {
+    let mut oracle = BTreeSet::new();
+    let mut handle = set.handle();
+    for op in ops {
+        match *op {
+            Op::Insert(k) => {
+                let k = k as u64;
+                prop_assert_eq_like(set.insert(&mut handle, k), oracle.insert(k), "insert", k);
+            }
+            Op::Remove(k) => {
+                let k = k as u64;
+                prop_assert_eq_like(set.remove(&mut handle, &k), oracle.remove(&k), "remove", k);
+            }
+            Op::Contains(k) => {
+                let k = k as u64;
+                prop_assert_eq_like(
+                    set.contains(&mut handle, &k),
+                    oracle.contains(&k),
+                    "contains",
+                    k,
+                );
+            }
+        }
+    }
+    // Final membership must agree for the whole key universe.
+    for k in 0..256u64 {
+        assert_eq!(
+            set.contains(&mut handle, &k),
+            oracle.contains(&k),
+            "final membership disagreement on {k}"
+        );
+    }
+}
+
+fn prop_assert_eq_like(got: bool, want: bool, what: &str, key: u64) {
+    assert_eq!(got, want, "{what}({key}) disagreed with the BTreeSet oracle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn harris_list_matches_btreeset_under_hp(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: HarrisList<u64, Hp> = HarrisList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn harris_list_matches_btreeset_under_ebr(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: HarrisList<u64, Ebr> = HarrisList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn harris_michael_list_matches_btreeset(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: HarrisMichaelList<u64, Hp> = HarrisMichaelList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn nm_tree_matches_btreeset_under_hp(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: NmTree<u64, Hp> = NmTree::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn nm_tree_matches_btreeset_under_hyaline(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: NmTree<u64, Hyaline> = NmTree::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn wf_list_matches_btreeset(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let set: WfHarrisList<u64, Hp> = WfHarrisList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn hash_map_matches_btreeset(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: HashMap<u64, Hp> = HashMap::with_config(8, cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn tagged_pointer_roundtrip(raw in any::<usize>(), tag in 0usize..8) {
+        // Any 8-aligned address must survive tagging and untagging unchanged.
+        let aligned = raw & !scot_smr::TAG_MASK;
+        let shared: scot_smr::Shared<u64> = scot_smr::Shared::from_raw(aligned);
+        let tagged = shared.with_tag(tag);
+        prop_assert_eq!(tagged.tag(), tag);
+        prop_assert_eq!(tagged.untagged().into_raw(), aligned);
+        prop_assert_eq!(tagged.as_ptr() as usize, aligned);
+    }
+
+    #[test]
+    fn smr_retire_sequences_never_leak(keys in prop::collection::vec(any::<u16>(), 1..200)) {
+        // Arbitrary insert/remove sequences followed by quiescence must leave
+        // zero unreclaimed blocks for a robust scheme.
+        let domain = Hp::new(cfg());
+        {
+            let list: HarrisList<u64, Hp> = HarrisList::new(domain.clone());
+            let mut h = list.handle();
+            for &k in &keys {
+                list.insert(&mut h, k as u64);
+            }
+            for &k in &keys {
+                list.remove(&mut h, &(k as u64));
+            }
+            h.flush();
+        }
+        let mut h = domain.register();
+        h.flush();
+        drop(h);
+        prop_assert_eq!(domain.unreclaimed(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: every data structure under every SMR scheme
+//! must behave as a set, and the harness must be able to drive all of them.
+
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig};
+use std::sync::Arc;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        max_threads: 32,
+        scan_threshold: 16,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+    }
+}
+
+/// Sequential set semantics shared by every structure.
+fn check_set_semantics<C: ConcurrentSet<u64>>(set: &C) {
+    let mut h = set.handle();
+    assert!(!set.contains(&mut h, &10));
+    assert!(set.insert(&mut h, 10));
+    assert!(!set.insert(&mut h, 10));
+    assert!(set.insert(&mut h, 20));
+    assert!(set.insert(&mut h, 15));
+    assert!(set.contains(&mut h, &10));
+    assert!(set.contains(&mut h, &15));
+    assert!(set.contains(&mut h, &20));
+    assert!(!set.contains(&mut h, &11));
+    assert!(set.remove(&mut h, &15));
+    assert!(!set.remove(&mut h, &15));
+    assert!(!set.contains(&mut h, &15));
+    // Boundary keys.
+    assert!(set.insert(&mut h, 0));
+    assert!(set.insert(&mut h, u64::MAX));
+    assert!(set.contains(&mut h, &0));
+    assert!(set.contains(&mut h, &u64::MAX));
+    assert!(set.remove(&mut h, &0));
+    assert!(set.remove(&mut h, &u64::MAX));
+}
+
+macro_rules! semantics_tests {
+    ($($name:ident, $smr:ty);* $(;)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn harris_list() {
+                let set: HarrisList<u64, $smr> = HarrisList::with_config(cfg());
+                check_set_semantics(&set);
+            }
+
+            #[test]
+            fn harris_michael_list() {
+                let set: HarrisMichaelList<u64, $smr> = HarrisMichaelList::with_config(cfg());
+                check_set_semantics(&set);
+            }
+
+            #[test]
+            fn nm_tree() {
+                let set: NmTree<u64, $smr> = NmTree::with_config(cfg());
+                check_set_semantics(&set);
+            }
+
+            #[test]
+            fn wf_harris_list() {
+                let set: WfHarrisList<u64, $smr> = WfHarrisList::with_config(cfg());
+                check_set_semantics(&set);
+            }
+
+            #[test]
+            fn hash_map() {
+                let set: HashMap<u64, $smr> = HashMap::with_config(16, cfg());
+                check_set_semantics(&set);
+            }
+        }
+    )*};
+}
+
+semantics_tests! {
+    under_nr, Nr;
+    under_ebr, Ebr;
+    under_hp, Hp;
+    under_he, He;
+    under_ibr, Ibr;
+    under_hyaline, Hyaline;
+}
+
+/// The paper's Table 1, as an executable assertion: the SCOT structures work
+/// under all robust schemes with concurrent mixed workloads.
+fn concurrent_consistency<C: ConcurrentSet<u32> + 'static>(set: Arc<C>) {
+    // Stable keys are inserted up front and never removed; volatile keys churn.
+    let mut h = set.handle();
+    for k in 0..64u32 {
+        assert!(set.insert(&mut h, k * 2));
+    }
+    drop(h);
+    std::thread::scope(|s| {
+        for t in 0..6u32 {
+            let set = set.clone();
+            s.spawn(move || {
+                let mut h = set.handle();
+                let mut x = (t as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                for _ in 0..4000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let volatile = ((x % 64) * 2 + 1) as u32;
+                    match x % 3 {
+                        0 => {
+                            set.insert(&mut h, volatile);
+                        }
+                        1 => {
+                            set.remove(&mut h, &volatile);
+                        }
+                        _ => {
+                            set.contains(&mut h, &volatile);
+                        }
+                    }
+                    let stable = ((x % 64) * 2) as u32;
+                    assert!(set.contains(&mut h, &stable), "stable key {stable} lost");
+                }
+            });
+        }
+    });
+    // After the churn every stable key must still be present and every lookup
+    // of an out-of-range key must fail.
+    let mut h = set.handle();
+    for k in 0..64u32 {
+        assert!(set.contains(&mut h, &(k * 2)));
+        assert!(!set.contains(&mut h, &(1000 + k)));
+    }
+}
+
+macro_rules! concurrency_tests {
+    ($($name:ident, $smr:ty);* $(;)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn harris_list_concurrent() {
+                concurrent_consistency(Arc::new(HarrisList::<u32, $smr>::with_config(cfg())));
+            }
+
+            #[test]
+            fn nm_tree_concurrent() {
+                concurrent_consistency(Arc::new(NmTree::<u32, $smr>::with_config(cfg())));
+            }
+
+            #[test]
+            fn wf_harris_list_concurrent() {
+                concurrent_consistency(Arc::new(WfHarrisList::<u32, $smr>::with_config(cfg())));
+            }
+
+            #[test]
+            fn harris_michael_list_concurrent() {
+                concurrent_consistency(Arc::new(HarrisMichaelList::<u32, $smr>::with_config(cfg())));
+            }
+        }
+    )*};
+}
+
+concurrency_tests! {
+    concurrent_under_hp, Hp;
+    concurrent_under_he, He;
+    concurrent_under_ibr, Ibr;
+    concurrent_under_hyaline, Hyaline;
+    concurrent_under_ebr, Ebr;
+}
