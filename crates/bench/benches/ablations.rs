@@ -158,7 +158,7 @@ fn ablation_scan_threshold(c: &mut Criterion) {
                                     x ^= x >> 7;
                                     x ^= x << 17;
                                     let key = x % 512;
-                                    if x % 2 == 0 {
+                                    if x.is_multiple_of(2) {
                                         list.insert(&mut h, key);
                                     } else {
                                         list.remove(&mut h, &key);

@@ -32,8 +32,7 @@ fn tab2(c: &mut Criterion) {
                     let mut ops = 0u64;
                     for _ in 0..iters {
                         let cfg = RunConfig::paper_default(threads, KEY_RANGE);
-                        let (o, elapsed, r) =
-                            run_fixed_ops(ds, SmrKind::Hp, &cfg, OPS_PER_THREAD);
+                        let (o, elapsed, r) = run_fixed_ops(ds, SmrKind::Hp, &cfg, OPS_PER_THREAD);
                         total += Duration::from_secs_f64(elapsed);
                         restarts += r;
                         ops += o;

@@ -50,6 +50,10 @@ fn cmd_run(args: &[String]) {
     let ins: u32 = parse(&args[5], "insert%");
     let del: u32 = parse(&args[6], "delete%");
     let smr = SmrKind::parse(&args[7]).unwrap_or_else(|| usage());
+    if u64::from(read) + u64::from(ins) + u64::from(del) != 100 {
+        eprintln!("operation mix must sum to 100% (got {read}+{ins}+{del})");
+        std::process::exit(2);
+    }
     let cfg = RunConfig {
         threads,
         key_range,
@@ -99,10 +103,7 @@ fn cmd_exp(args: &[String]) {
             }
             "--threads" => {
                 i += 1;
-                opts.threads = args[i]
-                    .split(',')
-                    .map(|t| parse(t, "--threads"))
-                    .collect();
+                opts.threads = args[i].split(',').map(|t| parse(t, "--threads")).collect();
             }
             "--json" => {
                 i += 1;

@@ -83,8 +83,8 @@ pub struct ExperimentSpec {
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-    "fig12b", "tab1", "tab2",
+    "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
+    "tab1", "tab2",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.

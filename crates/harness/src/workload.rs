@@ -126,8 +126,10 @@ impl Mix {
     };
 
     fn validate(&self) {
+        // Widen before summing so absurd percentages are rejected rather than
+        // wrapping to a valid-looking total in release builds.
         assert_eq!(
-            self.read_pct + self.insert_pct + self.delete_pct,
+            u64::from(self.read_pct) + u64::from(self.insert_pct) + u64::from(self.delete_pct),
             100,
             "operation mix must sum to 100%"
         );
@@ -328,11 +330,20 @@ fn with_target<R>(
     }
 }
 
+/// Raw output of a timed run: `(ops, elapsed_secs, memory_samples, restarts)`.
+type TimedOutput = (u64, f64, Vec<usize>, u64);
+/// Raw output of a fixed-ops run: `(ops, elapsed_secs, restarts)`.
+type FixedOutput = (u64, f64, u64);
+/// Boxed timed-run entry point of a monomorphized target.
+type TimedRunner = Box<dyn FnOnce(&RunConfig) -> TimedOutput + Send>;
+/// Boxed fixed-ops entry point of a monomorphized target.
+type FixedRunner = Box<dyn FnOnce(&RunConfig, u64) -> FixedOutput + Send>;
+
 /// Type-erased target: the generic runner functions below are instantiated per
 /// concrete set type through this enum-free trampoline.
 struct TargetAny {
-    run_timed: Box<dyn FnOnce(&RunConfig) -> (u64, f64, Vec<usize>, u64) + Send>,
-    run_fixed: Box<dyn FnOnce(&RunConfig, u64) -> (u64, f64, u64) + Send>,
+    run_timed: TimedRunner,
+    run_fixed: FixedRunner,
 }
 
 impl<C> From<Target<C>> for TargetAny
@@ -401,7 +412,7 @@ fn op_loop<C: ConcurrentSet<u64>>(
         }
         // Check the stop flag only every few operations to keep the hot loop
         // tight, as the original benchmark does.
-        if ops % 64 == 0 && stop.load(Ordering::Relaxed) {
+        if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
             break;
         }
         let key = rng.below(cfg.key_range);
@@ -421,7 +432,7 @@ fn op_loop<C: ConcurrentSet<u64>>(
 fn timed_inner<C: ConcurrentSet<u64> + 'static>(
     target: &Target<C>,
     cfg: &RunConfig,
-) -> (u64, f64, Vec<usize>, u64) {
+) -> TimedOutput {
     cfg.mix.validate();
     prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
     let stop = Arc::new(AtomicBool::new(false));
@@ -466,7 +477,7 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
     target: &Target<C>,
     cfg: &RunConfig,
     ops_per_thread: u64,
-) -> (u64, f64, u64) {
+) -> FixedOutput {
     cfg.mix.validate();
     prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
     let stop = AtomicBool::new(false);
@@ -540,7 +551,9 @@ mod tests {
     #[test]
     fn ds_kind_parse_roundtrip() {
         for k in DsKind::ALL {
-            assert!(DsKind::parse(k.name()).is_some() || k == DsKind::ListWf || k == DsKind::ListLf);
+            assert!(
+                DsKind::parse(k.name()).is_some() || k == DsKind::ListWf || k == DsKind::ListLf
+            );
         }
         assert_eq!(DsKind::parse("listlf"), Some(DsKind::ListLf));
         assert_eq!(DsKind::parse("LISTWF"), Some(DsKind::ListWf));
@@ -567,7 +580,10 @@ mod tests {
         let r = run_timed(DsKind::ListLf, SmrKind::Hp, &cfg);
         assert!(r.ops > 0, "no operations completed");
         assert!(r.ops_per_sec > 0.0);
-        assert!(r.avg_unreclaimed.is_some(), "HP must report memory overhead");
+        assert!(
+            r.avg_unreclaimed.is_some(),
+            "HP must report memory overhead"
+        );
         assert_eq!(r.ds, "HList");
         assert_eq!(r.smr, "HP");
     }

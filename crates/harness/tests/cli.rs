@@ -1,0 +1,144 @@
+//! CLI tests for the `scot-bench` binary: every subcommand arm (`run`, `exp`,
+//! `list`) plus the argument-validation failure paths, driven through the real
+//! executable so the usage surface documented in the binary's doc comment is
+//! covered end to end.
+
+use std::process::{Command, Output};
+
+fn scot_bench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scot-bench"))
+        .args(args)
+        .output()
+        .expect("failed to spawn scot-bench")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn list_prints_every_experiment_id() {
+    let out = scot_bench(&["list"]);
+    assert!(out.status.success(), "list must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    for id in [
+        "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
+        "fig12b", "tab1", "tab2",
+    ] {
+        assert!(text.contains(id), "list output missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn no_arguments_shows_usage_and_fails() {
+    let out = scot_bench(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_shows_usage_and_fails() {
+    let out = scot_bench(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn run_arm_executes_a_short_workload() {
+    // Mirrors the paper's `./bench listlf ...` invocation in miniature.
+    let out = scot_bench(&["run", "listlf", "0.05", "64", "1", "50", "25", "25", "EBR"]);
+    assert!(out.status.success(), "run must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("HList"),
+        "row output missing ds name:\n{text}"
+    );
+    assert!(
+        text.contains("\"ops_per_sec\""),
+        "JSON output missing:\n{text}"
+    );
+}
+
+#[test]
+fn run_arm_rejects_bad_ds_name() {
+    let out = scot_bench(&["run", "bogusds", "0.05", "64", "1", "50", "25", "25", "EBR"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn run_arm_rejects_bad_smr_name() {
+    let out = scot_bench(&[
+        "run", "listlf", "0.05", "64", "1", "50", "25", "25", "BOGUS",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn run_arm_rejects_mix_not_summing_to_100() {
+    let out = scot_bench(&["run", "listlf", "0.05", "64", "1", "60", "25", "25", "EBR"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("must sum to 100"));
+}
+
+#[test]
+fn run_arm_rejects_wrong_arity() {
+    let out = scot_bench(&["run", "listlf", "0.05"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn run_arm_rejects_unparseable_numbers() {
+    let out = scot_bench(&["run", "listlf", "xyz", "64", "1", "50", "25", "25", "EBR"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot parse seconds"));
+}
+
+#[test]
+fn exp_arm_rejects_unknown_experiment_id() {
+    let out = scot_bench(&["exp", "fig99", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown experiment id"));
+}
+
+#[test]
+fn exp_arm_rejects_unknown_option() {
+    let out = scot_bench(&["exp", "fig8a", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"));
+}
+
+#[test]
+fn exp_arm_requires_an_experiment_id() {
+    let out = scot_bench(&["exp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn exp_arm_runs_tab2_with_custom_knobs() {
+    // tab2 is the cheapest preset (2 structures x 1 scheme); constrain it
+    // further so the CLI test stays fast while exercising the option parser.
+    let out = scot_bench(&[
+        "exp",
+        "tab2",
+        "--seconds",
+        "0.05",
+        "--runs",
+        "1",
+        "--threads",
+        "1",
+    ]);
+    assert!(out.status.success(), "exp must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("=== tab2 ==="));
+    assert!(
+        text.contains("restart"),
+        "tab2 must render the restart table"
+    );
+}

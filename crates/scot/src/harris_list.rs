@@ -306,7 +306,12 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
     /// # Safety
     /// The caller must have won the unlink CAS that removed exactly this chain
     /// from the list, which makes it the unique retirer of these nodes.
-    unsafe fn retire_chain<G: SmrGuard>(&self, g: &mut G, from: Shared<Node<K>>, to: Shared<Node<K>>) {
+    unsafe fn retire_chain<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        from: Shared<Node<K>>,
+        to: Shared<Node<K>>,
+    ) {
         let mut cur = from;
         while cur != to {
             debug_assert!(!cur.is_null(), "marked chain must end at `to`");
@@ -350,7 +355,12 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
             // Logical deletion: tag curr's next pointer (Figure 3, L21).
             if curr_ref
                 .next
-                .compare_exchange(r.next, r.next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    r.next,
+                    r.next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_err()
             {
                 continue;
@@ -603,7 +613,11 @@ mod tests {
         let mut h = list.handle();
         h.smr.flush();
         drop(h);
-        assert_eq!(domain.unreclaimed(), 0, "no retired node may remain once quiescent");
+        assert_eq!(
+            domain.unreclaimed(),
+            0,
+            "no retired node may remain once quiescent"
+        );
     }
 
     #[test]

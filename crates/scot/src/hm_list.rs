@@ -188,7 +188,12 @@ impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
             let curr_ref = unsafe { r.curr.deref() };
             if curr_ref
                 .next
-                .compare_exchange(r.next, r.next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    r.next,
+                    r.next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_err()
             {
                 continue;

@@ -332,7 +332,12 @@ impl<K: Key, S: Smr> NmTree<K, S> {
                 break;
             }
             if sibling_field
-                .compare_exchange(v, v.with_tag(v.tag() | TAG), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    v,
+                    v.with_tag(v.tag() | TAG),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 break;
@@ -673,8 +678,16 @@ mod tests {
             let key = (x % 512) as u32;
             match x % 3 {
                 0 => assert_eq!(tree.insert(&mut h, key), model.insert(key), "insert {key}"),
-                1 => assert_eq!(tree.remove(&mut h, &key), model.remove(&key), "remove {key}"),
-                _ => assert_eq!(tree.contains(&mut h, &key), model.contains(&key), "contains {key}"),
+                1 => assert_eq!(
+                    tree.remove(&mut h, &key),
+                    model.remove(&key),
+                    "remove {key}"
+                ),
+                _ => assert_eq!(
+                    tree.contains(&mut h, &key),
+                    model.contains(&key),
+                    "contains {key}"
+                ),
             }
         }
         assert_eq!(

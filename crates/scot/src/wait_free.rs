@@ -24,7 +24,9 @@
 //! Updates themselves remain lock-free; only traversals gain wait-freedom
 //! (Theorem 7), which matches the evaluation's `listwf` configuration.
 
-use crate::harris_list::{HarrisList, HarrisListHandle, Node, HP_ANCHOR, HP_CURR, HP_NEXT, HP_PREV};
+use crate::harris_list::{
+    HarrisList, HarrisListHandle, Node, HP_ANCHOR, HP_CURR, HP_NEXT, HP_PREV,
+};
 use crate::{ConcurrentSet, Key, Stats};
 use crossbeam_utils::CachePadded;
 use scot_smr::{Link, Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
@@ -257,10 +259,6 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
             restarts += 1;
 
             let mut prev: Link<Node<K>> = self.list.head.as_link();
-            // `prev_next` mirrors Figure 5's variable of the same name; in the
-            // read-only traversal it is only consulted by the validation load.
-            #[allow(unused_assignments)]
-            let mut prev_next: Shared<Node<K>> = Shared::null();
             let mut curr = g.protect(HP_CURR, &self.list.head);
             let mut next = if curr.is_null() {
                 Shared::null()
@@ -286,7 +284,6 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
                         return Some(curr_ref.key == *key);
                     }
                     prev = curr_ref.next.as_link();
-                    prev_next = Shared::null();
                     g.dup(HP_CURR, HP_PREV);
                     curr = next;
                     if curr.is_null() {
@@ -297,9 +294,11 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
                     // validated predecessor).
                     next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
                 }
-                // Dangerous zone.
+                // Dangerous zone.  `prev_next` mirrors Figure 5's variable of
+                // the same name; in this read-only traversal it is consulted
+                // only by the validation load, so it lives inside the zone.
                 g.dup(HP_CURR, HP_ANCHOR);
-                prev_next = curr;
+                let prev_next = curr;
                 loop {
                     if let Some(done) = check() {
                         return Some(done);
@@ -318,7 +317,6 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
                                 self.stats.record_restart();
                                 continue 'restart;
                             }
-                            prev_next = Shared::null();
                             if curr.is_null() {
                                 return Some(false);
                             }
@@ -536,7 +534,6 @@ mod tests {
         let idx = searcher.index;
         let mut g = searcher.inner.smr.pin();
         assert!(list.slow_search(&mut g, &17, idx, tag));
-        drop(g);
         // The record now carries an output; a new request gets a fresh tag.
         let tag2 = list.request_help(&mut searcher, 9999);
         assert_ne!(tag2, tag);
@@ -586,7 +583,7 @@ mod tests {
                         x ^= x >> 7;
                         x ^= x << 17;
                         let odd = ((x % 64) * 2 + 1) as u32;
-                        if x % 2 == 0 {
+                        if x.is_multiple_of(2) {
                             list.insert(&mut h, odd);
                         } else {
                             list.remove(&mut h, &odd);

@@ -97,8 +97,8 @@ unsafe fn drop_block<T>(hdr: *mut Header) {
 pub fn alloc_block<T>(value: T) -> *mut T {
     // The tag bits in `Shared` require 8-byte alignment of the value pointer.
     // This holds structurally (see the doc comment) but is cheap to assert.
-    debug_assert!(value_offset::<T>() % 8 == 0);
-    debug_assert!(mem::align_of::<Block<T>>() % 8 == 0);
+    debug_assert!(value_offset::<T>().is_multiple_of(8));
+    debug_assert!(mem::align_of::<Block<T>>().is_multiple_of(8));
     let block = Box::new(Block {
         header: Header::new(drop_block::<T>),
         value,
@@ -172,13 +172,21 @@ impl Retired {
     /// Era at which the block was allocated.
     #[inline]
     pub fn birth_era(&self) -> u64 {
-        unsafe { (*self.hdr).birth_era.load(core::sync::atomic::Ordering::Relaxed) }
+        unsafe {
+            (*self.hdr)
+                .birth_era
+                .load(core::sync::atomic::Ordering::Relaxed)
+        }
     }
 
     /// Era at which the block was retired.
     #[inline]
     pub fn retire_era(&self) -> u64 {
-        unsafe { (*self.hdr).retire_era.load(core::sync::atomic::Ordering::Relaxed) }
+        unsafe {
+            (*self.hdr)
+                .retire_era
+                .load(core::sync::atomic::Ordering::Relaxed)
+        }
     }
 
     /// Frees the block.

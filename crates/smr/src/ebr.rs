@@ -167,7 +167,10 @@ impl EbrHandle {
 }
 
 impl SmrHandle for EbrHandle {
-    type Guard<'g> = EbrGuard<'g>;
+    type Guard<'g>
+        = EbrGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> EbrGuard<'_> {
         let slot = &self.domain.slots[self.slot];

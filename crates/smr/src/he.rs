@@ -191,7 +191,10 @@ pub struct HeHandle {
 }
 
 impl SmrHandle for HeHandle {
-    type Guard<'g> = HeGuard<'g>;
+    type Guard<'g>
+        = HeGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> HeGuard<'_> {
         HeGuard { handle: self }
@@ -283,11 +286,12 @@ impl SmrGuard for HeGuard<'_> {
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
-        if self.handle.alloc_count % self.handle.domain.config.epoch_freq() == 0 {
-            self.handle
-                .domain
-                .global_era
-                .fetch_add(1, Ordering::SeqCst);
+        if self
+            .handle
+            .alloc_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
         Shared::from_ptr(ptr)
     }
@@ -304,11 +308,12 @@ impl SmrGuard for HeGuard<'_> {
             .domain
             .unreclaimed
             .fetch_add(1, Ordering::Relaxed);
-        if self.handle.retire_count % self.handle.domain.config.epoch_freq() == 0 {
-            self.handle
-                .domain
-                .global_era
-                .fetch_add(1, Ordering::SeqCst);
+        if self
+            .handle
+            .retire_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             let domain = self.handle.domain.clone();
@@ -426,7 +431,10 @@ mod tests {
             }
         }
         let after = d.global_era.load(Ordering::SeqCst);
-        assert!(after > before, "era should advance every epoch_freq allocations");
+        assert!(
+            after > before,
+            "era should advance every epoch_freq allocations"
+        );
     }
 
     #[test]

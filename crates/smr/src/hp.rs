@@ -193,7 +193,10 @@ pub struct HpHandle {
 }
 
 impl SmrHandle for HpHandle {
-    type Guard<'g> = HpGuard<'g>;
+    type Guard<'g>
+        = HpGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> HpGuard<'_> {
         // Hazard pointers have no notion of a critical section: protection is

@@ -233,7 +233,9 @@ impl Hyaline {
                 // is the only safe fallback: pin it with a permanent reference
                 // rather than skip an active slot that may still acknowledge.
                 debug_assert!(false, "hyaline batch ran out of linkage nodes");
-                (*refs_node).refs.fetch_add(isize::MAX / 2, Ordering::AcqRel);
+                (*refs_node)
+                    .refs
+                    .fetch_add(isize::MAX / 2, Ordering::AcqRel);
                 break;
             };
             loop {
@@ -321,7 +323,10 @@ impl HyalineHandle {
 }
 
 impl SmrHandle for HyalineHandle {
-    type Guard<'g> = HyalineGuard<'g>;
+    type Guard<'g>
+        = HyalineGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> HyalineGuard<'_> {
         let slot = &self.domain.slots[self.slot];
@@ -426,11 +431,12 @@ impl SmrGuard for HyalineGuard<'_> {
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
-        if self.handle.alloc_count % self.handle.domain.config.epoch_freq() == 0 {
-            self.handle
-                .domain
-                .global_era
-                .fetch_add(1, Ordering::SeqCst);
+        if self
+            .handle
+            .alloc_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
         Shared::from_ptr(ptr)
     }

@@ -131,9 +131,7 @@ impl Ibr {
             limbo.retain(|r| {
                 let birth = r.birth_era();
                 let retire = r.retire_era();
-                let protected = snap
-                    .iter()
-                    .any(|&(lo, hi)| birth <= hi && retire >= lo);
+                let protected = snap.iter().any(|&(lo, hi)| birth <= hi && retire >= lo);
                 if protected {
                     true
                 } else {
@@ -186,7 +184,10 @@ pub struct IbrHandle {
 }
 
 impl SmrHandle for IbrHandle {
-    type Guard<'g> = IbrGuard<'g>;
+    type Guard<'g>
+        = IbrGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> IbrGuard<'_> {
         let slot = &self.domain.slots[self.slot];
@@ -274,11 +275,12 @@ impl SmrGuard for IbrGuard<'_> {
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
-        if self.handle.alloc_count % self.handle.domain.config.epoch_freq() == 0 {
-            self.handle
-                .domain
-                .global_era
-                .fetch_add(1, Ordering::SeqCst);
+        if self
+            .handle
+            .alloc_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
         Shared::from_ptr(ptr)
     }
@@ -295,11 +297,12 @@ impl SmrGuard for IbrGuard<'_> {
             .domain
             .unreclaimed
             .fetch_add(1, Ordering::Relaxed);
-        if self.handle.retire_count % self.handle.domain.config.epoch_freq() == 0 {
-            self.handle
-                .domain
-                .global_era
-                .fetch_add(1, Ordering::SeqCst);
+        if self
+            .handle
+            .retire_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             let domain = self.handle.domain.clone();
@@ -398,7 +401,9 @@ mod tests {
         let mut h = d.register();
         {
             let _g = h.pin();
-            assert!(d.slots[0].lower.load(Ordering::SeqCst) <= d.slots[0].upper.load(Ordering::SeqCst));
+            assert!(
+                d.slots[0].lower.load(Ordering::SeqCst) <= d.slots[0].upper.load(Ordering::SeqCst)
+            );
         }
         assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), u64::MAX);
         assert_eq!(d.slots[0].upper.load(Ordering::SeqCst), 0);

@@ -47,7 +47,10 @@ pub struct NrHandle {
 }
 
 impl SmrHandle for NrHandle {
-    type Guard<'g> = NrGuard<'g>;
+    type Guard<'g>
+        = NrGuard<'g>
+    where
+        Self: 'g;
 
     fn pin(&mut self) -> NrGuard<'_> {
         NrGuard { handle: self }
@@ -107,7 +110,6 @@ mod tests {
             assert_eq!(*p.deref(), 41);
             g.retire(p);
         }
-        drop(g);
         assert_eq!(d.unreclaimed(), 1);
     }
 

@@ -167,14 +167,21 @@ impl<T> Link<T> {
         &*self.cell
     }
 
-    /// Loads through the link.  See [`Link::as_atomic`] for the safety
-    /// contract.
+    /// Loads through the link.
+    ///
+    /// # Safety
+    /// Same contract as [`Link::as_atomic`]: the owner of the link must still
+    /// be live when the load executes.
     #[inline]
     pub unsafe fn load(&self, ord: Ordering) -> Shared<T> {
         self.as_atomic().load(ord)
     }
 
-    /// CAS through the link.  See [`Link::as_atomic`] for the safety contract.
+    /// CAS through the link.
+    ///
+    /// # Safety
+    /// Same contract as [`Link::as_atomic`]: the owner of the link must still
+    /// be live when the CAS executes.
     #[inline]
     pub unsafe fn cas(&self, current: Shared<T>, new: Shared<T>) -> Result<(), Shared<T>> {
         self.as_atomic().cas(current, new)

@@ -99,10 +99,7 @@ mod tests {
                 (0..8).map(|_| r.claim()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<usize> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<usize> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 64, "no slot may be handed out twice");

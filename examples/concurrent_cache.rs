@@ -71,8 +71,13 @@ fn main() {
 
     let h = hits.load(Ordering::Relaxed);
     let m = misses.load(Ordering::Relaxed);
-    println!("cache lookups: {} ({} hits / {} misses, {:.1}% hit rate)",
-        h + m, h, m, 100.0 * h as f64 / (h + m).max(1) as f64);
+    println!(
+        "cache lookups: {} ({} hits / {} misses, {:.1}% hit rate)",
+        h + m,
+        h,
+        m,
+        100.0 * h as f64 / (h + m).max(1) as f64
+    );
     println!(
         "admitted {} entries, evicted {}, resident ≈ {}",
         admitted.load(Ordering::Relaxed),

@@ -87,8 +87,7 @@ fn main() {
     let hlist: Arc<HarrisList<u64, Ibr>> = Arc::new(HarrisList::new(Ibr::new(cfg.clone())));
     drive("Harris list (SCOT)", hlist, key_range);
 
-    let hmlist: Arc<HarrisMichaelList<u64, Ibr>> =
-        Arc::new(HarrisMichaelList::new(Ibr::new(cfg)));
+    let hmlist: Arc<HarrisMichaelList<u64, Ibr>> = Arc::new(HarrisMichaelList::new(Ibr::new(cfg)));
     drive("Harris-Michael list", hmlist, key_range);
 
     println!("\nExpected shape (paper Figures 8-9): the tree is far ahead at this range,");

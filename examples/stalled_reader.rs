@@ -15,8 +15,8 @@
 //! by the Theorem 1 bound `O(|D| + N)` no matter how long the writers run.
 
 use scot::{ConcurrentSet, HarrisList};
-use scot_smr::{Ebr, Hp, Smr, SmrConfig, SmrHandle};
 use scot_smr::SmrGuard as _;
+use scot_smr::{Ebr, Hp, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -83,7 +83,9 @@ fn main() {
     let hp_final = *hp.last().unwrap_or(&0);
     println!();
     println!("final backlog:  EBR = {ebr_final}   HP = {hp_final}");
-    println!("EBR's backlog grows for as long as the writers run (unbounded memory, paper §2.2.1),");
+    println!(
+        "EBR's backlog grows for as long as the writers run (unbounded memory, paper §2.2.1),"
+    );
     println!("while HP stays within its Theorem 1 bound — and thanks to SCOT the very same");
     println!("Harris list with optimistic traversals runs under both schemes.");
 }

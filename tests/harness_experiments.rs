@@ -56,7 +56,10 @@ fn tab1_matrix_covers_every_pair() {
         assert!(matrix.contains(smr.name()), "matrix missing {}", smr.name());
     }
     // Every pair must have completed operations ("ok" appears 5*9 times).
-    assert_eq!(matrix.matches(" ok").count(), DsKind::ALL.len() * SmrKind::ALL.len());
+    assert_eq!(
+        matrix.matches(" ok").count(),
+        DsKind::ALL.len() * SmrKind::ALL.len()
+    );
 }
 
 #[test]

@@ -68,7 +68,10 @@ fn check_against_oracle<C: ConcurrentSet<u64>>(set: &C, ops: &[Op]) {
 }
 
 fn prop_assert_eq_like(got: bool, want: bool, what: &str, key: u64) {
-    assert_eq!(got, want, "{what}({key}) disagreed with the BTreeSet oracle");
+    assert_eq!(
+        got, want,
+        "{what}({key}) disagreed with the BTreeSet oracle"
+    );
 }
 
 proptest! {

@@ -4,7 +4,6 @@
 
 use scot::{ConcurrentSet, HarrisList, NmTree};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn cfg() -> SmrConfig {
@@ -96,23 +95,40 @@ fn stalled_reader_bounded_under_hp_unbounded_under_ebr() {
         domain.unreclaimed()
     }
 
-    let hp_small = run::<Hp>(2_000);
-    let hp_large = run::<Hp>(20_000);
-    let ebr_small = run::<Ebr>(2_000);
-    let ebr_large = run::<Ebr>(20_000);
+    // Both backlogs depend only on the churn count (the SMR state machines
+    // are driven by retire/scan counters, never by wall-clock time), so the
+    // assertions below are deterministic regardless of how slowly the host
+    // executes: scale the churn tenfold and compare the resulting backlogs.
+    const SMALL_CHURN: u64 = 2_000;
+    const LARGE_CHURN: u64 = 20_000;
+    let hp_small = run::<Hp>(SMALL_CHURN);
+    let hp_large = run::<Hp>(LARGE_CHURN);
+    let ebr_small = run::<Ebr>(SMALL_CHURN);
+    let ebr_large = run::<Ebr>(LARGE_CHURN);
 
-    // HP: bounded by H*N + N*R regardless of churn volume.
+    // HP: bounded by H*N + N*R regardless of churn volume (Theorem 1), so the
+    // backlog must NOT scale with the churn: 10x the work, same ceiling.
     let bound = scot_smr::MAX_HAZARDS * 16 + 16 * 16;
-    assert!(hp_small <= bound, "HP small churn exceeded bound: {hp_small}");
-    assert!(hp_large <= bound, "HP large churn exceeded bound: {hp_large}");
-    // EBR: grows with churn when a reader is stalled.
     assert!(
-        ebr_large > ebr_small,
-        "EBR backlog should grow with churn under a stalled reader ({ebr_small} -> {ebr_large})"
+        hp_small <= bound,
+        "HP small churn exceeded bound: {hp_small}"
     );
     assert!(
-        ebr_large > bound,
-        "EBR backlog ({ebr_large}) should exceed the HP bound ({bound})"
+        hp_large <= bound,
+        "HP large churn exceeded bound: {hp_large}"
+    );
+    // EBR: the stalled reader freezes the epoch, so the backlog grows in
+    // proportion to the churn count.  Demand at least half the 10x churn
+    // ratio to leave slack for the limbo entries reclaimed before the stall
+    // took effect, while still distinguishing linear growth from any bound.
+    assert!(
+        ebr_large >= ebr_small.saturating_mul(5),
+        "EBR backlog should grow ~linearly with churn under a stalled reader \
+         ({ebr_small} -> {ebr_large}, expected >= 5x)"
+    );
+    assert!(
+        ebr_small as u64 >= SMALL_CHURN / 2,
+        "EBR backlog ({ebr_small}) should retain most of the {SMALL_CHURN} churned nodes"
     );
 }
 
@@ -121,24 +137,17 @@ fn stalled_reader_bounded_under_hp_unbounded_under_ebr() {
 /// structure's destructor.
 #[test]
 fn every_node_dropped_exactly_once() {
-    static LIVE: AtomicUsize = AtomicUsize::new(0);
-
-    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-    struct Tracked(u64);
-
-    // The tracking has to live in the key type itself; keys are Copy so we
-    // count allocations at the node level through insert/remove bookkeeping
-    // instead: every successful insert allocates exactly one list node and
-    // every node is freed either via SMR reclamation or at list drop.  We
-    // approximate "dropped exactly once" by checking the domain's unreclaimed
-    // counter reaches zero after the list itself is dropped.
+    // Keys are Copy, so drop-counting cannot live in the key type; instead we
+    // rely on the node-level bookkeeping: every successful insert allocates
+    // exactly one list node and every node is freed either via SMR
+    // reclamation or at list drop.  "Dropped exactly once" is approximated by
+    // the domain's unreclaimed counter reaching zero once the list is gone.
     let domain = Hp::new(cfg());
     {
         let list: HarrisList<u64, Hp> = HarrisList::new(domain.clone());
         let mut h = list.handle();
         for i in 0..1000u64 {
             list.insert(&mut h, i);
-            LIVE.fetch_add(1, Ordering::Relaxed);
         }
         for i in (0..1000u64).step_by(3) {
             list.remove(&mut h, &i);

@@ -2,7 +2,7 @@
 //! must behave as a set, and the harness must be able to drive all of them.
 
 use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, SmrConfig};
 use std::sync::Arc;
 
 fn cfg() -> SmrConfig {

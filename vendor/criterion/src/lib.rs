@@ -1,0 +1,223 @@
+//! Vendored stub of `criterion` exposing the API surface this workspace's
+//! benches use: `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`, `throughput`), `bench_function`,
+//! `Bencher::iter`/`iter_custom`, `BenchmarkId` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark routine runs
+//! `sample_size` samples of one iteration each and the median sample time is
+//! reported (plus derived throughput when configured).  There is no
+//! statistical analysis, plotting or result persistence — swap this path
+//! dependency for the upstream crate for real Criterion runs.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput configuration used to derive per-element / per-byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub always runs one iteration per
+    /// sample, so the target measurement time is ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub performs no warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark routine and prints its median sample time.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            routine(&mut bencher);
+            samples.push(bencher.elapsed / bencher.iters.max(1) as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(
+                "  ({:.0} elem/s)",
+                n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+            ),
+            Throughput::Bytes(n) => format!(
+                "  ({:.0} B/s)",
+                n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+            ),
+        });
+        println!(
+            "  {}/{id}: median {median:?} over {} samples{}",
+            self.name,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark routines.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+    }
+
+    /// Hands the iteration count to `routine`, which returns the total time
+    /// spent on the measured section (Criterion's `iter_custom`).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let iters = 1;
+        self.elapsed = routine(iters);
+        self.iters = iters;
+    }
+}
+
+/// Declares a function running each listed benchmark with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut calls = 0;
+        group
+            .sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::new("f", 1), |b| {
+                b.iter_custom(|iters| {
+                    calls += iters;
+                    Duration::from_micros(5)
+                })
+            });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn bencher_iter_measures_once() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut ran = false;
+        b.iter(|| ran = true);
+        assert!(ran);
+    }
+}

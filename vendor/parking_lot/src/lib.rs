@@ -1,0 +1,89 @@
+//! Vendored stub of `parking_lot` exposing the `Mutex` API subset this
+//! workspace uses (`new`, `lock`, `try_lock`), backed by `std::sync::Mutex`.
+//! Like the real parking_lot, locks are not poisoned: a panic while holding
+//! the lock leaves the data accessible to later lockers.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::TryLockError;
+
+/// A mutual-exclusion primitive (non-poisoning facade over `std::sync::Mutex`).
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`] and [`Mutex::try_lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard { inner }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
+                inner: poisoned.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "lock is held");
+        }
+        assert_eq!(*m.try_lock().unwrap(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Vendored stub of `serde` providing the `Serialize` subset this workspace
+//! uses.  Instead of upstream's visitor-based `Serializer` architecture, this
+//! stub serializes into an owned [`Value`] tree which `serde_json` (also
+//! vendored) renders.  `#[derive(Serialize)]` is provided by the vendored
+//! `serde_derive` proc-macro and generates `impl Serialize` blocks against
+//! this trait.  Swap both path dependencies for the upstream crates to get
+//! real serde; no workspace source changes are required.
+
+// The derive macro emits paths rooted at `serde::`; this alias makes those
+// paths resolve inside this crate's own tests as well.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// An owned, JSON-shaped value tree — the serialization target of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// A value that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    // Matches upstream serde's `{secs, nanos}` encoding of Duration.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(5u32.to_value(), Value::U64(5));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(Some(1u8).to_value(), Value::U64(1));
+        assert_eq!(
+            vec!["a".to_string()].to_value(),
+            Value::Seq(vec![Value::Str("a".into())])
+        );
+    }
+
+    #[test]
+    fn derive_generates_field_map() {
+        #[derive(Serialize)]
+        struct Point {
+            x: u32,
+            y: Option<f64>,
+        }
+        let v = Point { x: 1, y: None }.to_value();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("x".to_string(), Value::U64(1)),
+                ("y".to_string(), Value::Null),
+            ])
+        );
+    }
+}

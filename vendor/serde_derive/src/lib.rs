@@ -1,0 +1,103 @@
+//! Vendored stub of `serde_derive`: a `#[derive(Serialize)]` implementation
+//! for structs with named fields, written directly against `proc_macro`
+//! (no `syn`/`quote`, which are unavailable offline).  It parses just enough
+//! of the item to collect the struct name and field identifiers, then emits
+//! an `impl serde::Serialize` building a `serde::Value::Map`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut fields_group = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                // Find the brace-delimited field list after the name.
+                for t in &tokens[i + 2..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = name.expect("#[derive(Serialize)] stub supports only structs");
+    let fields = fields_group
+        .map(parse_field_names)
+        .expect("#[derive(Serialize)] stub supports only structs with named fields");
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    let output = format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       serde::Value::Map(vec![{entries}])\n\
+         \x20   }}\n\
+         }}"
+    );
+    output.parse().expect("generated impl must parse")
+}
+
+/// Extracts field identifiers from the token stream inside the struct braces.
+///
+/// Grammar handled: `[#[attr]]* [pub [(..)]] name ':' type ','` repeated.
+/// Commas inside angle brackets (e.g. `HashMap<K, V>`) are skipped by
+/// tracking `<`/`>` depth; token groups are atomic so other nesting is free.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip outer attributes: `#` followed by a bracket group.
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip to the comma terminating this field (angle-depth aware).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
