@@ -8,10 +8,13 @@
 //! * **Scan threshold / era frequency calibration** — the paper's calibrated
 //!   values (scan every 128 retirements, era advance every 12×threads) versus
 //!   much smaller and much larger settings.
+//! * **Block pool (pool on vs pool off)** — the per-thread block pool that
+//!   takes the global allocator out of every scheme's alloc/retire path,
+//!   measured on the write-only mix where allocation dominates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scot::{ConcurrentSet, HarrisList};
-use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use scot_harness::{run_fixed_ops, DsKind, Mix, RunConfig, SmrKind};
 use scot_smr::{Hp, Smr, SmrConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -176,10 +179,41 @@ fn ablation_scan_threshold(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_block_pool(c: &mut Criterion) {
+    let threads = 2;
+    let mut group = c.benchmark_group("ablation_block_pool");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for ds in [DsKind::HmList, DsKind::Tree] {
+        for smr in [SmrKind::Ebr, SmrKind::Hp, SmrKind::Ibr] {
+            for (label, pool) in [("pool_on", true), ("pool_off", false)] {
+                let name = format!("{}_{}_{}", ds.name(), smr.name(), label);
+                group.bench_function(BenchmarkId::new("write_only", name), |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let mut cfg = RunConfig::paper_default(threads, 512);
+                            cfg.mix = Mix::WRITE_ONLY;
+                            cfg.pool = pool;
+                            let (_, elapsed, _) = run_fixed_ops(ds, smr, &cfg, OPS_PER_THREAD);
+                            total += Duration::from_secs_f64(elapsed);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_recovery,
     ablation_snapshot_scan,
-    ablation_scan_threshold
+    ablation_scan_threshold,
+    ablation_block_pool
 );
 criterion_main!(benches);

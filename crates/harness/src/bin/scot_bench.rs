@@ -18,7 +18,8 @@
 //! ```
 
 use scot_harness::experiments::{
-    compatibility_matrix, restart_table, run_experiment, ExperimentOptions, ALL_EXPERIMENTS,
+    compatibility_matrix, pool_table, restart_table, run_experiment, ExperimentOptions,
+    ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
@@ -65,6 +66,7 @@ fn cmd_run(args: &[String]) {
         duration: Duration::from_secs_f64(seconds),
         sample_interval: Duration::from_millis(10),
         seed: 0x5c07,
+        pool: true,
     };
     let result = run_timed(ds, smr, &cfg);
     println!("{}", result.row());
@@ -132,6 +134,7 @@ fn cmd_exp(args: &[String]) {
         match id.as_str() {
             "tab1" => println!("\n{}", compatibility_matrix(&results)),
             "tab2" => println!("\n{}", restart_table(&results)),
+            "pool" => println!("\n{}", pool_table(&results)),
             _ => {}
         }
         if let Some(dir) = &json_dir {

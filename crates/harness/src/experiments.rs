@@ -16,6 +16,7 @@
 //! | fig12b | Figure 12b | NMTree unreclaimed objects, key range 50,000,000 |
 //! | tab1   | Table 1    | compatibility matrix (every DS × every SMR) |
 //! | tab2   | Table 2    | restart statistics, HP, key range 10,000 |
+//! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
 //! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
@@ -81,10 +82,11 @@ pub struct ExperimentSpec {
     pub memory_metric: bool,
 }
 
-/// All experiment identifiers, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
+/// All experiment identifiers, in paper order (the `pool` ablation is this
+/// reproduction's own addition and comes last).
+pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2",
+    "tab1", "tab2", "pool",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -214,6 +216,14 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 10_000,
             memory_metric: false,
         },
+        "pool" => ExperimentSpec {
+            id: "pool",
+            description: "Block-pool ablation: pool on vs off, write-only, HMList + NMTree",
+            structures: vec![DsKind::HmList, DsKind::Tree],
+            schemes: vec![SmrKind::Ebr, SmrKind::Hp, SmrKind::Ibr],
+            key_range: 512,
+            memory_metric: false,
+        },
         _ => return None,
     };
     Some(s)
@@ -227,6 +237,9 @@ pub fn run_experiment(
     mut progress: impl FnMut(&RunResult),
 ) -> Option<Vec<RunResult>> {
     let spec = spec(id, opts)?;
+    if id == "pool" {
+        return Some(run_pool_ablation(&spec, opts, progress));
+    }
     let thread_counts: Vec<usize> = if id == "tab1" {
         vec![*opts.threads.last().unwrap_or(&2)]
     } else {
@@ -250,6 +263,68 @@ pub fn run_experiment(
         }
     }
     Some(results)
+}
+
+/// Runs the block-pool ablation: every structure/scheme pair of the spec,
+/// write-only mix (the workload where alloc/retire dominate), once with the
+/// pool enabled and once without.  The pool-off arm's scheme label carries a
+/// `-pool` suffix so the two series stay distinguishable in JSON output and
+/// in [`pool_table`].
+fn run_pool_ablation(
+    spec: &ExperimentSpec,
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&RunResult),
+) -> Vec<RunResult> {
+    let mut results = Vec::new();
+    let threads = *opts.threads.last().unwrap_or(&2);
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            for pool in [true, false] {
+                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
+                cfg.duration = opts.duration;
+                cfg.mix = Mix::WRITE_ONLY;
+                cfg.pool = pool;
+                let mut runs: Vec<RunResult> =
+                    (0..opts.runs).map(|_| run_timed(ds, smr, &cfg)).collect();
+                runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+                let mut median = runs.swap_remove(runs.len() / 2);
+                median.smr = format!("{}{}", smr.name(), if pool { "+pool" } else { "-pool" });
+                progress(&median);
+                results.push(median);
+            }
+        }
+    }
+    results
+}
+
+/// Renders the block-pool ablation as pool-on/pool-off pairs with the
+/// throughput delta the pool buys on this machine.
+pub fn pool_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Block-pool ablation, write-only mix (50% insert / 50% delete)\n");
+    out.push_str(&format!(
+        "{:<12}{:<8}{:>8}{:>16}{:>16}{:>12}\n",
+        "structure", "scheme", "threads", "pool-on ops/s", "pool-off ops/s", "delta"
+    ));
+    for on in results {
+        let Some(base) = on.smr.strip_suffix("+pool") else {
+            continue;
+        };
+        let off = results
+            .iter()
+            .find(|r| r.ds == on.ds && r.threads == on.threads && r.smr == format!("{base}-pool"));
+        let Some(off) = off else { continue };
+        let delta = if off.ops_per_sec > 0.0 {
+            100.0 * (on.ops_per_sec - off.ops_per_sec) / off.ops_per_sec
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<12}{:<8}{:>8}{:>16.0}{:>16.0}{:>+11.1}%\n",
+            on.ds, base, on.threads, on.ops_per_sec, off.ops_per_sec, delta
+        ));
+    }
+    out
 }
 
 /// Renders a compatibility matrix (Table 1) from smoke-run results: a
@@ -334,6 +409,23 @@ mod tests {
             ..ExperimentOptions::quick()
         };
         assert_eq!(spec("fig12a", &full).unwrap().key_range, 50_000_000);
+    }
+
+    #[test]
+    fn quick_pool_ablation_runs_and_renders() {
+        let opts = ExperimentOptions::quick();
+        let results = run_experiment("pool", &opts, |_| {}).unwrap();
+        // 2 structures × 3 schemes × {on, off}.
+        assert_eq!(results.len(), 12);
+        assert!(results.iter().any(|r| r.smr == "EBR+pool"));
+        assert!(results.iter().any(|r| r.smr == "IBR-pool"));
+        let table = pool_table(&results);
+        assert!(table.contains("HMList"));
+        assert!(table.contains("NMTree"));
+        assert!(table.contains("delta"));
+        // One delta row per structure/scheme pair.
+        let delta_rows = table.lines().filter(|l| l.ends_with('%')).count();
+        assert_eq!(delta_rows, 6, "table:\n{table}");
     }
 
     #[test]

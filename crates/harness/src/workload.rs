@@ -63,11 +63,13 @@ impl DsKind {
     ];
 
     /// Parses the artifact's names (`listlf`, `listwf`, `hmlist`, `tree`,
-    /// `hashmap`), case-insensitively.
+    /// `hashmap`), case-insensitively.  Every [`DsKind::name`] display name
+    /// (`hlist`, `hlist-wf`, `nmtree`, ...) parses back to its kind, so result
+    /// tables round-trip through the CLI.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "listlf" | "hlist" | "harris" => Some(DsKind::ListLf),
-            "listwf" | "hlistwf" => Some(DsKind::ListWf),
+            "listwf" | "hlistwf" | "hlist-wf" => Some(DsKind::ListWf),
             "hmlist" | "listhm" | "harris-michael" => Some(DsKind::HmList),
             "tree" | "nmtree" => Some(DsKind::Tree),
             "hashmap" | "hash" | "map" => Some(DsKind::HashMap),
@@ -151,6 +153,10 @@ pub struct RunConfig {
     pub sample_interval: Duration,
     /// Seed for the per-thread RNGs (results are repeatable modulo scheduling).
     pub seed: u64,
+    /// Whether the SMR block pool is enabled (`false` forces every node
+    /// alloc/free through the global allocator — the `exp pool` ablation's
+    /// baseline arm).
+    pub pool: bool,
 }
 
 impl RunConfig {
@@ -164,6 +170,7 @@ impl RunConfig {
             duration: Duration::from_millis(1000),
             sample_interval: Duration::from_millis(10),
             seed: 0x5c07,
+            pool: true,
         }
     }
 
@@ -226,10 +233,13 @@ struct Target<C> {
     track_memory: bool,
 }
 
-fn smr_config(kind: SmrKind, threads: usize) -> SmrConfig {
+fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
     let mut cfg = SmrConfig::for_threads(threads);
     if matches!(kind, SmrKind::HpOpt | SmrKind::HeOpt | SmrKind::IbrOpt) {
         cfg = cfg.with_snapshot_scan();
+    }
+    if !pool {
+        cfg = cfg.without_pool();
     }
     cfg
 }
@@ -249,11 +259,12 @@ fn with_target<R>(
     smr: SmrKind,
     threads: usize,
     key_range: u64,
+    pool: bool,
     f: impl FnOnce(TargetAny) -> R,
 ) -> R {
     macro_rules! build_for_scheme {
         ($scheme:ty) => {{
-            let cfg = smr_config(smr, threads);
+            let cfg = smr_config(smr, threads, pool);
             let domain = <$scheme as Smr>::new(cfg.clone());
             let track_memory = smr != SmrKind::Hyaline;
             match ds {
@@ -366,14 +377,18 @@ where
 
 /// Prefills the structure with unique keys covering 50% of the key range,
 /// exactly like the paper's benchmark.
-fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64) {
-    let mut handle = set.handle();
-    let mut rng = FastRng::new(seed);
+///
+/// Large ranges are prefilled in parallel across `threads` workers (each
+/// claims keys by successful insert, so collisions between workers just move
+/// the work to whoever won), because at the 50M-key range of Figure 12 a
+/// single-threaded prefill dwarfs the measurement itself.  Tiny ranges keep
+/// the deterministic single-threaded fill so the populated key set (every
+/// other key) stays exactly what the small-range figures assume.
+fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64, threads: usize) {
     let target = (key_range / 2).max(1);
-    let mut inserted = 0u64;
-    // Insert random unique keys until half the range is populated; for tiny
-    // ranges fall back to inserting every other key deterministically.
     if key_range <= 1024 {
+        let mut handle = set.handle();
+        let mut inserted = 0u64;
         let mut k = 0;
         while inserted < target {
             if set.insert(&mut handle, k) {
@@ -384,14 +399,27 @@ fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64) {
                 k = 1;
             }
         }
-    } else {
-        while inserted < target {
-            let k = rng.below(key_range);
-            if set.insert(&mut handle, k) {
-                inserted += 1;
-            }
-        }
+        return;
     }
+    let threads = threads.max(1) as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            // Split the insert quota across workers; the remainder goes to
+            // worker 0 so the total is exactly `target`.
+            let share = target / threads + if t == 0 { target % threads } else { 0 };
+            s.spawn(move || {
+                let mut handle = set.handle();
+                let mut rng = FastRng::new(seed ^ (t + 1).wrapping_mul(0x9e3779b97f4a7c15));
+                let mut inserted = 0u64;
+                while inserted < share {
+                    let k = rng.below(key_range);
+                    if set.insert(&mut handle, k) {
+                        inserted += 1;
+                    }
+                }
+            });
+        }
+    });
 }
 
 fn op_loop<C: ConcurrentSet<u64>>(
@@ -415,8 +443,12 @@ fn op_loop<C: ConcurrentSet<u64>>(
         if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
             break;
         }
-        let key = rng.below(cfg.key_range);
-        let op = (rng.next_u64() % 100) as u32;
+        // One RNG draw per operation, as in the original C++ harness: the low
+        // bits choose the key (key ranges stay far below 2^48) and the high 16
+        // bits choose the operation, so the two stay independent.
+        let r = rng.next_u64();
+        let key = r % cfg.key_range.max(1);
+        let op = ((r >> 48) % 100) as u32;
         if op < cfg.mix.read_pct {
             set.contains(&mut handle, &key);
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
@@ -434,7 +466,7 @@ fn timed_inner<C: ConcurrentSet<u64> + 'static>(
     cfg: &RunConfig,
 ) -> TimedOutput {
     cfg.mix.validate();
-    prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
+    prefill(target.set.as_ref(), cfg.key_range, cfg.seed, cfg.threads);
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -479,7 +511,7 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
     ops_per_thread: u64,
 ) -> FixedOutput {
     cfg.mix.validate();
-    prefill(target.set.as_ref(), cfg.key_range, cfg.seed);
+    prefill(target.set.as_ref(), cfg.key_range, cfg.seed, cfg.threads);
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let start = Instant::now();
@@ -507,7 +539,9 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
 /// numbers behind one figure point.
 pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
     let (ops, elapsed, samples, restarts) =
-        with_target(ds, smr, cfg.threads, cfg.key_range, |t| (t.run_timed)(cfg));
+        with_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
+            (t.run_timed)(cfg)
+        });
     let (avg, max) = if samples.is_empty() {
         (None, None)
     } else {
@@ -539,7 +573,7 @@ pub fn run_fixed_ops(
     cfg: &RunConfig,
     ops_per_thread: u64,
 ) -> (u64, f64, u64) {
-    with_target(ds, smr, cfg.threads, cfg.key_range, |t| {
+    with_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
         (t.run_fixed)(cfg, ops_per_thread)
     })
 }
@@ -550,13 +584,18 @@ mod tests {
 
     #[test]
     fn ds_kind_parse_roundtrip() {
+        // Every display name must parse back to exactly its kind.
         for k in DsKind::ALL {
-            assert!(
-                DsKind::parse(k.name()).is_some() || k == DsKind::ListWf || k == DsKind::ListLf
+            assert_eq!(
+                DsKind::parse(k.name()),
+                Some(k),
+                "display name {} must round-trip",
+                k.name()
             );
         }
         assert_eq!(DsKind::parse("listlf"), Some(DsKind::ListLf));
         assert_eq!(DsKind::parse("LISTWF"), Some(DsKind::ListWf));
+        assert_eq!(DsKind::parse("HList-WF"), Some(DsKind::ListWf));
         assert_eq!(DsKind::parse("hmlist"), Some(DsKind::HmList));
         assert_eq!(DsKind::parse("tree"), Some(DsKind::Tree));
         assert_eq!(DsKind::parse("hashmap"), Some(DsKind::HashMap));

@@ -27,10 +27,28 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2",
+        "fig12b", "tab1", "tab2", "pool",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
+}
+
+#[test]
+fn exp_pool_reports_a_throughput_delta() {
+    let out = scot_bench(&["exp", "pool", "--quick"]);
+    assert!(
+        out.status.success(),
+        "exp pool must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    // Pool-on and pool-off arms for HMList and NMTree under EBR/HP/IBR...
+    for label in ["EBR+pool", "EBR-pool", "HP+pool", "IBR+pool"] {
+        assert!(text.contains(label), "missing {label} series:\n{text}");
+    }
+    // ...and the delta table comparing them.
+    assert!(text.contains("delta"), "missing delta column:\n{text}");
+    assert!(text.contains("HMList") && text.contains("NMTree"));
 }
 
 #[test]

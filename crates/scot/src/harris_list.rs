@@ -458,6 +458,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: false,
+            ..SmrConfig::default()
         }
     }
 

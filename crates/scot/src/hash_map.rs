@@ -13,6 +13,45 @@ use scot_smr::{Smr, SmrConfig};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// 2^64 / φ — the Fibonacci hashing constant (Knuth, TAOCP vol. 3 §6.4).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A Fibonacci multiplicative hasher: zero setup cost (unlike `DefaultHasher`,
+/// whose SipHash state costs more to initialize than a whole bucket lookup)
+/// and excellent bucket spread for the sequential integer keys the harness
+/// draws.  Not DoS-resistant, which is irrelevant for a benchmark structure.
+struct FibHasher(u64);
+
+impl Hasher for FibHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold arbitrary bytes 8 at a time; each chunk is mixed with one
+        // multiply, keeping the generic path multiplicative as well.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(buf)).wrapping_mul(FIB);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(FIB);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiplicative mix concentrates entropy in the high bits, which
+        // is exactly what the widening-multiply range reduction consumes.
+        self.0
+    }
+}
+
 /// A lock-free hash set: `buckets` Harris lists sharing one SMR domain.
 ///
 /// ```
@@ -77,9 +116,12 @@ impl<K: Key + Hash, S: Smr> HashMap<K, S> {
     }
 
     fn bucket(&self, key: &K) -> &HarrisList<K, S> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        let mut hasher = FibHasher(0);
         key.hash(&mut hasher);
-        let idx = (hasher.finish() as usize) % self.buckets.len();
+        // Lemire's widening-multiply range reduction: maps the hash onto
+        // [0, buckets) from the high bits, avoiding the division a modulo
+        // would cost per operation.
+        let idx = ((u128::from(hasher.finish()) * self.buckets.len() as u128) >> 64) as usize;
         &self.buckets[idx]
     }
 
@@ -132,6 +174,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: false,
+            ..SmrConfig::default()
         }
     }
 

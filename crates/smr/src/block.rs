@@ -4,15 +4,64 @@
 //! [`Block<T>`]: a fixed-layout [`Header`] followed by the user value.  The
 //! header carries the per-object metadata that the era-based schemes (HE, IBR,
 //! Hyaline-1S) need — birth era, retire era — plus the intrusive links used by
-//! Hyaline's batch reclamation and a type-erased drop function so that limbo
-//! lists can be kept homogeneous (`*mut Header`) regardless of the node type.
+//! Hyaline's batch reclamation and a type-erased vtable so that limbo lists
+//! can be kept homogeneous (`*mut Header`) regardless of the node type.
+//!
+//! The vtable ([`BlockVTable`]) splits destruction into two halves so that the
+//! block pool ([`crate::pool`]) can recycle raw allocations: `drop_value` runs
+//! the payload's destructor *in place* without releasing the memory, and
+//! `layout` records the exact allocation layout so the raw block can later be
+//! either reused for a new value of any type with the same layout or handed
+//! back to the global allocator.  [`free_block`] composes the two halves and
+//! is the non-pooled path.
 //!
 //! Schemes that do not need a given field simply ignore it; the uniform layout
 //! is what lets a single data-structure implementation run unmodified under
 //! every scheme, exactly as in the paper's benchmark harness.
 
+use core::alloc::Layout;
+use core::marker::PhantomData;
 use core::mem;
 use core::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize};
+
+/// Type-erased per-`T` metadata installed into every block header.
+///
+/// One static instance exists per payload type (obtained through const
+/// promotion in [`vtable_of`]), so storing a reference costs one word per
+/// block — the same as the function pointer it replaces.
+pub struct BlockVTable {
+    /// Runs the payload's destructor in place; the block's memory stays
+    /// allocated and may be recycled afterwards.
+    pub drop_value: unsafe fn(*mut Header),
+    /// Allocation layout of the whole block (header + value).  Blocks with
+    /// equal layouts are interchangeable as raw memory, which is the pool's
+    /// recycling criterion.
+    pub layout: Layout,
+}
+
+/// Drops the payload of a `Block<T>` in place, given only its header address.
+///
+/// # Safety
+/// `hdr` must point to the header of a live block created for payload type
+/// `T`, and the payload must not have been dropped already.
+unsafe fn drop_value_in_place<T>(hdr: *mut Header) {
+    core::ptr::drop_in_place(value_of::<T>(hdr));
+}
+
+/// Returns the static vtable for payload type `T`.
+#[inline]
+pub fn vtable_of<T>() -> &'static BlockVTable {
+    struct Vt<T>(PhantomData<T>);
+    impl<T> Vt<T> {
+        const VTABLE: BlockVTable = BlockVTable {
+            drop_value: drop_value_in_place::<T>,
+            layout: Layout::new::<Block<T>>(),
+        };
+    }
+    // Const promotion: the value has no interior mutability and no Drop, so
+    // the reference is 'static.
+    &Vt::<T>::VTABLE
+}
 
 /// Per-object header preceding every SMR-managed allocation.
 ///
@@ -26,14 +75,18 @@ use core::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize};
 /// | `batch_link` | –              | –        | –                | pointer to the batch REFS node  |
 /// | `batch_all`  | –              | –        | –                | intra-batch chain for freeing   |
 /// | `refs`       | –              | –        | –                | batch reference counter (REFS)  |
-/// | `drop_fn`    | all schemes: type-erased deallocation function |||
+/// | `vtable`     | all schemes: type-erased destructor + allocation layout |||
+///
+/// While a block sits in a [`crate::pool::BlockPool`] free list (payload
+/// already dropped), the `next` field is repurposed as the free-list link;
+/// every other field is dead and rewritten on reuse.
 #[repr(C)]
 pub struct Header {
     /// Global era at allocation time (HE / IBR / Hyaline-1S).
     pub birth_era: AtomicU64,
     /// Global era / epoch at retirement time (EBR / HE / IBR).
     pub retire_era: AtomicU64,
-    /// Hyaline: link in a slot's retirement list.
+    /// Hyaline: link in a slot's retirement list.  Pool: free-list link.
     pub next: AtomicUsize,
     /// Hyaline: every node of a batch points to the batch's REFS node.
     pub batch_link: AtomicUsize,
@@ -42,13 +95,13 @@ pub struct Header {
     pub batch_all: AtomicUsize,
     /// Hyaline: reference counter, meaningful only on the REFS node of a batch.
     pub refs: AtomicIsize,
-    /// Deallocates the whole block (header + value), running the value's
-    /// destructor.  Installed by [`alloc_block`].
-    pub drop_fn: unsafe fn(*mut Header),
+    /// Type-erased destructor and allocation layout.  Installed by
+    /// [`alloc_block`] / [`init_block`].
+    pub vtable: &'static BlockVTable,
 }
 
 impl Header {
-    fn new(drop_fn: unsafe fn(*mut Header)) -> Self {
+    fn new(vtable: &'static BlockVTable) -> Self {
         Self {
             birth_era: AtomicU64::new(0),
             retire_era: AtomicU64::new(0),
@@ -56,7 +109,7 @@ impl Header {
             batch_link: AtomicUsize::new(0),
             batch_all: AtomicUsize::new(0),
             refs: AtomicIsize::new(0),
-            drop_fn,
+            vtable,
         }
     }
 }
@@ -64,7 +117,7 @@ impl Header {
 /// An SMR-managed allocation: header followed by the user value.
 #[repr(C)]
 pub struct Block<T> {
-    /// SMR metadata (eras, reclamation links, type-erased destructor).
+    /// SMR metadata (eras, reclamation links, type-erased vtable).
     pub header: Header,
     /// The user value (e.g. a list node or tree node).
     pub value: T,
@@ -78,18 +131,30 @@ pub fn value_offset<T>() -> usize {
     mem::offset_of!(Block<T>, value)
 }
 
-/// Drops a `Block<T>` given only its header address.  Used as the type-erased
-/// `drop_fn` installed into every header.
+/// Writes a fresh `Block<T>` into `raw` (previously allocated with the layout
+/// recorded for `Block<T>`) and returns a pointer to the **value** part.
 ///
 /// # Safety
-/// `hdr` must point to the header of a live, heap-allocated `Block<T>` created
-/// by [`alloc_block`], and it must not be dropped twice.
-unsafe fn drop_block<T>(hdr: *mut Header) {
-    drop(Box::from_raw(hdr as *mut Block<T>));
+/// `raw` must point to an allocation of exactly `Layout::new::<Block<T>>()`
+/// whose previous contents (if any) are dead: the old payload must already
+/// have been dropped.
+#[inline]
+pub unsafe fn init_block<T>(raw: *mut Header, value: T) -> *mut T {
+    let block = raw as *mut Block<T>;
+    core::ptr::write(
+        block,
+        Block {
+            header: Header::new(vtable_of::<T>()),
+            value,
+        },
+    );
+    core::ptr::addr_of_mut!((*block).value)
 }
 
-/// Allocates a new block holding `value` and returns a pointer to the **value**
-/// part.  The header is reachable via [`header_of`].
+/// Allocates a new block holding `value` straight from the global allocator
+/// and returns a pointer to the **value** part.  The header is reachable via
+/// [`header_of`].  The pooled fast path lives in
+/// [`crate::pool::BlockPool::alloc`]; this is the slow/overflow path.
 ///
 /// The returned pointer is at least 8-byte aligned (the header contains
 /// `u64`/`usize` fields and the layout is `repr(C)`), so the low three bits are
@@ -99,12 +164,12 @@ pub fn alloc_block<T>(value: T) -> *mut T {
     // This holds structurally (see the doc comment) but is cheap to assert.
     debug_assert!(value_offset::<T>().is_multiple_of(8));
     debug_assert!(mem::align_of::<Block<T>>().is_multiple_of(8));
-    let block = Box::new(Block {
-        header: Header::new(drop_block::<T>),
-        value,
-    });
-    let raw = Box::into_raw(block);
-    unsafe { core::ptr::addr_of_mut!((*raw).value) }
+    let layout = Layout::new::<Block<T>>();
+    let raw = unsafe { std::alloc::alloc(layout) } as *mut Header;
+    if raw.is_null() {
+        std::alloc::handle_alloc_error(layout);
+    }
+    unsafe { init_block(raw, value) }
 }
 
 /// Returns the header of the block that `value` was allocated in.
@@ -127,19 +192,45 @@ pub unsafe fn value_of<T>(hdr: *mut Header) -> *mut T {
     (hdr as *mut u8).add(value_offset::<T>()) as *mut T
 }
 
-/// Immediately frees a block (running the destructor) given its header.
+/// Runs the payload destructor of a block in place, leaving the raw memory
+/// allocated (for recycling).  The header becomes dead except for its
+/// `vtable.layout`, which remains valid for the eventual [`dealloc_raw`].
+///
+/// # Safety
+/// The block must be live (payload not yet dropped) and unreachable by any
+/// other thread.
+#[inline]
+pub unsafe fn drop_value(hdr: *mut Header) {
+    ((*hdr).vtable.drop_value)(hdr)
+}
+
+/// Returns a dead block's raw memory to the global allocator.
+///
+/// # Safety
+/// `hdr` must be a block allocation whose payload has already been dropped
+/// (via [`drop_value`]) and `layout` must be the block's recorded layout.
+#[inline]
+pub unsafe fn dealloc_raw(hdr: *mut Header, layout: Layout) {
+    std::alloc::dealloc(hdr as *mut u8, layout);
+}
+
+/// Immediately frees a block (running the destructor and releasing the
+/// memory) given its header.  The non-pooled composition of [`drop_value`]
+/// and [`dealloc_raw`].
 ///
 /// # Safety
 /// The block must not be reachable by any thread and must not be freed again.
 #[inline]
 pub unsafe fn free_block(hdr: *mut Header) {
-    ((*hdr).drop_fn)(hdr)
+    let layout = (*hdr).vtable.layout;
+    drop_value(hdr);
+    dealloc_raw(hdr, layout);
 }
 
 /// A retired-but-not-yet-reclaimed block, as stored in per-thread limbo lists.
 ///
 /// `Retired` is a thin record: the header pointer (birth/retire eras and the
-/// type-erased destructor live in the header) plus the address of the value
+/// type-erased vtable live in the header) plus the address of the value
 /// part, which is what hazard-pointer slots publish and therefore what limbo
 /// scans must compare against.
 #[derive(Clone, Copy)]
@@ -189,13 +280,23 @@ impl Retired {
         }
     }
 
-    /// Frees the block.
+    /// Frees the block straight to the global allocator (no pooling).  Sweep
+    /// paths prefer [`Retired::free_into`], which recycles.
     ///
     /// # Safety
     /// No thread may still hold a protected reference to the block.
     #[inline]
     pub unsafe fn free(self) {
         free_block(self.hdr);
+    }
+
+    /// Runs the destructor and hands the raw block to `pool` for recycling.
+    ///
+    /// # Safety
+    /// No thread may still hold a protected reference to the block.
+    #[inline]
+    pub unsafe fn free_into(self, pool: &mut crate::pool::BlockPool) {
+        pool.free(self.hdr);
     }
 }
 
@@ -268,6 +369,45 @@ mod tests {
             assert_eq!(r.retire_era(), 9);
             assert_eq!(r.value, v as usize);
             r.free();
+        }
+    }
+
+    #[test]
+    fn vtable_is_shared_per_type_and_records_layout() {
+        let a = vtable_of::<u64>();
+        let b = vtable_of::<u64>();
+        assert!(core::ptr::eq(a, b), "one static vtable per payload type");
+        assert_eq!(a.layout, Layout::new::<Block<u64>>());
+        assert_ne!(
+            vtable_of::<u64>().layout,
+            vtable_of::<[u8; 64]>().layout,
+            "different payload sizes must yield different block layouts"
+        );
+    }
+
+    #[test]
+    fn drop_value_then_reinit_recycles_memory_without_double_drop() {
+        struct DropCounter(Arc<StdAtomicUsize>);
+        impl Drop for DropCounter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let count = Arc::new(StdAtomicUsize::new(0));
+        let v = alloc_block(DropCounter(count.clone()));
+        unsafe {
+            let hdr = header_of(v);
+            let layout = (*hdr).vtable.layout;
+            drop_value(hdr);
+            assert_eq!(count.load(Ordering::SeqCst), 1);
+            // Reuse the same memory for a second value of the same layout.
+            let v2 = init_block(hdr, DropCounter(count.clone()));
+            assert_eq!(count.load(Ordering::SeqCst), 1, "reinit must not drop");
+            let hdr2 = header_of(v2);
+            assert_eq!(hdr2, hdr);
+            drop_value(hdr2);
+            assert_eq!(count.load(Ordering::SeqCst), 2);
+            dealloc_raw(hdr2, layout);
         }
     }
 }

@@ -12,12 +12,13 @@
 //! by the `stalled_reader` example and the robustness integration tests.
 
 use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Epoch value meaning "not in a critical section".
@@ -37,7 +38,8 @@ pub struct Ebr {
     registry: SlotRegistry,
     global_epoch: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<EbrSlot>]>,
-    unreclaimed: AtomicUsize,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
     /// Limbo entries inherited from threads that deregistered before their
     /// retired nodes became reclaimable.
     orphans: Mutex<Vec<Retired>>,
@@ -58,7 +60,8 @@ impl Smr for Ebr {
             registry: SlotRegistry::new(config.max_threads),
             global_epoch: CachePadded::new(AtomicU64::new(FIRST_EPOCH)),
             slots,
-            unreclaimed: AtomicUsize::new(0),
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             orphans: Mutex::new(Vec::new()),
             config,
         })
@@ -67,6 +70,7 @@ impl Smr for Ebr {
     fn register(self: &Arc<Self>) -> EbrHandle {
         let slot = self.registry.claim();
         EbrHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
@@ -75,7 +79,7 @@ impl Smr for Ebr {
     }
 
     fn unreclaimed(&self) -> usize {
-        self.unreclaimed.load(Ordering::Relaxed)
+        self.unreclaimed.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -110,13 +114,15 @@ impl Ebr {
     }
 
     /// Frees every entry of `limbo` whose grace period has elapsed, keeping
-    /// the rest.
-    fn sweep(&self, limbo: &mut Vec<Retired>) {
+    /// the rest.  Freed blocks recycle into `pool`; the sweeper's own shard
+    /// (`slot`) absorbs the decrement (shards may go negative, the sum stays
+    /// exact — see [`ShardedCounter`]).
+    fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
         let global = self.global_epoch.load(Ordering::SeqCst);
         let mut freed = 0usize;
         limbo.retain(|r| {
             if r.retire_era().saturating_add(2) <= global {
-                unsafe { r.free() };
+                unsafe { r.free_into(pool) };
                 freed += 1;
                 false
             } else {
@@ -124,15 +130,15 @@ impl Ebr {
             }
         });
         if freed > 0 {
-            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+            self.unreclaimed.sub(slot, freed);
         }
     }
 
     /// Adopts and sweeps orphaned limbo entries left by deregistered threads.
-    fn sweep_orphans(&self) {
+    fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
-                self.sweep(&mut orphans);
+                self.sweep(&mut orphans, slot, pool);
             }
         }
     }
@@ -154,6 +160,7 @@ pub struct EbrHandle {
     domain: Arc<Ebr>,
     slot: usize,
     limbo: Vec<Retired>,
+    pool: BlockPool,
     retire_count: usize,
 }
 
@@ -161,8 +168,8 @@ impl EbrHandle {
     fn scan(&mut self) {
         self.domain.try_advance();
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
-        domain.sweep_orphans();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
     }
 }
 
@@ -237,7 +244,7 @@ impl SmrGuard for EbrGuard<'_> {
     fn clear(&mut self, _idx: usize) {}
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        Shared::from_ptr(crate::block::alloc_block(value))
+        Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
@@ -250,22 +257,23 @@ impl SmrGuard for EbrGuard<'_> {
         );
         self.handle.limbo.push(retired);
         self.handle.retire_count += 1;
-        self.handle
-            .domain
-            .unreclaimed
-            .fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             // Amortized reclamation: one epoch-advance attempt plus a sweep of
             // the local limbo list per `scan_threshold` retirements (§5).
             self.handle.domain.try_advance();
             let domain = self.handle.domain.clone();
-            domain.sweep(&mut self.handle.limbo);
-            domain.sweep_orphans();
+            domain.sweep(
+                &mut self.handle.limbo,
+                self.handle.slot,
+                &mut self.handle.pool,
+            );
+            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
         }
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 

@@ -17,12 +17,13 @@
 //! the paper's calibration; both variants are exposed for the ablation bench).
 
 use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Reservation value meaning "no era reserved".
@@ -41,7 +42,8 @@ pub struct He {
     registry: SlotRegistry,
     global_era: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<HeSlot>]>,
-    unreclaimed: AtomicUsize,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -60,7 +62,8 @@ impl Smr for He {
             registry: SlotRegistry::new(config.max_threads),
             global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
             slots,
-            unreclaimed: AtomicUsize::new(0),
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             orphans: Mutex::new(Vec::new()),
             config,
         })
@@ -72,6 +75,7 @@ impl Smr for He {
             e.store(NONE, Ordering::Relaxed);
         }
         HeHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
@@ -81,7 +85,7 @@ impl Smr for He {
     }
 
     fn unreclaimed(&self) -> usize {
-        self.unreclaimed.load(Ordering::Relaxed)
+        self.unreclaimed.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -128,7 +132,7 @@ impl He {
         snap
     }
 
-    fn sweep(&self, limbo: &mut Vec<Retired>) {
+    fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
         let mut freed = 0usize;
         if self.config.snapshot_scan {
             let snap = self.snapshot();
@@ -142,7 +146,7 @@ impl He {
                 if protected {
                     true
                 } else {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 }
@@ -152,21 +156,21 @@ impl He {
                 if self.is_protected(r.birth_era(), r.retire_era()) {
                     true
                 } else {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 }
             });
         }
         if freed > 0 {
-            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+            self.unreclaimed.sub(slot, freed);
         }
     }
 
-    fn sweep_orphans(&self) {
+    fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
-                self.sweep(&mut orphans);
+                self.sweep(&mut orphans, slot, pool);
             }
         }
     }
@@ -186,6 +190,7 @@ pub struct HeHandle {
     domain: Arc<He>,
     slot: usize,
     limbo: Vec<Retired>,
+    pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
 }
@@ -202,8 +207,8 @@ impl SmrHandle for HeHandle {
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
-        domain.sweep_orphans();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
     }
 }
 
@@ -213,7 +218,7 @@ impl Drop for HeHandle {
             e.store(NONE, Ordering::Release);
         }
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
         if !self.limbo.is_empty() {
             self.domain.orphans.lock().append(&mut self.limbo);
         }
@@ -282,7 +287,7 @@ impl SmrGuard for HeGuard<'_> {
     }
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        let ptr = crate::block::alloc_block(value);
+        let ptr = self.handle.pool.alloc(value);
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
@@ -304,10 +309,7 @@ impl SmrGuard for HeGuard<'_> {
         (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
         self.handle.limbo.push(retired);
         self.handle.retire_count += 1;
-        self.handle
-            .domain
-            .unreclaimed
-            .fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
         if self
             .handle
             .retire_count
@@ -317,13 +319,17 @@ impl SmrGuard for HeGuard<'_> {
         }
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             let domain = self.handle.domain.clone();
-            domain.sweep(&mut self.handle.limbo);
-            domain.sweep_orphans();
+            domain.sweep(
+                &mut self.handle.limbo,
+                self.handle.slot,
+                &mut self.handle.pool,
+            );
+            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
         }
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 
@@ -337,6 +343,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: snapshot,
+            ..SmrConfig::default()
         }
     }
 

@@ -29,6 +29,7 @@
 //! is designed to avoid.
 
 use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
@@ -55,7 +56,8 @@ pub struct Hp {
     config: SmrConfig,
     registry: SlotRegistry,
     slots: Box<[CachePadded<HpSlot>]>,
-    unreclaimed: AtomicUsize,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -69,7 +71,8 @@ impl Smr for Hp {
         Arc::new(Self {
             registry: SlotRegistry::new(config.max_threads),
             slots,
-            unreclaimed: AtomicUsize::new(0),
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             orphans: Mutex::new(Vec::new()),
             config,
         })
@@ -81,6 +84,7 @@ impl Smr for Hp {
             h.store(0, Ordering::Relaxed);
         }
         HpHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
@@ -88,7 +92,7 @@ impl Smr for Hp {
     }
 
     fn unreclaimed(&self) -> usize {
-        self.unreclaimed.load(Ordering::Relaxed)
+        self.unreclaimed.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -138,13 +142,13 @@ impl Hp {
         snap
     }
 
-    fn sweep(&self, limbo: &mut Vec<Retired>) {
+    fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
         let mut freed = 0usize;
         if self.config.snapshot_scan {
             let snap = self.snapshot();
             limbo.retain(|r| {
                 if snap.binary_search(&r.value).is_err() {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 } else {
@@ -154,7 +158,7 @@ impl Hp {
         } else {
             limbo.retain(|r| {
                 if !self.is_protected(r.value) {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 } else {
@@ -163,14 +167,14 @@ impl Hp {
             });
         }
         if freed > 0 {
-            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+            self.unreclaimed.sub(slot, freed);
         }
     }
 
-    fn sweep_orphans(&self) {
+    fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
-                self.sweep(&mut orphans);
+                self.sweep(&mut orphans, slot, pool);
             }
         }
     }
@@ -190,6 +194,7 @@ pub struct HpHandle {
     domain: Arc<Hp>,
     slot: usize,
     limbo: Vec<Retired>,
+    pool: BlockPool,
 }
 
 impl SmrHandle for HpHandle {
@@ -206,8 +211,8 @@ impl SmrHandle for HpHandle {
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
-        domain.sweep_orphans();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
     }
 }
 
@@ -217,7 +222,7 @@ impl Drop for HpHandle {
             h.store(0, Ordering::Release);
         }
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
         if !self.limbo.is_empty() {
             self.domain.orphans.lock().append(&mut self.limbo);
         }
@@ -278,26 +283,27 @@ impl SmrGuard for HpGuard<'_> {
     }
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        Shared::from_ptr(crate::block::alloc_block(value))
+        Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         self.handle.limbo.push(Retired::from_value(value));
-        self.handle
-            .domain
-            .unreclaimed
-            .fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             let domain = self.handle.domain.clone();
-            domain.sweep(&mut self.handle.limbo);
-            domain.sweep_orphans();
+            domain.sweep(
+                &mut self.handle.limbo,
+                self.handle.slot,
+                &mut self.handle.pool,
+            );
+            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
         }
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 

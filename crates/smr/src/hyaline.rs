@@ -35,20 +35,32 @@
 //!   slot **per thread** (the multi-slot layout of the original Hyaline
 //!   family), which needs no double-word atomics: the packed
 //!   `{refs:16, ptr:48}` head fits a single `AtomicU64` on x86-64/Linux.
-//! * Instead of terminating the leave-time acknowledgement traversal at the
-//!   pointer observed on entry (which is ABA-prone once blocks are recycled),
-//!   each push stamps the node with a per-slot monotonically increasing
-//!   sequence number and the traversal stops at the first node whose sequence
-//!   is not newer than the one observed on entry.  A narrow race (a push that
-//!   drew its sequence number before an observer entered but linked the node
-//!   afterwards) can at worst cause a batch to be *kept* — never freed early.
+//! * The leave-time acknowledgement traversal terminates at the head
+//!   **address** observed on entry (returned atomically by the enter
+//!   `fetch_add`), exactly like the published algorithm's handle.  The
+//!   boundary node itself is never dereferenced — it was pushed before this
+//!   thread entered, so its batch never counted this thread and may already
+//!   be freed and its block recycled through the pool; reading any of its
+//!   fields would race with reuse.  Every node *above* the boundary was
+//!   pushed while this thread's reference was visible (the push CAS cannot
+//!   succeed across a concurrent enter), so those nodes are pinned until
+//!   acknowledged and are safe to walk.  The residual address-ABA (the exact
+//!   boundary block freed, recycled, and re-pushed onto the *same* slot
+//!   within one critical section) stops the traversal early; the skipped
+//!   batches keep one reference forever and are **leaked permanently** (no
+//!   later traversal covers them) — never freed early, so memory safety is
+//!   unaffected.  The window is one critical section and requires the exact
+//!   boundary address to cycle through free → pool → alloc → retire → push
+//!   onto the same slot inside it, the same accepted-risk class as the
+//!   handle ABA of the published algorithm.
 
-use crate::block::{free_block, header_of, Header};
+use crate::block::{header_of, Header};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// First era handed out.
@@ -77,9 +89,6 @@ struct HySlot {
     head: AtomicU64,
     /// Era published by the slot's owner, refreshed on every protect.
     era: AtomicU64,
-    /// Monotonic counter of pushes into this slot's retirement list; stamped
-    /// into each pushed node and used as the acknowledgement boundary.
-    push_seq: AtomicU64,
 }
 
 /// The Hyaline-1S-style reclamation domain.
@@ -88,7 +97,8 @@ pub struct Hyaline {
     registry: SlotRegistry,
     global_era: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<HySlot>]>,
-    unreclaimed: AtomicUsize,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
     /// Batch size: enough nodes so that one node can be pushed to every slot
     /// plus the REFS node that carries the counter.
     batch_capacity: usize,
@@ -103,7 +113,6 @@ impl Smr for Hyaline {
                 CachePadded::new(HySlot {
                     head: AtomicU64::new(0),
                     era: AtomicU64::new(0),
-                    push_seq: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -111,7 +120,8 @@ impl Smr for Hyaline {
             registry: SlotRegistry::new(config.max_threads),
             global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
             slots,
-            unreclaimed: AtomicUsize::new(0),
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             batch_capacity: config.max_threads + 1,
             config,
         })
@@ -122,6 +132,7 @@ impl Smr for Hyaline {
         self.slots[slot].head.store(0, Ordering::Relaxed);
         self.slots[slot].era.store(0, Ordering::Relaxed);
         HyalineHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             batch: Vec::with_capacity(self.batch_capacity),
@@ -131,7 +142,7 @@ impl Smr for Hyaline {
     }
 
     fn unreclaimed(&self) -> usize {
-        self.unreclaimed.load(Ordering::Relaxed)
+        self.unreclaimed.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -140,51 +151,58 @@ impl Smr for Hyaline {
 }
 
 impl Hyaline {
-    /// Frees every node of the batch whose REFS node is `refs_node`.
+    /// Frees every node of the batch whose REFS node is `refs_node`, recycling
+    /// the blocks into the freeing thread's `pool` and debiting its shard
+    /// (`slot`) — under any-thread freeing the debited shard is often not the
+    /// one that was credited at retire time; only the sum is meaningful.
     ///
     /// # Safety
     /// The batch's reference counter must have reached zero, i.e. every thread
     /// that was required to acknowledge the batch has done so.
-    unsafe fn free_batch(&self, refs_node: *mut Header) {
+    unsafe fn free_batch(&self, refs_node: *mut Header, slot: usize, pool: &mut BlockPool) {
         let mut freed = 0usize;
         let mut cur = refs_node;
         while !cur.is_null() {
             let next = (*cur).batch_all.load(Ordering::Relaxed) as *mut Header;
-            free_block(cur);
+            pool.free(cur);
             freed += 1;
             cur = next;
         }
-        self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+        self.unreclaimed.sub(slot, freed);
     }
 
     /// Acknowledges (decrements) every batch whose node was pushed onto the
     /// slot's list after the calling thread entered its critical section,
     /// freeing batches that drop to zero.
     ///
-    /// `from` is the slot head observed while leaving; `entry_seq` is the
-    /// slot's push sequence observed when entering.  Nodes stamped with a
-    /// sequence `<= entry_seq` were pushed before the thread entered and did
-    /// not count it, so the traversal stops there.
+    /// `from` is the slot head observed while leaving; `entry_addr` is the
+    /// head address at enter time (from the enter `fetch_add`).  Every node
+    /// above `entry_addr` was pushed while this thread's reference was
+    /// visible and therefore counted it; the boundary node itself did not,
+    /// and is never dereferenced (its batch may already be freed and the
+    /// block recycled — see the module docs).
     ///
     /// # Safety
     /// The calling thread must have held its slot reference continuously
-    /// between observing `entry_seq` and observing `from`, so every node with
-    /// a newer sequence counted it at push time.
-    unsafe fn acknowledge(&self, from: usize, entry_seq: u64) {
+    /// between observing `entry_addr` and observing `from`, so every node
+    /// above the boundary counted it at push time and stays alive until the
+    /// decrement below.
+    unsafe fn acknowledge(
+        &self,
+        from: usize,
+        entry_addr: usize,
+        slot: usize,
+        pool: &mut BlockPool,
+    ) {
         let mut cur = from;
-        while cur != 0 {
+        while cur != 0 && cur != entry_addr {
             let hdr = cur as *mut Header;
-            // The push sequence is stamped into the (otherwise unused by
-            // Hyaline) retire_era field before the node is published.
-            if (*hdr).retire_era.load(Ordering::Acquire) <= entry_seq {
-                break;
-            }
             // Read the link before decrementing: once we decrement, another
             // thread may free the batch (and with it this node).
             let next = (*hdr).next.load(Ordering::Acquire);
             let refs_node = (*hdr).batch_link.load(Ordering::Acquire) as *mut Header;
             if (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.free_batch(refs_node);
+                self.free_batch(refs_node, slot, pool);
             }
             cur = next;
         }
@@ -193,7 +211,13 @@ impl Hyaline {
     /// Pushes a fully-formed batch to every active, non-exempt slot and drops
     /// the retirer's own reference.  `nodes[0]` is the REFS node and is never
     /// pushed; the remaining nodes provide the per-slot list linkage.
-    unsafe fn retire_batch(&self, nodes: &[*mut Header], min_birth: u64) {
+    unsafe fn retire_batch(
+        &self,
+        nodes: &[*mut Header],
+        min_birth: u64,
+        slot: usize,
+        pool: &mut BlockPool,
+    ) {
         debug_assert!(!nodes.is_empty());
         let refs_node = nodes[0];
 
@@ -247,10 +271,6 @@ impl Hyaline {
                     break;
                 }
                 (*node).next.store(head_ptr, Ordering::Relaxed);
-                // Stamp the push sequence (acknowledgement boundary) before
-                // the node becomes visible; see `acknowledge`.
-                let seq = slot.push_seq.fetch_add(1, Ordering::AcqRel) + 1;
-                (*node).retire_era.store(seq, Ordering::Release);
                 // Count the threads that will acknowledge this node *before*
                 // publishing it, so the counter can never be observed too low.
                 (*refs_node).refs.fetch_add(refs as isize, Ordering::AcqRel);
@@ -270,7 +290,7 @@ impl Hyaline {
         // Drop the retirer's bias reference; if nothing else holds the batch
         // (no active slots, or every acknowledgement already arrived), free it.
         if (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.free_batch(refs_node);
+            self.free_batch(refs_node, slot, pool);
         }
     }
 }
@@ -291,6 +311,7 @@ pub struct HyalineHandle {
     /// Locally accumulated batch of retired nodes (headers).
     batch: Vec<*mut Header>,
     batch_min_birth: u64,
+    pool: BlockPool,
     alloc_count: usize,
 }
 
@@ -305,7 +326,7 @@ impl HyalineHandle {
         // Pad undersized batches (possible only at flush/drop time) with
         // freshly allocated dummy blocks.
         while self.batch.len() < self.domain.batch_capacity {
-            let dummy = crate::block::alloc_block(());
+            let dummy = self.pool.alloc(());
             unsafe {
                 let hdr = header_of(dummy);
                 (*hdr).birth_era.store(
@@ -314,11 +335,12 @@ impl HyalineHandle {
                 );
                 self.batch.push(hdr);
             }
-            self.domain.unreclaimed.fetch_add(1, Ordering::Relaxed);
+            self.domain.unreclaimed.add(self.slot, 1);
         }
         let nodes = std::mem::take(&mut self.batch);
         let min_birth = std::mem::replace(&mut self.batch_min_birth, u64::MAX);
-        unsafe { self.domain.retire_batch(&nodes, min_birth) };
+        let domain = self.domain.clone();
+        unsafe { domain.retire_batch(&nodes, min_birth, self.slot, &mut self.pool) };
     }
 }
 
@@ -332,14 +354,14 @@ impl SmrHandle for HyalineHandle {
         let slot = &self.domain.slots[self.slot];
         let era = self.domain.global_era.load(Ordering::SeqCst);
         slot.era.store(era, Ordering::SeqCst);
-        // Enter: bump the slot's reference count, then record the push
-        // sequence.  Any push that draws a newer sequence necessarily linked
-        // its node after our reference was visible, so it counted us.
-        let _ = slot.head.fetch_add(REF_ONE, Ordering::AcqRel);
-        let entry_seq = slot.push_seq.load(Ordering::SeqCst);
+        // Enter: bump the slot's reference count.  The fetch_add returns the
+        // packed head at exactly the enter instant — its pointer half is the
+        // acknowledgement boundary: every node pushed above it counted us.
+        let prev = slot.head.fetch_add(REF_ONE, Ordering::AcqRel);
+        let (_, entry_addr) = unpack(prev);
         HyalineGuard {
             handle: self,
-            entry_seq,
+            entry_addr,
             cached_era: era,
         }
     }
@@ -359,9 +381,9 @@ impl Drop for HyalineHandle {
 /// Critical-section guard for [`Hyaline`].
 pub struct HyalineGuard<'g> {
     handle: &'g mut HyalineHandle,
-    /// Push sequence observed when entering; the traversal boundary for
-    /// leave-time acknowledgements.
-    entry_seq: u64,
+    /// Slot-list head address observed atomically when entering; the
+    /// traversal boundary for leave-time acknowledgements.
+    entry_addr: usize,
     cached_era: u64,
 }
 
@@ -389,7 +411,15 @@ impl Drop for HyalineGuard<'_> {
             }
         };
         // Acknowledge every batch pushed during our critical section.
-        unsafe { domain.acknowledge(observed, self.entry_seq) };
+        let domain = self.handle.domain.clone();
+        unsafe {
+            domain.acknowledge(
+                observed,
+                self.entry_addr,
+                self.handle.slot,
+                &mut self.handle.pool,
+            )
+        };
     }
 }
 
@@ -427,7 +457,7 @@ impl SmrGuard for HyalineGuard<'_> {
     fn clear(&mut self, _idx: usize) {}
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        let ptr = crate::block::alloc_block(value);
+        let ptr = self.handle.pool.alloc(value);
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
@@ -448,20 +478,17 @@ impl SmrGuard for HyalineGuard<'_> {
         let birth = (*hdr).birth_era.load(Ordering::Relaxed);
         self.handle.batch_min_birth = self.handle.batch_min_birth.min(birth);
         self.handle.batch.push(hdr);
-        self.handle
-            .domain
-            .unreclaimed
-            .fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
         if self.handle.batch.len() >= self.handle.domain.batch_capacity {
             let domain = self.handle.domain.clone();
             let nodes = std::mem::take(&mut self.handle.batch);
             let min_birth = std::mem::replace(&mut self.handle.batch_min_birth, u64::MAX);
-            domain.retire_batch(&nodes, min_birth);
+            domain.retire_batch(&nodes, min_birth, self.handle.slot, &mut self.handle.pool);
         }
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 
@@ -475,6 +502,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: false,
+            ..SmrConfig::default()
         }
     }
 
@@ -580,6 +608,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: false,
+            ..SmrConfig::default()
         });
         std::thread::scope(|s| {
             for t in 0..4 {

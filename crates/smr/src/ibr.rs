@@ -15,12 +15,13 @@
 //! Harris-Michael eager unlink) guarantees.
 
 use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// First era handed out.
@@ -40,7 +41,8 @@ pub struct Ibr {
     registry: SlotRegistry,
     global_era: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<IbrSlot>]>,
-    unreclaimed: AtomicUsize,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -60,7 +62,8 @@ impl Smr for Ibr {
             registry: SlotRegistry::new(config.max_threads),
             global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
             slots,
-            unreclaimed: AtomicUsize::new(0),
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             orphans: Mutex::new(Vec::new()),
             config,
         })
@@ -71,6 +74,7 @@ impl Smr for Ibr {
         self.slots[slot].lower.store(u64::MAX, Ordering::Relaxed);
         self.slots[slot].upper.store(0, Ordering::Relaxed);
         IbrHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
@@ -80,7 +84,7 @@ impl Smr for Ibr {
     }
 
     fn unreclaimed(&self) -> usize {
-        self.unreclaimed.load(Ordering::Relaxed)
+        self.unreclaimed.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -124,7 +128,7 @@ impl Ibr {
         snap
     }
 
-    fn sweep(&self, limbo: &mut Vec<Retired>) {
+    fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
         let mut freed = 0usize;
         if self.config.snapshot_scan {
             let snap = self.snapshot();
@@ -135,7 +139,7 @@ impl Ibr {
                 if protected {
                     true
                 } else {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 }
@@ -145,21 +149,21 @@ impl Ibr {
                 if self.is_protected(r.birth_era(), r.retire_era()) {
                     true
                 } else {
-                    unsafe { r.free() };
+                    unsafe { r.free_into(pool) };
                     freed += 1;
                     false
                 }
             });
         }
         if freed > 0 {
-            self.unreclaimed.fetch_sub(freed, Ordering::Relaxed);
+            self.unreclaimed.sub(slot, freed);
         }
     }
 
-    fn sweep_orphans(&self) {
+    fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
-                self.sweep(&mut orphans);
+                self.sweep(&mut orphans, slot, pool);
             }
         }
     }
@@ -179,6 +183,7 @@ pub struct IbrHandle {
     domain: Arc<Ibr>,
     slot: usize,
     limbo: Vec<Retired>,
+    pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
 }
@@ -202,8 +207,8 @@ impl SmrHandle for IbrHandle {
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
-        domain.sweep_orphans();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
     }
 }
 
@@ -213,7 +218,7 @@ impl Drop for IbrHandle {
         slot.lower.store(u64::MAX, Ordering::Release);
         slot.upper.store(0, Ordering::Release);
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo);
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
         if !self.limbo.is_empty() {
             self.domain.orphans.lock().append(&mut self.limbo);
         }
@@ -271,7 +276,7 @@ impl SmrGuard for IbrGuard<'_> {
     fn clear(&mut self, _idx: usize) {}
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        let ptr = crate::block::alloc_block(value);
+        let ptr = self.handle.pool.alloc(value);
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
@@ -293,10 +298,7 @@ impl SmrGuard for IbrGuard<'_> {
         (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
         self.handle.limbo.push(retired);
         self.handle.retire_count += 1;
-        self.handle
-            .domain
-            .unreclaimed
-            .fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
         if self
             .handle
             .retire_count
@@ -306,13 +308,17 @@ impl SmrGuard for IbrGuard<'_> {
         }
         if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
             let domain = self.handle.domain.clone();
-            domain.sweep(&mut self.handle.limbo);
-            domain.sweep_orphans();
+            domain.sweep(
+                &mut self.handle.limbo,
+                self.handle.slot,
+                &mut self.handle.pool,
+            );
+            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
         }
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 
@@ -326,6 +332,7 @@ mod tests {
             scan_threshold: 8,
             epoch_freq_per_thread: 1,
             snapshot_scan: snapshot,
+            ..SmrConfig::default()
         }
     }
 

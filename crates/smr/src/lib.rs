@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod pool;
 pub mod ptr;
 pub mod registry;
 
@@ -48,13 +49,14 @@ mod hyaline;
 mod ibr;
 mod nr;
 
-pub use block::{alloc_block, free_block, header_of, Block, Header, Retired};
+pub use block::{alloc_block, free_block, header_of, Block, BlockVTable, Header, Retired};
 pub use ebr::Ebr;
 pub use he::He;
 pub use hp::Hp;
 pub use hyaline::Hyaline;
 pub use ibr::Ibr;
 pub use nr::Nr;
+pub use pool::{BlockPool, PoolShared, ShardedCounter};
 pub use ptr::{Atomic, Link, Shared, TAG_MASK};
 pub use registry::SlotRegistry;
 
@@ -165,6 +167,13 @@ pub struct SmrConfig {
     pub epoch_freq_per_thread: usize,
     /// Use the snapshot scan optimization (HPopt / HEopt / IBRopt).
     pub snapshot_scan: bool,
+    /// Maximum blocks each per-thread handle caches in its block pool
+    /// ([`pool::BlockPool`]); `Some(0)` disables pooling (every alloc/free
+    /// goes to the global allocator).  `None` (the default) sizes the pool
+    /// off `scan_threshold` — see [`SmrConfig::pool_blocks`]: a sweep frees
+    /// up to one limbo list at once, so `2 × scan_threshold` lets a full
+    /// sweep's worth of blocks be recycled without spilling.
+    pub pool_capacity: Option<usize>,
 }
 
 impl Default for SmrConfig {
@@ -174,6 +183,7 @@ impl Default for SmrConfig {
             scan_threshold: 128,
             epoch_freq_per_thread: 12,
             snapshot_scan: false,
+            pool_capacity: None,
         }
     }
 }
@@ -197,6 +207,26 @@ impl SmrConfig {
     pub fn with_snapshot_scan(mut self) -> Self {
         self.snapshot_scan = true;
         self
+    }
+
+    /// Returns a copy with the given per-handle block-pool capacity.
+    pub fn with_pool_capacity(mut self, capacity: usize) -> Self {
+        self.pool_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy with block pooling disabled (the `exp pool` ablation's
+    /// pool-off arm).
+    pub fn without_pool(self) -> Self {
+        self.with_pool_capacity(0)
+    }
+
+    /// Effective per-handle block-pool capacity: the explicit
+    /// [`SmrConfig::pool_capacity`] if set, otherwise `2 × scan_threshold`
+    /// so one full limbo sweep recycles without spilling.
+    pub fn pool_blocks(&self) -> usize {
+        self.pool_capacity
+            .unwrap_or_else(|| 2 * self.scan_threshold)
     }
 }
 
@@ -332,7 +362,19 @@ mod tests {
         let c = SmrConfig::default();
         assert_eq!(c.scan_threshold, 128);
         assert_eq!(c.epoch_freq_per_thread, 12);
+        assert_eq!(c.pool_blocks(), 2 * c.scan_threshold);
+        // The auto-sized pool tracks scan_threshold.
+        let small = SmrConfig {
+            scan_threshold: 8,
+            ..SmrConfig::default()
+        };
+        assert_eq!(small.pool_blocks(), 16);
         let c = SmrConfig::for_threads(16);
         assert_eq!(c.epoch_freq(), 12 * 18);
+        assert_eq!(SmrConfig::default().without_pool().pool_blocks(), 0);
+        assert_eq!(
+            SmrConfig::default().with_pool_capacity(64).pool_blocks(),
+            64
+        );
     }
 }

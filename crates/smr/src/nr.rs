@@ -5,35 +5,51 @@
 //! performs no reclamation work at all (but, as the paper notes, allocation
 //! cost sometimes makes real SMR schemes faster because they recycle memory
 //! through the allocator).
+//!
+//! Even a leak-everything baseline benefits from the block pool: `alloc`
+//! still reuses blocks released through `dealloc` (lost-CAS giveback), and
+//! the retire-path counter is sharded like every other scheme's so NR's
+//! "upper bound" role is not distorted by counter cache-line ping-pong.
 
 use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
+use crate::registry::SlotRegistry;
 use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The no-reclamation "scheme".
 pub struct Nr {
-    retired: AtomicUsize,
+    registry: SlotRegistry,
+    retired: ShardedCounter,
+    pool: Arc<PoolShared>,
+    pool_capacity: usize,
 }
 
 impl Smr for Nr {
     type Handle = NrHandle;
 
-    fn new(_config: SmrConfig) -> Arc<Self> {
+    fn new(config: SmrConfig) -> Arc<Self> {
         Arc::new(Self {
-            retired: AtomicUsize::new(0),
+            registry: SlotRegistry::new(config.max_threads),
+            retired: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            pool_capacity: config.pool_blocks(),
         })
     }
 
     fn register(self: &Arc<Self>) -> NrHandle {
+        let slot = self.registry.claim();
         NrHandle {
+            pool: BlockPool::new(self.pool.clone(), self.pool_capacity),
             domain: self.clone(),
+            slot,
         }
     }
 
     fn unreclaimed(&self) -> usize {
-        self.retired.load(Ordering::Relaxed)
+        self.retired.sum()
     }
 
     fn kind(&self) -> SmrKind {
@@ -44,6 +60,14 @@ impl Smr for Nr {
 /// Per-thread handle for [`Nr`].
 pub struct NrHandle {
     domain: Arc<Nr>,
+    slot: usize,
+    pool: BlockPool,
+}
+
+impl Drop for NrHandle {
+    fn drop(&mut self) {
+        self.domain.registry.release(self.slot);
+    }
 }
 
 impl SmrHandle for NrHandle {
@@ -80,7 +104,7 @@ impl SmrGuard for NrGuard<'_> {
     fn clear(&mut self, _idx: usize) {}
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
-        Shared::from_ptr(crate::block::alloc_block(value))
+        Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
@@ -88,11 +112,11 @@ impl SmrGuard for NrGuard<'_> {
         // the (ever-growing) number of unreclaimed objects.
         debug_assert!(!ptr.is_null());
         let _ = Retired::from_value(ptr.untagged().as_ptr());
-        self.handle.domain.retired.fetch_add(1, Ordering::Relaxed);
+        self.handle.domain.retired.add(self.handle.slot, 1);
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        crate::block::free_block(header_of(ptr.untagged().as_ptr()));
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
     }
 }
 
@@ -133,5 +157,22 @@ mod tests {
         let p = g.alloc(String::from("x"));
         unsafe { g.dealloc(p) };
         assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn dealloc_recycles_through_the_pool() {
+        let d = Nr::new(SmrConfig::default());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(1u64);
+        let addr = p.untagged().into_raw();
+        unsafe { g.dealloc(p) };
+        let q = g.alloc(2u64);
+        assert_eq!(
+            q.untagged().into_raw(),
+            addr,
+            "a lost-CAS giveback must be reused by the next allocation"
+        );
+        unsafe { g.dealloc(q) };
     }
 }

@@ -1,0 +1,599 @@
+//! Reclamation-aware block pool and sharded domain statistics.
+//!
+//! Two hot-path costs dominate every scheme's `alloc`/`retire` once limbo
+//! scans are amortized (the observation behind DEBRA's and Hyaline's
+//! engineering, and the motivation for this module):
+//!
+//! 1. a global-allocator round-trip per node — `malloc`/`free` take locks or
+//!    touch shared arena state on every operation of a write-heavy workload;
+//! 2. a `fetch_add`/`fetch_sub` on a single shared `unreclaimed` counter that
+//!    ping-pongs one cache line across all worker threads.
+//!
+//! [`BlockPool`] removes the first: every scheme handle owns a bounded
+//! free-list of dead blocks, binned by allocation [`Layout`], recycled
+//! in LIFO order (so reused blocks come back cache-warm).  The list is
+//! intrusive — it threads through the dead blocks' own `Header::next`
+//! fields — so the pool itself allocates nothing on the fast path.  When a
+//! handle's pool fills up (a thread that frees more than it allocates, e.g.
+//! the lucky acknowledger under Hyaline's any-thread freeing), it spills half
+//! a bin at a time into the domain-shared [`PoolShared`] overflow, where
+//! allocation-heavy threads refill from.  Both layers are bounded: the
+//! overflow caps at `pool_capacity × max_threads` blocks and everything
+//! beyond that is returned to the global allocator, so total pooled memory
+//! never exceeds `2 × pool_capacity × max_threads` blocks per domain.
+//!
+//! [`ShardedCounter`] removes the second: one cache-padded counter per thread
+//! slot, written only by that slot's owner on the retire path; a reclaiming
+//! thread subtracts from *its own* shard even when it frees blocks another
+//! thread retired (Hyaline, orphan sweeps), so individual shards may go
+//! negative while the sum stays exact.  Reads sum all shards — they happen
+//! only on the 10 ms sampler path, where a few dozen relaxed loads are free.
+//! A sum taken concurrently with retire/free traffic can transiently miss
+//! in-flight updates (it is not a linearizable snapshot); quiescent reads are
+//! exact, which is what every accounting test relies on.
+
+use crate::block::{dealloc_raw, drop_value, Header};
+use core::alloc::Layout;
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A dead block awaiting reuse: raw memory plus the layout it was allocated
+/// with.  Addresses are stored as `usize` so the type is trivially `Send`.
+#[derive(Clone, Copy)]
+struct FreeBlock {
+    hdr: usize,
+    layout: Layout,
+}
+
+/// One free list of identically-laid-out dead blocks, threaded intrusively
+/// through `Header::next`.
+struct Bin {
+    layout: Layout,
+    /// Head of the intrusive LIFO list (0 = empty).
+    head: usize,
+    len: usize,
+}
+
+impl Bin {
+    #[inline]
+    fn push(&mut self, hdr: *mut Header) {
+        unsafe { (*hdr).next.store(self.head, Ordering::Relaxed) };
+        self.head = hdr as usize;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<*mut Header> {
+        if self.head == 0 {
+            return None;
+        }
+        let hdr = self.head as *mut Header;
+        self.head = unsafe { (*hdr).next.load(Ordering::Relaxed) };
+        self.len -= 1;
+        Some(hdr)
+    }
+}
+
+/// One layout's parked blocks inside the shared overflow.
+struct OverflowBin {
+    layout: Layout,
+    blocks: Vec<usize>,
+}
+
+/// Domain-shared overflow tier of the block pool.
+///
+/// Absorbs the imbalance between threads that free more than they allocate
+/// and threads that allocate more than they free, so per-handle pool capacity
+/// is never stranded on the wrong thread.  Guarded by a mutex, but touched
+/// only when a handle's local pool over- or under-flows — once per
+/// `pool_capacity / 2` operations in the worst case, not per operation.
+/// Parked blocks are binned by layout so a refill is one `split_off` from the
+/// matching bin, never a scan of foreign layouts.
+pub struct PoolShared {
+    overflow: Mutex<Vec<OverflowBin>>,
+    /// Total blocks across all overflow bins, maintained under the lock, so
+    /// empty-pool allocations can skip the mutex entirely with one relaxed
+    /// load (the common case while a workload is still growing).
+    overflow_count: AtomicUsize,
+    /// Maximum blocks held across the overflow bins; the excess is
+    /// deallocated, keeping domain-wide pooled memory bounded.
+    max_overflow: usize,
+}
+
+// FreeBlock addresses refer to dead allocations owned exclusively by the
+// pool; moving them across threads is the entire point of the overflow tier.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+impl PoolShared {
+    /// Creates the shared overflow for a domain: `capacity` is the per-handle
+    /// pool capacity, `max_threads` the domain's slot count.
+    pub fn new(capacity: usize, max_threads: usize) -> Arc<Self> {
+        Arc::new(Self {
+            overflow: Mutex::new(Vec::new()),
+            overflow_count: AtomicUsize::new(0),
+            max_overflow: capacity.saturating_mul(max_threads.max(1)),
+        })
+    }
+
+    /// Number of blocks currently parked in the overflow tier.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow_count.load(Ordering::Relaxed)
+    }
+
+    /// Parks `blocks` in the overflow, deallocating whatever exceeds the
+    /// overflow bound.  The single write-side entry point, shared by
+    /// [`BlockPool::spill`] and [`BlockPool::drop`] so the count mirror and
+    /// the bound live in one place.
+    fn park(&self, mut blocks: Vec<FreeBlock>) {
+        if blocks.is_empty() {
+            return;
+        }
+        let mut overflow = self.overflow.lock();
+        let mut total = self.overflow_count.load(Ordering::Relaxed);
+        let room = self.max_overflow.saturating_sub(total);
+        let keep = blocks.len().min(room);
+        for fb in blocks.drain(..keep) {
+            let idx = match overflow.iter().position(|b| b.layout == fb.layout) {
+                Some(i) => i,
+                None => {
+                    overflow.push(OverflowBin {
+                        layout: fb.layout,
+                        blocks: Vec::new(),
+                    });
+                    overflow.len() - 1
+                }
+            };
+            overflow[idx].blocks.push(fb.hdr);
+            total += 1;
+        }
+        self.overflow_count.store(total, Ordering::Relaxed);
+        drop(overflow);
+        for fb in blocks {
+            unsafe { dealloc_raw(fb.hdr as *mut Header, fb.layout) };
+        }
+    }
+
+    /// Takes up to `want` parked blocks of `layout`.  Returns an empty vector
+    /// when the overflow is contended (`try_lock`) or holds no such layout —
+    /// in either case the caller falls through to the global allocator.
+    fn take(&self, layout: Layout, want: usize) -> Vec<usize> {
+        let Some(mut overflow) = self.overflow.try_lock() else {
+            return Vec::new();
+        };
+        let Some(bin) = overflow.iter_mut().find(|b| b.layout == layout) else {
+            return Vec::new();
+        };
+        let n = bin.blocks.len().min(want);
+        let taken = bin.blocks.split_off(bin.blocks.len() - n);
+        self.overflow_count.fetch_sub(n, Ordering::Relaxed);
+        taken
+    }
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        let mut overflow = self.overflow.lock();
+        for bin in overflow.drain(..) {
+            for hdr in bin.blocks {
+                // Payloads were dropped before the blocks entered the pool;
+                // only the raw memory remains to release.
+                unsafe { dealloc_raw(hdr as *mut Header, bin.layout) };
+            }
+        }
+    }
+}
+
+/// Per-handle (thread-local) tier of the block pool.
+///
+/// Not `Sync`: exactly one worker thread owns each pool, mirroring the scheme
+/// handles that embed it.  `capacity == 0` disables pooling entirely — every
+/// call degenerates to the global allocator, which is the pool-off arm of the
+/// `exp pool` ablation.
+pub struct BlockPool {
+    shared: Arc<PoolShared>,
+    /// Free lists binned by layout.  Real workloads see one or two distinct
+    /// node layouts per domain, so linear search beats any map.
+    bins: Vec<Bin>,
+    /// Maximum blocks cached locally across all bins.
+    capacity: usize,
+    /// Current total across all bins.
+    len: usize,
+}
+
+// The pooled blocks are dead memory owned exclusively by this pool; the pool
+// moves between threads only as part of its owning handle (`Handle: Send`).
+unsafe impl Send for BlockPool {}
+
+impl BlockPool {
+    /// Creates a pool bounded at `capacity` blocks, spilling into `shared`.
+    pub fn new(shared: Arc<PoolShared>, capacity: usize) -> Self {
+        Self {
+            shared,
+            bins: Vec::new(),
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of blocks this pool may cache locally.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks currently cached locally.
+    pub fn cached(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn bin_index(&mut self, layout: Layout) -> usize {
+        if let Some(i) = self.bins.iter().position(|b| b.layout == layout) {
+            return i;
+        }
+        self.bins.push(Bin {
+            layout,
+            head: 0,
+            len: 0,
+        });
+        self.bins.len() - 1
+    }
+
+    /// Allocates a block holding `value`, reusing a cached block of the same
+    /// layout when one is available (local bin first, then a batched refill
+    /// from the shared overflow, then the global allocator).
+    pub fn alloc<T>(&mut self, value: T) -> *mut T {
+        if self.capacity == 0 {
+            return crate::block::alloc_block(value);
+        }
+        let layout = Layout::new::<crate::block::Block<T>>();
+        let bin = self.bin_index(layout);
+        if let Some(hdr) = self.bins[bin].pop() {
+            self.len -= 1;
+            return unsafe { crate::block::init_block(hdr, value) };
+        }
+        if self.refill(bin) {
+            if let Some(hdr) = self.bins[bin].pop() {
+                self.len -= 1;
+                return unsafe { crate::block::init_block(hdr, value) };
+            }
+        }
+        crate::block::alloc_block(value)
+    }
+
+    /// Runs the block's destructor and recycles its memory: into a local bin
+    /// while below capacity, spilling half a bin to the shared overflow when
+    /// full, and falling through to the global allocator only once both tiers
+    /// are at their bounds.
+    ///
+    /// # Safety
+    /// The block must be live, unreachable by any other thread, and not freed
+    /// twice — the same contract as [`crate::block::free_block`].
+    pub unsafe fn free(&mut self, hdr: *mut Header) {
+        let layout = (*hdr).vtable.layout;
+        drop_value(hdr);
+        if self.capacity == 0 {
+            dealloc_raw(hdr, layout);
+            return;
+        }
+        if self.len >= self.capacity {
+            self.spill();
+        }
+        if self.len >= self.capacity {
+            // Overflow tier was full too: give the block back for real.
+            dealloc_raw(hdr, layout);
+            return;
+        }
+        let bin = self.bin_index(layout);
+        self.bins[bin].push(hdr);
+        self.len += 1;
+    }
+
+    /// Moves up to half the local capacity from the fullest bin into the
+    /// shared overflow; blocks that do not fit under the overflow bound are
+    /// deallocated.  One lock acquisition amortizes `capacity / 2` frees.
+    fn spill(&mut self) {
+        let Some(bin) = self
+            .bins
+            .iter_mut()
+            .max_by_key(|b| b.len)
+            .filter(|b| b.len > 0)
+        else {
+            return;
+        };
+        let want = (self.capacity / 2).max(1).min(bin.len);
+        let mut moved = Vec::with_capacity(want);
+        for _ in 0..want {
+            let Some(hdr) = bin.pop() else { break };
+            moved.push(FreeBlock {
+                hdr: hdr as usize,
+                layout: bin.layout,
+            });
+        }
+        self.len -= moved.len();
+        self.shared.park(moved);
+    }
+
+    /// Pulls up to half the local capacity of `layout`-compatible blocks from
+    /// the shared overflow into the given bin.  Returns whether anything was
+    /// transferred.  Skips the mutex entirely while the overflow is empty
+    /// (one relaxed load), and uses `try_lock` otherwise: under contention
+    /// the global allocator is cheaper than serializing on the mutex.
+    fn refill(&mut self, bin: usize) -> bool {
+        if self.shared.overflow_count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let layout = self.bins[bin].layout;
+        let want = (self.capacity / 2).max(1);
+        let taken = self.shared.take(layout, want);
+        for &hdr in &taken {
+            self.bins[bin].push(hdr as *mut Header);
+        }
+        self.len += taken.len();
+        !taken.is_empty()
+    }
+}
+
+impl Drop for BlockPool {
+    fn drop(&mut self) {
+        // Park everything in the overflow so capacity survives thread churn;
+        // whatever exceeds the overflow bound goes back to the allocator.
+        let mut moved = Vec::with_capacity(self.len);
+        for bin in &mut self.bins {
+            while let Some(hdr) = bin.pop() {
+                moved.push(FreeBlock {
+                    hdr: hdr as usize,
+                    layout: bin.layout,
+                });
+            }
+        }
+        self.len = 0;
+        self.shared.park(moved);
+    }
+}
+
+/// A counter sharded across thread slots to keep the write path off shared
+/// cache lines.
+///
+/// `add` is called by a slot's owner on retire; `sub` by whichever thread
+/// frees (against its own shard).  Shards are `isize` because any-thread
+/// freeing can drive an individual shard negative; the sum across shards is
+/// the true value.  See the module docs for the accuracy model.
+pub struct ShardedCounter {
+    shards: Box<[CachePadded<AtomicIsize>]>,
+}
+
+impl ShardedCounter {
+    /// Creates a counter with one shard per thread slot.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded::new(AtomicIsize::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Increments `shard` (relaxed; owner-only on the hot path).
+    #[inline]
+    pub fn add(&self, shard: usize, n: usize) {
+        self.shards[shard].fetch_add(n as isize, Ordering::Relaxed);
+    }
+
+    /// Decrements `shard` (relaxed); may drive the shard negative.
+    #[inline]
+    pub fn sub(&self, shard: usize, n: usize) {
+        self.shards[shard].fetch_sub(n as isize, Ordering::Relaxed);
+    }
+
+    /// Sums all shards.  Quiescent reads are exact; concurrent reads may
+    /// transiently miss in-flight updates.  Clamped at zero for the same
+    /// reason the shards are signed.
+    pub fn sum(&self) -> usize {
+        let total: isize = self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        total.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{alloc_block, header_of};
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(capacity: usize, max_threads: usize) -> (Arc<PoolShared>, BlockPool) {
+        let shared = PoolShared::new(capacity, max_threads);
+        let pool = BlockPool::new(shared.clone(), capacity);
+        (shared, pool)
+    }
+
+    #[test]
+    fn alloc_free_recycles_the_same_memory() {
+        let (_shared, mut pool) = pool(8, 1);
+        let a = pool.alloc(1u64);
+        let addr = a as usize;
+        unsafe { pool.free(header_of(a)) };
+        assert_eq!(pool.cached(), 1);
+        let b = pool.alloc(2u64);
+        assert_eq!(b as usize, addr, "LIFO reuse of the freed block");
+        assert_eq!(pool.cached(), 0);
+        unsafe { pool.free(header_of(b)) };
+    }
+
+    #[test]
+    fn local_pool_never_exceeds_capacity() {
+        let (shared, mut pool) = pool(4, 1);
+        let blocks: Vec<*mut u64> = (0..32).map(|i| pool.alloc(i as u64)).collect();
+        for b in blocks {
+            unsafe { pool.free(header_of(b)) };
+        }
+        assert!(
+            pool.cached() <= pool.capacity(),
+            "cached {} > capacity {}",
+            pool.cached(),
+            pool.capacity()
+        );
+        // Spilled blocks land in the (bounded) overflow.
+        assert!(shared.overflow_len() <= 4, "overflow exceeds its bound");
+    }
+
+    #[test]
+    fn overflow_bound_is_respected_and_excess_is_deallocated() {
+        let shared = PoolShared::new(2, 2); // max_overflow = 4
+        let mut pool = BlockPool::new(shared.clone(), 2);
+        let blocks: Vec<*mut u64> = (0..64).map(|i| pool.alloc(i as u64)).collect();
+        for b in blocks {
+            unsafe { pool.free(header_of(b)) };
+        }
+        assert!(pool.cached() <= 2);
+        assert!(shared.overflow_len() <= 4);
+    }
+
+    #[test]
+    fn cross_pool_transfer_through_overflow() {
+        let shared = PoolShared::new(8, 4);
+        let mut producer = BlockPool::new(shared.clone(), 8);
+        let mut consumer = BlockPool::new(shared.clone(), 8);
+        // Producer frees blocks it never reuses; its pool fills and spills.
+        let blocks: Vec<*mut u64> = (0..32).map(|i| producer.alloc(i as u64)).collect();
+        for b in blocks {
+            unsafe { producer.free(header_of(b)) };
+        }
+        assert!(shared.overflow_len() > 0, "producer must have spilled");
+        // Consumer starts empty and must refill from the overflow.
+        let before = shared.overflow_len();
+        let c = consumer.alloc(7u64);
+        assert!(
+            shared.overflow_len() < before,
+            "consumer must refill from the shared overflow"
+        );
+        unsafe { consumer.free(header_of(c)) };
+    }
+
+    #[test]
+    fn zero_capacity_disables_pooling() {
+        let (shared, mut pool) = pool(0, 1);
+        let a = pool.alloc(1u64);
+        unsafe { pool.free(header_of(a)) };
+        assert_eq!(pool.cached(), 0);
+        assert_eq!(shared.overflow_len(), 0);
+    }
+
+    #[test]
+    fn destructors_run_exactly_once_under_recycling() {
+        struct DropCounter(Arc<AtomicUsize>);
+        impl Drop for DropCounter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let count = Arc::new(AtomicUsize::new(0));
+        let (_shared, mut pool) = pool(4, 1);
+        const ROUNDS: usize = 100;
+        for _ in 0..ROUNDS {
+            let p = pool.alloc(DropCounter(count.clone()));
+            unsafe { pool.free(header_of(p)) };
+        }
+        assert_eq!(count.load(Ordering::SeqCst), ROUNDS);
+    }
+
+    #[test]
+    fn mixed_layouts_use_separate_bins() {
+        let (_shared, mut pool) = pool(8, 1);
+        let small = pool.alloc(1u64);
+        let big = pool.alloc([0u8; 128]);
+        let small_addr = small as usize;
+        let big_addr = big as usize;
+        unsafe {
+            pool.free(header_of(small));
+            pool.free(header_of(big));
+        }
+        assert_eq!(pool.cached(), 2);
+        // Each type gets back its own layout's memory, never the other's.
+        let big2 = pool.alloc([1u8; 128]);
+        let small2 = pool.alloc(2u64);
+        assert_eq!(big2 as usize, big_addr);
+        assert_eq!(small2 as usize, small_addr);
+        unsafe {
+            pool.free(header_of(small2));
+            pool.free(header_of(big2));
+        }
+    }
+
+    #[test]
+    fn pool_drop_parks_blocks_in_overflow() {
+        let shared = PoolShared::new(4, 2);
+        {
+            let mut p = BlockPool::new(shared.clone(), 4);
+            let blocks: Vec<*mut u64> = (0..4).map(|i| p.alloc(i as u64)).collect();
+            for b in blocks {
+                unsafe { p.free(header_of(b)) };
+            }
+            assert_eq!(p.cached(), 4);
+        }
+        assert_eq!(shared.overflow_len(), 4, "handle capacity must survive");
+    }
+
+    #[test]
+    fn pool_accepts_blocks_allocated_outside_it() {
+        // Sweeps free whatever sits in the limbo list, including blocks that
+        // were allocated by a different handle or before pooling kicked in.
+        let (_shared, mut pool) = pool(4, 1);
+        let raw = alloc_block(9u64);
+        unsafe { pool.free(header_of(raw)) };
+        assert_eq!(pool.cached(), 1);
+        let back = pool.alloc(10u64);
+        assert_eq!(back as usize, raw as usize);
+        unsafe { pool.free(header_of(back)) };
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_shards() {
+        let c = ShardedCounter::new(4);
+        c.add(0, 10);
+        c.add(1, 5);
+        c.sub(2, 3); // any-thread freeing: shard goes negative
+        assert_eq!(c.sum(), 12);
+        c.sub(0, 10);
+        c.sub(1, 2);
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn sharded_counter_clamps_negative_sums() {
+        let c = ShardedCounter::new(2);
+        c.sub(0, 5);
+        assert_eq!(c.sum(), 0);
+        c.add(1, 5);
+        assert_eq!(c.sum(), 0);
+        c.add(1, 7);
+        assert_eq!(c.sum(), 7);
+    }
+
+    #[test]
+    fn concurrent_spill_and_refill_is_safe() {
+        let shared = PoolShared::new(16, 8);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let mut pool = BlockPool::new(shared, 16);
+                    for i in 0..2000u64 {
+                        let p = pool.alloc(t as u64 * 1_000_000 + i);
+                        unsafe { pool.free(header_of(p)) };
+                        if i % 7 == 0 {
+                            // Burst of allocations to force refills.
+                            let burst: Vec<*mut u64> =
+                                (0..8).map(|j| pool.alloc(j as u64)).collect();
+                            for b in burst {
+                                unsafe { pool.free(header_of(b)) };
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(shared.overflow_len() <= 16 * 8);
+    }
+}

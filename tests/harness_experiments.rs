@@ -93,6 +93,7 @@ fn custom_mix_run_matches_requested_shape() {
         duration: Duration::from_millis(80),
         sample_interval: Duration::from_millis(5),
         seed: 42,
+        pool: true,
     };
     let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
     assert!(r.ops > 0);

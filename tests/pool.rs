@@ -1,0 +1,216 @@
+//! Integration tests for the block pool working through the full SMR stack:
+//! bounded pool memory, exactly-once destructors under recycling, and exact
+//! drain accounting across every scheme with pooling enabled.
+
+use scot::{ConcurrentSet, HarrisList, NmTree};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrGuard, SmrHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn cfg(pool_capacity: usize) -> SmrConfig {
+    SmrConfig {
+        max_threads: 16,
+        scan_threshold: 16,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+        pool_capacity: Some(pool_capacity),
+    }
+}
+
+/// A payload whose destructor counts its invocations, for exactly-once
+/// verification under block recycling.
+struct DropCounter(Arc<AtomicUsize>, #[allow(dead_code)] u64);
+
+impl Drop for DropCounter {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Recycling a small pool through thousands of alloc/retire cycles must run
+/// every destructor exactly once — no double drops when a block is reused, no
+/// missed drops when it is recycled instead of deallocated.
+fn destructor_exactly_once<S: Smr>() {
+    const N: usize = 5000;
+    let count = Arc::new(AtomicUsize::new(0));
+    let domain = S::new(cfg(8));
+    {
+        let mut h = domain.register();
+        for i in 0..N {
+            let mut g = h.pin();
+            let p = g.alloc(DropCounter(count.clone(), i as u64));
+            unsafe { g.retire(p) };
+        }
+        for _ in 0..8 {
+            h.flush();
+        }
+    }
+    drop(domain);
+    assert_eq!(
+        count.load(Ordering::SeqCst),
+        N,
+        "every retired payload must be dropped exactly once"
+    );
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_ebr() {
+    destructor_exactly_once::<Ebr>();
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_hp() {
+    destructor_exactly_once::<Hp>();
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_he() {
+    destructor_exactly_once::<He>();
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_ibr() {
+    destructor_exactly_once::<Ibr>();
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_hyaline() {
+    destructor_exactly_once::<Hyaline>();
+}
+
+/// Lost-CAS giveback (`dealloc`) recycles immediately through the pool and
+/// must also drop exactly once — including under NR, which never retires.
+#[test]
+fn dealloc_gives_back_exactly_once_nr() {
+    const N: usize = 1000;
+    let count = Arc::new(AtomicUsize::new(0));
+    let domain = Nr::new(cfg(4));
+    let mut h = domain.register();
+    for i in 0..N {
+        let mut g = h.pin();
+        let p = g.alloc(DropCounter(count.clone(), i as u64));
+        unsafe { g.dealloc(p) };
+    }
+    assert_eq!(count.load(Ordering::SeqCst), N);
+}
+
+/// After a churn-heavy run drains (all threads quiescent, all handles
+/// dropped), `unreclaimed()` must read exactly zero with pooling enabled:
+/// recycling must not distort the sharded accounting.
+fn drain_accounts_to_zero<S: Smr>() {
+    let domain = S::new(cfg(32));
+    let list: Arc<HarrisList<u64, S>> = Arc::new(HarrisList::new(domain.clone()));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let list = list.clone();
+            s.spawn(move || {
+                let mut h = list.handle();
+                for i in 0..1500u64 {
+                    let k = t * 100_000 + (i % 256);
+                    list.insert(&mut h, k);
+                    list.remove(&mut h, &k);
+                }
+                h.flush();
+            });
+        }
+    });
+    let mut h = list.handle();
+    for _ in 0..4 {
+        h.flush();
+    }
+    drop(h);
+    assert_eq!(
+        domain.unreclaimed(),
+        0,
+        "{}: sharded counter must sum to zero after drain",
+        domain.name()
+    );
+}
+
+#[test]
+fn drained_list_accounts_to_zero_under_every_reclaiming_scheme() {
+    drain_accounts_to_zero::<Ebr>();
+    drain_accounts_to_zero::<Hp>();
+    drain_accounts_to_zero::<He>();
+    drain_accounts_to_zero::<Ibr>();
+    drain_accounts_to_zero::<Hyaline>();
+}
+
+/// Same property through the tree, whose nodes have a different layout (the
+/// pool must keep per-layout bins straight while the tree churns internal
+/// and leaf nodes).
+#[test]
+fn drained_tree_accounts_to_zero_with_pooling() {
+    let domain = Ibr::new(cfg(32));
+    let tree: Arc<NmTree<u64, Ibr>> = Arc::new(NmTree::new(domain.clone()));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let tree = tree.clone();
+            s.spawn(move || {
+                let mut h = tree.handle();
+                for i in 0..1500u64 {
+                    let k = t * 100_000 + (i % 256);
+                    tree.insert(&mut h, k);
+                    tree.remove(&mut h, &k);
+                }
+                h.flush();
+            });
+        }
+    });
+    let mut h = tree.handle();
+    for _ in 0..4 {
+        h.flush();
+    }
+    drop(h);
+    assert_eq!(domain.unreclaimed(), 0);
+}
+
+/// The pool is a bounded cache, not a leak: with a tiny `pool_capacity`, the
+/// domain-wide pooled memory stays within `2 × capacity × max_threads`
+/// blocks.  Verified indirectly via the overflow bound plus exactly-once
+/// destructors above; here we assert the pool keeps *working* (recycling the
+/// same storage) rather than growing — the same small set of block addresses
+/// must come back out of `alloc`.
+#[test]
+fn small_pool_recycles_a_bounded_address_set() {
+    let domain = Ebr::new(cfg(4));
+    let mut h = domain.register();
+    let mut seen = std::collections::HashSet::new();
+    // Steady-state alloc→retire→sweep churn: after warmup the scheme's limbo
+    // list plus the pool cycle a bounded working set of blocks.
+    for i in 0..4096u64 {
+        let mut g = h.pin();
+        let p = g.alloc(i);
+        seen.insert(p.untagged().into_raw());
+        unsafe { g.retire(p) };
+    }
+    for _ in 0..4 {
+        h.flush();
+    }
+    // Limbo can hold up to scan_threshold blocks between sweeps and the
+    // epoch lag keeps up to two generations alive; with recycling the
+    // address set must stay far below the 4096 allocations performed.
+    assert!(
+        seen.len() < 1024,
+        "expected a bounded recycled working set, saw {} distinct blocks",
+        seen.len()
+    );
+    drop(h);
+    assert_eq!(domain.unreclaimed(), 0);
+}
+
+/// Pool-off must behave identically from the outside: this is the ablation
+/// baseline, so its accounting has to hold to make the comparison fair.
+#[test]
+fn pool_disabled_accounting_still_exact() {
+    let domain = Hp::new(cfg(0));
+    let list: Arc<HarrisList<u64, Hp>> = Arc::new(HarrisList::new(domain.clone()));
+    let mut h = list.handle();
+    for i in 0..512u64 {
+        list.insert(&mut h, i % 64);
+        list.remove(&mut h, &(i % 64));
+    }
+    h.flush();
+    drop(h);
+    assert_eq!(domain.unreclaimed(), 0);
+}

@@ -14,6 +14,7 @@ fn cfg() -> SmrConfig {
         scan_threshold: 8,
         epoch_freq_per_thread: 1,
         snapshot_scan: false,
+        ..SmrConfig::default()
     }
 }
 

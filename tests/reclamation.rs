@@ -12,6 +12,7 @@ fn cfg() -> SmrConfig {
         scan_threshold: 16,
         epoch_freq_per_thread: 1,
         snapshot_scan: false,
+        ..SmrConfig::default()
     }
 }
 
