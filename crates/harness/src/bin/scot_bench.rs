@@ -18,15 +18,15 @@
 //! ```
 
 use scot_harness::experiments::{
-    compatibility_matrix, pool_table, restart_table, run_experiment, ExperimentOptions,
-    ALL_EXPERIMENTS,
+    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment,
+    ExperimentOptions, ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -67,6 +67,7 @@ fn cmd_run(args: &[String]) {
         sample_interval: Duration::from_millis(10),
         seed: 0x5c07,
         pool: true,
+        value_bytes: 0,
     };
     let result = run_timed(ds, smr, &cfg);
     println!("{}", result.row());
@@ -107,6 +108,10 @@ fn cmd_exp(args: &[String]) {
                 i += 1;
                 opts.threads = args[i].split(',').map(|t| parse(t, "--threads")).collect();
             }
+            "--value-bytes" => {
+                i += 1;
+                opts.value_bytes = parse(&args[i], "--value-bytes");
+            }
             "--json" => {
                 i += 1;
                 json_dir = Some(args[i].clone());
@@ -135,6 +140,7 @@ fn cmd_exp(args: &[String]) {
             "tab1" => println!("\n{}", compatibility_matrix(&results)),
             "tab2" => println!("\n{}", restart_table(&results)),
             "pool" => println!("\n{}", pool_table(&results)),
+            "cache" => println!("\n{}", cache_table(&results, opts.value_bytes)),
             _ => {}
         }
         if let Some(dir) = &json_dir {

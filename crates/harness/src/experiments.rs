@@ -23,6 +23,7 @@
 //! down with `ExperimentOptions::scale_large_range` so the sweep finishes on
 //! small machines while still exceeding cache capacity.
 
+use crate::kv::run_timed_kv;
 use crate::workload::{run_timed, DsKind, Mix, RunConfig, RunResult};
 use crate::{default_thread_counts, SmrKind};
 
@@ -40,6 +41,9 @@ pub struct ExperimentOptions {
     pub threads: Vec<usize>,
     /// Scale factor applied to the 50M key range of Figure 12 (1 = full size).
     pub scale_large_range: u64,
+    /// Padding bytes per stored value in the key-value `cache` experiment
+    /// (the `--value-bytes` CLI knob).
+    pub value_bytes: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -49,6 +53,7 @@ impl Default for ExperimentOptions {
             runs: 3,
             threads: default_thread_counts(),
             scale_large_range: 50,
+            value_bytes: 64,
         }
     }
 }
@@ -61,6 +66,7 @@ impl ExperimentOptions {
             runs: 1,
             threads: vec![1, 2],
             scale_large_range: 5_000,
+            value_bytes: 64,
         }
     }
 }
@@ -82,11 +88,12 @@ pub struct ExperimentSpec {
     pub memory_metric: bool,
 }
 
-/// All experiment identifiers, in paper order (the `pool` ablation is this
-/// reproduction's own addition and comes last).
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+/// All experiment identifiers, in paper order (the `pool` ablation and the
+/// key-value `cache` workload are this reproduction's own additions and come
+/// last).
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool",
+    "tab1", "tab2", "pool", "cache",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -224,6 +231,15 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 512,
             memory_metric: false,
         },
+        "cache" => ExperimentSpec {
+            id: "cache",
+            description:
+                "Key-value cache workload: 90% value-returning get, every SMR scheme variant",
+            structures: vec![DsKind::HashMap],
+            schemes: SmrKind::ALL.to_vec(),
+            key_range: 8192,
+            memory_metric: false,
+        },
         _ => return None,
     };
     Some(s)
@@ -239,6 +255,9 @@ pub fn run_experiment(
     let spec = spec(id, opts)?;
     if id == "pool" {
         return Some(run_pool_ablation(&spec, opts, progress));
+    }
+    if id == "cache" {
+        return Some(run_cache_experiment(&spec, opts, progress));
     }
     let thread_counts: Vec<usize> = if id == "tab1" {
         vec![*opts.threads.last().unwrap_or(&2)]
@@ -295,6 +314,61 @@ fn run_pool_ablation(
         }
     }
     results
+}
+
+/// Runs the key-value cache experiment: the read-dominated (90% get) workload
+/// of [`run_timed_kv`], with `opts.value_bytes` of padding per stored value,
+/// swept over every scheme variant in the spec (all nine, per the Table-1
+/// claim that one fixed structure serves them all).
+fn run_cache_experiment(
+    spec: &ExperimentSpec,
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&RunResult),
+) -> Vec<RunResult> {
+    let mut results = Vec::new();
+    let threads = *opts.threads.last().unwrap_or(&2);
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            let mut cfg = RunConfig::paper_default(threads, spec.key_range);
+            cfg.duration = opts.duration;
+            cfg.mix = Mix::READ_90;
+            cfg.value_bytes = opts.value_bytes;
+            let mut runs: Vec<RunResult> = (0..opts.runs)
+                .map(|_| run_timed_kv(ds, smr, &cfg))
+                .collect();
+            runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+            let median = runs.swap_remove(runs.len() / 2);
+            progress(&median);
+            results.push(median);
+        }
+    }
+    results
+}
+
+/// Renders the cache experiment as a per-scheme table: value-read throughput
+/// plus the sampled reclamation backlog (n/a where the paper skips it).
+pub fn cache_table(results: &[RunResult], value_bytes: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Key-value cache workload: 90% get / 5% insert / 5% remove, {value_bytes}-byte values\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:<8}{:>8}{:>16}{:>18}\n",
+        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12}{:<8}{:>8}{:>16.0}{:>18}\n",
+            r.ds,
+            r.smr,
+            r.threads,
+            r.ops_per_sec,
+            r.avg_unreclaimed
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "n/a".into()),
+        ));
+    }
+    out
 }
 
 /// Renders the block-pool ablation as pool-on/pool-off pairs with the
@@ -426,6 +500,27 @@ mod tests {
         // One delta row per structure/scheme pair.
         let delta_rows = table.lines().filter(|l| l.ends_with('%')).count();
         assert_eq!(delta_rows, 6, "table:\n{table}");
+    }
+
+    #[test]
+    fn quick_cache_experiment_covers_all_nine_schemes() {
+        let opts = ExperimentOptions {
+            value_bytes: 16,
+            ..ExperimentOptions::quick()
+        };
+        let results = run_experiment("cache", &opts, |_| {}).unwrap();
+        // 1 structure × 9 scheme variants.
+        assert_eq!(results.len(), SmrKind::ALL.len());
+        for smr in SmrKind::ALL {
+            assert!(
+                results.iter().any(|r| r.smr == smr.name() && r.ops > 0),
+                "cache experiment idle under {smr}"
+            );
+        }
+        let table = cache_table(&results, opts.value_bytes);
+        assert!(table.contains("16-byte values"));
+        assert!(table.contains("HashMap"));
+        assert!(table.contains("HLN"), "table:\n{table}");
     }
 
     #[test]

@@ -25,8 +25,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kv;
 pub mod workload;
 
+pub use kv::{run_timed_kv, Payload};
 pub use workload::{run_fixed_ops, run_timed, DsKind, Mix, RunConfig, RunResult};
 
 pub use scot_smr::SmrKind;

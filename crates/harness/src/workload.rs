@@ -127,7 +127,7 @@ impl Mix {
         delete_pct: 50,
     };
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         // Widen before summing so absurd percentages are rejected rather than
         // wrapping to a valid-looking total in release builds.
         assert_eq!(
@@ -157,6 +157,9 @@ pub struct RunConfig {
     /// alloc/free through the global allocator — the `exp pool` ablation's
     /// baseline arm).
     pub pool: bool,
+    /// Padding bytes carried by each stored value in the key-value workloads
+    /// ([`crate::run_timed_kv`]); ignored by the membership-set workloads.
+    pub value_bytes: usize,
 }
 
 impl RunConfig {
@@ -171,6 +174,7 @@ impl RunConfig {
             sample_interval: Duration::from_millis(10),
             seed: 0x5c07,
             pool: true,
+            value_bytes: 0,
         }
     }
 
@@ -233,7 +237,7 @@ struct Target<C> {
     track_memory: bool,
 }
 
-fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
+pub(crate) fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
     let mut cfg = SmrConfig::for_threads(threads);
     if matches!(kind, SmrKind::HpOpt | SmrKind::HeOpt | SmrKind::IbrOpt) {
         cfg = cfg.with_snapshot_scan();
@@ -246,7 +250,7 @@ fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
 
 /// Number of hash-map buckets used by the harness (a fraction of the key
 /// range, mirroring typical load factors in the artifact's hash-map tests).
-fn hash_buckets(key_range: u64) -> usize {
+pub(crate) fn hash_buckets(key_range: u64) -> usize {
     ((key_range / 16).clamp(16, 65_536)) as usize
 }
 
@@ -342,7 +346,7 @@ fn with_target<R>(
 }
 
 /// Raw output of a timed run: `(ops, elapsed_secs, memory_samples, restarts)`.
-type TimedOutput = (u64, f64, Vec<usize>, u64);
+pub(crate) type TimedOutput = (u64, f64, Vec<usize>, u64);
 /// Raw output of a fixed-ops run: `(ops, elapsed_secs, restarts)`.
 type FixedOutput = (u64, f64, u64);
 /// Boxed timed-run entry point of a monomorphized target.
@@ -535,14 +539,9 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
     )
 }
 
-/// Runs a timed workload (the paper's main measurement mode) and returns the
-/// numbers behind one figure point.
-pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
-    let (ops, elapsed, samples, restarts) =
-        with_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
-            (t.run_timed)(cfg)
-        });
-    let (avg, max) = if samples.is_empty() {
+/// Collapses a memory-overhead sample series into `(average, peak)`.
+pub(crate) fn summarize_samples(samples: &[usize]) -> (Option<f64>, Option<usize>) {
+    if samples.is_empty() {
         (None, None)
     } else {
         let sum: usize = samples.iter().sum();
@@ -550,7 +549,17 @@ pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
             Some(sum as f64 / samples.len() as f64),
             samples.iter().copied().max(),
         )
-    };
+    }
+}
+
+/// Runs a timed workload (the paper's main measurement mode) and returns the
+/// numbers behind one figure point.
+pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
+    let (ops, elapsed, samples, restarts) =
+        with_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
+            (t.run_timed)(cfg)
+        });
+    let (avg, max) = summarize_samples(&samples);
     RunResult {
         ds: ds.name().to_string(),
         smr: smr.name().to_string(),

@@ -27,10 +27,42 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2", "pool",
+        "fig12b", "tab1", "tab2", "pool", "cache",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
+}
+
+#[test]
+fn exp_cache_sweeps_every_scheme_and_renders_the_value_table() {
+    let out = scot_bench(&[
+        "exp",
+        "cache",
+        "--seconds",
+        "0.05",
+        "--runs",
+        "1",
+        "--threads",
+        "1",
+        "--value-bytes",
+        "32",
+    ]);
+    assert!(
+        out.status.success(),
+        "exp cache must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    // All nine scheme variants appear in the rendered table.
+    for smr in [
+        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
+    ] {
+        assert!(text.contains(smr), "cache table missing {smr}:\n{text}");
+    }
+    assert!(
+        text.contains("32-byte values"),
+        "--value-bytes must flow into the table header:\n{text}"
+    );
 }
 
 #[test]

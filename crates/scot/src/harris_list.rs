@@ -36,7 +36,7 @@
 //! unrolled pseudocode issues its first validation only after one dereference
 //! into the zone, which would leave a window on the very first step.
 
-use crate::{ConcurrentSet, Key, Stats};
+use crate::{Key, Stats, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -54,38 +54,44 @@ pub(crate) const HP_ANCHOR: usize = 3;
 /// `next` pointer, exactly as in Harris' original algorithm).
 pub(crate) const MARK: usize = 1;
 
-/// A list node: key plus the tagged successor pointer.
-pub(crate) struct Node<K> {
-    pub(crate) next: Atomic<Node<K>>,
+/// A list node: key, value and the tagged successor pointer.
+pub(crate) struct Node<K, V> {
+    pub(crate) next: Atomic<Node<K, V>>,
     pub(crate) key: K,
+    pub(crate) value: V,
 }
 
 /// Result of the internal `Do_Find`: the predecessor link and the protected
 /// `curr`/`next` snapshot, exactly the triple the paper's pseudocode returns.
-pub(crate) struct FindResult<K> {
-    pub(crate) prev: Link<Node<K>>,
-    pub(crate) curr: Shared<Node<K>>,
-    pub(crate) next: Shared<Node<K>>,
+pub(crate) struct FindResult<K, V> {
+    pub(crate) prev: Link<Node<K, V>>,
+    pub(crate) curr: Shared<Node<K, V>>,
+    pub(crate) next: Shared<Node<K, V>>,
     pub(crate) found: bool,
 }
 
-/// Harris' ordered set with SCOT traversals, parameterized by the reclamation
-/// scheme.
+/// Harris' ordered map with SCOT traversals, parameterized by the reclamation
+/// scheme.  The value type defaults to `()`, which is the membership-set
+/// configuration the paper benchmarks (see [`crate::ConcurrentSet`]).
 ///
 /// ```
-/// use scot::HarrisList;
-/// use scot::ConcurrentSet;
+/// use scot::{ConcurrentMap, HarrisList};
 /// use scot_smr::{Hp, Smr, SmrConfig};
 ///
-/// let list: HarrisList<u64, Hp> = HarrisList::new(Hp::new(SmrConfig::default()));
-/// let mut handle = list.handle();
-/// assert!(list.insert(&mut handle, 7));
-/// assert!(list.contains(&mut handle, &7));
-/// assert!(list.remove(&mut handle, &7));
-/// assert!(!list.contains(&mut handle, &7));
+/// let list: HarrisList<u64, Hp, &'static str> =
+///     HarrisList::new(Hp::new(SmrConfig::default()));
+/// let mut handle = ConcurrentMap::handle(&list);
+/// let mut guard = list.pin(&mut handle);
+/// assert!(list.insert(&mut guard, 7, "seven").is_ok());
+/// assert_eq!(list.get(&mut guard, &7).copied(), Some("seven"));
+/// // A conflicting insert hands the rejected value back.
+/// assert_eq!(list.insert(&mut guard, 7, "again"), Err("again"));
+/// // Remove returns one last guard-protected borrow of the evicted value.
+/// assert_eq!(list.remove(&mut guard, &7).copied(), Some("seven"));
+/// assert!(list.get(&mut guard, &7).is_none());
 /// ```
-pub struct HarrisList<K, S: Smr> {
-    pub(crate) head: Atomic<Node<K>>,
+pub struct HarrisList<K, S: Smr, V = ()> {
+    pub(crate) head: Atomic<Node<K, V>>,
     pub(crate) smr: Arc<S>,
     stats: Stats,
     /// Whether the §3.2.1 recovery optimization is enabled (on by default;
@@ -93,8 +99,8 @@ pub struct HarrisList<K, S: Smr> {
     recovery: bool,
 }
 
-unsafe impl<K: Key, S: Smr> Send for HarrisList<K, S> {}
-unsafe impl<K: Key, S: Smr> Sync for HarrisList<K, S> {}
+unsafe impl<K: Key, S: Smr, V: Value> Send for HarrisList<K, S, V> {}
+unsafe impl<K: Key, S: Smr, V: Value> Sync for HarrisList<K, S, V> {}
 
 /// Per-thread handle for [`HarrisList`].
 pub struct HarrisListHandle<S: Smr> {
@@ -110,7 +116,7 @@ impl<S: Smr> HarrisListHandle<S> {
     }
 }
 
-impl<K: Key, S: Smr> HarrisList<K, S> {
+impl<K: Key, S: Smr, V: Value> HarrisList<K, S, V> {
     /// Creates an empty list managed by the given reclamation domain.
     pub fn new(smr: Arc<S>) -> Self {
         Self {
@@ -163,11 +169,16 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
     /// §3.2.1 recovery optimization).  On return the hazard slots still
     /// protect `prev`, `curr` and `next`, so the caller can immediately use
     /// them for its insert/delete CAS.
-    pub(crate) fn find<G: SmrGuard>(&self, g: &mut G, key: &K, is_search: bool) -> FindResult<K> {
+    pub(crate) fn find<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        key: &K,
+        is_search: bool,
+    ) -> FindResult<K, V> {
         'restart: loop {
             // L33-36: start from the implicit pre-head sentinel (&Head).
-            let mut prev: Link<Node<K>> = self.head.as_link();
-            let mut prev_next: Shared<Node<K>> = Shared::null();
+            let mut prev: Link<Node<K, V>> = self.head.as_link();
+            let mut prev_next: Shared<Node<K, V>> = Shared::null();
             let mut curr = g.protect(HP_CURR, &self.head);
             let mut next = if curr.is_null() {
                 Shared::null()
@@ -309,8 +320,8 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
     unsafe fn retire_chain<G: SmrGuard>(
         &self,
         g: &mut G,
-        from: Shared<Node<K>>,
-        to: Shared<Node<K>>,
+        from: Shared<Node<K, V>>,
+        to: Shared<Node<K, V>>,
     ) {
         let mut cur = from;
         while cur != to {
@@ -321,34 +332,104 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
         }
     }
 
-    fn insert_impl(&self, handle: &mut HarrisListHandle<S>, key: K) -> bool {
-        let mut g = handle.smr.pin();
-        let new = g.alloc(Node {
+    /// Brand check: operations only accept guards pinned from a handle of
+    /// this map's own reclamation domain.  A foreign guard would publish its
+    /// hazard slots / epoch announcements into a *different* domain's tables —
+    /// which no reclaimer of this domain ever scans — so accepting it would
+    /// silently void every protection the guard-scoped API promises.  One
+    /// pointer compare per operation buys back the soundness hole.
+    #[inline]
+    pub(crate) fn check_guard<G: SmrGuard>(&self, g: &G) {
+        assert_eq!(
+            g.domain_addr(),
+            Arc::as_ptr(&self.smr) as usize,
+            "guard was pinned from a handle of a different map's reclamation domain"
+        );
+    }
+
+    /// Visits every live entry in ascending key order, passing key and value
+    /// borrows to `f`.  Shares [`crate::ConcurrentMap::collect`]'s caveats:
+    /// the walk skips the SCOT validation, so it must not run concurrently
+    /// with removals under a robust scheme.
+    pub(crate) fn walk<G: SmrGuard, F: FnMut(&K, &V)>(&self, g: &mut G, mut f: F) {
+        let mut curr = g.protect(HP_CURR, &self.head);
+        while !curr.is_null() {
+            // SAFETY: protected by HP_CURR / HP_NEXT ping-pong below.
+            let node = unsafe { curr.deref() };
+            let next = g.protect(HP_NEXT, &node.next);
+            if next.tag() == 0 {
+                f(&node.key, &node.value);
+            }
+            curr = next.untagged();
+            g.dup(HP_NEXT, HP_CURR);
+        }
+    }
+}
+
+impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V> {
+    type Handle = HarrisListHandle<S>;
+    type Guard<'h>
+        = <S::Handle as SmrHandle>::Guard<'h>
+    where
+        Self: 'h;
+
+    fn handle(&self) -> Self::Handle {
+        HarrisList::handle(self)
+    }
+
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h> {
+        handle.smr.pin()
+    }
+
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
+        let r = self.find(&mut *guard, key, true);
+        if r.found {
+            // SAFETY: `curr` is protected by HP_CURR (published with SCOT
+            // validation during the find) and the `&'g mut` guard borrow
+            // prevents any further operation from recycling that slot while
+            // the returned value borrow is alive.
+            Some(&unsafe { r.curr.deref_guarded(&*guard) }.value)
+        } else {
+            None
+        }
+    }
+
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
+        self.check_guard(&*guard);
+        let mut r = self.find(&mut *guard, &key, false);
+        if r.found {
+            return Err(value);
+        }
+        let new = guard.alloc(Node {
             next: Atomic::null(),
             key,
+            value,
         });
         loop {
-            let r = self.find(&mut g, &key, false);
-            if r.found {
-                // SAFETY: `new` was never published.
-                unsafe { g.dealloc(new) };
-                return false;
-            }
             // SAFETY: `new` is owned by us until the CAS below publishes it.
             unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
             // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
             if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
-                return true;
+                return Ok(());
+            }
+            r = self.find(&mut *guard, &key, false);
+            if r.found {
+                // A concurrent insert won the race after our first find.
+                // SAFETY: `new` was never published; reclaim the block and
+                // hand the caller's value back instead of dropping it.
+                let node = unsafe { crate::take_unpublished(new) };
+                return Err(node.value);
             }
         }
     }
 
-    fn remove_impl(&self, handle: &mut HarrisListHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
         loop {
-            let r = self.find(&mut g, key, false);
+            let r = self.find(&mut *guard, key, false);
             if !r.found {
-                return false;
+                return None;
             }
             // SAFETY: `curr` is protected (HP_CURR).
             let curr_ref = unsafe { r.curr.deref() };
@@ -371,58 +452,30 @@ impl<K: Key, S: Smr> HarrisList<K, S> {
             // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
             if unsafe { r.prev.cas(r.curr, r.next) }.is_ok() {
                 // SAFETY: we won the unlink CAS, so we are the unique retirer.
-                unsafe { g.retire(r.curr) };
+                unsafe { guard.retire(r.curr) };
             }
-            return true;
+            // SAFETY: the victim stays protected by HP_CURR — retiring does
+            // not free, and no scheme reclaims a node covered by a published
+            // hazard slot / live era reservation.  The `&'g mut` guard borrow
+            // keeps that protection in place for the borrow's lifetime.
+            return Some(&unsafe { r.curr.deref_guarded(&*guard) }.value);
         }
     }
 
-    fn contains_impl(&self, handle: &mut HarrisListHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
-        self.find(&mut g, key, true).found
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.check_guard(&*guard);
+        self.find(&mut *guard, key, true).found
     }
 
-    /// Iterates over the keys currently reachable and not logically deleted.
-    ///
-    /// Intended for testing and diagnostics only: the snapshot is not atomic
-    /// and, because it deliberately skips the SCOT validation, it must not run
-    /// concurrently with removals when a robust SMR scheme (HP/HE/IBR/Hyaline)
-    /// is in use.  The test suites only call it after worker threads joined.
-    pub fn collect_keys(&self, handle: &mut HarrisListHandle<S>) -> Vec<K> {
+    fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
         let mut g = handle.smr.pin();
+        self.check_guard(&g);
         let mut out = Vec::new();
-        let mut curr = g.protect(HP_CURR, &self.head);
-        while !curr.is_null() {
-            // SAFETY: protected by HP_CURR / HP_NEXT ping-pong below.
-            let node = unsafe { curr.deref() };
-            let next = g.protect(HP_NEXT, &node.next);
-            if next.tag() == 0 {
-                out.push(node.key);
-            }
-            curr = next.untagged();
-            g.dup(HP_NEXT, HP_CURR);
-        }
+        self.walk(&mut g, |k, v| out.push((*k, v.clone())));
         out
-    }
-}
-
-impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisList<K, S> {
-    type Handle = HarrisListHandle<S>;
-
-    fn handle(&self) -> Self::Handle {
-        HarrisList::handle(self)
-    }
-
-    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
-        self.insert_impl(handle, key)
-    }
-
-    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.remove_impl(handle, key)
-    }
-
-    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.contains_impl(handle, key)
     }
 
     fn restart_count(&self) -> u64 {
@@ -430,7 +483,7 @@ impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisList<K, S> {
     }
 }
 
-impl<K, S: Smr> Drop for HarrisList<K, S> {
+impl<K, S: Smr, V> Drop for HarrisList<K, S, V> {
     fn drop(&mut self) {
         // Free every node still reachable from the head.  Retired nodes are no
         // longer reachable and are released by the reclamation domain.
@@ -450,6 +503,7 @@ impl<K, S: Smr> Drop for HarrisList<K, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentSet;
     use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
 
     fn cfg() -> SmrConfig {
@@ -619,6 +673,50 @@ mod tests {
             0,
             "no retired node may remain once quiescent"
         );
+    }
+
+    mod map_api {
+        use super::cfg;
+        use crate::{ConcurrentMap, HarrisList};
+        use scot_smr::Hp;
+
+        #[test]
+        fn values_round_trip_and_conflicts_hand_values_back() {
+            let list: HarrisList<u64, Hp, String> = HarrisList::with_config(cfg());
+            let mut h = list.handle();
+            {
+                let mut g = list.pin(&mut h);
+                assert!(list.insert(&mut g, 1, "one".to_string()).is_ok());
+                assert_eq!(
+                    list.insert(&mut g, 1, "uno".to_string()),
+                    Err("uno".to_string()),
+                    "conflicting insert must hand the rejected value back"
+                );
+                assert_eq!(list.get(&mut g, &1).map(String::as_str), Some("one"));
+                assert!(list.get(&mut g, &2).is_none());
+                assert_eq!(
+                    list.remove(&mut g, &1).map(String::as_str),
+                    Some("one"),
+                    "remove must expose the evicted value under the guard"
+                );
+                assert!(list.remove(&mut g, &1).is_none());
+            }
+            assert!(list.collect(&mut h).is_empty());
+        }
+
+        #[test]
+        fn collect_returns_sorted_entries() {
+            let list: HarrisList<u32, Hp, u32> = HarrisList::with_config(cfg());
+            let mut h = list.handle();
+            for k in [5u32, 1, 9, 3] {
+                let mut g = list.pin(&mut h);
+                assert!(list.insert(&mut g, k, k * 10).is_ok());
+            }
+            assert_eq!(
+                list.collect(&mut h),
+                vec![(1, 10), (3, 30), (5, 50), (9, 90)]
+            );
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! matches the paper's methodology.
 
 use crate::harris_list::{HarrisList, HarrisListHandle};
-use crate::{ConcurrentSet, Key};
-use scot_smr::{Smr, SmrConfig};
+use crate::{ConcurrentMap, Key, Value};
+use scot_smr::{Smr, SmrConfig, SmrHandle};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -52,19 +52,22 @@ impl Hasher for FibHasher {
     }
 }
 
-/// A lock-free hash set: `buckets` Harris lists sharing one SMR domain.
+/// A lock-free hash map: `buckets` Harris lists sharing one SMR domain
+/// (`V = ()` gives the hash *set* of the paper's Table 1).
 ///
 /// ```
-/// use scot::{ConcurrentSet, HashMap};
+/// use scot::{ConcurrentMap, HashMap};
 /// use scot_smr::{Ibr, Smr, SmrConfig};
 ///
-/// let map: HashMap<u64, Ibr> = HashMap::with_config(64, SmrConfig::default());
-/// let mut h = map.handle();
-/// assert!(map.insert(&mut h, 42));
-/// assert!(map.contains(&mut h, &42));
+/// let map: HashMap<u64, Ibr, String> = HashMap::with_config(64, SmrConfig::default());
+/// let mut h = ConcurrentMap::handle(&map);
+/// let mut g = map.pin(&mut h);
+/// assert!(map.insert(&mut g, 42, "answer".into()).is_ok());
+/// assert_eq!(map.get(&mut g, &42).map(String::as_str), Some("answer"));
+/// assert_eq!(map.remove(&mut g, &42).map(String::as_str), Some("answer"));
 /// ```
-pub struct HashMap<K, S: Smr> {
-    buckets: Box<[HarrisList<K, S>]>,
+pub struct HashMap<K, S: Smr, V = ()> {
+    buckets: Box<[HarrisList<K, S, V>]>,
     smr: Arc<S>,
 }
 
@@ -80,8 +83,8 @@ impl<S: Smr> HashMapHandle<S> {
     }
 }
 
-impl<K: Key + Hash, S: Smr> HashMap<K, S> {
-    /// Creates a hash set with `buckets` buckets sharing the given domain.
+impl<K: Key + Hash, S: Smr, V: Value> HashMap<K, S, V> {
+    /// Creates a hash map with `buckets` buckets sharing the given domain.
     pub fn new(buckets: usize, smr: Arc<S>) -> Self {
         assert!(buckets > 0, "at least one bucket is required");
         let buckets = (0..buckets)
@@ -91,7 +94,7 @@ impl<K: Key + Hash, S: Smr> HashMap<K, S> {
         Self { buckets, smr }
     }
 
-    /// Creates a hash set with a freshly created domain.
+    /// Creates a hash map with a freshly created domain.
     pub fn with_config(buckets: usize, config: SmrConfig) -> Self {
         Self::new(buckets, S::new(config))
     }
@@ -115,7 +118,7 @@ impl<K: Key + Hash, S: Smr> HashMap<K, S> {
         }
     }
 
-    fn bucket(&self, key: &K) -> &HarrisList<K, S> {
+    fn bucket(&self, key: &K) -> &HarrisList<K, S, V> {
         let mut hasher = FibHasher(0);
         key.hash(&mut hasher);
         // Lemire's widening-multiply range reduction: maps the hash onto
@@ -125,12 +128,25 @@ impl<K: Key + Hash, S: Smr> HashMap<K, S> {
         &self.buckets[idx]
     }
 
+    /// Brand check — see [`HarrisList::check_guard`](crate::HarrisList).
+    #[inline]
+    fn check_guard<G: scot_smr::SmrGuard>(&self, g: &G) {
+        assert_eq!(
+            g.domain_addr(),
+            Arc::as_ptr(&self.smr) as usize,
+            "guard was pinned from a handle of a different map's reclamation domain"
+        );
+    }
+
     /// Total number of live keys (testing/diagnostics; not atomic).
     pub fn len(&self, handle: &mut HashMapHandle<S>) -> usize {
-        self.buckets
-            .iter()
-            .map(|b| b.collect_keys(&mut handle.inner).len())
-            .sum()
+        let mut g = handle.inner.smr.pin();
+        self.check_guard(&g);
+        let mut count = 0usize;
+        for b in &self.buckets {
+            b.walk(&mut g, |_, _| count += 1);
+        }
+        count
     }
 
     /// True if no live keys are present (testing/diagnostics; not atomic).
@@ -139,23 +155,49 @@ impl<K: Key + Hash, S: Smr> HashMap<K, S> {
     }
 }
 
-impl<K: Key + Hash, S: Smr> ConcurrentSet<K> for HashMap<K, S> {
+impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
     type Handle = HashMapHandle<S>;
+    type Guard<'h>
+        = <S::Handle as SmrHandle>::Guard<'h>
+    where
+        Self: 'h;
 
     fn handle(&self) -> Self::Handle {
         HashMap::handle(self)
     }
 
-    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
-        self.bucket(&key).insert(&mut handle.inner, key)
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h> {
+        handle.inner.smr.pin()
     }
 
-    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.bucket(key).remove(&mut handle.inner, key)
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.bucket(key).get(guard, key)
     }
 
-    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.bucket(key).contains(&mut handle.inner, key)
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
+        self.bucket(&key).insert(guard, key, value)
+    }
+
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.bucket(key).remove(guard, key)
+    }
+
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.bucket(key).contains(guard, key)
+    }
+
+    fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let mut g = handle.inner.smr.pin();
+        self.check_guard(&g);
+        let mut out = Vec::new();
+        for b in &self.buckets {
+            b.walk(&mut g, |k, v| out.push((*k, v.clone())));
+        }
+        out.sort_unstable_by_key(|entry| entry.0);
+        out
     }
 
     fn restart_count(&self) -> u64 {
@@ -165,8 +207,13 @@ impl<K: Key + Hash, S: Smr> ConcurrentSet<K> for HashMap<K, S> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use scot_smr::{Ebr, Hp, Hyaline, SmrHandle};
+    // `ConcurrentMap` is deliberately *not* imported here: the tests exercise
+    // the set adapter, and having both traits in scope would make the
+    // `insert`/`remove`/`contains` method calls ambiguous.
+    use super::HashMap;
+    use crate::ConcurrentSet;
+    use scot_smr::{Ebr, Hp, Hyaline, Smr, SmrConfig, SmrHandle};
+    use std::sync::Arc;
 
     fn cfg() -> SmrConfig {
         SmrConfig {

@@ -15,20 +15,22 @@
 //! `Hp2` = prev.  No dangerous zone ever forms, so no anchor slot is needed.
 
 use crate::harris_list::{Node, HP_CURR, HP_NEXT, HP_PREV, MARK};
-use crate::{ConcurrentSet, Key, Stats};
+use crate::{Key, Stats, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Result of the internal find.
-struct FindResult<K> {
-    prev: Link<Node<K>>,
-    curr: Shared<Node<K>>,
-    next: Shared<Node<K>>,
+struct FindResult<K, V> {
+    prev: Link<Node<K, V>>,
+    curr: Shared<Node<K, V>>,
+    next: Shared<Node<K, V>>,
     found: bool,
 }
 
-/// Harris-Michael ordered set, parameterized by the reclamation scheme.
+/// Harris-Michael ordered map, parameterized by the reclamation scheme.  As
+/// with every structure in this crate, `V = ()` (the default) gives the
+/// membership set the paper benchmarks.
 ///
 /// ```
 /// use scot::{ConcurrentSet, HarrisMichaelList};
@@ -40,14 +42,14 @@ struct FindResult<K> {
 /// assert!(list.insert(&mut h, 1));
 /// assert!(list.remove(&mut h, &1));
 /// ```
-pub struct HarrisMichaelList<K, S: Smr> {
-    head: Atomic<Node<K>>,
+pub struct HarrisMichaelList<K, S: Smr, V = ()> {
+    head: Atomic<Node<K, V>>,
     smr: Arc<S>,
     stats: Stats,
 }
 
-unsafe impl<K: Key, S: Smr> Send for HarrisMichaelList<K, S> {}
-unsafe impl<K: Key, S: Smr> Sync for HarrisMichaelList<K, S> {}
+unsafe impl<K: Key, S: Smr, V: Value> Send for HarrisMichaelList<K, S, V> {}
+unsafe impl<K: Key, S: Smr, V: Value> Sync for HarrisMichaelList<K, S, V> {}
 
 /// Per-thread handle for [`HarrisMichaelList`].
 pub struct HmListHandle<S: Smr> {
@@ -61,7 +63,7 @@ impl<S: Smr> HmListHandle<S> {
     }
 }
 
-impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
+impl<K: Key, S: Smr, V: Value> HarrisMichaelList<K, S, V> {
     /// Creates an empty list managed by the given reclamation domain.
     pub fn new(smr: Arc<S>) -> Self {
         Self {
@@ -95,9 +97,9 @@ impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
 
     /// Michael's find: locate the position for `key`, eagerly unlinking any
     /// marked node encountered on the way (restarting if the unlink fails).
-    fn find<G: SmrGuard>(&self, g: &mut G, key: &K) -> FindResult<K> {
+    fn find<G: SmrGuard>(&self, g: &mut G, key: &K) -> FindResult<K, V> {
         'restart: loop {
-            let mut prev: Link<Node<K>> = self.head.as_link();
+            let mut prev: Link<Node<K, V>> = self.head.as_link();
             let mut curr = g.protect(HP_CURR, &self.head);
             loop {
                 if curr.is_null() {
@@ -155,34 +157,94 @@ impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
         }
     }
 
-    fn insert_impl(&self, handle: &mut HmListHandle<S>, key: K) -> bool {
-        let mut g = handle.smr.pin();
-        let new = g.alloc(Node {
+    /// Brand check — see [`HarrisList::check_guard`](crate::HarrisList).
+    #[inline]
+    fn check_guard<G: SmrGuard>(&self, g: &G) {
+        assert_eq!(
+            g.domain_addr(),
+            Arc::as_ptr(&self.smr) as usize,
+            "guard was pinned from a handle of a different map's reclamation domain"
+        );
+    }
+
+    /// Visits every live entry in ascending key order (testing/diagnostics;
+    /// not an atomic snapshot).
+    fn walk<G: SmrGuard, F: FnMut(&K, &V)>(&self, g: &mut G, mut f: F) {
+        let mut curr = g.protect(HP_CURR, &self.head);
+        while !curr.is_null() {
+            // SAFETY: see `find` — only used quiescently in tests.
+            let node = unsafe { curr.deref() };
+            let next = g.protect(HP_NEXT, &node.next);
+            if next.tag() == 0 {
+                f(&node.key, &node.value);
+            }
+            curr = next.untagged();
+            g.dup(HP_NEXT, HP_CURR);
+        }
+    }
+}
+
+impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<K, S, V> {
+    type Handle = HmListHandle<S>;
+    type Guard<'h>
+        = <S::Handle as SmrHandle>::Guard<'h>
+    where
+        Self: 'h;
+
+    fn handle(&self) -> Self::Handle {
+        HarrisMichaelList::handle(self)
+    }
+
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h> {
+        handle.smr.pin()
+    }
+
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
+        let r = self.find(&mut *guard, key);
+        if r.found {
+            // SAFETY: `curr` is protected by HP_CURR; the `&'g mut` guard
+            // borrow keeps that slot published while the borrow is alive.
+            Some(&unsafe { r.curr.deref_guarded(&*guard) }.value)
+        } else {
+            None
+        }
+    }
+
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
+        self.check_guard(&*guard);
+        let mut r = self.find(&mut *guard, &key);
+        if r.found {
+            return Err(value);
+        }
+        let new = guard.alloc(Node {
             next: Atomic::null(),
             key,
+            value,
         });
         loop {
-            let r = self.find(&mut g, &key);
-            if r.found {
-                // SAFETY: never published.
-                unsafe { g.dealloc(new) };
-                return false;
-            }
             // SAFETY: exclusively owned until the publishing CAS.
             unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
             // SAFETY: `prev` owner protected or head.
             if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
-                return true;
+                return Ok(());
+            }
+            r = self.find(&mut *guard, &key);
+            if r.found {
+                // SAFETY: `new` was never published; reclaim the block and
+                // hand the caller's value back instead of dropping it.
+                let node = unsafe { crate::take_unpublished(new) };
+                return Err(node.value);
             }
         }
     }
 
-    fn remove_impl(&self, handle: &mut HmListHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
         loop {
-            let r = self.find(&mut g, key);
+            let r = self.find(&mut *guard, key);
             if !r.found {
-                return false;
+                return None;
             }
             // SAFETY: protected by HP_CURR.
             let curr_ref = unsafe { r.curr.deref() };
@@ -201,55 +263,30 @@ impl<K: Key, S: Smr> HarrisMichaelList<K, S> {
             // SAFETY: `prev` owner protected or head.
             if unsafe { r.prev.cas(r.curr, r.next) }.is_ok() {
                 // SAFETY: unlink winner is the unique retirer.
-                unsafe { g.retire(r.curr) };
+                unsafe { guard.retire(r.curr) };
             } else {
                 // Someone else will (or did) unlink it during their find.
             }
-            return true;
+            // SAFETY: the victim stays protected by HP_CURR for as long as
+            // the `&'g mut` guard borrow is alive (retire defers the free).
+            return Some(&unsafe { r.curr.deref_guarded(&*guard) }.value);
         }
     }
 
-    fn contains_impl(&self, handle: &mut HmListHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
-        self.find(&mut g, key).found
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.check_guard(&*guard);
+        self.find(&mut *guard, key).found
     }
 
-    /// Collects the live keys (testing/diagnostics; not an atomic snapshot).
-    pub fn collect_keys(&self, handle: &mut HmListHandle<S>) -> Vec<K> {
+    fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
         let mut g = handle.smr.pin();
+        self.check_guard(&g);
         let mut out = Vec::new();
-        let mut curr = g.protect(HP_CURR, &self.head);
-        while !curr.is_null() {
-            // SAFETY: see `find` — only used quiescently in tests.
-            let node = unsafe { curr.deref() };
-            let next = g.protect(HP_NEXT, &node.next);
-            if next.tag() == 0 {
-                out.push(node.key);
-            }
-            curr = next.untagged();
-            g.dup(HP_NEXT, HP_CURR);
-        }
+        self.walk(&mut g, |k, v| out.push((*k, v.clone())));
         out
-    }
-}
-
-impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisMichaelList<K, S> {
-    type Handle = HmListHandle<S>;
-
-    fn handle(&self) -> Self::Handle {
-        HarrisMichaelList::handle(self)
-    }
-
-    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
-        self.insert_impl(handle, key)
-    }
-
-    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.remove_impl(handle, key)
-    }
-
-    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.contains_impl(handle, key)
     }
 
     fn restart_count(&self) -> u64 {
@@ -257,7 +294,7 @@ impl<K: Key, S: Smr> ConcurrentSet<K> for HarrisMichaelList<K, S> {
     }
 }
 
-impl<K, S: Smr> Drop for HarrisMichaelList<K, S> {
+impl<K, S: Smr, V> Drop for HarrisMichaelList<K, S, V> {
     fn drop(&mut self) {
         let mut curr = self.head.load(Ordering::Relaxed).untagged();
         while !curr.is_null() {
@@ -274,6 +311,7 @@ impl<K, S: Smr> Drop for HarrisMichaelList<K, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentSet;
     use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
 
     fn cfg() -> SmrConfig {

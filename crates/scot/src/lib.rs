@@ -25,6 +25,14 @@
 //! * [`HashMap`] — a lock-free hash map realized, exactly as the paper notes,
 //!   as an array of Harris lists (the hash-map row of Table 1).
 //!
+//! All structures are **key-value maps**: every node carries a value `V` next
+//! to its key, and the read path is *guard-scoped* — [`ConcurrentMap::get`]
+//! returns `Option<&'g V>` whose lifetime is tied to the SMR guard, so the
+//! borrow is kept alive by a hazard slot / era reservation, not by luck.
+//! Membership-only use cases instantiate `V = ()` and go through the
+//! [`ConcurrentSet`] adapter, which restores the paper's boolean set API and
+//! is what the benchmark harness uses to reproduce the figures.
+//!
 //! All structures are parameterized by the reclamation scheme `S: Smr` from
 //! the `scot-smr` crate and can therefore be instantiated with NR, EBR, HP,
 //! HPopt, HE, IBR or Hyaline-1S without code changes — this is the crux of the
@@ -44,7 +52,7 @@ pub use hm_list::HarrisMichaelList;
 pub use nm_tree::NmTree;
 pub use wait_free::WfHarrisList;
 
-/// Marker bounds required of keys stored in the sets.
+/// Marker bounds required of keys stored in the maps.
 ///
 /// The paper's benchmark uses machine-word integer keys; requiring `Copy`
 /// keeps nodes `Send` without reference-counting payloads and lets the
@@ -52,11 +60,145 @@ pub use wait_free::WfHarrisList;
 pub trait Key: Copy + Ord + Send + Sync + 'static {}
 impl<T: Copy + Ord + Send + Sync + 'static> Key for T {}
 
-/// The common concurrent-set interface implemented by every structure in this
+/// Marker bounds required of values stored in the maps.
+///
+/// Values are shared across threads by reference (a `get` on one thread may
+/// borrow a value while another thread retires its node), hence `Send + Sync`;
+/// `'static` is what lets the SMR schemes defer the destructor to an arbitrary
+/// later reclamation point.  Unlike keys, values are **not** required to be
+/// `Copy` or `Clone`: they are moved in on `insert` and only ever handed back
+/// out as guard-scoped borrows (or by value from never-published nodes).
+pub trait Value: Send + Sync + 'static {}
+impl<T: Send + Sync + 'static> Value for T {}
+
+/// The common key-value interface implemented by every structure in this
 /// crate.  The benchmark harness, the integration tests and the examples are
-/// all written against this trait so each experiment can sweep over
-/// (data structure × SMR scheme) combinations exactly like the paper does.
-pub trait ConcurrentSet<K: Key>: Send + Sync {
+/// all written against this trait (or its [`ConcurrentSet`] adapter) so each
+/// experiment can sweep over (data structure × SMR scheme) combinations
+/// exactly like the paper does.
+///
+/// # Guard-scoped reads
+///
+/// Operations run inside an explicit SMR critical section: callers obtain a
+/// per-thread [`ConcurrentMap::Handle`] once, then [`ConcurrentMap::pin`] it
+/// per operation (or per batch of operations) to get a
+/// [`ConcurrentMap::Guard`].  [`ConcurrentMap::get`] and
+/// [`ConcurrentMap::remove`] return `Option<&'g V>` — a borrow of the value
+/// *inside the node*, with `'g` tied to the guard.  This is exactly where
+/// reclamation compatibility bites: handing out `&V` from a lock-free
+/// structure is a use-after-free unless the reclamation scheme provably keeps
+/// the node alive while the borrow exists.  Here the type system enforces the
+/// two lifetime halves of that argument:
+///
+/// * the borrow cannot outlive the guard (the `'g` lifetime), and
+/// * while the borrow is alive, no other operation can run on the same guard
+///   and recycle the hazard slot protecting the node (the `&'g mut` receiver).
+///
+/// One property the lifetimes cannot express is *which domain* a guard
+/// publishes its protections into: two maps of the same scheme share one
+/// guard type, so handing map B a guard pinned from map A's handle would
+/// publish hazard slots where B's reclaimers never look.  Every operation
+/// therefore brands its guard with one pointer compare
+/// ([`scot_smr::SmrGuard::domain_addr`]) and panics on a foreign guard
+/// instead of running unprotected.
+///
+/// Per scheme, the protection backing the borrow is: a published hazard
+/// pointer (HP/HPopt), an era reservation (HE), the thread's `[lower, upper]`
+/// interval (IBR), the entered slot list (Hyaline-1S), the announced epoch
+/// (EBR), or triviality (NR never frees).
+///
+/// A value borrow cannot outlive its guard; this is enforced at compile time:
+///
+/// ```compile_fail
+/// use scot::{ConcurrentMap, HarrisList};
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let map: HarrisList<u64, Hp, String> = HarrisList::new(Hp::new(SmrConfig::default()));
+/// let mut handle = ConcurrentMap::handle(&map);
+/// let mut guard = map.pin(&mut handle);
+/// let _ = map.insert(&mut guard, 7, "seven".to_string());
+/// let v: Option<&String> = map.get(&mut guard, &7);
+/// drop(guard); // ERROR: `guard` is still borrowed by `v`
+/// assert!(v.is_some());
+/// ```
+///
+/// Nor can it outlive the handle the guard was pinned from:
+///
+/// ```compile_fail
+/// use scot::{ConcurrentMap, HashMap};
+/// use scot_smr::{Ibr, Smr, SmrConfig};
+///
+/// let map: HashMap<u64, Ibr, u64> = HashMap::with_config(16, SmrConfig::default());
+/// let mut handle = ConcurrentMap::handle(&map);
+/// let mut guard = map.pin(&mut handle);
+/// let _ = map.insert(&mut guard, 1, 100);
+/// let v = map.get(&mut guard, &1);
+/// drop(handle); // ERROR: `handle` is still borrowed by `guard` (and `v`)
+/// assert!(v.is_some());
+/// ```
+pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
+    /// Per-thread handle (wraps the SMR thread registration).
+    type Handle: Send;
+
+    /// Guard marking a critical section, borrowed from a pinned handle.
+    type Guard<'h>
+    where
+        Self: 'h;
+
+    /// Registers the calling thread with the map's reclamation domain.
+    fn handle(&self) -> Self::Handle;
+
+    /// Enters a critical section on this thread's handle.  All operations
+    /// take the returned guard; dropping it leaves the critical section.
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h>;
+
+    /// Looks up `key`, returning a borrow of its value that lives as long as
+    /// the guard borrow — the value stays protected by the SMR scheme for
+    /// exactly that long (see the trait-level discussion).
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V>;
+
+    /// Inserts `key → value`.  On conflict (the key is already present) the
+    /// map is left unchanged and the rejected value is handed back to the
+    /// caller as `Err(value)` — nothing is silently dropped.
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V>;
+
+    /// Removes `key`, returning a borrow of the evicted value.  The node has
+    /// been retired to the reclamation scheme, but the scheme cannot free it
+    /// while this guard protects it, so the borrow is sound for `'g` — the
+    /// caller gets one last guard-scoped look at the value it deleted.
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V>;
+
+    /// Returns whether `key` is present.  Structures with a cheaper
+    /// membership-only path (e.g. the wait-free list) override this.
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.get(guard, key).is_some()
+    }
+
+    /// Collects every live entry into a `Vec<(K, V)>` sorted by key.
+    ///
+    /// Intended for testing and diagnostics only: the snapshot is not atomic
+    /// and must not run concurrently with removals when a robust SMR scheme
+    /// (HP/HE/IBR/Hyaline) is in use.  The test suites only call it after
+    /// worker threads joined.
+    fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone;
+
+    /// Number of traversal restarts observed so far (Table 2 of the paper).
+    /// Structures that do not track restarts report 0.
+    fn restart_count(&self) -> u64 {
+        0
+    }
+}
+
+/// The boolean membership interface of the paper's benchmark: a thin adapter
+/// over [`ConcurrentMap`] with `V = ()`.
+///
+/// This trait has exactly one implementation — the blanket impl over every
+/// `ConcurrentMap<K, ()>` — so "a set" and "a map storing `()`" are the same
+/// object, and the paper's experiments (which only measure membership) run on
+/// byte-identical node layouts to the original set-only code.
+pub trait ConcurrentSet<K: Key>: Send + Sync + 'static {
     /// Per-thread handle (wraps the SMR thread registration).
     type Handle: Send;
 
@@ -72,10 +214,48 @@ pub trait ConcurrentSet<K: Key>: Send + Sync {
     /// Returns whether `key` is present.
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool;
 
+    /// Collects the live keys in ascending order (testing/diagnostics only;
+    /// same caveats as [`ConcurrentMap::collect`]).
+    fn collect_keys(&self, handle: &mut Self::Handle) -> Vec<K>;
+
     /// Number of traversal restarts observed so far (Table 2 of the paper).
     /// Structures that do not track restarts report 0.
     fn restart_count(&self) -> u64 {
         0
+    }
+}
+
+impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K> for M {
+    type Handle = M::Handle;
+
+    fn handle(&self) -> Self::Handle {
+        ConcurrentMap::handle(self)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
+        let mut guard = self.pin(handle);
+        ConcurrentMap::insert(self, &mut guard, key, ()).is_ok()
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        let mut guard = self.pin(handle);
+        ConcurrentMap::remove(self, &mut guard, key).is_some()
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        let mut guard = self.pin(handle);
+        ConcurrentMap::contains(self, &mut guard, key)
+    }
+
+    fn collect_keys(&self, handle: &mut Self::Handle) -> Vec<K> {
+        ConcurrentMap::collect(self, handle)
+            .into_iter()
+            .map(|(k, ())| k)
+            .collect()
+    }
+
+    fn restart_count(&self) -> u64 {
+        ConcurrentMap::restart_count(self)
     }
 }
 
@@ -109,4 +289,23 @@ impl Stats {
     pub(crate) fn recoveries(&self) -> u64 {
         self.recoveries.load(core::sync::atomic::Ordering::Relaxed)
     }
+}
+
+/// Takes the payload back out of a node that was allocated through an SMR
+/// guard but **never published** to the data structure, releasing the block's
+/// raw memory without running the payload destructor.  This is what lets
+/// `insert` hand the caller's value back on a late-detected conflict instead
+/// of dropping it.
+///
+/// # Safety
+/// `ptr` must come from `SmrGuard::alloc` on a live domain, no other thread
+/// may ever have observed it, and the caller must not touch the block again.
+pub(crate) unsafe fn take_unpublished<T>(ptr: scot_smr::Shared<T>) -> T {
+    let raw = ptr.untagged().as_ptr();
+    debug_assert!(!raw.is_null());
+    let value = core::ptr::read(raw);
+    let hdr = scot_smr::header_of(raw);
+    let layout = (*hdr).vtable.layout;
+    scot_smr::block::dealloc_raw(hdr, layout);
+    value
 }

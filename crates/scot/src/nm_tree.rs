@@ -31,7 +31,7 @@
 //! the whole `Seek` if the validation fails.  Per §3.2.2 the tree does not use
 //! the recovery optimization: diverging traversals simply restart.
 
-use crate::{ConcurrentSet, Key, Stats};
+use crate::{Key, Stats, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -46,6 +46,12 @@ const HP_PARENT: usize = 2;
 const HP_SUCC: usize = 3;
 /// Hazard slot: ancestor (owner of the deepest untagged edge).
 const HP_ANC: usize = 4;
+/// Hazard slot: the victim leaf of an in-flight `remove`.  The seek record
+/// slots (0–4) are recycled by every re-seek of the cleanup loop, but the
+/// value-returning map API must keep the *evicted* leaf protected until the
+/// caller's guard-scoped borrow ends, so the victim gets a dedicated slot
+/// that no traversal ever touches (`dup` still copies lower → higher: 1 → 5).
+const HP_VICTIM: usize = 5;
 
 /// Edge mark: the child is a leaf undergoing deletion.
 const FLAG: usize = 1;
@@ -91,17 +97,22 @@ impl<K: Ord> Ord for TreeKey<K> {
 }
 
 /// A tree node.  Leaves have two null children; internal nodes always have two
-/// non-null children (external-tree invariant).
-pub(crate) struct TreeNode<K> {
+/// non-null children (external-tree invariant).  Only leaves holding a real
+/// (`Fin`) key carry a value; routing nodes and the sentinels store `None`, so
+/// the external-tree shape is reflected in the type: values live exactly where
+/// keys are authoritative.
+pub(crate) struct TreeNode<K, V> {
     pub(crate) key: TreeKey<K>,
-    pub(crate) left: Atomic<TreeNode<K>>,
-    pub(crate) right: Atomic<TreeNode<K>>,
+    pub(crate) value: Option<V>,
+    pub(crate) left: Atomic<TreeNode<K, V>>,
+    pub(crate) right: Atomic<TreeNode<K, V>>,
 }
 
-impl<K> TreeNode<K> {
-    fn leaf(key: TreeKey<K>) -> Self {
+impl<K, V> TreeNode<K, V> {
+    fn sentinel_leaf(key: TreeKey<K>) -> Self {
         Self {
             key,
+            value: None,
             left: Atomic::null(),
             right: Atomic::null(),
         }
@@ -111,24 +122,24 @@ impl<K> TreeNode<K> {
 /// The result of a `Seek`: the four nodes of the paper's seek record plus the
 /// link (field address) of the ancestor → successor edge and the value of the
 /// parent → leaf edge as it was read.
-struct SeekRecord<K> {
+struct SeekRecord<K, V> {
     /// Kept for parity with the paper's seek record; the CAS itself goes
     /// through `ancestor_link`, and the hazard slot HP_ANC keeps the node
     /// protected, so the field is informational.
     #[allow(dead_code)]
-    ancestor: Shared<TreeNode<K>>,
-    successor: Shared<TreeNode<K>>,
-    parent: Shared<TreeNode<K>>,
-    leaf: Shared<TreeNode<K>>,
+    ancestor: Shared<TreeNode<K, V>>,
+    successor: Shared<TreeNode<K, V>>,
+    parent: Shared<TreeNode<K, V>>,
+    leaf: Shared<TreeNode<K, V>>,
     /// The ancestor's child field on the search path (CAS target of CleanUp).
-    ancestor_link: Link<TreeNode<K>>,
+    ancestor_link: Link<TreeNode<K, V>>,
     /// Value of the parent → leaf edge when it was traversed (marks included).
     #[allow(dead_code)]
-    parent_edge: Shared<TreeNode<K>>,
+    parent_edge: Shared<TreeNode<K, V>>,
 }
 
-/// The Natarajan-Mittal ordered set with SCOT traversals, parameterized by the
-/// reclamation scheme.
+/// The Natarajan-Mittal ordered map with SCOT traversals, parameterized by the
+/// reclamation scheme (`V = ()` gives the paper's membership set).
 ///
 /// ```
 /// use scot::{ConcurrentSet, NmTree};
@@ -140,15 +151,15 @@ struct SeekRecord<K> {
 /// assert!(tree.contains(&mut h, &11));
 /// assert!(tree.remove(&mut h, &11));
 /// ```
-pub struct NmTree<K, S: Smr> {
+pub struct NmTree<K, S: Smr, V = ()> {
     /// Root sentinel `R` (key `Inf2`); `R.left = S`, `R.right = leaf(Inf2)`.
-    root: Shared<TreeNode<K>>,
+    root: Shared<TreeNode<K, V>>,
     smr: Arc<S>,
     stats: Stats,
 }
 
-unsafe impl<K: Key, S: Smr> Send for NmTree<K, S> {}
-unsafe impl<K: Key, S: Smr> Sync for NmTree<K, S> {}
+unsafe impl<K: Key, S: Smr, V: Value> Send for NmTree<K, S, V> {}
+unsafe impl<K: Key, S: Smr, V: Value> Sync for NmTree<K, S, V> {}
 
 /// Per-thread handle for [`NmTree`].
 pub struct NmTreeHandle<S: Smr> {
@@ -162,22 +173,30 @@ impl<S: Smr> NmTreeHandle<S> {
     }
 }
 
-impl<K: Key, S: Smr> NmTree<K, S> {
+impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
     /// Creates an empty tree (sentinel structure of the original paper)
     /// managed by the given reclamation domain.
     pub fn new(smr: Arc<S>) -> Self {
         // Sentinels are allocated outside any guard: they are never retired,
         // so their (zero) birth era is irrelevant to every scheme.
-        let leaf_inf0 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::leaf(TreeKey::Inf0)));
-        let leaf_inf1 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::leaf(TreeKey::Inf1)));
-        let leaf_inf2 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::leaf(TreeKey::Inf2)));
+        let leaf_inf0 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::sentinel_leaf(
+            TreeKey::Inf0,
+        )));
+        let leaf_inf1 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::sentinel_leaf(
+            TreeKey::Inf1,
+        )));
+        let leaf_inf2 = Shared::from_ptr(scot_smr::alloc_block(TreeNode::sentinel_leaf(
+            TreeKey::Inf2,
+        )));
         let s_node = Shared::from_ptr(scot_smr::alloc_block(TreeNode {
             key: TreeKey::Inf1,
+            value: None,
             left: Atomic::new(leaf_inf0),
             right: Atomic::new(leaf_inf1),
         }));
         let r_node = Shared::from_ptr(scot_smr::alloc_block(TreeNode {
             key: TreeKey::Inf2,
+            value: None,
             left: Atomic::new(s_node),
             right: Atomic::new(leaf_inf2),
         }));
@@ -212,7 +231,7 @@ impl<K: Key, S: Smr> NmTree<K, S> {
 
     /// The root sentinel `R` (always alive).
     #[inline]
-    fn root_ref(&self) -> &TreeNode<K> {
+    fn root_ref(&self) -> &TreeNode<K, V> {
         // SAFETY: the root sentinel is allocated in `new` and freed only in
         // `drop`, so it is alive for the lifetime of `&self`.
         unsafe { self.root.deref() }
@@ -220,7 +239,7 @@ impl<K: Key, S: Smr> NmTree<K, S> {
 
     /// `Seek`: descend to the leaf on `key`'s search path, maintaining the
     /// seek record and performing SCOT validation on every marked edge.
-    fn seek<G: SmrGuard>(&self, g: &mut G, key: &TreeKey<K>) -> SeekRecord<K> {
+    fn seek<G: SmrGuard>(&self, g: &mut G, key: &TreeKey<K>) -> SeekRecord<K, V> {
         'restart: loop {
             let root = self.root;
             let root_ref = self.root_ref();
@@ -309,7 +328,7 @@ impl<K: Key, S: Smr> NmTree<K, S> {
     /// between the successor and the parent with one CAS on the ancestor's
     /// child field.  Returns whether the prune CAS succeeded; the winner
     /// retires every removed node.
-    fn cleanup<G: SmrGuard>(&self, g: &mut G, key: &TreeKey<K>, s: &SeekRecord<K>) -> bool {
+    fn cleanup<G: SmrGuard>(&self, g: &mut G, key: &TreeKey<K>, s: &SeekRecord<K, V>) -> bool {
         // SAFETY: `parent` is protected by HP_PARENT for the lifetime of the
         // seek record.
         let parent_ref = unsafe { s.parent.deref() };
@@ -372,9 +391,9 @@ impl<K: Key, S: Smr> NmTree<K, S> {
     unsafe fn retire_pruned_chain<G: SmrGuard>(
         &self,
         g: &mut G,
-        successor: Shared<TreeNode<K>>,
-        parent: Shared<TreeNode<K>>,
-        kept: Shared<TreeNode<K>>,
+        successor: Shared<TreeNode<K, V>>,
+        parent: Shared<TreeNode<K, V>>,
+        kept: Shared<TreeNode<K, V>>,
     ) {
         let mut cur = successor;
         loop {
@@ -405,29 +424,95 @@ impl<K: Key, S: Smr> NmTree<K, S> {
         }
     }
 
-    fn insert_impl(&self, handle: &mut NmTreeHandle<S>, key: K) -> bool {
-        let mut g = handle.smr.pin();
+    /// Brand check — see [`HarrisList::check_guard`](crate::HarrisList).
+    #[inline]
+    fn check_guard<G: SmrGuard>(&self, g: &G) {
+        assert_eq!(
+            g.domain_addr(),
+            Arc::as_ptr(&self.smr) as usize,
+            "guard was pinned from a handle of a different map's reclamation domain"
+        );
+    }
+
+    /// Visits every live `(key, value)` leaf pair (testing/diagnostics; must
+    /// not run concurrently with removals under robust schemes — see
+    /// [`crate::ConcurrentMap::collect`]).
+    fn walk<F: FnMut(&K, &V)>(&self, mut f: F) {
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            // SAFETY: quiescent traversal (test/diagnostic use only).
+            let node_ref = unsafe { node.untagged().deref() };
+            let left = node_ref.left.load(Ordering::Acquire);
+            let right = node_ref.right.load(Ordering::Acquire);
+            if left.untagged().is_null() && right.untagged().is_null() {
+                if let (TreeKey::Fin(k), Some(v)) = (&node_ref.key, &node_ref.value) {
+                    f(k, v);
+                }
+            } else {
+                stack.push(left.untagged());
+                stack.push(right.untagged());
+            }
+        }
+    }
+}
+
+impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
+    type Handle = NmTreeHandle<S>;
+    type Guard<'h>
+        = <S::Handle as SmrHandle>::Guard<'h>
+    where
+        Self: 'h;
+
+    fn handle(&self) -> Self::Handle {
+        NmTree::handle(self)
+    }
+
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h> {
+        handle.smr.pin()
+    }
+
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
+        let tkey = TreeKey::Fin(*key);
+        let s = self.seek(&mut *guard, &tkey);
+        // SAFETY: `leaf` is protected by HP_LEAF, and the `&'g mut` guard
+        // borrow keeps that slot published while the value borrow is alive.
+        let leaf_ref = unsafe { s.leaf.deref_guarded(&*guard) };
+        if leaf_ref.key == tkey {
+            leaf_ref.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
+        self.check_guard(&*guard);
         let tkey = TreeKey::Fin(key);
+        let mut s = self.seek(&mut *guard, &tkey);
+        // SAFETY: `leaf` is protected by HP_LEAF.
+        if unsafe { s.leaf.deref() }.key == tkey {
+            return Err(value);
+        }
         // Allocate the new leaf once; the internal router is (re)initialized on
         // every attempt because its key and children depend on the leaf found.
-        let new_leaf = g.alloc(TreeNode::leaf(TreeKey::Fin(key)));
-        let new_internal = g.alloc(TreeNode {
+        let new_leaf = guard.alloc(TreeNode {
             key: TreeKey::Fin(key),
+            value: Some(value),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        });
+        let new_internal = guard.alloc(TreeNode {
+            key: TreeKey::Fin(key),
+            value: None,
             left: Atomic::null(),
             right: Atomic::null(),
         });
         loop {
-            let s = self.seek(&mut g, &tkey);
             // SAFETY: `leaf` is protected by HP_LEAF.
             let leaf_ref = unsafe { s.leaf.deref() };
-            if leaf_ref.key == tkey {
-                // SAFETY: neither allocation was ever published.
-                unsafe {
-                    g.dealloc(new_leaf);
-                    g.dealloc(new_internal);
-                }
-                return false;
-            }
             // SAFETY: `parent` is protected by HP_PARENT.
             let parent_ref = unsafe { s.parent.deref() };
             let child_field = if tkey < parent_ref.key {
@@ -457,31 +542,44 @@ impl<K: Key, S: Smr> NmTree<K, S> {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(()) => return true,
+                Ok(()) => return Ok(()),
                 Err(observed) => {
                     // If the edge still leads to our leaf but is flagged or
                     // tagged, help the pending deletion before retrying.
                     if observed.untagged() == s.leaf && observed.tag() != 0 {
-                        self.cleanup(&mut g, &tkey, &s);
+                        self.cleanup(&mut *guard, &tkey, &s);
                     }
+                }
+            }
+            s = self.seek(&mut *guard, &tkey);
+            // SAFETY: `leaf` is protected by HP_LEAF.
+            if unsafe { s.leaf.deref() }.key == tkey {
+                // A concurrent insert won the race after our first seek.
+                // SAFETY: neither allocation was ever published; the router
+                // carries no value, the leaf carries the caller's — reclaim
+                // both blocks and hand the value back instead of dropping it.
+                unsafe {
+                    guard.dealloc(new_internal);
+                    let leaf = crate::take_unpublished(new_leaf);
+                    return Err(leaf.value.expect("unpublished leaf keeps its value"));
                 }
             }
         }
     }
 
-    fn remove_impl(&self, handle: &mut NmTreeHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
         // Injection phase: flag the edge to the victim leaf.
-        let mut target: Shared<TreeNode<K>> = Shared::null();
+        let mut target: Shared<TreeNode<K, V>> = Shared::null();
         let mut injected = false;
         loop {
-            let s = self.seek(&mut g, &tkey);
+            let s = self.seek(&mut *guard, &tkey);
             if !injected {
                 // SAFETY: protected by HP_LEAF.
                 let leaf_ref = unsafe { s.leaf.deref() };
                 if leaf_ref.key != tkey {
-                    return false;
+                    return None;
                 }
                 // SAFETY: protected by HP_PARENT.
                 let parent_ref = unsafe { s.parent.deref() };
@@ -490,6 +588,13 @@ impl<K: Key, S: Smr> NmTree<K, S> {
                 } else {
                     &parent_ref.right
                 };
+                // Pin the prospective victim in the dedicated slot *before*
+                // the injection CAS: the cleanup loop below re-seeks (and so
+                // recycles slots 0–4), but slot 5 keeps the evicted leaf
+                // protected until the caller's value borrow ends.  Durable by
+                // the §3.2 dup argument: the leaf is protected by HP_LEAF and
+                // was validated reachable when that protection was published.
+                guard.dup(HP_LEAF, HP_VICTIM);
                 match child_field.compare_exchange(
                     s.leaf,
                     s.leaf.with_tag(FLAG),
@@ -500,14 +605,14 @@ impl<K: Key, S: Smr> NmTree<K, S> {
                         // The deletion linearizes here (injection succeeded).
                         injected = true;
                         target = s.leaf;
-                        if self.cleanup(&mut g, &tkey, &s) {
-                            return true;
+                        if self.cleanup(&mut *guard, &tkey, &s) {
+                            break;
                         }
                     }
                     Err(observed) => {
                         if observed.untagged() == s.leaf && observed.tag() != 0 {
                             // Help the conflicting operation, then retry.
-                            self.cleanup(&mut g, &tkey, &s);
+                            self.cleanup(&mut *guard, &tkey, &s);
                         }
                     }
                 }
@@ -516,68 +621,41 @@ impl<K: Key, S: Smr> NmTree<K, S> {
                 if s.leaf != target {
                     // Someone else already pruned our chain (helping insert or
                     // another delete); the deletion is complete.
-                    return true;
+                    break;
                 }
-                if self.cleanup(&mut g, &tkey, &s) {
-                    return true;
+                if self.cleanup(&mut *guard, &tkey, &s) {
+                    break;
                 }
             }
         }
+        // SAFETY: `target` has been protected by HP_VICTIM since before the
+        // injection CAS, no traversal touches that slot, and the `&'g mut`
+        // guard borrow keeps it published for the borrow's lifetime — so the
+        // retired leaf cannot be reclaimed while the caller reads its value.
+        let leaf = unsafe { target.deref_guarded(&*guard) };
+        Some(
+            leaf.value
+                .as_ref()
+                .expect("a removed Fin leaf always carries a value"),
+        )
     }
 
-    fn contains_impl(&self, handle: &mut NmTreeHandle<S>, key: &K) -> bool {
-        let mut g = handle.smr.pin();
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
-        let s = self.seek(&mut g, &tkey);
+        let s = self.seek(&mut *guard, &tkey);
         // SAFETY: protected by HP_LEAF.
         unsafe { s.leaf.deref() }.key == tkey
     }
 
-    /// Collects the live keys in order (testing/diagnostics; must not run
-    /// concurrently with removals under robust schemes — see
-    /// [`HarrisList::collect_keys`](crate::HarrisList::collect_keys)).
-    pub fn collect_keys(&self, _handle: &mut NmTreeHandle<S>) -> Vec<K> {
+    fn collect(&self, _handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
         let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(node) = stack.pop() {
-            if node.is_null() {
-                continue;
-            }
-            // SAFETY: quiescent traversal (test/diagnostic use only).
-            let node_ref = unsafe { node.untagged().deref() };
-            let left = node_ref.left.load(Ordering::Acquire);
-            let right = node_ref.right.load(Ordering::Acquire);
-            if left.untagged().is_null() && right.untagged().is_null() {
-                if let TreeKey::Fin(k) = node_ref.key {
-                    out.push(k);
-                }
-            } else {
-                stack.push(left.untagged());
-                stack.push(right.untagged());
-            }
-        }
-        out.sort_unstable();
+        self.walk(|k, v| out.push((*k, v.clone())));
+        out.sort_unstable_by_key(|entry| entry.0);
         out
-    }
-}
-
-impl<K: Key, S: Smr> ConcurrentSet<K> for NmTree<K, S> {
-    type Handle = NmTreeHandle<S>;
-
-    fn handle(&self) -> Self::Handle {
-        NmTree::handle(self)
-    }
-
-    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
-        self.insert_impl(handle, key)
-    }
-
-    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.remove_impl(handle, key)
-    }
-
-    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.contains_impl(handle, key)
     }
 
     fn restart_count(&self) -> u64 {
@@ -585,7 +663,7 @@ impl<K: Key, S: Smr> ConcurrentSet<K> for NmTree<K, S> {
     }
 }
 
-impl<K, S: Smr> Drop for NmTree<K, S> {
+impl<K, S: Smr, V> Drop for NmTree<K, S, V> {
     fn drop(&mut self) {
         // Free every node still reachable from the root (sentinels included).
         let mut stack = vec![self.root];
@@ -609,6 +687,7 @@ impl<K, S: Smr> Drop for NmTree<K, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentSet;
     use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
 
     fn cfg() -> SmrConfig {

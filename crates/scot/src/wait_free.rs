@@ -27,7 +27,7 @@
 use crate::harris_list::{
     HarrisList, HarrisListHandle, Node, HP_ANCHOR, HP_CURR, HP_NEXT, HP_PREV,
 };
-use crate::{ConcurrentSet, Key, Stats};
+use crate::{Key, Stats, Value};
 use crossbeam_utils::CachePadded;
 use scot_smr::{Link, Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,7 +105,17 @@ macro_rules! impl_wf_key {
 }
 impl_wf_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Harris' list with SCOT traversals **and** the wait-free search extension.
+/// Harris' list with SCOT traversals **and** the wait-free search extension
+/// (`V = ()` gives the paper's `listwf` membership set).
+///
+/// Wait-freedom applies to **membership tests**
+/// ([`crate::ConcurrentSet::contains`] and the overridden
+/// [`crate::ConcurrentMap::contains`]): the helping protocol publishes a
+/// *boolean* answer, so a helped searcher finishes even while its own
+/// traversal keeps getting disrupted.  The value-returning
+/// [`crate::ConcurrentMap::get`] is lock-free only: handing out `&'g V`
+/// fundamentally requires the *caller's own* guard to protect the node, which
+/// a helper's protection cannot substitute for.
 ///
 /// ```
 /// use scot::{ConcurrentSet, WfHarrisList};
@@ -117,8 +127,8 @@ impl_wf_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// assert!(list.insert(&mut h, 3));
 /// assert!(list.contains(&mut h, &3));
 /// ```
-pub struct WfHarrisList<K, S: Smr> {
-    list: HarrisList<K, S>,
+pub struct WfHarrisList<K, S: Smr, V = ()> {
+    list: HarrisList<K, S, V>,
     records: Box<[CachePadded<HelpRecord>]>,
     record_slots: Arc<SlotRegistry>,
     stats: Stats,
@@ -139,7 +149,21 @@ pub struct WfListHandle<S: Smr> {
     local_tag: u64,
 }
 
-impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
+/// Critical-section guard for [`WfHarrisList`]: the underlying SMR guard plus
+/// mutable views of the handle's helping-protocol state, split-borrowed so the
+/// guard can drive `Help_Threads` bookkeeping while the SMR guard protects the
+/// traversal.
+pub struct WfGuard<'h, S: Smr> {
+    g: <S::Handle as SmrHandle>::Guard<'h>,
+    /// Index of this thread's announcement record (copied, not borrowed: it
+    /// never changes for the lifetime of the handle).
+    index: usize,
+    next_check: &'h mut usize,
+    next_tid: &'h mut usize,
+    local_tag: &'h mut u64,
+}
+
+impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
     /// Creates an empty list.  `max_threads` bounds the number of concurrently
     /// registered handles (it normally matches the SMR domain configuration).
     pub fn new(smr: Arc<S>, max_threads: usize) -> Self {
@@ -191,15 +215,15 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
     /// `Help_Threads` (Figure 7, L12-L26): every `DELAY` calls, examine one
     /// announcement record in round-robin order and return its request if one
     /// is pending.
-    fn poll_help_request(&self, handle: &mut WfListHandle<S>) -> Option<(K, HelpTag, usize)> {
-        handle.next_check -= 1;
-        if handle.next_check != 0 {
+    fn poll_help_request(&self, guard: &mut WfGuard<'_, S>) -> Option<(K, HelpTag, usize)> {
+        *guard.next_check -= 1;
+        if *guard.next_check != 0 {
             return None;
         }
-        handle.next_check = DELAY;
-        let curr_tid = handle.next_tid;
-        handle.next_tid = (curr_tid + 1) % self.records.len();
-        if curr_tid == handle.index {
+        *guard.next_check = DELAY;
+        let curr_tid = *guard.next_tid;
+        *guard.next_tid = (curr_tid + 1) % self.records.len();
+        if curr_tid == guard.index {
             return None;
         }
         let rec = &self.records[curr_tid];
@@ -216,21 +240,20 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
     }
 
     /// Helps at most one pending search request before an update operation.
-    fn maybe_help(&self, handle: &mut WfListHandle<S>) {
-        if let Some((key, tag, tid)) = self.poll_help_request(handle) {
-            let mut g = handle.inner.smr.pin();
-            self.slow_search(&mut g, &key, tid, tag);
+    fn maybe_help(&self, guard: &mut WfGuard<'_, S>) {
+        if let Some((key, tag, tid)) = self.poll_help_request(guard) {
+            self.slow_search(&mut guard.g, &key, tid, tag);
         }
     }
 
     /// `Request_Help` (Figure 7, L27-L32): publish the key and a fresh input
     /// tag in this thread's announcement record.
-    fn request_help(&self, handle: &mut WfListHandle<S>, key: K) -> HelpTag {
-        let rec = &self.records[handle.index];
+    fn request_help(&self, guard: &mut WfGuard<'_, S>, key: K) -> HelpTag {
+        let rec = &self.records[guard.index];
         rec.help_key.store(key.encode(), Ordering::Release);
-        let tag = HelpTag::input(handle.local_tag);
+        let tag = HelpTag::input(*guard.local_tag);
         rec.help_tag.store(tag.0, Ordering::Release);
-        handle.local_tag += 1;
+        *guard.local_tag += 1;
         tag
     }
 
@@ -258,7 +281,7 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
             }
             restarts += 1;
 
-            let mut prev: Link<Node<K>> = self.list.head.as_link();
+            let mut prev: Link<Node<K, V>> = self.list.head.as_link();
             let mut curr = g.protect(HP_CURR, &self.list.head);
             let mut next = if curr.is_null() {
                 Shared::null()
@@ -373,56 +396,75 @@ impl<K: WfKey, S: Smr> WfHarrisList<K, S> {
             found
         }
     }
-
-    fn insert_impl(&self, handle: &mut WfListHandle<S>, key: K) -> bool {
-        self.maybe_help(handle);
-        self.list.insert(&mut handle.inner, key)
-    }
-
-    fn remove_impl(&self, handle: &mut WfListHandle<S>, key: &K) -> bool {
-        self.maybe_help(handle);
-        self.list.remove(&mut handle.inner, key)
-    }
-
-    fn contains_impl(&self, handle: &mut WfListHandle<S>, key: &K) -> bool {
-        // Fast path: bounded number of ordinary SCOT traversals.
-        {
-            let mut g = handle.inner.smr.pin();
-            if let Some(found) = self.traverse(&mut g, key, Some(FAST_PATH_RESTARTS), || None) {
-                return found;
-            }
-        }
-        // Slow path: announce the request and search with helpers.
-        self.stats.record_recovery();
-        let tag = self.request_help(handle, *key);
-        let mut g = handle.inner.smr.pin();
-        self.slow_search(&mut g, key, handle.index, tag)
-    }
-
-    /// Collects the live keys (testing/diagnostics; see
-    /// [`HarrisList::collect_keys`]).
-    pub fn collect_keys(&self, handle: &mut WfListHandle<S>) -> Vec<K> {
-        self.list.collect_keys(&mut handle.inner)
-    }
 }
 
-impl<K: WfKey, S: Smr> ConcurrentSet<K> for WfHarrisList<K, S> {
+impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, S, V> {
     type Handle = WfListHandle<S>;
+    type Guard<'h>
+        = WfGuard<'h, S>
+    where
+        Self: 'h;
 
     fn handle(&self) -> Self::Handle {
         WfHarrisList::handle(self)
     }
 
-    fn insert(&self, handle: &mut Self::Handle, key: K) -> bool {
-        self.insert_impl(handle, key)
+    fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h> {
+        // Split-borrow the handle: the SMR guard takes the inner handle, the
+        // helping-protocol counters stay individually reachable.
+        let WfListHandle {
+            inner,
+            record_slots: _,
+            index,
+            next_check,
+            next_tid,
+            local_tag,
+        } = handle;
+        WfGuard {
+            g: inner.smr.pin(),
+            index: *index,
+            next_check,
+            next_tid,
+            local_tag,
+        }
     }
 
-    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.remove_impl(handle, key)
+    fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        // Lock-free, not wait-free: a value borrow must be backed by this
+        // thread's own protection (see the type-level documentation).
+        crate::ConcurrentMap::get(&self.list, &mut guard.g, key)
     }
 
-    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.contains_impl(handle, key)
+    fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
+        self.list.check_guard(&guard.g);
+        self.maybe_help(guard);
+        crate::ConcurrentMap::insert(&self.list, &mut guard.g, key, value)
+    }
+
+    fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
+        self.list.check_guard(&guard.g);
+        self.maybe_help(guard);
+        crate::ConcurrentMap::remove(&self.list, &mut guard.g, key)
+    }
+
+    fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
+        self.list.check_guard(&guard.g);
+        // Fast path: bounded number of ordinary SCOT traversals.
+        if let Some(found) = self.traverse(&mut guard.g, key, Some(FAST_PATH_RESTARTS), || None) {
+            return found;
+        }
+        // Slow path: announce the request and search with helpers.
+        self.stats.record_recovery();
+        let tag = self.request_help(guard, *key);
+        let index = guard.index;
+        self.slow_search(&mut guard.g, key, index, tag)
+    }
+
+    fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        crate::ConcurrentMap::collect(&self.list, &mut handle.inner)
     }
 
     fn restart_count(&self) -> u64 {
@@ -451,7 +493,17 @@ impl<S: Smr> Drop for WfListHandle<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentSet;
     use scot_smr::{Ebr, Hp, Hyaline, Ibr};
+
+    /// UFCS pin helper: the tests exercise `ConcurrentSet` method syntax, so
+    /// `ConcurrentMap` itself must stay out of scope (method-name overlap).
+    fn pin<'h, K: WfKey, S: Smr>(
+        list: &WfHarrisList<K, S>,
+        handle: &'h mut WfListHandle<S>,
+    ) -> WfGuard<'h, S> {
+        crate::ConcurrentMap::pin(list, handle)
+    }
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -515,28 +567,31 @@ mod tests {
         for i in 0..64 {
             list.insert(&mut searcher, i);
         }
+        let searcher_index = searcher.index;
         // Searcher announces a request but does not run the search yet.
-        let tag = list.request_help(&mut searcher, 17);
+        let tag = {
+            let mut sg = pin(&list, &mut searcher);
+            list.request_help(&mut sg, 17)
+        };
         // Helper finds the pending request by polling round-robin.
         let mut served = false;
+        let mut hg = pin(&list, &mut helper);
         for _ in 0..(DELAY * cfg().max_threads * 2) {
-            if let Some((key, t, tid)) = list.poll_help_request(&mut helper) {
+            if let Some((key, t, tid)) = list.poll_help_request(&mut hg) {
                 assert_eq!(key, 17);
-                assert_eq!(tid, searcher.index);
+                assert_eq!(tid, searcher_index);
                 assert_eq!(t, tag);
-                let mut g = helper.inner.smr.pin();
-                assert!(list.slow_search(&mut g, &key, tid, t));
+                assert!(list.slow_search(&mut hg.g, &key, tid, t));
                 served = true;
                 break;
             }
         }
         assert!(served, "helper never observed the pending request");
         // The searcher's own slow search immediately sees the published output.
-        let idx = searcher.index;
-        let mut g = searcher.inner.smr.pin();
-        assert!(list.slow_search(&mut g, &17, idx, tag));
+        let mut sg = pin(&list, &mut searcher);
+        assert!(list.slow_search(&mut sg.g, &17, searcher_index, tag));
         // The record now carries an output; a new request gets a fresh tag.
-        let tag2 = list.request_help(&mut searcher, 9999);
+        let tag2 = list.request_help(&mut sg, 9999);
         assert_ne!(tag2, tag);
     }
 
@@ -546,10 +601,12 @@ mod tests {
         // has moved on.
         let list: WfHarrisList<u64, Hp> = WfHarrisList::with_config(cfg());
         let mut a = list.handle();
-        let old_tag = list.request_help(&mut a, 1);
-        let new_tag = list.request_help(&mut a, 2);
+        let a_index = a.index;
+        let mut g = pin(&list, &mut a);
+        let old_tag = list.request_help(&mut g, 1);
+        let new_tag = list.request_help(&mut g, 2);
         assert_ne!(old_tag, new_tag);
-        let rec = &list.records[a.index];
+        let rec = &list.records[a_index];
         // Simulate a stale helper publishing for the old tag.
         assert!(rec
             .help_tag

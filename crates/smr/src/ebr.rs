@@ -15,7 +15,7 @@ use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +49,7 @@ impl Smr for Ebr {
     type Handle = EbrHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         let slots = (0..config.max_threads)
             .map(|_| {
                 CachePadded::new(EbrSlot {
@@ -67,15 +68,17 @@ impl Smr for Ebr {
         })
     }
 
-    fn register(self: &Arc<Self>) -> EbrHandle {
-        let slot = self.registry.claim();
-        EbrHandle {
+    fn try_register(self: &Arc<Self>) -> Result<EbrHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
+        Ok(EbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
             retire_count: 0,
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -226,6 +229,11 @@ impl Drop for EbrGuard<'_> {
 }
 
 impl SmrGuard for EbrGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
         // The epoch announcement made at `pin` already protects everything

@@ -20,7 +20,7 @@ use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +51,7 @@ impl Smr for He {
     type Handle = HeHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         let slots = (0..config.max_threads)
             .map(|_| {
                 CachePadded::new(HeSlot {
@@ -69,19 +70,21 @@ impl Smr for He {
         })
     }
 
-    fn register(self: &Arc<Self>) -> HeHandle {
-        let slot = self.registry.claim();
+    fn try_register(self: &Arc<Self>) -> Result<HeHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
         for e in &self.slots[slot].eras {
             e.store(NONE, Ordering::Relaxed);
         }
-        HeHandle {
+        Ok(HeHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
             alloc_count: 0,
             retire_count: 0,
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -249,6 +252,11 @@ impl HeGuard<'_> {
 }
 
 impl SmrGuard for HeGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T> {
         let eras = &self.handle.domain.slots[self.handle.slot].eras;

@@ -32,7 +32,7 @@ use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -65,6 +65,7 @@ impl Smr for Hp {
     type Handle = HpHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         let slots = (0..config.max_threads)
             .map(|_| CachePadded::new(HpSlot::new()))
             .collect();
@@ -78,17 +79,19 @@ impl Smr for Hp {
         })
     }
 
-    fn register(self: &Arc<Self>) -> HpHandle {
-        let slot = self.registry.claim();
+    fn try_register(self: &Arc<Self>) -> Result<HpHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
         for h in &self.slots[slot].hazards {
             h.store(0, Ordering::Relaxed);
         }
-        HpHandle {
+        Ok(HpHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -243,6 +246,11 @@ impl HpGuard<'_> {
 }
 
 impl SmrGuard for HpGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T> {
         // Figure 1 `protect`: publish, then verify the source still holds the

@@ -58,7 +58,7 @@ use crate::block::{header_of, Header};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,6 +108,7 @@ impl Smr for Hyaline {
     type Handle = HyalineHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         let slots = (0..config.max_threads)
             .map(|_| {
                 CachePadded::new(HySlot {
@@ -127,18 +128,20 @@ impl Smr for Hyaline {
         })
     }
 
-    fn register(self: &Arc<Self>) -> HyalineHandle {
-        let slot = self.registry.claim();
+    fn try_register(self: &Arc<Self>) -> Result<HyalineHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
         self.slots[slot].head.store(0, Ordering::Relaxed);
         self.slots[slot].era.store(0, Ordering::Relaxed);
-        HyalineHandle {
+        Ok(HyalineHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             batch: Vec::with_capacity(self.batch_capacity),
             batch_min_birth: u64::MAX,
             alloc_count: 0,
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -424,6 +427,11 @@ impl Drop for HyalineGuard<'_> {
 }
 
 impl SmrGuard for HyalineGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
         // Same publication protocol as IBR's upper bound: the era is published

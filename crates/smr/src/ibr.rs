@@ -18,7 +18,7 @@ use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +50,7 @@ impl Smr for Ibr {
     type Handle = IbrHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         let slots = (0..config.max_threads)
             .map(|_| {
                 CachePadded::new(IbrSlot {
@@ -69,18 +70,20 @@ impl Smr for Ibr {
         })
     }
 
-    fn register(self: &Arc<Self>) -> IbrHandle {
-        let slot = self.registry.claim();
+    fn try_register(self: &Arc<Self>) -> Result<IbrHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
         self.slots[slot].lower.store(u64::MAX, Ordering::Relaxed);
         self.slots[slot].upper.store(0, Ordering::Relaxed);
-        IbrHandle {
+        Ok(IbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             slot,
             limbo: Vec::new(),
             alloc_count: 0,
             retire_count: 0,
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -243,6 +246,11 @@ impl Drop for IbrGuard<'_> {
 }
 
 impl SmrGuard for IbrGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
         let slot = &self.handle.domain.slots[self.handle.slot];

@@ -65,9 +65,39 @@ use std::sync::Arc;
 /// Number of hazard/era slots available to each thread for each domain.
 ///
 /// Harris' list with SCOT needs 4 (`Hp0`–`Hp3`), the Natarajan-Mittal tree
-/// needs 5 (`Hp0`–`Hp4`); 8 leaves headroom for the skip list and future
-/// structures.
+/// needs 5 (`Hp0`–`Hp4`) plus a victim slot for its value-returning `remove`
+/// (`Hp5`); 8 leaves headroom for the skip list and future structures.
 pub const MAX_HAZARDS: usize = 8;
+
+/// Errors surfaced by the fallible SMR entry points ([`Smr::try_register`]
+/// and [`SmrConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmrError {
+    /// Every thread slot of the domain is claimed by a live handle; the domain
+    /// was created with a `max_threads` smaller than the peak number of
+    /// concurrently registered threads.
+    RegistryFull {
+        /// The domain's slot capacity (`SmrConfig::max_threads`).
+        capacity: usize,
+    },
+    /// A [`SmrConfig`] field is outside its valid range; the payload names the
+    /// offending constraint.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for SmrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmrError::RegistryFull { capacity } => write!(
+                f,
+                "all {capacity} thread slots are claimed; raise SmrConfig::max_threads"
+            ),
+            SmrError::InvalidConfig(what) => write!(f, "invalid SmrConfig: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SmrError {}
 
 /// Identifies a reclamation scheme; used by the benchmark harness to select
 /// schemes by name exactly like the paper's `./bench ... EBR ...` CLI.
@@ -198,6 +228,32 @@ impl SmrConfig {
         }
     }
 
+    /// Checks the configuration's invariants: at least one thread slot and a
+    /// retire threshold of at least one (a threshold of zero would make every
+    /// retire call attempt a scan *before* any node is in limbo, and several
+    /// amortization counters divide by it).
+    pub fn validate(&self) -> Result<(), SmrError> {
+        if self.max_threads == 0 {
+            return Err(SmrError::InvalidConfig("max_threads must be >= 1"));
+        }
+        if self.scan_threshold == 0 {
+            return Err(SmrError::InvalidConfig("scan_threshold must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Validating pass-through used by every scheme's constructor: returns the
+    /// configuration unchanged, or panics with a clear message naming the
+    /// violated constraint.  Domain construction has no fallible channel (it
+    /// returns `Arc<Self>`), so a misconfiguration is reported at the earliest
+    /// possible point instead of surfacing as a later index error.
+    pub fn validated(self) -> Self {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        self
+    }
+
     /// Absolute era increment frequency.
     pub fn epoch_freq(&self) -> usize {
         (self.epoch_freq_per_thread * self.max_threads).max(1)
@@ -237,14 +293,27 @@ impl SmrConfig {
 /// freely into worker threads without borrowing the data structure.
 pub trait Smr: Send + Sync + Sized + 'static {
     /// Per-thread state: hazard slots, era reservations, limbo list.
-    type Handle: SmrHandle + Send;
+    type Handle: SmrHandle + Send + 'static;
 
-    /// Creates a new domain.
+    /// Creates a new domain.  Panics if `config` violates its invariants
+    /// (see [`SmrConfig::validate`]).
     fn new(config: SmrConfig) -> Arc<Self>;
 
+    /// Registers the calling thread, claiming a thread slot; fails with
+    /// [`SmrError::RegistryFull`] when `config.max_threads` handles are
+    /// already live.  This is the entry point services should use when thread
+    /// counts are not statically bounded (e.g. a runtime-sized worker pool).
+    fn try_register(self: &Arc<Self>) -> Result<Self::Handle, SmrError>;
+
     /// Registers the calling thread, claiming a thread slot.  Panics if more
-    /// than `config.max_threads` handles are live simultaneously.
-    fn register(self: &Arc<Self>) -> Self::Handle;
+    /// than `config.max_threads` handles are live simultaneously; the
+    /// fallible variant is [`Smr::try_register`].
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        match self.try_register() {
+            Ok(handle) => handle,
+            Err(e) => panic!("SMR thread registration failed: {e}"),
+        }
+    }
 
     /// Number of retired-but-not-yet-reclaimed blocks across the whole domain.
     /// This is the quantity plotted in the paper's Figures 10–12b.
@@ -278,6 +347,12 @@ pub trait SmrHandle {
 /// Operations available inside a critical section.  The method set mirrors the
 /// paper's Figure 1 plus allocation and retirement.
 pub trait SmrGuard {
+    /// Address of the reclamation domain this guard publishes its protections
+    /// into.  Data structures use it as a brand: an operation handed a guard
+    /// from a *different* domain would publish hazard slots / epoch
+    /// announcements where no reclaimer of its own domain ever looks, so the
+    /// `scot` structures reject foreign guards with this one pointer compare.
+    fn domain_addr(&self) -> usize;
     /// Reads `src` and protects the result in hazard slot `idx`
     /// (`protect` in Figure 1).
     ///
@@ -355,6 +430,69 @@ mod tests {
         ] {
             assert!(k.is_robust(), "{k} should be robust");
         }
+    }
+
+    #[test]
+    fn try_register_surfaces_slot_exhaustion() {
+        let d = Hp::new(SmrConfig {
+            max_threads: 2,
+            ..SmrConfig::default()
+        });
+        let _a = d.try_register().expect("slot 0 must be free");
+        let _b = d.try_register().expect("slot 1 must be free");
+        assert_eq!(
+            d.try_register().err(),
+            Some(SmrError::RegistryFull { capacity: 2 })
+        );
+        drop(_a);
+        let _c = d.try_register().expect("released slot must be reclaimable");
+    }
+
+    #[test]
+    #[should_panic(expected = "raise SmrConfig::max_threads")]
+    fn register_panics_when_full() {
+        let d = Ebr::new(SmrConfig {
+            max_threads: 1,
+            ..SmrConfig::default()
+        });
+        let _a = d.register();
+        let _b = d.register();
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_values() {
+        let zero_threads = SmrConfig {
+            max_threads: 0,
+            ..SmrConfig::default()
+        };
+        assert_eq!(
+            zero_threads.validate(),
+            Err(SmrError::InvalidConfig("max_threads must be >= 1"))
+        );
+        let zero_scan = SmrConfig {
+            scan_threshold: 0,
+            ..SmrConfig::default()
+        };
+        assert_eq!(
+            zero_scan.validate(),
+            Err(SmrError::InvalidConfig("scan_threshold must be >= 1"))
+        );
+        assert!(SmrConfig::default().validate().is_ok());
+        // The error renders a human-readable constraint.
+        assert!(zero_scan
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains(">= 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads must be >= 1")]
+    fn domain_construction_rejects_invalid_config() {
+        let _ = Ibr::new(SmrConfig {
+            max_threads: 0,
+            ..SmrConfig::default()
+        });
     }
 
     #[test]

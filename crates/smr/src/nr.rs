@@ -15,7 +15,7 @@ use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
 use crate::registry::SlotRegistry;
-use crate::{Smr, SmrConfig, SmrGuard, SmrHandle, SmrKind};
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -31,6 +31,7 @@ impl Smr for Nr {
     type Handle = NrHandle;
 
     fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
         Arc::new(Self {
             registry: SlotRegistry::new(config.max_threads),
             retired: ShardedCounter::new(config.max_threads),
@@ -39,13 +40,15 @@ impl Smr for Nr {
         })
     }
 
-    fn register(self: &Arc<Self>) -> NrHandle {
-        let slot = self.registry.claim();
-        NrHandle {
+    fn try_register(self: &Arc<Self>) -> Result<NrHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
+        Ok(NrHandle {
             pool: BlockPool::new(self.pool.clone(), self.pool_capacity),
             domain: self.clone(),
             slot,
-        }
+        })
     }
 
     fn unreclaimed(&self) -> usize {
@@ -89,6 +92,11 @@ pub struct NrGuard<'g> {
 }
 
 impl SmrGuard for NrGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
     #[inline]
     fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
         src.load(Ordering::Acquire)

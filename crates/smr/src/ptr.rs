@@ -309,6 +309,27 @@ impl<T> Shared<T> {
     pub unsafe fn as_ref<'a>(&self) -> Option<&'a T> {
         self.as_ptr().as_ref()
     }
+
+    /// Dereferences the pointer, tying the borrow's lifetime to an SMR guard.
+    ///
+    /// This is the escape hatch that lets a guard-scoped map API hand out
+    /// `&'g V` borrows: the returned reference cannot outlive `guard`, so as
+    /// long as the caller upholds the protection contract below, the borrow is
+    /// sound under every scheme (HP/HE keep the covering hazard slot
+    /// published for the guard's lifetime; EBR/IBR/Hyaline keep the epoch/era
+    /// reservation active until the guard drops; NR never frees).
+    ///
+    /// # Safety
+    /// The pointee must be protected *for the remaining lifetime of `guard`*:
+    /// a hazard slot or era reservation covering it must stay in place — in
+    /// particular, no later operation on the same guard may overwrite the
+    /// covering hazard slot while the returned borrow is alive.  Taking
+    /// `guard` by shared reference means the borrow checker enforces exactly
+    /// that for callers who only mutate guards through `&mut`.
+    #[inline]
+    pub unsafe fn deref_guarded<'g, G: crate::SmrGuard>(&self, _guard: &'g G) -> &'g T {
+        &*self.as_ptr()
+    }
 }
 
 #[cfg(test)]

@@ -21,30 +21,39 @@ impl SlotRegistry {
     }
 
     /// Number of slots.
-    #[allow(dead_code)]
     pub fn capacity(&self) -> usize {
         self.used.len()
     }
 
-    /// Claims a free slot, returning its index.
-    ///
-    /// Panics if every slot is taken: this indicates the domain was created
-    /// with a `max_threads` smaller than the number of live handles, which is
-    /// a configuration error rather than a recoverable condition.
-    pub fn claim(&self) -> usize {
+    /// Attempts to claim a free slot, returning its index, or `None` when
+    /// every slot is taken.  This is the fallible primitive behind
+    /// [`crate::Smr::try_register`].
+    pub fn try_claim(&self) -> Option<usize> {
         for (i, flag) in self.used.iter().enumerate() {
             if !flag.load(Ordering::Relaxed)
                 && flag
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
             {
-                return i;
+                return Some(i);
             }
         }
-        panic!(
-            "SMR domain slot table exhausted ({} slots); raise SmrConfig::max_threads",
-            self.used.len()
-        );
+        None
+    }
+
+    /// Claims a free slot, returning its index.
+    ///
+    /// Panics if every slot is taken: this indicates the domain was created
+    /// with a `max_threads` smaller than the number of live handles, which is
+    /// a configuration error rather than a recoverable condition.  Callers
+    /// that want to surface the condition instead use [`SlotRegistry::try_claim`].
+    pub fn claim(&self) -> usize {
+        self.try_claim().unwrap_or_else(|| {
+            panic!(
+                "SMR domain slot table exhausted ({} slots); raise SmrConfig::max_threads",
+                self.used.len()
+            )
+        })
     }
 
     /// Releases a previously claimed slot.
@@ -87,6 +96,20 @@ mod tests {
         let r = SlotRegistry::new(1);
         let _a = r.claim();
         let _b = r.claim();
+    }
+
+    #[test]
+    fn try_claim_reports_exhaustion_without_panicking() {
+        let r = SlotRegistry::new(2);
+        assert_eq!(r.capacity(), 2);
+        let a = r.try_claim().unwrap();
+        let b = r.try_claim().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(r.try_claim(), None);
+        r.release(a);
+        assert_eq!(r.try_claim(), Some(a));
+        r.release(a);
+        r.release(b);
     }
 
     #[test]

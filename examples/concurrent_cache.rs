@@ -1,4 +1,4 @@
-//! A concurrent membership cache built on the lock-free hash map (an array of
+//! A concurrent key-value cache built on the lock-free hash map (an array of
 //! Harris lists, as the paper describes in §2.3), reclaimed by Hyaline-1S.
 //!
 //! Run with:
@@ -9,27 +9,68 @@
 //!
 //! The scenario mirrors the paper's motivation for robust reclamation in
 //! long-running services: many worker threads admit and evict entries from a
-//! shared cache at a high rate.  With EBR a single stalled worker would make
-//! the retired-entry backlog grow without bound; with Hyaline-1S (or HP/HE/
-//! IBR) the backlog stays bounded, and thanks to SCOT the cache still uses the
-//! fast optimistic-traversal list underneath.
+//! shared cache at a high rate.  Unlike a membership filter, this cache stores
+//! **real values** — each hit hands back a guard-scoped `&Entry` borrow, which
+//! is exactly the operation that is a use-after-free unless the reclamation
+//! scheme provably keeps the entry alive while the borrow exists.  With EBR a
+//! single stalled worker would make the retired-entry backlog grow without
+//! bound; with Hyaline-1S (or HP/HE/IBR) the backlog stays bounded, and thanks
+//! to SCOT the cache still uses the fast optimistic-traversal list underneath.
 
-use scot::{ConcurrentSet, HashMap};
+use scot::{ConcurrentMap, HashMap};
 use scot_smr::{Hyaline, Smr, SmrConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The cached value: a digest of the (simulated) expensive computation plus
+/// the payload bytes themselves.  The digest lets every hit validate the
+/// borrow it got back — a free sanity check on the reclamation scheme.
+struct Entry {
+    digest: u64,
+    payload: [u8; 48],
+}
+
+impl Entry {
+    /// "Renders" the entry for `key` — stands in for the expensive work a
+    /// real service would cache (a DB row, a compiled template, ...).
+    fn render(key: u64) -> Self {
+        let mut x = key.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut payload = [0u8; 48];
+        for b in payload.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        Self {
+            digest: payload
+                .iter()
+                .fold(key, |d, &b| d.rotate_left(5) ^ u64::from(b)),
+            payload,
+        }
+    }
+
+    fn verify(&self, key: u64) -> bool {
+        self.payload
+            .iter()
+            .fold(key, |d, &b| d.rotate_left(5) ^ u64::from(b))
+            == self.digest
+    }
+}
+
 fn main() {
     let threads = 4;
     let key_space = 100_000u64;
     let config = SmrConfig::for_threads(threads);
-    let cache: Arc<HashMap<u64, Hyaline>> = Arc::new(HashMap::new(1024, Hyaline::new(config)));
+    let cache: Arc<HashMap<u64, Hyaline, Entry>> =
+        Arc::new(HashMap::new(1024, Hyaline::new(config)));
 
     let hits = Arc::new(AtomicU64::new(0));
     let misses = Arc::new(AtomicU64::new(0));
     let admitted = Arc::new(AtomicU64::new(0));
     let evicted = Arc::new(AtomicU64::new(0));
+    let bytes_served = Arc::new(AtomicU64::new(0));
 
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -39,9 +80,11 @@ fn main() {
             let misses = misses.clone();
             let admitted = admitted.clone();
             let evicted = evicted.clone();
+            let bytes_served = bytes_served.clone();
             s.spawn(move || {
                 let mut handle = cache.handle();
                 let mut x = t.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                let mut served = 0u64;
                 while start.elapsed() < Duration::from_millis(750) {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -52,19 +95,31 @@ fn main() {
                     } else {
                         x % key_space
                     };
-                    if cache.contains(&mut handle, &key) {
+                    let mut guard = cache.pin(&mut handle);
+                    if let Some(entry) = cache.get(&mut guard, &key) {
+                        // The borrow lives under the guard: reading the
+                        // payload here is sound under Hyaline's protection.
+                        assert!(entry.verify(key), "cache served a corrupted entry");
+                        served += entry.payload.len() as u64;
                         hits.fetch_add(1, Ordering::Relaxed);
-                        // Periodically evict hot entries to force churn.
-                        if x % 8 == 0 && cache.remove(&mut handle, &key) {
-                            evicted.fetch_add(1, Ordering::Relaxed);
+                        // Periodically evict hot entries to force churn; the
+                        // evicted value is still readable through the guard.
+                        if x % 8 == 0 {
+                            if let Some(old) = cache.remove(&mut guard, &key) {
+                                assert!(old.verify(key));
+                                evicted.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     } else {
                         misses.fetch_add(1, Ordering::Relaxed);
-                        if cache.insert(&mut handle, key) {
+                        if cache.insert(&mut guard, key, Entry::render(key)).is_ok() {
                             admitted.fetch_add(1, Ordering::Relaxed);
                         }
+                        // On Err the rendered entry comes back and is dropped
+                        // here — a concurrent admit beat us to the key.
                     }
                 }
+                bytes_served.fetch_add(served, Ordering::Relaxed);
             });
         }
     });
@@ -77,6 +132,10 @@ fn main() {
         h,
         m,
         100.0 * h as f64 / (h + m).max(1) as f64
+    );
+    println!(
+        "served {} payload bytes from guard-scoped borrows",
+        bytes_served.load(Ordering::Relaxed)
     );
     println!(
         "admitted {} entries, evicted {}, resident ≈ {}",

@@ -13,6 +13,7 @@ fn tiny() -> ExperimentOptions {
         runs: 1,
         threads: vec![2],
         scale_large_range: 50_000,
+        value_bytes: 16,
     }
 }
 
@@ -72,6 +73,16 @@ fn tab2_reports_restarts_for_both_lists() {
 }
 
 #[test]
+fn cache_experiment_reads_values_under_every_scheme() {
+    let results = run_experiment("cache", &tiny(), |_| {}).unwrap();
+    assert_eq!(results.len(), SmrKind::ALL.len());
+    for r in &results {
+        assert!(r.ops > 0, "cache idle: {} under {}", r.ds, r.smr);
+        assert_eq!(r.ds, "HashMap");
+    }
+}
+
+#[test]
 fn all_experiment_ids_resolve() {
     let opts = tiny();
     for id in ALL_EXPERIMENTS {
@@ -94,6 +105,7 @@ fn custom_mix_run_matches_requested_shape() {
         sample_interval: Duration::from_millis(5),
         seed: 42,
         pool: true,
+        value_bytes: 0,
     };
     let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
     assert!(r.ops > 0);

@@ -1,0 +1,247 @@
+//! Cross-crate integration tests for the key-value `ConcurrentMap` API:
+//! every data structure, under representative SMR schemes, must behave as a
+//! map — `get` returns guard-scoped value borrows, `insert` hands rejected
+//! values back on conflict, `remove` exposes the evicted value — and value
+//! destructors must run exactly once no matter which path a value takes
+//! (reclaimed node, structure drop, or conflict give-back).
+
+use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        max_threads: 32,
+        scan_threshold: 16,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+        ..SmrConfig::default()
+    }
+}
+
+/// Sequential map semantics shared by every structure.
+fn check_map_semantics<M: ConcurrentMap<u64, String>>(map: &M) {
+    let mut h = map.handle();
+    {
+        let mut g = map.pin(&mut h);
+        assert!(map.get(&mut g, &10).is_none());
+        assert!(map.insert(&mut g, 10, "ten".into()).is_ok());
+        assert_eq!(
+            map.insert(&mut g, 10, "TEN".into()),
+            Err("TEN".to_string()),
+            "conflicting insert must return the rejected value"
+        );
+        assert!(map.insert(&mut g, 20, "twenty".into()).is_ok());
+        assert!(map.insert(&mut g, 15, "fifteen".into()).is_ok());
+        assert_eq!(map.get(&mut g, &10).map(String::as_str), Some("ten"));
+        assert_eq!(map.get(&mut g, &15).map(String::as_str), Some("fifteen"));
+        assert!(map.get(&mut g, &11).is_none());
+        assert!(map.contains(&mut g, &20));
+        assert!(!map.contains(&mut g, &21));
+        assert_eq!(
+            map.remove(&mut g, &15).map(String::as_str),
+            Some("fifteen"),
+            "remove must expose the evicted value under the guard"
+        );
+        assert!(map.remove(&mut g, &15).is_none());
+        assert!(map.get(&mut g, &15).is_none());
+        // Boundary keys.
+        assert!(map.insert(&mut g, 0, "zero".into()).is_ok());
+        assert!(map.insert(&mut g, u64::MAX, "max".into()).is_ok());
+        assert_eq!(map.get(&mut g, &0).map(String::as_str), Some("zero"));
+        assert_eq!(
+            map.remove(&mut g, &u64::MAX).map(String::as_str),
+            Some("max")
+        );
+        assert!(map.remove(&mut g, &0).is_some());
+    }
+    // The quiescent snapshot agrees, sorted by key.
+    assert_eq!(
+        map.collect(&mut h),
+        vec![(10, "ten".to_string()), (20, "twenty".to_string())]
+    );
+}
+
+macro_rules! map_semantics_tests {
+    ($($name:ident, $smr:ty);* $(;)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn harris_list() {
+                let map: HarrisList<u64, $smr, String> = HarrisList::with_config(cfg());
+                check_map_semantics(&map);
+            }
+
+            #[test]
+            fn harris_michael_list() {
+                let map: HarrisMichaelList<u64, $smr, String> =
+                    HarrisMichaelList::with_config(cfg());
+                check_map_semantics(&map);
+            }
+
+            #[test]
+            fn nm_tree() {
+                let map: NmTree<u64, $smr, String> = NmTree::with_config(cfg());
+                check_map_semantics(&map);
+            }
+
+            #[test]
+            fn wf_harris_list() {
+                let map: WfHarrisList<u64, $smr, String> = WfHarrisList::with_config(cfg());
+                check_map_semantics(&map);
+            }
+
+            #[test]
+            fn hash_map() {
+                let map: HashMap<u64, $smr, String> = HashMap::with_config(16, cfg());
+                check_map_semantics(&map);
+            }
+        }
+    )*};
+}
+
+map_semantics_tests! {
+    under_nr, Nr;
+    under_ebr, Ebr;
+    under_hp, Hp;
+    under_he, He;
+    under_ibr, Ibr;
+    under_hyaline, Hyaline;
+}
+
+/// A guard pinned from one map's handle must be rejected by a different map
+/// (different reclamation domain): its protections land in the wrong domain's
+/// slot tables, so running the operation would be a silent use-after-free
+/// window.  The brand check turns that into a deterministic panic.
+#[test]
+#[should_panic(expected = "different map's reclamation domain")]
+fn foreign_guard_is_rejected() {
+    let a: HarrisList<u64, Hp, String> = HarrisList::with_config(cfg());
+    let b: HarrisList<u64, Hp, String> = HarrisList::with_config(cfg());
+    let mut ha = a.handle();
+    let mut hb = b.handle();
+    {
+        let mut gb = b.pin(&mut hb);
+        assert!(b.insert(&mut gb, 1, "own-domain ops work".into()).is_ok());
+    }
+    let mut ga = a.pin(&mut ha);
+    let _ = b.get(&mut ga, &1); // guard from a's domain handed to b
+}
+
+/// A value whose drops are counted, so leaks and double frees are visible.
+struct Counted(Arc<AtomicUsize>);
+
+impl Drop for Counted {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Every value must be dropped exactly once, whichever of the three exits it
+/// takes: SMR reclamation after `remove`, the conflict give-back of `insert`
+/// (which must *not* drop — the caller gets the value back), or the
+/// structure's destructor for entries still present at the end.
+#[test]
+fn value_destructors_run_exactly_once() {
+    fn run<S: Smr>() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut live = 0usize;
+        let mut total = 0usize;
+        {
+            let domain = S::new(cfg());
+            let map: HarrisList<u64, S, Counted> = HarrisList::new(domain.clone());
+            let mut h = map.handle();
+            for i in 0..256u64 {
+                let mut g = map.pin(&mut h);
+                assert!(map.insert(&mut g, i, Counted(drops.clone())).is_ok());
+                total += 1;
+                live += 1;
+            }
+            // Conflicts: the rejected value comes back and is dropped by us,
+            // exactly once, on this side of the API.
+            for i in 0..64u64 {
+                let mut g = map.pin(&mut h);
+                let rejected = map.insert(&mut g, i, Counted(drops.clone()));
+                assert!(rejected.is_err());
+                total += 1;
+                drop(rejected); // the Err(value) drop is the caller's
+            }
+            for i in (0..256u64).step_by(2) {
+                let mut g = map.pin(&mut h);
+                assert!(map.remove(&mut g, &i).is_some());
+                live -= 1;
+            }
+            h.flush();
+            drop(h);
+            // Map dropped here: frees all remaining reachable nodes; the
+            // domain drop releases anything still parked in orphan lists.
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            total,
+            "every allocated value must be dropped exactly once \
+             (live at drop: {live})"
+        );
+    }
+    run::<Hp>();
+    run::<Ebr>();
+    run::<Hyaline>();
+}
+
+/// Concurrent kv churn: stable keys keep readable, coherent values while
+/// volatile keys are inserted/removed/read from every thread.
+#[test]
+fn concurrent_value_reads_stay_coherent() {
+    fn run<S: Smr>() {
+        let map: Arc<HashMap<u64, S, u64>> = Arc::new(HashMap::with_config(32, cfg()));
+        {
+            let mut h = map.handle();
+            for k in 0..64u64 {
+                let mut g = map.pin(&mut h);
+                assert!(map.insert(&mut g, k * 2, !(k * 2)).is_ok());
+            }
+        }
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let map = map.clone();
+                s.spawn(move || {
+                    let mut h = map.handle();
+                    let mut x = (t + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                    for _ in 0..4000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let volatile = (x % 64) * 2 + 1;
+                        let mut g = map.pin(&mut h);
+                        match x % 3 {
+                            0 => {
+                                let _ = map.insert(&mut g, volatile, !volatile);
+                            }
+                            1 => {
+                                if let Some(v) = map.remove(&mut g, &volatile) {
+                                    assert_eq!(*v, !volatile, "evicted value corrupted");
+                                }
+                            }
+                            _ => {
+                                if let Some(v) = map.get(&mut g, &volatile) {
+                                    assert_eq!(*v, !volatile, "read value corrupted");
+                                }
+                            }
+                        }
+                        let stable = (x % 64) * 2;
+                        assert_eq!(
+                            map.get(&mut g, &stable).copied(),
+                            Some(!stable),
+                            "stable key {stable} lost or corrupted"
+                        );
+                    }
+                });
+            }
+        });
+    }
+    run::<Hp>();
+    run::<Ibr>();
+    run::<Hyaline>();
+}

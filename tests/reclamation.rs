@@ -167,6 +167,123 @@ fn every_node_dropped_exactly_once() {
     );
 }
 
+/// Guard-scoped value reads under reclamation churn: a `get` borrow must
+/// never observe a torn or freed value, because the guard's protection (the
+/// hazard slot / era interval backing the `&'g V`) outlives the borrow.  This
+/// is the runtime half of the guard-lifetime argument — the compile-time half
+/// lives in the `ConcurrentMap` compile-fail doc-tests.
+///
+/// Lives in its own module because the `ConcurrentMap` import would otherwise
+/// make the set-style calls above ambiguous.
+mod value_reads_under_churn {
+    use super::cfg;
+    use scot::{ConcurrentMap, HarrisList};
+    use scot_smr::{Hp, Ibr, Smr, SmrHandle};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Redundantly encoded value: `check` fails on any torn, stale or
+    /// recycled read (`b` is the complement of `a`, and `a` encodes the key).
+    struct Pair {
+        a: u64,
+        b: u64,
+    }
+
+    impl Pair {
+        fn new(key: u64) -> Self {
+            let a = key.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            Self { a, b: !a }
+        }
+
+        fn check(&self, key: u64) -> bool {
+            self.a == (key.wrapping_mul(0x9e3779b97f4a7c15) | 1) && self.b == !self.a
+        }
+    }
+
+    fn churn<S: Smr>() {
+        let domain = S::new(cfg());
+        let list: Arc<HarrisList<u64, S, Pair>> = Arc::new(HarrisList::new(domain.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        const KEYS: u64 = 128;
+        std::thread::scope(|s| {
+            // Two writers: insert/remove the whole key range and flush
+            // aggressively so retired nodes are reclaimed (and pool-recycled)
+            // while readers still hold guard-scoped borrows.
+            for t in 0..2u64 {
+                let list = list.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = i % KEYS;
+                        {
+                            let mut g = list.pin(&mut h);
+                            let _ = list.insert(&mut g, k, Pair::new(k));
+                        }
+                        {
+                            let mut g = list.pin(&mut h);
+                            let _ = list.remove(&mut g, &k);
+                        }
+                        if i.is_multiple_of(64) {
+                            h.flush();
+                        }
+                        i += 1;
+                    }
+                    h.flush();
+                });
+            }
+            // Four readers: every successful get's value must verify, and the
+            // evicted value returned by a successful remove must too.
+            for t in 0..4u64 {
+                let list = list.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut x = t + 1;
+                    for round in 0..30_000u64 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % KEYS;
+                        let mut g = list.pin(&mut h);
+                        if let Some(v) = list.get(&mut g, &k) {
+                            assert!(
+                                v.check(k),
+                                "get({k}) observed a torn/freed value \
+                                 (a={:#x}, b={:#x}) at round {round}",
+                                v.a,
+                                v.b
+                            );
+                        }
+                        drop(g);
+                        if round == 15_000 && t == 0 {
+                            // Half-way through, stop the writers so the test
+                            // also covers the quiescent tail.
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut h = domain.register();
+        h.flush();
+        drop(h);
+        drop(list);
+    }
+
+    #[test]
+    fn hp_guard_protects_value_borrows() {
+        churn::<Hp>();
+    }
+
+    #[test]
+    fn ibr_guard_protects_value_borrows() {
+        churn::<Ibr>();
+    }
+}
+
 /// The tree must likewise reclaim everything after mixed concurrent churn.
 #[test]
 fn tree_reclaims_everything_after_concurrent_churn() {

@@ -37,6 +37,9 @@ fn check_set_semantics<C: ConcurrentSet<u64>>(set: &C) {
     assert!(set.contains(&mut h, &u64::MAX));
     assert!(set.remove(&mut h, &0));
     assert!(set.remove(&mut h, &u64::MAX));
+    // The trait-level snapshot works identically for every structure: sorted,
+    // duplicate-free, and in agreement with the operations above.
+    assert_eq!(set.collect_keys(&mut h), vec![10, 20]);
 }
 
 macro_rules! semantics_tests {
