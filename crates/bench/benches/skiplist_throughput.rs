@@ -1,0 +1,61 @@
+//! Skip-list throughput — the sixth-structure extension of the reproduction.
+//!
+//! The skip list is the canonical multi-level optimistic-traversal structure
+//! of the SMR literature; this bench sweeps it under every scheme family the
+//! paper evaluates, at the paper's headline 50% read / 50% write mix, for a
+//! cache-resident and a larger key range.  The expected shape mirrors the
+//! Harris-list figures: the robust schemes (HP/HE/IBR/Hyaline) track EBR
+//! closely because the per-level SCOT validation — not eager unlinking — is
+//! what buys their compatibility.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot_harness::{run_fixed_ops, DsKind, RunConfig, SmrKind};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn bench_key_range(c: &mut Criterion, group_name: &str, key_range: u64) {
+    let threads = 2;
+    let schemes = [
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+        SmrKind::Hyaline,
+    ];
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for smr in schemes {
+        let id = BenchmarkId::new(DsKind::SkipList.name(), smr.name());
+        group.bench_function(id, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = RunConfig::paper_default(threads, key_range);
+                    let (_, elapsed, _) =
+                        run_fixed_ops(DsKind::SkipList, smr, &cfg, OPS_PER_THREAD);
+                    total += Duration::from_secs_f64(elapsed);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn skiplist_small(c: &mut Criterion) {
+    bench_key_range(c, "skiplist_range_512", 512);
+}
+
+fn skiplist_large(c: &mut Criterion) {
+    bench_key_range(c, "skiplist_range_10000", 10_000);
+}
+
+criterion_group!(benches, skiplist_small, skiplist_large);
+criterion_main!(benches);

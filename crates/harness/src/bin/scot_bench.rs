@@ -18,7 +18,7 @@
 //! ```
 
 use scot_harness::experiments::{
-    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment,
+    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment, skiplist_table,
     ExperimentOptions, ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
@@ -26,7 +26,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -141,6 +141,7 @@ fn cmd_exp(args: &[String]) {
             "tab2" => println!("\n{}", restart_table(&results)),
             "pool" => println!("\n{}", pool_table(&results)),
             "cache" => println!("\n{}", cache_table(&results, opts.value_bytes)),
+            "skiplist" => println!("\n{}", skiplist_table(&results)),
             _ => {}
         }
         if let Some(dir) = &json_dir {

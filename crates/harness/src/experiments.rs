@@ -17,6 +17,7 @@
 //! | tab1   | Table 1    | compatibility matrix (every DS × every SMR) |
 //! | tab2   | Table 2    | restart statistics, HP, key range 10,000 |
 //! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
+//! | skiplist | (extension) | skip-list 50r/50w sweep over all nine scheme variants |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
 //! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
@@ -88,12 +89,12 @@ pub struct ExperimentSpec {
     pub memory_metric: bool,
 }
 
-/// All experiment identifiers, in paper order (the `pool` ablation and the
-/// key-value `cache` workload are this reproduction's own additions and come
-/// last).
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+/// All experiment identifiers, in paper order (the `pool` ablation, the
+/// key-value `cache` workload and the `skiplist` structure sweep are this
+/// reproduction's own additions and come last).
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool", "cache",
+    "tab1", "tab2", "pool", "cache", "skiplist",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -240,6 +241,14 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 8192,
             memory_metric: false,
         },
+        "skiplist" => ExperimentSpec {
+            id: "skiplist",
+            description: "Skip-list sweep: 50% read / 50% write over every SMR scheme variant",
+            structures: vec![DsKind::SkipList],
+            schemes: SmrKind::ALL.to_vec(),
+            key_range: 10_000,
+            memory_metric: false,
+        },
         _ => return None,
     };
     Some(s)
@@ -259,7 +268,9 @@ pub fn run_experiment(
     if id == "cache" {
         return Some(run_cache_experiment(&spec, opts, progress));
     }
-    let thread_counts: Vec<usize> = if id == "tab1" {
+    // Single-point presets render one table row per scheme at the largest
+    // requested thread count instead of sweeping the full thread range.
+    let thread_counts: Vec<usize> = if id == "tab1" || id == "skiplist" {
         vec![*opts.threads.last().unwrap_or(&2)]
     } else {
         opts.threads.clone()
@@ -401,6 +412,33 @@ pub fn pool_table(results: &[RunResult]) -> String {
     out
 }
 
+/// Renders the skip-list sweep as a per-scheme table: throughput, the sampled
+/// reclamation backlog (n/a where the paper skips it — Hyaline — and where
+/// nothing is ever reclaimed — NR) and the traversal restarts the recovery
+/// ladder could not absorb.
+pub fn skiplist_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Skip-list sweep: 50% read / 25% insert / 25% delete, every scheme variant\n");
+    out.push_str(&format!(
+        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>12}\n",
+        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>12}\n",
+            r.ds,
+            r.smr,
+            r.threads,
+            r.ops_per_sec,
+            r.avg_unreclaimed
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "n/a".into()),
+            r.restarts,
+        ));
+    }
+    out
+}
+
 /// Renders a compatibility matrix (Table 1) from smoke-run results: a
 /// structure is "compatible" with a scheme if its runs completed operations.
 pub fn compatibility_matrix(results: &[RunResult]) -> String {
@@ -520,6 +558,24 @@ mod tests {
         let table = cache_table(&results, opts.value_bytes);
         assert!(table.contains("16-byte values"));
         assert!(table.contains("HashMap"));
+        assert!(table.contains("HLN"), "table:\n{table}");
+    }
+
+    #[test]
+    fn quick_skiplist_sweep_covers_all_nine_schemes() {
+        let opts = ExperimentOptions::quick();
+        let results = run_experiment("skiplist", &opts, |_| {}).unwrap();
+        // 1 structure × 9 scheme variants, single thread point.
+        assert_eq!(results.len(), SmrKind::ALL.len());
+        for smr in SmrKind::ALL {
+            assert!(
+                results.iter().any(|r| r.smr == smr.name() && r.ops > 0),
+                "skip-list sweep idle under {smr}"
+            );
+        }
+        let table = skiplist_table(&results);
+        assert!(table.contains("SkipList"));
+        assert!(table.contains("restarts"));
         assert!(table.contains("HLN"), "table:\n{table}");
     }
 

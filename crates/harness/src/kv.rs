@@ -18,7 +18,7 @@
 use crate::workload::{
     hash_buckets, smr_config, summarize_samples, DsKind, FastRng, RunConfig, RunResult, TimedOutput,
 };
-use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrKind};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -156,6 +156,11 @@ fn with_kv_target<R>(
                 ),
                 DsKind::HashMap => make_target(
                     HashMap::<u64, $scheme, Payload>::new(hash_buckets(key_range), domain.clone()),
+                    domain,
+                    track_memory,
+                ),
+                DsKind::SkipList => make_target(
+                    SkipList::<u64, $scheme, Payload>::new(domain.clone()),
                     domain,
                     track_memory,
                 ),

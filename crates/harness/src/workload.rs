@@ -1,7 +1,7 @@
 //! Workload generator and runner: the Rust counterpart of the C++ benchmark
 //! the paper extends (prefill, timed mixed workload, memory-overhead sampler).
 
-use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrKind};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,22 +50,28 @@ pub enum DsKind {
     Tree,
     /// Hash map built from Harris lists (extension, Table 1).
     HashMap,
+    /// Lock-free skip list with per-level SCOT validation (extension; the
+    /// canonical multi-level optimistic-traversal structure).
+    SkipList,
 }
 
 impl DsKind {
-    /// All kinds, in the order the figures present them.
-    pub const ALL: [DsKind; 5] = [
+    /// All six kinds: the paper's figure order (baseline list first, then the
+    /// SCOT lists, then the tree), followed by this reproduction's two
+    /// extensions (hash map, skip list) in the order they were added.
+    pub const ALL: [DsKind; 6] = [
         DsKind::HmList,
         DsKind::ListLf,
         DsKind::ListWf,
         DsKind::Tree,
         DsKind::HashMap,
+        DsKind::SkipList,
     ];
 
     /// Parses the artifact's names (`listlf`, `listwf`, `hmlist`, `tree`,
-    /// `hashmap`), case-insensitively.  Every [`DsKind::name`] display name
-    /// (`hlist`, `hlist-wf`, `nmtree`, ...) parses back to its kind, so result
-    /// tables round-trip through the CLI.
+    /// `hashmap`, `skiplist`), case-insensitively.  Every [`DsKind::name`]
+    /// display name (`hlist`, `hlist-wf`, `nmtree`, ...) parses back to its
+    /// kind, so result tables round-trip through the CLI.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "listlf" | "hlist" | "harris" => Some(DsKind::ListLf),
@@ -73,6 +79,7 @@ impl DsKind {
             "hmlist" | "listhm" | "harris-michael" => Some(DsKind::HmList),
             "tree" | "nmtree" => Some(DsKind::Tree),
             "hashmap" | "hash" | "map" => Some(DsKind::HashMap),
+            "skiplist" | "slist" | "skip-list" => Some(DsKind::SkipList),
             _ => None,
         }
     }
@@ -85,6 +92,7 @@ impl DsKind {
             DsKind::HmList => "HMList",
             DsKind::Tree => "NMTree",
             DsKind::HashMap => "HashMap",
+            DsKind::SkipList => "SkipList",
         }
     }
 }
@@ -328,6 +336,17 @@ fn with_target<R>(
                         set,
                         unreclaimed: Arc::new(move || d.unreclaimed()),
                         restarts: Arc::new(move || s.restart_count()),
+                        track_memory,
+                    }))
+                }
+                DsKind::SkipList => {
+                    let set: Arc<SkipList<u64, $scheme>> = Arc::new(SkipList::new(domain.clone()));
+                    let d = domain.clone();
+                    let s = set.clone();
+                    f(TargetAny::from(Target {
+                        set,
+                        unreclaimed: Arc::new(move || d.unreclaimed()),
+                        restarts: Arc::new(move || s.restarts()),
                         track_memory,
                     }))
                 }
@@ -608,7 +627,16 @@ mod tests {
         assert_eq!(DsKind::parse("hmlist"), Some(DsKind::HmList));
         assert_eq!(DsKind::parse("tree"), Some(DsKind::Tree));
         assert_eq!(DsKind::parse("hashmap"), Some(DsKind::HashMap));
+        assert_eq!(DsKind::parse("skiplist"), Some(DsKind::SkipList));
+        assert_eq!(DsKind::parse("SKIP-LIST"), Some(DsKind::SkipList));
+        assert_eq!(DsKind::parse("slist"), Some(DsKind::SkipList));
         assert_eq!(DsKind::parse("bogus"), None);
+        // The enumeration covers all six structures exactly once.
+        assert_eq!(DsKind::ALL.len(), 6);
+        let mut names: Vec<&str> = DsKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "display names must be unique");
     }
 
     #[test]

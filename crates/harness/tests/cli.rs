@@ -27,10 +27,51 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2", "pool", "cache",
+        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
+}
+
+#[test]
+fn exp_skiplist_sweeps_every_scheme_and_renders_the_table() {
+    // This is also the exact invocation the CI smoke step runs.
+    let out = scot_bench(&[
+        "exp",
+        "skiplist",
+        "--seconds",
+        "0.05",
+        "--runs",
+        "1",
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "exp skiplist must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    for smr in [
+        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
+    ] {
+        assert!(text.contains(smr), "skiplist table missing {smr}:\n{text}");
+    }
+    assert!(
+        text.contains("SkipList") && text.contains("restarts"),
+        "skiplist table must name the structure and the restart column:\n{text}"
+    );
+}
+
+#[test]
+fn run_arm_accepts_the_skiplist_structure() {
+    let out = scot_bench(&["run", "skiplist", "0.05", "64", "1", "50", "25", "25", "HP"]);
+    assert!(out.status.success(), "run must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("SkipList"),
+        "row output missing ds name:\n{text}"
+    );
 }
 
 #[test]

@@ -24,6 +24,10 @@
 //!   stalled searchers through a per-thread announcement array.
 //! * [`HashMap`] — a lock-free hash map realized, exactly as the paper notes,
 //!   as an array of Harris lists (the hash-map row of Table 1).
+//! * [`SkipList`] — a lock-free skip list whose every level is a Harris-style
+//!   ordered list with per-level SCOT validation; traversal failures restart
+//!   from the highest still-valid level rather than from the head (extension
+//!   along the same axis as Table 1, exercising multi-level dangerous zones).
 //!
 //! All structures are **key-value maps**: every node carries a value `V` next
 //! to its key, and the read path is *guard-scoped* — [`ConcurrentMap::get`]
@@ -44,12 +48,14 @@ pub mod harris_list;
 pub mod hash_map;
 pub mod hm_list;
 pub mod nm_tree;
+pub mod skip_list;
 pub mod wait_free;
 
 pub use harris_list::HarrisList;
 pub use hash_map::HashMap;
 pub use hm_list::HarrisMichaelList;
 pub use nm_tree::NmTree;
+pub use skip_list::SkipList;
 pub use wait_free::WfHarrisList;
 
 /// Marker bounds required of keys stored in the maps.

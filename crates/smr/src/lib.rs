@@ -66,7 +66,10 @@ use std::sync::Arc;
 ///
 /// Harris' list with SCOT needs 4 (`Hp0`–`Hp3`), the Natarajan-Mittal tree
 /// needs 5 (`Hp0`–`Hp4`) plus a victim slot for its value-returning `remove`
-/// (`Hp5`); 8 leaves headroom for the skip list and future structures.
+/// (`Hp5`), and the skip list needs 7 (`Hp0`–`Hp3` for the per-level
+/// traversal, `Hp4` as the restart-from-highest-valid-level anchor, `Hp5` for
+/// the removal victim, `Hp6` for the inserter's own tower); 8 leaves headroom
+/// for future structures.
 pub const MAX_HAZARDS: usize = 8;
 
 /// Errors surfaced by the fallible SMR entry points ([`Smr::try_register`]

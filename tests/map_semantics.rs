@@ -5,7 +5,7 @@
 //! destructors must run exactly once no matter which path a value takes
 //! (reclaimed node, structure drop, or conflict give-back).
 
-use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -98,6 +98,12 @@ macro_rules! map_semantics_tests {
                 let map: HashMap<u64, $smr, String> = HashMap::with_config(16, cfg());
                 check_map_semantics(&map);
             }
+
+            #[test]
+            fn skip_list() {
+                let map: SkipList<u64, $smr, String> = SkipList::with_config(cfg());
+                check_map_semantics(&map);
+            }
         }
     )*};
 }
@@ -187,6 +193,52 @@ fn value_destructors_run_exactly_once() {
     }
     run::<Hp>();
     run::<Ebr>();
+    run::<Hyaline>();
+}
+
+/// The same exactly-once guarantee through the skip list, whose values take a
+/// fourth exit on top of the three above: a tower retired by the *builder*
+/// after a removal handed retirement off mid-build.  Multi-height towers also
+/// recycle through several pool layout bins at once, so a bin mix-up would
+/// surface here as a missed or doubled drop.
+#[test]
+fn skip_list_value_destructors_run_exactly_once() {
+    fn run<S: Smr>() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut total = 0usize;
+        {
+            let domain = S::new(cfg());
+            let map: SkipList<u64, S, Counted> = SkipList::new(domain.clone());
+            let mut h = map.handle();
+            for i in 0..256u64 {
+                let mut g = map.pin(&mut h);
+                assert!(map.insert(&mut g, i, Counted(drops.clone())).is_ok());
+                total += 1;
+            }
+            // Conflict give-back: the rejected value comes back as Err and is
+            // dropped by the caller, exactly once.
+            for i in 0..64u64 {
+                let mut g = map.pin(&mut h);
+                let rejected = map.insert(&mut g, i, Counted(drops.clone()));
+                assert!(rejected.is_err());
+                total += 1;
+                drop(rejected);
+            }
+            for i in (0..256u64).step_by(2) {
+                let mut g = map.pin(&mut h);
+                assert!(map.remove(&mut g, &i).is_some());
+            }
+            h.flush();
+            drop(h);
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            total,
+            "every skip-list value must be dropped exactly once"
+        );
+    }
+    run::<Hp>();
+    run::<Ibr>();
     run::<Hyaline>();
 }
 

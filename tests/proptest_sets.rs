@@ -4,7 +4,7 @@
 //! arbitrary inputs.
 
 use proptest::prelude::*;
-use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
 use scot_smr::{Ebr, Hp, Hyaline, Smr, SmrConfig, SmrHandle};
 use std::collections::BTreeSet;
 
@@ -118,6 +118,40 @@ proptest! {
     fn hash_map_matches_btreeset(ops in prop::collection::vec(op_strategy(), 1..400)) {
         let set: HashMap<u64, Hp> = HashMap::with_config(8, cfg());
         check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn skip_list_matches_btreeset_under_hp(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: SkipList<u64, Hp> = SkipList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn skip_list_matches_btreeset_under_ebr(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let set: SkipList<u64, Ebr> = SkipList::with_config(cfg());
+        check_against_oracle(&set, &ops);
+    }
+
+    #[test]
+    fn skip_list_retire_sequences_never_leak(keys in prop::collection::vec(any::<u16>(), 1..200)) {
+        // Arbitrary insert/remove sequences through multi-height towers,
+        // followed by quiescence, must leave zero unreclaimed blocks.
+        let domain = Hp::new(cfg());
+        {
+            let list: SkipList<u64, Hp> = SkipList::new(domain.clone());
+            let mut h = list.handle();
+            for &k in &keys {
+                list.insert(&mut h, k as u64);
+            }
+            for &k in &keys {
+                list.remove(&mut h, &(k as u64));
+            }
+            h.flush();
+        }
+        let mut h = domain.register();
+        h.flush();
+        drop(h);
+        prop_assert_eq!(domain.unreclaimed(), 0);
     }
 
     #[test]

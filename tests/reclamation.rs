@@ -2,7 +2,7 @@
 //! premature frees under load, and the robustness behaviour (Theorem 1 versus
 //! EBR's unbounded growth) that motivates the whole paper.
 
-use scot::{ConcurrentSet, HarrisList, NmTree};
+use scot::{ConcurrentSet, HarrisList, NmTree, SkipList};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Smr, SmrConfig, SmrHandle};
 use std::sync::Arc;
 
@@ -282,6 +282,119 @@ mod value_reads_under_churn {
     fn ibr_guard_protects_value_borrows() {
         churn::<Ibr>();
     }
+}
+
+/// Skip-list churn under the restricted schemes, with the block pool both on
+/// and off: retired towers must stay bounded while threads churn (no
+/// accumulation from the multi-level unlink/handshake protocol) and account
+/// to exactly zero at quiescence.  This is the acceptance gate for the
+/// skip-list's claim of full reclamation-scheme compatibility.
+fn skiplist_churn_bounded_and_drained<S: Smr>(pool: bool) {
+    let scan_threshold = 16usize;
+    let max_threads = 16usize;
+    let config = SmrConfig {
+        max_threads,
+        scan_threshold,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+        pool_capacity: Some(if pool { 32 } else { 0 }),
+    };
+    let domain = S::new(config);
+    let list: Arc<SkipList<u64, S>> = Arc::new(SkipList::new(domain.clone()));
+    const WORKERS: u64 = 4;
+    const CHURN: u64 = 1500;
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let list = list.clone();
+            s.spawn(move || {
+                let mut h = list.handle();
+                for i in 0..CHURN {
+                    let k = t * 100_000 + (i % 256);
+                    list.insert(&mut h, k);
+                    list.remove(&mut h, &k);
+                }
+                // No final flush here: the backlog assertion below must see
+                // whatever the amortized scans left behind.
+            });
+        }
+    });
+    // Quiescent (exact) read before any explicit flush: the leftover backlog
+    // is at most the robust bound of hazards plus per-thread limbo slack —
+    // never proportional to the 4 × 1500 removals the workers performed.
+    let bound = scot_smr::MAX_HAZARDS * max_threads + max_threads * scan_threshold;
+    let seen = domain.unreclaimed();
+    assert!(
+        seen <= bound,
+        "{} (pool={pool}): churn backlog {seen} exceeds robust bound {bound} \
+         (churned {} nodes)",
+        domain.name(),
+        WORKERS * CHURN
+    );
+    let mut h = list.handle();
+    for _ in 0..4 {
+        h.flush();
+    }
+    drop(h);
+    assert_eq!(
+        domain.unreclaimed(),
+        0,
+        "{} (pool={pool}): retired towers must all be reclaimed after quiescence",
+        domain.name()
+    );
+}
+
+#[test]
+fn skiplist_churn_bounded_under_hp_with_pool() {
+    skiplist_churn_bounded_and_drained::<Hp>(true);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_hp_without_pool() {
+    skiplist_churn_bounded_and_drained::<Hp>(false);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_ibr_with_pool() {
+    skiplist_churn_bounded_and_drained::<Ibr>(true);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_ibr_without_pool() {
+    skiplist_churn_bounded_and_drained::<Ibr>(false);
+}
+
+/// The skip list under the remaining reclaiming schemes must also drain to
+/// zero at quiescence (the robustness *bound* above is HP/IBR-specific, the
+/// no-leak property is universal).
+#[test]
+fn skiplist_churn_then_quiesce_all_schemes() {
+    fn run<S: Smr>() {
+        let domain = S::new(cfg());
+        let list: Arc<SkipList<u64, S>> = Arc::new(SkipList::new(domain.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let list = list.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..1000u64 {
+                        let k = t * 100_000 + (i % 256);
+                        list.insert(&mut h, k);
+                        list.remove(&mut h, &k);
+                    }
+                    h.flush();
+                });
+            }
+        });
+        let mut h = list.handle();
+        for _ in 0..4 {
+            h.flush();
+        }
+        drop(h);
+        assert_eq!(domain.unreclaimed(), 0, "{}", domain.name());
+    }
+    run::<Ebr>();
+    run::<He>();
+    run::<Hyaline>();
 }
 
 /// The tree must likewise reclaim everything after mixed concurrent churn.

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: every data structure under every SMR scheme
 //! must behave as a set, and the harness must be able to drive all of them.
 
-use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, WfHarrisList};
+use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, SmrConfig};
 use std::sync::Arc;
 
@@ -74,6 +74,12 @@ macro_rules! semantics_tests {
             #[test]
             fn hash_map() {
                 let set: HashMap<u64, $smr> = HashMap::with_config(16, cfg());
+                check_set_semantics(&set);
+            }
+
+            #[test]
+            fn skip_list() {
+                let set: SkipList<u64, $smr> = SkipList::with_config(cfg());
                 check_set_semantics(&set);
             }
         }
@@ -159,6 +165,11 @@ macro_rules! concurrency_tests {
             fn harris_michael_list_concurrent() {
                 concurrent_consistency(Arc::new(HarrisMichaelList::<u32, $smr>::with_config(cfg())));
             }
+
+            #[test]
+            fn skip_list_concurrent() {
+                concurrent_consistency(Arc::new(SkipList::<u32, $smr>::with_config(cfg())));
+            }
         }
     )*};
 }
@@ -169,4 +180,48 @@ concurrency_tests! {
     concurrent_under_ibr, Ibr;
     concurrent_under_hyaline, Hyaline;
     concurrent_under_ebr, Ebr;
+}
+
+/// All six structures driven through the same operation tape end up with the
+/// same key set — the `ConcurrentSet` adapter makes them interchangeable
+/// behind one interface, which is what lets the harness sweep the structure
+/// axis of the compatibility matrix.
+#[test]
+fn all_six_structures_agree_on_one_tape() {
+    fn drive<C: ConcurrentSet<u64>>(set: &C) -> Vec<u64> {
+        let mut h = set.handle();
+        let mut x = 0x5c07u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 97;
+            match x % 3 {
+                0 => {
+                    set.insert(&mut h, k);
+                }
+                1 => {
+                    set.remove(&mut h, &k);
+                }
+                _ => {
+                    set.contains(&mut h, &k);
+                }
+            }
+        }
+        set.collect_keys(&mut h)
+    }
+
+    let reference = drive(&HarrisList::<u64, Hp>::with_config(cfg()));
+    assert!(!reference.is_empty(), "tape must leave residual keys");
+    assert_eq!(
+        drive(&HarrisMichaelList::<u64, Hp>::with_config(cfg())),
+        reference
+    );
+    assert_eq!(drive(&NmTree::<u64, Hp>::with_config(cfg())), reference);
+    assert_eq!(
+        drive(&WfHarrisList::<u64, Hp>::with_config(cfg())),
+        reference
+    );
+    assert_eq!(drive(&HashMap::<u64, Hp>::with_config(8, cfg())), reference);
+    assert_eq!(drive(&SkipList::<u64, Hp>::with_config(cfg())), reference);
 }
