@@ -1,0 +1,65 @@
+//! Range-scan throughput — the workload class opened by the shared traversal
+//! cursor (`scot::traverse`) and the guard-scoped `ConcurrentMap::range` API.
+//!
+//! The scan-heavy mix (80% scans / 20% writes) keeps marked chains appearing
+//! in front of the scanners, so the numbers measure exactly the path the
+//! cursor centralizes: safe-zone stepping, dangerous-zone validation and the
+//! park/re-seek recovery of a disrupted scan.  Two window widths separate the
+//! re-positioning cost (short scans ≈ one seek each) from the stepping cost
+//! (long scans amortize the seek over many in-place advances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scot_harness::{run_fixed_ops, DsKind, Mix, RunConfig, SmrKind};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 5_000;
+const KEY_RANGE: u64 = 8192;
+
+fn bench_scan_len(c: &mut Criterion, group_name: &str, scan_len: u64) {
+    let threads = 2;
+    let schemes = [
+        SmrKind::Nr,
+        SmrKind::Ebr,
+        SmrKind::Hp,
+        SmrKind::HpOpt,
+        SmrKind::Ibr,
+        SmrKind::He,
+        SmrKind::Hyaline,
+    ];
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    for ds in [DsKind::SkipList, DsKind::Tree] {
+        for smr in schemes {
+            let id = BenchmarkId::new(ds.name(), smr.name());
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut cfg = RunConfig::paper_default(threads, KEY_RANGE);
+                        cfg.mix = Mix::SCAN_HEAVY;
+                        cfg.scan_len = scan_len;
+                        let (_, elapsed, _) = run_fixed_ops(ds, smr, &cfg, OPS_PER_THREAD);
+                        total += Duration::from_secs_f64(elapsed);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn scan_short(c: &mut Criterion) {
+    bench_scan_len(c, "range_scan_len_16", 16);
+}
+
+fn scan_long(c: &mut Criterion) {
+    bench_scan_len(c, "range_scan_len_256", 256);
+}
+
+criterion_group!(benches, scan_short, scan_long);
+criterion_main!(benches);

@@ -4,29 +4,32 @@
 //! Usage:
 //!
 //! ```text
-//! scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>
+//! scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]
 //! scot-bench exp <experiment-id | all> [--quick] [--seconds N] [--runs N] [--json DIR]
 //! scot-bench list
 //! ```
 //!
-//! Examples (the first mirrors the paper's `./bench listlf 2 512 1 50 25 25 EBR 4`):
+//! Examples (the first mirrors the paper's `./bench listlf 2 512 1 50 25 25 EBR 4`;
+//! the third adds 20% range scans of 64 keys each to the mix):
 //!
 //! ```text
 //! scot-bench run listlf 2 512 4 50 25 25 EBR
 //! scot-bench exp fig8a --quick
+//! scot-bench run skiplist 2 8192 4 40 20 20 HP 20 64
+//! scot-bench exp scan --quick
 //! scot-bench exp all --seconds 2 --json results/
 //! ```
 
 use scot_harness::experiments::{
-    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment, skiplist_table,
-    ExperimentOptions, ALL_EXPERIMENTS,
+    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment, scan_table,
+    skiplist_table, ExperimentOptions, ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR>\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -40,7 +43,7 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
 }
 
 fn cmd_run(args: &[String]) {
-    if args.len() != 8 {
+    if !(8..=10).contains(&args.len()) {
         usage();
     }
     let ds = DsKind::parse(&args[0]).unwrap_or_else(|| usage());
@@ -51,8 +54,10 @@ fn cmd_run(args: &[String]) {
     let ins: u32 = parse(&args[5], "insert%");
     let del: u32 = parse(&args[6], "delete%");
     let smr = SmrKind::parse(&args[7]).unwrap_or_else(|| usage());
-    if u64::from(read) + u64::from(ins) + u64::from(del) != 100 {
-        eprintln!("operation mix must sum to 100% (got {read}+{ins}+{del})");
+    let scan: u32 = args.get(8).map_or(0, |a| parse(a, "scan%"));
+    let scan_len: u64 = args.get(9).map_or(64, |a| parse(a, "scan_len"));
+    if u64::from(read) + u64::from(ins) + u64::from(del) + u64::from(scan) != 100 {
+        eprintln!("operation mix must sum to 100% (got {read}+{ins}+{del}+{scan})");
         std::process::exit(2);
     }
     let cfg = RunConfig {
@@ -62,12 +67,14 @@ fn cmd_run(args: &[String]) {
             read_pct: read,
             insert_pct: ins,
             delete_pct: del,
+            scan_pct: scan,
         },
         duration: Duration::from_secs_f64(seconds),
         sample_interval: Duration::from_millis(10),
         seed: 0x5c07,
         pool: true,
         value_bytes: 0,
+        scan_len,
     };
     let result = run_timed(ds, smr, &cfg);
     println!("{}", result.row());
@@ -112,6 +119,13 @@ fn cmd_exp(args: &[String]) {
                 i += 1;
                 opts.value_bytes = parse(&args[i], "--value-bytes");
             }
+            "--scan-lens" => {
+                i += 1;
+                opts.scan_lens = args[i]
+                    .split(',')
+                    .map(|t| parse(t, "--scan-lens"))
+                    .collect();
+            }
             "--json" => {
                 i += 1;
                 json_dir = Some(args[i].clone());
@@ -142,6 +156,7 @@ fn cmd_exp(args: &[String]) {
             "pool" => println!("\n{}", pool_table(&results)),
             "cache" => println!("\n{}", cache_table(&results, opts.value_bytes)),
             "skiplist" => println!("\n{}", skiplist_table(&results)),
+            "scan" => println!("\n{}", scan_table(&results)),
             _ => {}
         }
         if let Some(dir) = &json_dir {

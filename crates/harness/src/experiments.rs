@@ -18,6 +18,7 @@
 //! | tab2   | Table 2    | restart statistics, HP, key range 10,000 |
 //! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
 //! | skiplist | (extension) | skip-list 50r/50w sweep over all nine scheme variants |
+//! | scan   | (extension) | guard-scoped range scans, scan-length sweep × all nine scheme variants |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
 //! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
@@ -45,6 +46,9 @@ pub struct ExperimentOptions {
     /// Padding bytes per stored value in the key-value `cache` experiment
     /// (the `--value-bytes` CLI knob).
     pub value_bytes: usize,
+    /// Scan-window widths swept by the `scan` experiment (the `--scan-lens`
+    /// CLI knob).
+    pub scan_lens: Vec<u64>,
 }
 
 impl Default for ExperimentOptions {
@@ -55,6 +59,7 @@ impl Default for ExperimentOptions {
             threads: default_thread_counts(),
             scale_large_range: 50,
             value_bytes: 64,
+            scan_lens: vec![16, 64, 256],
         }
     }
 }
@@ -68,6 +73,7 @@ impl ExperimentOptions {
             threads: vec![1, 2],
             scale_large_range: 5_000,
             value_bytes: 64,
+            scan_lens: vec![8, 64],
         }
     }
 }
@@ -92,9 +98,9 @@ pub struct ExperimentSpec {
 /// All experiment identifiers, in paper order (the `pool` ablation, the
 /// key-value `cache` workload and the `skiplist` structure sweep are this
 /// reproduction's own additions and come last).
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool", "cache", "skiplist",
+    "tab1", "tab2", "pool", "cache", "skiplist", "scan",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -249,6 +255,15 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 10_000,
             memory_metric: false,
         },
+        "scan" => ExperimentSpec {
+            id: "scan",
+            description: "Guard-scoped range scans: scan-length sweep, every SMR scheme variant, \
+                 oracle-checked output (skip list + NM tree)",
+            structures: vec![DsKind::SkipList, DsKind::Tree],
+            schemes: SmrKind::ALL.to_vec(),
+            key_range: 8192,
+            memory_metric: false,
+        },
         _ => return None,
     };
     Some(s)
@@ -267,6 +282,9 @@ pub fn run_experiment(
     }
     if id == "cache" {
         return Some(run_cache_experiment(&spec, opts, progress));
+    }
+    if id == "scan" {
+        return Some(run_scan_experiment(&spec, opts, progress));
     }
     // Single-point presets render one table row per scheme at the largest
     // requested thread count instead of sweeping the full thread range.
@@ -356,6 +374,79 @@ fn run_cache_experiment(
     results
 }
 
+/// Runs the range-scan experiment: the scan-heavy mix of [`Mix::SCAN_HEAVY`]
+/// (80% guard-scoped scans over a churning key space) swept over every scheme
+/// variant and every scan length in `opts.scan_lens`.  Every scan's output is
+/// oracle-checked in the hot loop (window bounds, uniqueness, ascending order
+/// for the ordered structures), so a run that completes at all certifies
+/// scan correctness under that scheme.
+fn run_scan_experiment(
+    spec: &ExperimentSpec,
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&RunResult),
+) -> Vec<RunResult> {
+    let mut results = Vec::new();
+    let threads = *opts.threads.last().unwrap_or(&2);
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            for &scan_len in &opts.scan_lens {
+                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
+                cfg.duration = opts.duration;
+                cfg.mix = Mix::SCAN_HEAVY;
+                cfg.scan_len = scan_len;
+                let mut runs: Vec<RunResult> =
+                    (0..opts.runs).map(|_| run_timed(ds, smr, &cfg)).collect();
+                runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+                let median = runs.swap_remove(runs.len() / 2);
+                progress(&median);
+                results.push(median);
+            }
+        }
+    }
+    results
+}
+
+/// Renders the scan experiment: throughput and scanned-key volume per
+/// (structure, scheme, scan length), with the uniform restart/recovery
+/// columns.  `keys/scan` is the average scan yield — about half the window
+/// width at the harness's 50% prefill density.
+pub fn scan_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Range-scan sweep: 80% guard-scoped scans / 10% insert / 10% delete, \
+         oracle-checked output\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:<8}{:>8}{:>10}{:>14}{:>16}{:>11}{:>10}{:>12}\n",
+        "structure",
+        "scheme",
+        "threads",
+        "scan_len",
+        "ops/s",
+        "keys scanned",
+        "keys/scan",
+        "restarts",
+        "recoveries"
+    ));
+    for r in results {
+        // Scans are scan_pct% of all completed operations.
+        let scan_ops = (r.ops as f64 * f64::from(Mix::SCAN_HEAVY.scan_pct) / 100.0).max(1.0);
+        out.push_str(&format!(
+            "{:<10}{:<8}{:>8}{:>10}{:>14.0}{:>16}{:>11.1}{:>10}{:>12}\n",
+            r.ds,
+            r.smr,
+            r.threads,
+            r.scan_len,
+            r.ops_per_sec,
+            r.scanned_keys,
+            r.scanned_keys as f64 / scan_ops,
+            r.restarts,
+            r.recoveries,
+        ));
+    }
+    out
+}
+
 /// Renders the cache experiment as a per-scheme table: value-read throughput
 /// plus the sampled reclamation backlog (n/a where the paper skips it).
 pub fn cache_table(results: &[RunResult], value_bytes: usize) -> String {
@@ -364,12 +455,12 @@ pub fn cache_table(results: &[RunResult], value_bytes: usize) -> String {
         "Key-value cache workload: 90% get / 5% insert / 5% remove, {value_bytes}-byte values\n"
     ));
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>18}\n",
-        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)"
+        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
+        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts", "recoveries"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>18}\n",
+            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
             r.ds,
             r.smr,
             r.threads,
@@ -377,6 +468,8 @@ pub fn cache_table(results: &[RunResult], value_bytes: usize) -> String {
             r.avg_unreclaimed
                 .map(|v| format!("{v:.1}"))
                 .unwrap_or_else(|| "n/a".into()),
+            r.restarts,
+            r.recoveries,
         ));
     }
     out
@@ -388,8 +481,15 @@ pub fn pool_table(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str("Block-pool ablation, write-only mix (50% insert / 50% delete)\n");
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>16}{:>12}\n",
-        "structure", "scheme", "threads", "pool-on ops/s", "pool-off ops/s", "delta"
+        "{:<12}{:<8}{:>8}{:>16}{:>16}{:>10}{:>12}{:>12}\n",
+        "structure",
+        "scheme",
+        "threads",
+        "pool-on ops/s",
+        "pool-off ops/s",
+        "restarts",
+        "recoveries",
+        "delta"
     ));
     for on in results {
         let Some(base) = on.smr.strip_suffix("+pool") else {
@@ -405,8 +505,15 @@ pub fn pool_table(results: &[RunResult]) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>16.0}{:>+11.1}%\n",
-            on.ds, base, on.threads, on.ops_per_sec, off.ops_per_sec, delta
+            "{:<12}{:<8}{:>8}{:>16.0}{:>16.0}{:>10}{:>12}{:>+11.1}%\n",
+            on.ds,
+            base,
+            on.threads,
+            on.ops_per_sec,
+            off.ops_per_sec,
+            on.restarts,
+            on.recoveries,
+            delta
         ));
     }
     out
@@ -420,12 +527,12 @@ pub fn skiplist_table(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str("Skip-list sweep: 50% read / 25% insert / 25% delete, every scheme variant\n");
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>12}\n",
-        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts"
+        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
+        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts", "recoveries"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>12}\n",
+            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
             r.ds,
             r.smr,
             r.threads,
@@ -434,6 +541,7 @@ pub fn skiplist_table(results: &[RunResult]) -> String {
                 .map(|v| format!("{v:.1}"))
                 .unwrap_or_else(|| "n/a".into()),
             r.restarts,
+            r.recoveries,
         ));
     }
     out
@@ -466,8 +574,8 @@ pub fn restart_table(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str("Restart statistics under HP, key range 10,000 (paper Table 2)\n");
     out.push_str(&format!(
-        "{:<12}{:>10}{:>16}{:>16}{:>12}\n",
-        "structure", "threads", "restarts", "ops/sec", "restart %"
+        "{:<12}{:>10}{:>16}{:>12}{:>16}{:>12}\n",
+        "structure", "threads", "restarts", "recoveries", "ops/sec", "restart %"
     ));
     for r in results {
         let pct = if r.ops > 0 {
@@ -476,8 +584,8 @@ pub fn restart_table(results: &[RunResult]) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<12}{:>10}{:>16}{:>16.0}{:>11.2}%\n",
-            r.ds, r.threads, r.restarts, r.ops_per_sec, pct
+            "{:<12}{:>10}{:>16}{:>12}{:>16.0}{:>11.2}%\n",
+            r.ds, r.threads, r.restarts, r.recoveries, r.ops_per_sec, pct
         ));
     }
     out

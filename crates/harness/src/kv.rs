@@ -18,7 +18,10 @@
 use crate::workload::{
     hash_buckets, smr_config, summarize_samples, DsKind, FastRng, RunConfig, RunResult, TimedOutput,
 };
-use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
+use scot::{
+    ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan, SkipList,
+    TraversalSnapshot, WfHarrisList,
+};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrKind};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,8 +82,9 @@ impl Payload {
 struct KvTarget<C> {
     map: Arc<C>,
     unreclaimed: Arc<dyn Fn() -> usize + Send + Sync>,
-    restarts: Arc<dyn Fn() -> u64 + Send + Sync>,
+    stats: Arc<dyn Fn() -> TraversalSnapshot + Send + Sync>,
     track_memory: bool,
+    ordered: bool,
 }
 
 /// Boxed timed-run entry point of a monomorphized kv target.
@@ -103,7 +107,7 @@ where
 }
 
 /// Wraps a freshly built map and its domain into the type-erased target.
-fn make_target<C, D>(map: C, domain: Arc<D>, track_memory: bool) -> KvTargetAny
+fn make_target<C, D>(map: C, domain: Arc<D>, track_memory: bool, ordered: bool) -> KvTargetAny
 where
     C: ConcurrentMap<u64, Payload>,
     D: Smr,
@@ -113,8 +117,9 @@ where
     KvTargetAny::from(KvTarget {
         map,
         unreclaimed: Arc::new(move || domain.unreclaimed()),
-        restarts: Arc::new(move || m.restart_count()),
+        stats: Arc::new(move || m.traversal_stats()),
         track_memory,
+        ordered,
     })
 }
 
@@ -133,36 +138,43 @@ fn with_kv_target<R>(
             let cfg = smr_config(smr, threads, pool);
             let domain = <$scheme as Smr>::new(cfg.clone());
             let track_memory = smr != SmrKind::Hyaline;
+            let ordered = ds.is_ordered();
             let target = match ds {
                 DsKind::ListLf => make_target(
                     HarrisList::<u64, $scheme, Payload>::new(domain.clone()),
                     domain,
                     track_memory,
+                    ordered,
                 ),
                 DsKind::ListWf => make_target(
                     WfHarrisList::<u64, $scheme, Payload>::new(domain.clone(), cfg.max_threads),
                     domain,
                     track_memory,
+                    ordered,
                 ),
                 DsKind::HmList => make_target(
                     HarrisMichaelList::<u64, $scheme, Payload>::new(domain.clone()),
                     domain,
                     track_memory,
+                    ordered,
                 ),
                 DsKind::Tree => make_target(
                     NmTree::<u64, $scheme, Payload>::new(domain.clone()),
                     domain,
                     track_memory,
+                    ordered,
                 ),
                 DsKind::HashMap => make_target(
                     HashMap::<u64, $scheme, Payload>::new(hash_buckets(key_range), domain.clone()),
                     domain,
                     track_memory,
+                    ordered,
                 ),
                 DsKind::SkipList => make_target(
                     SkipList::<u64, $scheme, Payload>::new(domain.clone()),
                     domain,
                     track_memory,
+                    ordered,
                 ),
             };
             f(target)
@@ -233,10 +245,12 @@ fn kv_op_loop<C: ConcurrentMap<u64, Payload>>(
     cfg: &RunConfig,
     stop: &AtomicBool,
     thread_idx: usize,
-) -> u64 {
+    ordered: bool,
+) -> (u64, u64) {
     let mut handle = map.handle();
     let mut rng = FastRng::new(cfg.seed ^ (thread_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
     let mut ops = 0u64;
+    let mut scanned = 0u64;
     // Accumulated so the value reads cannot be optimized away.
     let mut sink = 0u64;
     loop {
@@ -259,15 +273,57 @@ fn kv_op_loop<C: ConcurrentMap<u64, Payload>>(
             }
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
             let _ = map.insert(&mut g, key, Payload::new(key, cfg.value_bytes));
-        } else if let Some(v) = map.remove(&mut g, &key) {
-            // The evicted value is still readable under the guard.
-            sink = sink.wrapping_add(v.stamp());
+        } else if op < cfg.mix.read_pct + cfg.mix.insert_pct + cfg.mix.delete_pct {
+            if let Some(v) = map.remove(&mut g, &key) {
+                // The evicted value is still readable under the guard.
+                sink = sink.wrapping_add(v.stamp());
+            }
+        } else {
+            // Range scan: every yielded value is read and integrity-checked
+            // under the guard, so a scan that ever hands out a reclaimed or
+            // torn payload is caught on the spot.
+            let lo = key;
+            let hi = lo.saturating_add(cfg.scan_len.max(1));
+            let mut scan = map.scan(&mut g, lo, Some(hi));
+            let mut prev: Option<u64> = None;
+            // Unordered (hash-map) scans: uniqueness is dedup-checked after
+            // the scan, since ascending order cannot prove it there.
+            let mut seen: Vec<u64> = Vec::new();
+            while let Some((k, v)) = scan.next_entry() {
+                assert!(
+                    (lo..hi).contains(&k),
+                    "kv scan [{lo}, {hi}) yielded out-of-window key {k}"
+                );
+                if ordered {
+                    assert!(
+                        prev.is_none_or(|p| p < k),
+                        "kv scan [{lo}, {hi}) yielded {k} after {prev:?}"
+                    );
+                } else {
+                    seen.push(k);
+                }
+                assert!(
+                    v.quick_check(k),
+                    "scan yielded a corrupted value for key {k}: stamp={} — \
+                     this is a reclamation bug",
+                    v.stamp()
+                );
+                prev = Some(k);
+                sink = sink.wrapping_add(v.stamp());
+                scanned += 1;
+            }
+            if !ordered {
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                assert_eq!(seen.len(), len, "kv scan [{lo}, {hi}) yielded duplicates");
+            }
         }
         drop(g);
         ops += 1;
     }
     std::hint::black_box(sink);
-    ops
+    (ops, scanned)
 }
 
 fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
@@ -283,6 +339,7 @@ fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
     );
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
+    let total_scanned = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let mut samples = Vec::new();
     std::thread::scope(|s| {
@@ -290,10 +347,13 @@ fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
             let map = target.map.clone();
             let stop = stop.clone();
             let total_ops = total_ops.clone();
+            let total_scanned = total_scanned.clone();
+            let ordered = target.ordered;
             let cfg = cfg.clone();
             s.spawn(move || {
-                let ops = kv_op_loop(map.as_ref(), &cfg, &stop, t);
+                let (ops, scanned) = kv_op_loop(map.as_ref(), &cfg, &stop, t, ordered);
                 total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_scanned.fetch_add(scanned, Ordering::Relaxed);
             });
         }
         // The main thread doubles as the memory-overhead sampler.
@@ -315,7 +375,8 @@ fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
         total_ops.load(Ordering::Relaxed),
         elapsed,
         samples,
-        (target.restarts)(),
+        (target.stats)(),
+        total_scanned.load(Ordering::Relaxed),
     )
 }
 
@@ -324,7 +385,7 @@ fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
 /// value-reading `get` in the mix and `cfg.value_bytes` of padding per value.
 pub fn run_timed_kv(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
     cfg.mix.validate();
-    let (ops, elapsed, samples, restarts) =
+    let (ops, elapsed, samples, stats, scanned_keys) =
         with_kv_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
             (t.run_timed)(cfg)
         });
@@ -338,7 +399,14 @@ pub fn run_timed_kv(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
         ops_per_sec: ops as f64 / elapsed,
         avg_unreclaimed: avg,
         max_unreclaimed: max,
-        restarts,
+        restarts: stats.restarts,
+        recoveries: stats.recoveries,
+        scan_len: if cfg.mix.scan_pct > 0 {
+            cfg.scan_len
+        } else {
+            0
+        },
+        scanned_keys,
         elapsed_secs: elapsed,
     }
 }

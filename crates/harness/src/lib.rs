@@ -4,9 +4,11 @@
 //!
 //! * every run **prefills** the structure with unique keys drawn from 50% of
 //!   the key range;
-//! * worker threads execute a read/insert/delete mix (50/25/25 for the
-//!   "50% read – 50% write" workload of Figures 8-12; 90/5/5 and 0/50/50 are
-//!   also available) over uniformly random keys for a fixed duration;
+//! * worker threads execute a read/insert/delete/scan mix (50/25/25 for the
+//!   "50% read – 50% write" workload of Figures 8-12; 90/5/5, 0/50/50 and the
+//!   scan-heavy 80%-range-scan mix are also available) over uniformly random
+//!   keys for a fixed duration — every measured range scan is oracle-checked
+//!   (window bounds, uniqueness, ordering) as it runs;
 //! * throughput is reported in operations per second and the **memory
 //!   overhead** as the average number of retired-but-not-yet-reclaimed
 //!   objects, sampled periodically during the run (Figures 10-12b);

@@ -1,7 +1,10 @@
 //! Workload generator and runner: the Rust counterpart of the C++ benchmark
 //! the paper extends (prefill, timed mixed workload, memory-overhead sampler).
 
-use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
+use scot::{
+    ConcurrentMap, ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan,
+    SkipList, TraversalSnapshot, WfHarrisList,
+};
 use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrKind};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +98,14 @@ impl DsKind {
             DsKind::SkipList => "SkipList",
         }
     }
+
+    /// Whether the structure's range scans yield keys in globally ascending
+    /// order (everything except the hash map, whose scans run bucket by
+    /// bucket).  The scan workload uses this to decide how strictly to check
+    /// each scan's output.
+    pub fn is_ordered(&self) -> bool {
+        !matches!(self, DsKind::HashMap)
+    }
 }
 
 impl std::fmt::Display for DsKind {
@@ -103,8 +114,8 @@ impl std::fmt::Display for DsKind {
     }
 }
 
-/// Operation mix in percent; the remainder after reads is split between
-/// inserts and deletes.
+/// Operation mix in percent: point reads, inserts, deletes and guard-scoped
+/// range scans (the four percentages must sum to 100).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct Mix {
     /// Percentage of `contains` operations.
@@ -113,6 +124,9 @@ pub struct Mix {
     pub insert_pct: u32,
     /// Percentage of `remove` operations.
     pub delete_pct: u32,
+    /// Percentage of range-scan operations (each scans a window of
+    /// [`RunConfig::scan_len`] keys starting at a uniformly drawn key).
+    pub scan_pct: u32,
 }
 
 impl Mix {
@@ -121,25 +135,41 @@ impl Mix {
         read_pct: 50,
         insert_pct: 25,
         delete_pct: 25,
+        scan_pct: 0,
     };
     /// Read-dominated workload (90% read).
     pub const READ_90: Mix = Mix {
         read_pct: 90,
         insert_pct: 5,
         delete_pct: 5,
+        scan_pct: 0,
     };
     /// Write-only workload (50% insert, 50% delete).
     pub const WRITE_ONLY: Mix = Mix {
         read_pct: 0,
         insert_pct: 50,
         delete_pct: 50,
+        scan_pct: 0,
+    };
+    /// Scan-dominated workload: 80% range scans over a churning key space —
+    /// the `exp scan` preset's mix.  The scans continuously cross the marked
+    /// chains the 20% writers leave behind, which is exactly the dangerous
+    /// zone the cursor validates.
+    pub const SCAN_HEAVY: Mix = Mix {
+        read_pct: 0,
+        insert_pct: 10,
+        delete_pct: 10,
+        scan_pct: 80,
     };
 
     pub(crate) fn validate(&self) {
         // Widen before summing so absurd percentages are rejected rather than
         // wrapping to a valid-looking total in release builds.
         assert_eq!(
-            u64::from(self.read_pct) + u64::from(self.insert_pct) + u64::from(self.delete_pct),
+            u64::from(self.read_pct)
+                + u64::from(self.insert_pct)
+                + u64::from(self.delete_pct)
+                + u64::from(self.scan_pct),
             100,
             "operation mix must sum to 100%"
         );
@@ -168,6 +198,10 @@ pub struct RunConfig {
     /// Padding bytes carried by each stored value in the key-value workloads
     /// ([`crate::run_timed_kv`]); ignored by the membership-set workloads.
     pub value_bytes: usize,
+    /// Width of each range-scan window, in keys: a scan op draws `lo`
+    /// uniformly and scans `[lo, lo + scan_len)`.  Only consulted when
+    /// [`Mix::scan_pct`] is non-zero.
+    pub scan_len: u64,
 }
 
 impl RunConfig {
@@ -183,6 +217,7 @@ impl RunConfig {
             seed: 0x5c07,
             pool: true,
             value_bytes: 0,
+            scan_len: 64,
         }
     }
 
@@ -215,6 +250,13 @@ pub struct RunResult {
     pub max_unreclaimed: Option<usize>,
     /// Total traversal restarts (Table 2).
     pub restarts: u64,
+    /// Total §3.2.1 recoveries (dangerous-zone escapes and skip-list ladder
+    /// re-entries that avoided a full restart).
+    pub recoveries: u64,
+    /// Range-scan window width of this run (0 when the mix has no scans).
+    pub scan_len: u64,
+    /// Total keys yielded by range scans over the whole run.
+    pub scanned_keys: u64,
     /// Wall-clock seconds the measurement ran for.
     pub elapsed_secs: f64,
 }
@@ -223,7 +265,7 @@ impl RunResult {
     /// One-line human-readable summary (the format the binary prints).
     pub fn row(&self) -> String {
         format!(
-            "{:<10} {:<7} thr={:<4} range={:<10} ops/s={:<14.0} unreclaimed(avg)={:<12} restarts={}",
+            "{:<10} {:<7} thr={:<4} range={:<10} ops/s={:<14.0} unreclaimed(avg)={:<12} restarts={:<8} recoveries={}",
             self.ds,
             self.smr,
             self.threads,
@@ -232,7 +274,8 @@ impl RunResult {
             self.avg_unreclaimed
                 .map(|v| format!("{v:.1}"))
                 .unwrap_or_else(|| "n/a".into()),
-            self.restarts
+            self.restarts,
+            self.recoveries,
         )
     }
 }
@@ -241,8 +284,11 @@ impl RunResult {
 struct Target<C> {
     set: Arc<C>,
     unreclaimed: Arc<dyn Fn() -> usize + Send + Sync>,
-    restarts: Arc<dyn Fn() -> u64 + Send + Sync>,
+    stats: Arc<dyn Fn() -> TraversalSnapshot + Send + Sync>,
     track_memory: bool,
+    /// Whether scans must yield globally ascending keys (see
+    /// [`DsKind::is_ordered`]).
+    ordered: bool,
 }
 
 pub(crate) fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
@@ -262,6 +308,24 @@ pub(crate) fn hash_buckets(key_range: u64) -> usize {
     ((key_range / 16).clamp(16, 65_536)) as usize
 }
 
+/// Wraps a freshly built structure and its domain into the type-erased
+/// target; shared by every arm of [`with_target`]'s dispatch matrix.
+fn make_set_target<C, D>(set: C, domain: Arc<D>, track_memory: bool, ordered: bool) -> TargetAny
+where
+    C: ConcurrentMap<u64, ()>,
+    D: Smr,
+{
+    let set = Arc::new(set);
+    let s = set.clone();
+    TargetAny::from(Target {
+        set,
+        unreclaimed: Arc::new(move || domain.unreclaimed()),
+        stats: Arc::new(move || ConcurrentSet::traversal_stats(&*s)),
+        track_memory,
+        ordered,
+    })
+}
+
 /// Builds the requested structure/scheme pair and hands it to `f`.
 ///
 /// This is the single dispatch point where the (data structure × SMR) matrix
@@ -279,78 +343,46 @@ fn with_target<R>(
             let cfg = smr_config(smr, threads, pool);
             let domain = <$scheme as Smr>::new(cfg.clone());
             let track_memory = smr != SmrKind::Hyaline;
-            match ds {
-                DsKind::ListLf => {
-                    let set: Arc<HarrisList<u64, $scheme>> =
-                        Arc::new(HarrisList::new(domain.clone()));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restarts()),
-                        track_memory,
-                    }))
-                }
-                DsKind::ListWf => {
-                    let set: Arc<WfHarrisList<u64, $scheme>> =
-                        Arc::new(WfHarrisList::new(domain.clone(), cfg.max_threads));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restarts()),
-                        track_memory,
-                    }))
-                }
-                DsKind::HmList => {
-                    let set: Arc<HarrisMichaelList<u64, $scheme>> =
-                        Arc::new(HarrisMichaelList::new(domain.clone()));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restarts()),
-                        track_memory,
-                    }))
-                }
-                DsKind::Tree => {
-                    let set: Arc<NmTree<u64, $scheme>> = Arc::new(NmTree::new(domain.clone()));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restarts()),
-                        track_memory,
-                    }))
-                }
-                DsKind::HashMap => {
-                    let set: Arc<HashMap<u64, $scheme>> =
-                        Arc::new(HashMap::new(hash_buckets(key_range), domain.clone()));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restart_count()),
-                        track_memory,
-                    }))
-                }
-                DsKind::SkipList => {
-                    let set: Arc<SkipList<u64, $scheme>> = Arc::new(SkipList::new(domain.clone()));
-                    let d = domain.clone();
-                    let s = set.clone();
-                    f(TargetAny::from(Target {
-                        set,
-                        unreclaimed: Arc::new(move || d.unreclaimed()),
-                        restarts: Arc::new(move || s.restarts()),
-                        track_memory,
-                    }))
-                }
-            }
+            let ordered = ds.is_ordered();
+            let target = match ds {
+                DsKind::ListLf => make_set_target(
+                    HarrisList::<u64, $scheme>::new(domain.clone()),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+                DsKind::ListWf => make_set_target(
+                    WfHarrisList::<u64, $scheme>::new(domain.clone(), cfg.max_threads),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+                DsKind::HmList => make_set_target(
+                    HarrisMichaelList::<u64, $scheme>::new(domain.clone()),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+                DsKind::Tree => make_set_target(
+                    NmTree::<u64, $scheme>::new(domain.clone()),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+                DsKind::HashMap => make_set_target(
+                    HashMap::<u64, $scheme>::new(hash_buckets(key_range), domain.clone()),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+                DsKind::SkipList => make_set_target(
+                    SkipList::<u64, $scheme>::new(domain.clone()),
+                    domain,
+                    track_memory,
+                    ordered,
+                ),
+            };
+            f(target)
         }};
     }
 
@@ -364,8 +396,9 @@ fn with_target<R>(
     }
 }
 
-/// Raw output of a timed run: `(ops, elapsed_secs, memory_samples, restarts)`.
-pub(crate) type TimedOutput = (u64, f64, Vec<usize>, u64);
+/// Raw output of a timed run:
+/// `(ops, elapsed_secs, memory_samples, stats, scanned_keys)`.
+pub(crate) type TimedOutput = (u64, f64, Vec<usize>, TraversalSnapshot, u64);
 /// Raw output of a fixed-ops run: `(ops, elapsed_secs, restarts)`.
 type FixedOutput = (u64, f64, u64);
 /// Boxed timed-run entry point of a monomorphized target.
@@ -382,14 +415,15 @@ struct TargetAny {
 
 impl<C> From<Target<C>> for TargetAny
 where
-    C: ConcurrentSet<u64> + 'static,
+    C: ConcurrentMap<u64, ()> + 'static,
 {
     fn from(target: Target<C>) -> Self {
         let t2 = Target {
             set: target.set.clone(),
             unreclaimed: target.unreclaimed.clone(),
-            restarts: target.restarts.clone(),
+            stats: target.stats.clone(),
             track_memory: target.track_memory,
+            ordered: target.ordered,
         };
         TargetAny {
             run_timed: Box::new(move |cfg| timed_inner(&target, cfg)),
@@ -445,16 +479,71 @@ fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64, threads: u
     });
 }
 
-fn op_loop<C: ConcurrentSet<u64>>(
+/// Runs one guard-scoped range scan over `[lo, lo + scan_len)` and returns
+/// the number of keys yielded, verifying the scan's correctness oracle on the
+/// fly: every key in bounds, no duplicates, and (for ordered structures)
+/// strictly ascending.  A violation is a traversal/reclamation bug, so the
+/// harness panics rather than recording garbage throughput.
+fn scan_once<C: ConcurrentMap<u64, ()>>(
+    set: &C,
+    handle: &mut C::Handle,
+    lo: u64,
+    scan_len: u64,
+    ordered: bool,
+) -> u64 {
+    let hi = lo.saturating_add(scan_len.max(1));
+    let mut guard = set.pin(handle);
+    let mut scan = set.scan(&mut guard, lo, Some(hi));
+    let mut prev: Option<u64> = None;
+    // Unordered (hash-map) scans: ascending order cannot prove uniqueness, so
+    // the yielded keys are collected and dedup-checked after the scan.  The
+    // window is at most `scan_len` keys, so this stays cheap.
+    let mut seen: Vec<u64> = Vec::new();
+    let mut yielded = 0u64;
+    while let Some((k, ())) = scan.next_entry() {
+        assert!(
+            (lo..hi).contains(&k),
+            "scan [{lo}, {hi}) yielded out-of-window key {k} — traversal bug"
+        );
+        if ordered {
+            assert!(
+                prev.is_none_or(|p| p < k),
+                "scan [{lo}, {hi}) yielded {k} after {prev:?} — ordering bug"
+            );
+        } else {
+            seen.push(k);
+        }
+        prev = Some(k);
+        yielded += 1;
+    }
+    if !ordered {
+        seen.sort_unstable();
+        let deduped = seen.len();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            deduped,
+            "scan [{lo}, {hi}) yielded duplicate keys — traversal bug"
+        );
+    }
+    yielded
+}
+
+/// The measurement hot loop.  Returns `(ops, scanned_keys)`.
+fn op_loop<C: ConcurrentMap<u64, ()>>(
     set: &C,
     cfg: &RunConfig,
     stop: &AtomicBool,
     thread_idx: usize,
     max_ops: Option<u64>,
-) -> u64 {
-    let mut handle = set.handle();
+    ordered: bool,
+) -> (u64, u64) {
+    // `ConcurrentSet` and `ConcurrentMap` overlap in method names, so the
+    // handle-level set operations go through UFCS.
+    let mut handle = ConcurrentMap::handle(set);
     let mut rng = FastRng::new(cfg.seed ^ (thread_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
     let mut ops = 0u64;
+    let mut scanned = 0u64;
     loop {
         if let Some(limit) = max_ops {
             if ops >= limit {
@@ -473,18 +562,20 @@ fn op_loop<C: ConcurrentSet<u64>>(
         let key = r % cfg.key_range.max(1);
         let op = ((r >> 48) % 100) as u32;
         if op < cfg.mix.read_pct {
-            set.contains(&mut handle, &key);
+            ConcurrentSet::contains(set, &mut handle, &key);
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
-            set.insert(&mut handle, key);
+            ConcurrentSet::insert(set, &mut handle, key);
+        } else if op < cfg.mix.read_pct + cfg.mix.insert_pct + cfg.mix.delete_pct {
+            ConcurrentSet::remove(set, &mut handle, &key);
         } else {
-            set.remove(&mut handle, &key);
+            scanned += scan_once(set, &mut handle, key, cfg.scan_len, ordered);
         }
         ops += 1;
     }
-    ops
+    (ops, scanned)
 }
 
-fn timed_inner<C: ConcurrentSet<u64> + 'static>(
+fn timed_inner<C: ConcurrentMap<u64, ()> + 'static>(
     target: &Target<C>,
     cfg: &RunConfig,
 ) -> TimedOutput {
@@ -492,6 +583,7 @@ fn timed_inner<C: ConcurrentSet<u64> + 'static>(
     prefill(target.set.as_ref(), cfg.key_range, cfg.seed, cfg.threads);
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
+    let total_scanned = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let mut samples = Vec::new();
     std::thread::scope(|s| {
@@ -499,10 +591,13 @@ fn timed_inner<C: ConcurrentSet<u64> + 'static>(
             let set = target.set.clone();
             let stop = stop.clone();
             let total_ops = total_ops.clone();
+            let total_scanned = total_scanned.clone();
+            let ordered = target.ordered;
             let cfg = cfg.clone();
             s.spawn(move || {
-                let ops = op_loop(set.as_ref(), &cfg, &stop, t, None);
+                let (ops, scanned) = op_loop(set.as_ref(), &cfg, &stop, t, None, ordered);
                 total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_scanned.fetch_add(scanned, Ordering::Relaxed);
             });
         }
         // The main thread doubles as the memory-overhead sampler.
@@ -524,11 +619,12 @@ fn timed_inner<C: ConcurrentSet<u64> + 'static>(
         total_ops.load(Ordering::Relaxed),
         elapsed,
         samples,
-        (target.restarts)(),
+        (target.stats)(),
+        total_scanned.load(Ordering::Relaxed),
     )
 }
 
-fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
+fn fixed_inner<C: ConcurrentMap<u64, ()> + 'static>(
     target: &Target<C>,
     cfg: &RunConfig,
     ops_per_thread: u64,
@@ -543,9 +639,10 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
             let set = target.set.clone();
             let stop = &stop;
             let total_ops = &total_ops;
+            let ordered = target.ordered;
             let cfg = cfg.clone();
             s.spawn(move || {
-                let ops = op_loop(set.as_ref(), &cfg, stop, t, Some(ops_per_thread));
+                let (ops, _) = op_loop(set.as_ref(), &cfg, stop, t, Some(ops_per_thread), ordered);
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
@@ -554,7 +651,7 @@ fn fixed_inner<C: ConcurrentSet<u64> + 'static>(
     (
         total_ops.load(Ordering::Relaxed),
         elapsed,
-        (target.restarts)(),
+        (target.stats)().restarts,
     )
 }
 
@@ -574,7 +671,7 @@ pub(crate) fn summarize_samples(samples: &[usize]) -> (Option<f64>, Option<usize
 /// Runs a timed workload (the paper's main measurement mode) and returns the
 /// numbers behind one figure point.
 pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
-    let (ops, elapsed, samples, restarts) =
+    let (ops, elapsed, samples, stats, scanned_keys) =
         with_target(ds, smr, cfg.threads, cfg.key_range, cfg.pool, |t| {
             (t.run_timed)(cfg)
         });
@@ -588,7 +685,14 @@ pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
         ops_per_sec: ops as f64 / elapsed,
         avg_unreclaimed: avg,
         max_unreclaimed: max,
-        restarts,
+        restarts: stats.restarts,
+        recoveries: stats.recoveries,
+        scan_len: if cfg.mix.scan_pct > 0 {
+            cfg.scan_len
+        } else {
+            0
+        },
+        scanned_keys,
         elapsed_secs: elapsed,
     }
 }
@@ -646,8 +750,36 @@ mod tests {
             read_pct: 50,
             insert_pct: 50,
             delete_pct: 50,
+            scan_pct: 0,
         };
         mix.validate();
+    }
+
+    #[test]
+    fn builtin_mixes_are_valid() {
+        for mix in [Mix::READ_50, Mix::READ_90, Mix::WRITE_ONLY, Mix::SCAN_HEAVY] {
+            mix.validate();
+        }
+        assert_eq!(Mix::SCAN_HEAVY.scan_pct, 80);
+    }
+
+    #[test]
+    fn scan_workload_completes_and_counts_scanned_keys() {
+        // Every structure (ordered and not) must survive the scan-heavy mix
+        // with its in-loop oracle checks enabled.
+        let mut cfg = RunConfig::paper_default(2, 256);
+        cfg.duration = Duration::from_millis(60);
+        cfg.mix = Mix::SCAN_HEAVY;
+        cfg.scan_len = 32;
+        for ds in DsKind::ALL {
+            let r = run_timed(ds, SmrKind::Hp, &cfg);
+            assert!(r.ops > 0, "{ds} completed no operations under scans");
+            assert!(
+                r.scanned_keys > 0,
+                "{ds} scans yielded no keys over a half-full range"
+            );
+            assert_eq!(r.scan_len, 32);
+        }
     }
 
     #[test]

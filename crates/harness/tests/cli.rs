@@ -125,6 +125,65 @@ fn exp_pool_reports_a_throughput_delta() {
 }
 
 #[test]
+fn exp_scan_sweeps_every_scheme_and_renders_the_table() {
+    // This is also the exact invocation the CI smoke step runs.
+    let out = scot_bench(&[
+        "exp",
+        "scan",
+        "--seconds",
+        "0.05",
+        "--runs",
+        "1",
+        "--threads",
+        "1",
+        "--scan-lens",
+        "8,32",
+    ]);
+    assert!(
+        out.status.success(),
+        "exp scan must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    for smr in [
+        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
+    ] {
+        assert!(text.contains(smr), "scan table missing {smr}:\n{text}");
+    }
+    assert!(
+        text.contains("SkipList") && text.contains("NMTree"),
+        "scan table must cover both ordered scan implementations:\n{text}"
+    );
+    assert!(
+        text.contains("keys/scan") && text.contains("recoveries"),
+        "scan table must render the scan and recovery columns:\n{text}"
+    );
+}
+
+#[test]
+fn run_arm_accepts_a_scan_mix() {
+    // 20% scans of 16 keys each on the skip list.
+    let out = scot_bench(&[
+        "run", "skiplist", "0.05", "256", "1", "40", "20", "20", "HP", "20", "16",
+    ]);
+    assert!(out.status.success(), "run must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("\"scanned_keys\""),
+        "JSON output missing scan volume:\n{text}"
+    );
+}
+
+#[test]
+fn run_arm_rejects_scan_mix_not_summing_to_100() {
+    let out = scot_bench(&[
+        "run", "listlf", "0.05", "64", "1", "50", "25", "25", "EBR", "20",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("must sum to 100"));
+}
+
+#[test]
 fn no_arguments_shows_usage_and_fails() {
     let out = scot_bench(&[]);
     assert_eq!(out.status.code(), Some(2));

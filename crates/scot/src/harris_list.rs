@@ -17,48 +17,45 @@
 //! unlinked, so the traversal either escapes to the last safe node's new
 //! successor (§3.2.1 recovery) or restarts from the head.
 //!
-//! Hazard-slot roles (Figure 5):
-//!
-//! | slot | role |
-//! |------|------|
-//! | `Hp0` | next node (`next`) |
-//! | `Hp1` | current node (`curr`) |
-//! | `Hp2` | last safe node (`prev`) |
-//! | `Hp3` | first unsafe node (dangerous-zone anchor) |
-//!
-//! `dup` always copies a lower slot into a higher slot, which together with
-//! ascending-order scans closes the race window discussed in §3.2.
-//!
-//! One deliberate deviation from Figure 5 (right): the dangerous-zone
-//! validation is performed **before** the successor of the first unsafe node
-//! is dereferenced (i.e. it is hoisted to the zone entry), matching the
-//! simple variant on the figure's left and the prose of §3.1.  As printed, the
-//! unrolled pseudocode issues its first validation only after one dereference
-//! into the zone, which would leave a window on the very first step.
+//! That protect → validate → recover loop is not implemented here: it lives,
+//! exactly once, in [`crate::traverse`] as the `Cursor`, and this list is
+//! its simplest client — one level, restart-from-head as the only restart
+//! rung.  The hazard-slot roles are the Figure 5 assignment documented in
+//! [`crate::slots`].
 
-use crate::{Key, Stats, Value};
+use crate::slots::{HP_CURR, HP_NEXT};
+use crate::traverse::{
+    self, Cursor, ScanState, Seek, SeekBound, SlotNode, TraversalStats, ZoneMode, MARK,
+};
+use crate::{Key, RangeScan, TraversalSnapshot, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-
-/// Hazard slot protecting the next node.
-pub(crate) const HP_NEXT: usize = 0;
-/// Hazard slot protecting the current node.
-pub(crate) const HP_CURR: usize = 1;
-/// Hazard slot protecting the last safe (predecessor) node.
-pub(crate) const HP_PREV: usize = 2;
-/// Hazard slot protecting the first unsafe node of a dangerous zone.
-pub(crate) const HP_ANCHOR: usize = 3;
-
-/// Tag bit marking a node as logically deleted (stored in the node's own
-/// `next` pointer, exactly as in Harris' original algorithm).
-pub(crate) const MARK: usize = 1;
 
 /// A list node: key, value and the tagged successor pointer.
 pub(crate) struct Node<K, V> {
     pub(crate) next: Atomic<Node<K, V>>,
     pub(crate) key: K,
     pub(crate) value: V,
+}
+
+impl<K: Key, V: Value> SlotNode<K> for Node<K, V> {
+    type Value = V;
+
+    #[inline]
+    unsafe fn successor(&self, _level: usize) -> &Atomic<Self> {
+        &self.next
+    }
+
+    #[inline]
+    fn node_key(&self) -> &K {
+        &self.key
+    }
+
+    #[inline]
+    fn node_value(&self) -> &V {
+        &self.value
+    }
 }
 
 /// Result of the internal `Do_Find`: the predecessor link and the protected
@@ -90,10 +87,30 @@ pub(crate) struct FindResult<K, V> {
 /// assert_eq!(list.remove(&mut guard, &7).copied(), Some("seven"));
 /// assert!(list.get(&mut guard, &7).is_none());
 /// ```
+///
+/// Guard-scoped range scans come from the shared cursor as well:
+///
+/// ```
+/// use scot::{ConcurrentMap, HarrisList, RangeScan};
+/// use scot_smr::{Ibr, Smr, SmrConfig};
+///
+/// let list: HarrisList<u64, Ibr, u64> = HarrisList::new(Ibr::new(SmrConfig::default()));
+/// let mut handle = ConcurrentMap::handle(&list);
+/// let mut guard = list.pin(&mut handle);
+/// for k in 0..10 {
+///     list.insert(&mut guard, k, k * k).unwrap();
+/// }
+/// let mut scan = list.range(&mut guard, 3..7);
+/// let mut seen = Vec::new();
+/// while let Some((k, v)) = scan.next_entry() {
+///     seen.push((k, *v));
+/// }
+/// assert_eq!(seen, vec![(3, 9), (4, 16), (5, 25), (6, 36)]);
+/// ```
 pub struct HarrisList<K, S: Smr, V = ()> {
     pub(crate) head: Atomic<Node<K, V>>,
     pub(crate) smr: Arc<S>,
-    stats: Stats,
+    stats: TraversalStats,
     /// Whether the §3.2.1 recovery optimization is enabled (on by default;
     /// the ablation benchmark disables it to quantify its benefit).
     recovery: bool,
@@ -122,7 +139,7 @@ impl<K: Key, S: Smr, V: Value> HarrisList<K, S, V> {
         Self {
             head: Atomic::null(),
             smr,
-            stats: Stats::default(),
+            stats: TraversalStats::default(),
             recovery: true,
         }
     }
@@ -165,171 +182,88 @@ impl<K: Key, S: Smr, V: Value> HarrisList<K, S, V> {
         self.stats.recoveries()
     }
 
+    /// The cursor mode this list traverses with.
+    #[inline]
+    fn mode(&self) -> ZoneMode {
+        ZoneMode::Scot {
+            recovery: self.recovery,
+        }
+    }
+
+    /// The one positioning traversal of this list, driven by the shared
+    /// `crate::traverse::Cursor`: parks on the first live node satisfying
+    /// `bound`, looping until a seek completes.  `cleanup` selects whether a
+    /// pending marked chain is unlinked and retired before returning
+    /// (L57-62 + `Do_Retire`; searches and scans leave the chain in place).
+    /// On return the hazard slots still protect `prev`, `curr` and `next`,
+    /// so the caller can immediately use them for its insert/delete CAS.
+    fn seek_bound<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        bound: &SeekBound<K>,
+        cleanup: bool,
+    ) -> FindResult<K, V> {
+        loop {
+            // The head link is never tagged, so `begin` cannot fail here; the
+            // restart loop keeps the control flow total regardless.
+            let Ok(mut c) = Cursor::begin(
+                g,
+                Shared::null(),
+                self.head.as_link(),
+                0,
+                Shared::null(),
+                &self.stats,
+                self.mode(),
+            ) else {
+                continue;
+            };
+            match c.seek(g, bound, || false) {
+                Seek::Positioned => {}
+                Seek::Restart(_) => continue,
+                Seek::Interrupted => unreachable!("find has no interrupt source"),
+            }
+            if cleanup && c.unlink_pending(g, true).is_err() {
+                continue;
+            }
+            let curr = c.curr();
+            let found = !curr.is_null() && {
+                match bound {
+                    // SAFETY: `curr` is protected (HP_CURR) and durable.
+                    SeekBound::Ge(k) => unsafe { curr.deref() }.key == *k,
+                    // A strict bound never "finds" its key.
+                    SeekBound::Gt(_) => false,
+                }
+            };
+            return FindResult {
+                prev: c.prev_link(),
+                curr,
+                next: c.next(),
+                found,
+            };
+        }
+    }
+
     /// Internal `Do_Find` (Figure 5, right-hand unrolled version plus the
-    /// §3.2.1 recovery optimization).  On return the hazard slots still
-    /// protect `prev`, `curr` and `next`, so the caller can immediately use
-    /// them for its insert/delete CAS.
+    /// §3.2.1 recovery optimization): [`HarrisList::seek_bound`] at the key.
     pub(crate) fn find<G: SmrGuard>(
         &self,
         g: &mut G,
         key: &K,
         is_search: bool,
     ) -> FindResult<K, V> {
-        'restart: loop {
-            // L33-36: start from the implicit pre-head sentinel (&Head).
-            let mut prev: Link<Node<K, V>> = self.head.as_link();
-            let mut prev_next: Shared<Node<K, V>> = Shared::null();
-            let mut curr = g.protect(HP_CURR, &self.head);
-            let mut next = if curr.is_null() {
-                Shared::null()
-            } else {
-                // SAFETY: `curr` was protected against the head link; the head
-                // is never deallocated and the protect re-read confirmed the
-                // head still points at `curr`, so `curr` was not yet retired
-                // when the protection became visible.
-                g.protect(HP_NEXT, unsafe { &curr.deref().next })
-            };
-
-            'traverse: loop {
-                // ---------- Phase 1: safe zone (L38-47) ----------
-                loop {
-                    if curr.is_null() {
-                        break 'traverse;
-                    }
-                    if next.tag() != 0 {
-                        // `curr` is logically deleted: switch to Phase 2.
-                        break;
-                    }
-                    // SAFETY: `curr` is protected and was validated reachable
-                    // from an unmarked predecessor when that protection was
-                    // published (standard Harris-Michael argument), or by the
-                    // SCOT validation when arriving from a dangerous zone.
-                    let curr_ref = unsafe { curr.deref() };
-                    if curr_ref.key >= *key {
-                        break 'traverse;
-                    }
-                    // Advance: `curr` becomes the last safe node.
-                    prev = curr_ref.next.as_link();
-                    prev_next = Shared::null();
-                    g.dup(HP_CURR, HP_PREV);
-                    curr = next;
-                    if curr.is_null() {
-                        break 'traverse;
-                    }
-                    g.dup(HP_NEXT, HP_CURR);
-                    // SAFETY: `curr` was published (HP_NEXT) by the protect
-                    // that read it from an unmarked predecessor, hence durable.
-                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
-                }
-
-                // ---------- Phase 2: dangerous zone (L48-56) ----------
-                // `curr` is the first unsafe node; anchor it in Hp3 so the
-                // validation below can rely on pointer comparison even if the
-                // zone is concurrently unlinked (ABA prevention, §3.2).
-                g.dup(HP_CURR, HP_ANCHOR);
-                prev_next = curr;
-                loop {
-                    // SCOT validation: the last safe node must still point at
-                    // the first unsafe node.  Performed *before* dereferencing
-                    // deeper into the zone (see the module documentation).
-                    //
-                    // SAFETY: `prev` is either the list head or a field of the
-                    // node protected by HP_PREV.
-                    let observed = unsafe { prev.load(Ordering::Acquire) };
-                    if observed != prev_next {
-                        // §3.2.1 recovery: if the last safe node is still not
-                        // logically deleted it merely points at a new
-                        // successor (a fresh insert, or the chain has already
-                        // been cleaned up); continue from there instead of
-                        // restarting from the head.
-                        if observed.tag() == 0 && self.recovery {
-                            self.stats.record_recovery();
-                            // SAFETY: as above; the protect re-reads the link,
-                            // and the owner of `prev` is unmarked, so the
-                            // returned pointer was not retired when published.
-                            curr = g.protect(HP_CURR, unsafe { prev.as_atomic() });
-                            if curr.tag() != 0 {
-                                // The last safe node got marked after all.
-                                self.stats.record_restart();
-                                continue 'restart;
-                            }
-                            prev_next = Shared::null();
-                            if curr.is_null() {
-                                next = Shared::null();
-                                break 'traverse;
-                            }
-                            // SAFETY: protected and validated just above.
-                            next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
-                            continue 'traverse;
-                        }
-                        self.stats.record_restart();
-                        continue 'restart;
-                    }
-                    if next.tag() == 0 {
-                        // End of the marked chain: back to the safe zone with
-                        // the pending cleanup information intact.
-                        continue 'traverse;
-                    }
-                    // Step deeper into the zone.
-                    curr = next.untagged();
-                    if curr.is_null() {
-                        break 'traverse;
-                    }
-                    g.dup(HP_NEXT, HP_CURR);
-                    // SAFETY: `curr` was published in HP_NEXT by the protect
-                    // that read it, and the validation above confirmed the
-                    // zone was still linked after that publication, so the
-                    // protection is durable (Theorem 2).
-                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
-                }
-            }
-
-            // ---------- Cleanup + output (L57-62) ----------
-            if !is_search && !prev_next.is_null() && prev_next != curr {
-                // Unlink the chain of marked nodes [prev_next, curr) with one
-                // CAS; on failure another thread changed the link, restart.
-                //
-                // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
-                if unsafe { prev.cas(prev_next, curr) }.is_err() {
-                    self.stats.record_restart();
-                    continue 'restart;
-                }
-                // SAFETY: we won the unlink CAS, so this thread exclusively
-                // retires the chain (Do_Retire, Figure 5 L24-29).
-                unsafe { self.retire_chain(g, prev_next, curr) };
-            }
-
-            let found = !curr.is_null() && {
-                // SAFETY: `curr` is protected (HP_CURR) and durable.
-                unsafe { curr.deref() }.key == *key
-            };
-            return FindResult {
-                prev,
-                curr,
-                next,
-                found,
-            };
-        }
+        self.seek_bound(g, &SeekBound::Ge(*key), !is_search)
     }
 
-    /// Retires every node of the just-unlinked chain `[from, to)`.
-    ///
-    /// # Safety
-    /// The caller must have won the unlink CAS that removed exactly this chain
-    /// from the list, which makes it the unique retirer of these nodes.
-    unsafe fn retire_chain<G: SmrGuard>(
+    /// Positions [`crate::slots::HP_CURR`] on the first live node satisfying
+    /// `bound` and returns it (null at the end of the list).  The validated
+    /// re-positioning primitive of the range scan; shared with the hash map,
+    /// whose buckets are instances of this list.
+    pub(crate) fn scan_seek<G: SmrGuard>(
         &self,
         g: &mut G,
-        from: Shared<Node<K, V>>,
-        to: Shared<Node<K, V>>,
-    ) {
-        let mut cur = from;
-        while cur != to {
-            debug_assert!(!cur.is_null(), "marked chain must end at `to`");
-            let next = cur.deref().next.load(Ordering::Acquire).untagged();
-            g.retire(cur);
-            cur = next;
-        }
+        bound: &SeekBound<K>,
+    ) -> Shared<Node<K, V>> {
+        self.seek_bound(g, bound, false).curr
     }
 
     /// Brand check: operations only accept guards pinned from a handle of
@@ -366,12 +300,41 @@ impl<K: Key, S: Smr, V: Value> HarrisList<K, S, V> {
     }
 }
 
+/// Guard-scoped range scan over a [`HarrisList`] (see
+/// [`crate::ConcurrentMap::range`]): holds the guard exclusively for the
+/// whole scan and parks on the last yielded node, which stays protected by
+/// [`crate::slots::HP_CURR`] until the next advance.
+pub struct ListRange<'r, 'h, K: Key, S: Smr, V: Value = ()> {
+    list: &'r HarrisList<K, S, V>,
+    guard: &'r mut <S::Handle as SmrHandle>::Guard<'h>,
+    state: ScanState<K, Node<K, V>>,
+    hi: Option<K>,
+}
+
+impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for ListRange<'r, 'h, K, S, V> {
+    fn next_entry(&mut self) -> Option<(K, &V)> {
+        let list = self.list;
+        traverse::scan_entry(
+            &mut *self.guard,
+            &mut self.state,
+            self.hi.as_ref(),
+            0,
+            |g, bound| list.scan_seek(g, bound),
+        )
+    }
+}
+
 impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V> {
     type Handle = HarrisListHandle<S>;
     type Guard<'h>
         = <S::Handle as SmrHandle>::Guard<'h>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = ListRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         HarrisList::handle(self)
@@ -467,6 +430,24 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V
         self.find(&mut *guard, key, true).found
     }
 
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.check_guard(&*guard);
+        ListRange {
+            list: self,
+            guard,
+            state: ScanState::Seek(SeekBound::Ge(lo)),
+            hi,
+        }
+    }
+
     fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
     where
         V: Clone,
@@ -478,8 +459,8 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V
         out
     }
 
-    fn restart_count(&self) -> u64 {
-        self.stats.restarts()
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        self.stats.snapshot()
     }
 }
 
@@ -716,6 +697,50 @@ mod tests {
                 list.collect(&mut h),
                 vec![(1, 10), (3, 30), (5, 50), (9, 90)]
             );
+        }
+    }
+
+    mod range_api {
+        use super::cfg;
+        use crate::{ConcurrentMap, HarrisList, RangeScan};
+        use scot_smr::Hp;
+
+        #[test]
+        fn range_yields_sorted_window_and_iter_from_runs_to_end() {
+            let list: HarrisList<u64, Hp, u64> = HarrisList::with_config(cfg());
+            let mut h = list.handle();
+            let mut g = list.pin(&mut h);
+            for k in (0..50u64).rev() {
+                list.insert(&mut g, k, k + 100).unwrap();
+            }
+            let mut scan = list.range(&mut g, 10..15);
+            let mut seen = Vec::new();
+            while let Some((k, v)) = scan.next_entry() {
+                seen.push((k, *v));
+            }
+            assert_eq!(seen, (10..15).map(|k| (k, k + 100)).collect::<Vec<_>>());
+            #[allow(clippy::drop_non_drop)] // ends the scan's guard borrow
+            drop(scan);
+            let mut tail = list.iter_from(&mut g, 47);
+            let mut seen = Vec::new();
+            while let Some((k, _)) = tail.next_entry() {
+                seen.push(k);
+            }
+            assert_eq!(seen, vec![47, 48, 49]);
+        }
+
+        #[test]
+        #[allow(clippy::reversed_empty_ranges)] // inverted windows are the point
+        fn empty_and_inverted_windows_yield_nothing() {
+            let list: HarrisList<u64, Hp, u64> = HarrisList::with_config(cfg());
+            let mut h = list.handle();
+            let mut g = list.pin(&mut h);
+            for k in 0..10u64 {
+                list.insert(&mut g, k, k).unwrap();
+            }
+            assert!(list.range(&mut g, 3..3).next_entry().is_none());
+            assert!(list.range(&mut g, 7..3).next_entry().is_none());
+            assert!(list.range(&mut g, 100..200).next_entry().is_none());
         }
     }
 

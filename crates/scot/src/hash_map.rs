@@ -7,8 +7,9 @@
 //! and all buckets share one reclamation domain so memory-overhead accounting
 //! matches the paper's methodology.
 
-use crate::harris_list::{HarrisList, HarrisListHandle};
-use crate::{ConcurrentMap, Key, Value};
+use crate::harris_list::{HarrisList, HarrisListHandle, Node};
+use crate::traverse::{ScanState, SeekBound};
+use crate::{ConcurrentMap, Key, RangeScan, TraversalSnapshot, Value};
 use scot_smr::{Smr, SmrConfig, SmrHandle};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -155,12 +156,63 @@ impl<K: Key + Hash, S: Smr, V: Value> HashMap<K, S, V> {
     }
 }
 
+/// Guard-scoped range scan over a [`HashMap`]: keys are hash-partitioned, so
+/// the matching keys of `[lo, hi)` are scattered across every bucket.  The
+/// scan therefore visits buckets one at a time, yielding each bucket's
+/// matches in ascending order (buckets are sorted Harris lists) but buckets
+/// themselves in array order — the overall sequence is **not** globally
+/// sorted, which is the honest contract for an unordered container.
+pub struct HashMapRange<'r, 'h, K: Key + Hash, S: Smr, V: Value = ()> {
+    map: &'r HashMap<K, S, V>,
+    guard: &'r mut <S::Handle as SmrHandle>::Guard<'h>,
+    /// Index of the bucket currently being scanned.
+    bucket: usize,
+    state: ScanState<K, Node<K, V>>,
+    /// Lower bound, re-applied at the start of every bucket.
+    lo: K,
+    hi: Option<K>,
+}
+
+impl<'r, 'h, K: Key + Hash, S: Smr, V: Value> RangeScan<K, V> for HashMapRange<'r, 'h, K, S, V> {
+    fn next_entry(&mut self) -> Option<(K, &V)> {
+        // Position first (bucket hopping re-borrows the guard per iteration),
+        // then hand out the guard-scoped borrow once, outside the loop.
+        let node = loop {
+            let list = self.map.buckets.get(self.bucket)?;
+            let node = crate::traverse::scan_next(
+                &mut *self.guard,
+                &mut self.state,
+                self.hi.as_ref(),
+                0,
+                |g, bound| list.scan_seek(g, bound),
+            );
+            if node.is_null() {
+                // Bucket exhausted (its sorted segment in [lo, hi) ended):
+                // restart the window in the next bucket.
+                self.bucket += 1;
+                self.state = ScanState::Seek(SeekBound::Ge(self.lo));
+                continue;
+            }
+            break node;
+        };
+        // SAFETY: `node` is protected by HP_CURR; the exclusive guard borrow
+        // (held by `self`) keeps that slot published until the next advance.
+        let node_ref = unsafe { node.deref_guarded(&*self.guard) };
+        Some((node_ref.key, &node_ref.value))
+    }
+}
+
 impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
     type Handle = HashMapHandle<S>;
     type Guard<'h>
         = <S::Handle as SmrHandle>::Guard<'h>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = HashMapRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         HashMap::handle(self)
@@ -186,6 +238,26 @@ impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
         self.bucket(key).contains(guard, key)
     }
 
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.check_guard(&*guard);
+        HashMapRange {
+            map: self,
+            guard,
+            bucket: 0,
+            state: ScanState::Seek(SeekBound::Ge(lo)),
+            lo,
+            hi,
+        }
+    }
+
     fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
     where
         V: Clone,
@@ -200,8 +272,13 @@ impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
         out
     }
 
-    fn restart_count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.restarts()).sum()
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        // The buckets share one domain but count independently; the map's
+        // numbers are the aggregate.
+        self.buckets
+            .iter()
+            .map(ConcurrentMap::traversal_stats)
+            .fold(TraversalSnapshot::default(), TraversalSnapshot::merged)
     }
 }
 

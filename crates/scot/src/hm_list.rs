@@ -12,10 +12,14 @@
 //! ≈0% for Harris' list with SCOT).
 //!
 //! The hazard-slot roles are the classic three: `Hp0` = next, `Hp1` = curr,
-//! `Hp2` = prev.  No dangerous zone ever forms, so no anchor slot is needed.
-
-use crate::harris_list::{Node, HP_CURR, HP_NEXT, HP_PREV, MARK};
-use crate::{Key, Stats, Value};
+//! `Hp2` = prev (see [`crate::slots`]).  No dangerous zone ever forms, so no
+//! anchor slot is needed — the shared `crate::traverse::Cursor` runs in its
+//! `ZoneMode::Eager` for this list, where a marked node is unlinked on the
+//! spot instead of validated past.
+use crate::harris_list::Node;
+use crate::slots::{HP_CURR, HP_NEXT};
+use crate::traverse::{self, Cursor, ScanState, Seek, SeekBound, TraversalStats, ZoneMode, MARK};
+use crate::{Key, RangeScan, TraversalSnapshot, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -45,7 +49,7 @@ struct FindResult<K, V> {
 pub struct HarrisMichaelList<K, S: Smr, V = ()> {
     head: Atomic<Node<K, V>>,
     smr: Arc<S>,
-    stats: Stats,
+    stats: TraversalStats,
 }
 
 unsafe impl<K: Key, S: Smr, V: Value> Send for HarrisMichaelList<K, S, V> {}
@@ -69,7 +73,7 @@ impl<K: Key, S: Smr, V: Value> HarrisMichaelList<K, S, V> {
         Self {
             head: Atomic::null(),
             smr,
-            stats: Stats::default(),
+            stats: TraversalStats::default(),
         }
     }
 
@@ -95,66 +99,56 @@ impl<K: Key, S: Smr, V: Value> HarrisMichaelList<K, S, V> {
         self.stats.restarts()
     }
 
+    /// The one positioning traversal of this list: the shared `Cursor` in
+    /// `ZoneMode::Eager`, looping until a seek completes (every marked node
+    /// on the way is unlinked by the cursor itself, so there is no separate
+    /// cleanup phase).
+    fn seek_bound<G: SmrGuard>(&self, g: &mut G, bound: &SeekBound<K>) -> FindResult<K, V> {
+        loop {
+            // The head link is never tagged, so `begin` cannot fail here.
+            let Ok(mut c) = Cursor::begin(
+                g,
+                Shared::null(),
+                self.head.as_link(),
+                0,
+                Shared::null(),
+                &self.stats,
+                ZoneMode::Eager,
+            ) else {
+                continue;
+            };
+            match c.seek(g, bound, || false) {
+                Seek::Positioned => {}
+                Seek::Restart(_) => continue,
+                Seek::Interrupted => unreachable!("find has no interrupt source"),
+            }
+            let curr = c.curr();
+            let found = !curr.is_null() && {
+                match bound {
+                    // SAFETY: `curr` is protected (HP_CURR) and durable.
+                    SeekBound::Ge(k) => unsafe { curr.deref() }.key == *k,
+                    SeekBound::Gt(_) => false,
+                }
+            };
+            return FindResult {
+                prev: c.prev_link(),
+                curr,
+                next: c.next(),
+                found,
+            };
+        }
+    }
+
     /// Michael's find: locate the position for `key`, eagerly unlinking any
     /// marked node encountered on the way (restarting if the unlink fails).
     fn find<G: SmrGuard>(&self, g: &mut G, key: &K) -> FindResult<K, V> {
-        'restart: loop {
-            let mut prev: Link<Node<K, V>> = self.head.as_link();
-            let mut curr = g.protect(HP_CURR, &self.head);
-            loop {
-                if curr.is_null() {
-                    return FindResult {
-                        prev,
-                        curr,
-                        next: Shared::null(),
-                        found: false,
-                    };
-                }
-                // SAFETY: `curr` is protected; the protect that published it
-                // re-read the predecessor link, and the predecessor is known
-                // unmarked (we unlink marked nodes before ever advancing past
-                // them), so `curr` was not retired when the protection became
-                // visible — Michael's original argument.
-                let curr_ref = unsafe { curr.deref() };
-                let next = g.protect(HP_NEXT, &curr_ref.next);
-                // Re-validate that the predecessor still points at `curr`:
-                // this both detects concurrent unlinks and keeps the "prev is
-                // unmarked" invariant needed by the protection argument.
-                //
-                // SAFETY: `prev` is the head or a field of the HP_PREV node.
-                if unsafe { prev.load(Ordering::Acquire) } != curr {
-                    self.stats.record_restart();
-                    continue 'restart;
-                }
-                if next.tag() != 0 {
-                    // Logically deleted: unlink this single node right now
-                    // (the defining difference from Harris' list).
-                    //
-                    // SAFETY: as above for `prev`.
-                    if unsafe { prev.cas(curr, next.untagged()) }.is_err() {
-                        self.stats.record_restart();
-                        continue 'restart;
-                    }
-                    // SAFETY: we won the unlink CAS — unique retirer.
-                    unsafe { g.retire(curr) };
-                    curr = next.untagged();
-                    g.dup(HP_NEXT, HP_CURR);
-                    continue;
-                }
-                if curr_ref.key >= *key {
-                    return FindResult {
-                        prev,
-                        curr,
-                        next,
-                        found: curr_ref.key == *key,
-                    };
-                }
-                prev = curr_ref.next.as_link();
-                g.dup(HP_CURR, HP_PREV);
-                curr = next;
-                g.dup(HP_NEXT, HP_CURR);
-            }
-        }
+        self.seek_bound(g, &SeekBound::Ge(*key))
+    }
+
+    /// Validated re-positioning primitive of the range scan, in the same
+    /// eager mode as `find`.
+    fn scan_seek<G: SmrGuard>(&self, g: &mut G, bound: &SeekBound<K>) -> Shared<Node<K, V>> {
+        self.seek_bound(g, bound).curr
     }
 
     /// Brand check — see [`HarrisList::check_guard`](crate::HarrisList).
@@ -184,12 +178,40 @@ impl<K: Key, S: Smr, V: Value> HarrisMichaelList<K, S, V> {
     }
 }
 
+/// Guard-scoped range scan over a [`HarrisMichaelList`]; same lending
+/// contract as [`crate::harris_list::ListRange`], with the eager-unlink
+/// traversal as its re-positioning primitive.
+pub struct HmRange<'r, 'h, K: Key, S: Smr, V: Value = ()> {
+    list: &'r HarrisMichaelList<K, S, V>,
+    guard: &'r mut <S::Handle as SmrHandle>::Guard<'h>,
+    state: ScanState<K, Node<K, V>>,
+    hi: Option<K>,
+}
+
+impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for HmRange<'r, 'h, K, S, V> {
+    fn next_entry(&mut self) -> Option<(K, &V)> {
+        let list = self.list;
+        traverse::scan_entry(
+            &mut *self.guard,
+            &mut self.state,
+            self.hi.as_ref(),
+            0,
+            |g, bound| list.scan_seek(g, bound),
+        )
+    }
+}
+
 impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<K, S, V> {
     type Handle = HmListHandle<S>;
     type Guard<'h>
         = <S::Handle as SmrHandle>::Guard<'h>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = HmRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         HarrisMichaelList::handle(self)
@@ -278,6 +300,24 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<
         self.find(&mut *guard, key).found
     }
 
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.check_guard(&*guard);
+        HmRange {
+            list: self,
+            guard,
+            state: ScanState::Seek(SeekBound::Ge(lo)),
+            hi,
+        }
+    }
+
     fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
     where
         V: Clone,
@@ -289,8 +329,8 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<
         out
     }
 
-    fn restart_count(&self) -> u64 {
-        self.stats.restarts()
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        self.stats.snapshot()
     }
 }
 

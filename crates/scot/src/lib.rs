@@ -41,6 +41,15 @@
 //! the `scot-smr` crate and can therefore be instantiated with NR, EBR, HP,
 //! HPopt, HE, IBR or Hyaline-1S without code changes — this is the crux of the
 //! paper: fix the data structure once, keep every SMR scheme intact.
+//!
+//! The protect → validate → recover loop itself is fixed **once for the whole
+//! crate**: the [`traverse`] module holds the shared traversal cursor (and the
+//! [`TraversalStats`] every structure reports through), the [`slots`] module
+//! holds the one hazard-slot role table, and every Harris-style traversal in
+//! the crate is a client of that cursor.  On top of it, every structure
+//! supports **guard-scoped range scans** ([`ConcurrentMap::range`] /
+//! [`ConcurrentMap::iter_from`]): lending cursors whose yielded value borrows
+//! are protected exactly like [`ConcurrentMap::get`]'s.
 
 #![warn(missing_docs)]
 
@@ -49,6 +58,8 @@ pub mod hash_map;
 pub mod hm_list;
 pub mod nm_tree;
 pub mod skip_list;
+pub mod slots;
+pub mod traverse;
 pub mod wait_free;
 
 pub use harris_list::HarrisList;
@@ -56,6 +67,7 @@ pub use hash_map::HashMap;
 pub use hm_list::HarrisMichaelList;
 pub use nm_tree::NmTree;
 pub use skip_list::SkipList;
+pub use traverse::{TraversalSnapshot, TraversalStats};
 pub use wait_free::WfHarrisList;
 
 /// Marker bounds required of keys stored in the maps.
@@ -142,6 +154,47 @@ impl<T: Send + Sync + 'static> Value for T {}
 /// drop(handle); // ERROR: `handle` is still borrowed by `guard` (and `v`)
 /// assert!(v.is_some());
 /// ```
+///
+/// # Guard-scoped range scans
+///
+/// [`ConcurrentMap::range`] and [`ConcurrentMap::iter_from`] return a lending
+/// cursor ([`RangeScan`]) whose entries borrow values under the same
+/// protection contract as `get`: the item handed out by
+/// [`RangeScan::next_entry`] stays protected until the *next* advance
+/// (which recycles the hazard slot covering it), and the scan exclusively
+/// borrows the guard, so no other operation can recycle its slots mid-scan.
+/// Consequently a scan — and every borrow obtained from it — cannot outlive
+/// the guard:
+///
+/// ```compile_fail
+/// use scot::{ConcurrentMap, RangeScan, SkipList};
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let map: SkipList<u64, Hp, String> = SkipList::new(Hp::new(SmrConfig::default()));
+/// let mut handle = ConcurrentMap::handle(&map);
+/// let mut guard = map.pin(&mut handle);
+/// let _ = map.insert(&mut guard, 7, "seven".to_string());
+/// let mut scan = map.range(&mut guard, 0..100);
+/// let first = scan.next_entry();
+/// drop(guard); // ERROR: `guard` is still borrowed by `scan` (and `first`)
+/// assert!(first.is_some());
+/// ```
+///
+/// Nor can one yielded borrow survive the next advance (the lending-iterator
+/// contract that makes finite hazard slots suffice for unbounded scans):
+///
+/// ```compile_fail
+/// use scot::{ConcurrentMap, RangeScan, HarrisList};
+/// use scot_smr::{Hp, Smr, SmrConfig};
+///
+/// let map: HarrisList<u64, Hp, String> = HarrisList::new(Hp::new(SmrConfig::default()));
+/// let mut handle = ConcurrentMap::handle(&map);
+/// let mut guard = map.pin(&mut handle);
+/// let mut scan = map.iter_from(&mut guard, 0);
+/// let first = scan.next_entry();
+/// let second = scan.next_entry(); // ERROR: `scan` is still borrowed by `first`
+/// assert_eq!(first, second);
+/// ```
 pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
     /// Per-thread handle (wraps the SMR thread registration).
     type Handle: Send;
@@ -180,6 +233,57 @@ pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
         self.get(guard, key).is_some()
     }
 
+    /// The lending cursor returned by [`ConcurrentMap::range`] /
+    /// [`ConcurrentMap::iter_from`]: it mutably borrows the guard for the
+    /// whole scan (`'r`), which is what keeps the protection slots of the
+    /// parked position from being recycled between advances.
+    type Range<'r, 'h>: RangeScan<K, V>
+    where
+        Self: 'h,
+        'h: 'r;
+
+    /// Starts a guard-scoped scan of the keys in `[lo, hi)` (`hi = None`
+    /// scans to the end).  This is the one required entry point;
+    /// [`ConcurrentMap::range`] and [`ConcurrentMap::iter_from`] are
+    /// sugar over it.
+    ///
+    /// Ordered structures (lists, skip list, tree) yield entries in strictly
+    /// ascending key order; the hash map yields each bucket's matches in
+    /// order but buckets themselves in hash order.  Scans are *not* atomic
+    /// snapshots: a key continuously present for the whole scan is yielded
+    /// exactly once, a key continuously absent is never yielded, and a key
+    /// that churns concurrently may or may not appear — the usual contract of
+    /// lock-free range scans.
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r;
+
+    /// Guard-scoped range scan over `bounds.start .. bounds.end`
+    /// (half-open, like the standard library's range types).
+    fn range<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        bounds: core::ops::Range<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.scan(guard, bounds.start, Some(bounds.end))
+    }
+
+    /// Guard-scoped scan of every key `>= lo`, to the end of the structure.
+    fn iter_from<'r, 'h>(&'r self, guard: &'r mut Self::Guard<'h>, lo: K) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.scan(guard, lo, None)
+    }
+
     /// Collects every live entry into a `Vec<(K, V)>` sorted by key.
     ///
     /// Intended for testing and diagnostics only: the snapshot is not atomic
@@ -191,10 +295,28 @@ pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
         V: Clone;
 
     /// Number of traversal restarts observed so far (Table 2 of the paper).
-    /// Structures that do not track restarts report 0.
     fn restart_count(&self) -> u64 {
-        0
+        self.traversal_stats().restarts
     }
+
+    /// Traversal statistics: restarts, §3.2.1 recoveries and dangerous-zone
+    /// entries, as recorded by the shared [`traverse`] cursor.
+    fn traversal_stats(&self) -> TraversalSnapshot;
+}
+
+/// A guard-scoped range scan: a **lending** cursor over map entries.
+///
+/// Unlike `Iterator`, each yielded item borrows the cursor itself, so the
+/// borrow must end before the next advance — that is what lets a finite set
+/// of hazard slots protect an unbounded scan: only the parked position needs
+/// protection, and advancing recycles it.  See the
+/// [`ConcurrentMap`] trait docs for the compile-time guarantees.
+pub trait RangeScan<K, V> {
+    /// Advances to the next entry, returning the key and a borrow of the
+    /// value that lives until the next call (or the end of the scan).
+    /// Returns `None` once the upper bound or the end of the structure is
+    /// reached; further calls keep returning `None`.
+    fn next_entry(&mut self) -> Option<(K, &V)>;
 }
 
 /// The boolean membership interface of the paper's benchmark: a thin adapter
@@ -224,11 +346,22 @@ pub trait ConcurrentSet<K: Key>: Send + Sync + 'static {
     /// same caveats as [`ConcurrentMap::collect`]).
     fn collect_keys(&self, handle: &mut Self::Handle) -> Vec<K>;
 
+    /// Collects the keys in `[lo, hi)` via one guard-scoped range scan, in
+    /// the structure's scan order (ascending for the ordered structures,
+    /// per-bucket segments for the hash map).  Unlike
+    /// [`ConcurrentSet::collect_keys`] this is safe to run concurrently with
+    /// removals under every scheme — it is the membership view of
+    /// [`ConcurrentMap::range`].
+    fn collect_range(&self, handle: &mut Self::Handle, lo: K, hi: K) -> Vec<K>;
+
     /// Number of traversal restarts observed so far (Table 2 of the paper).
-    /// Structures that do not track restarts report 0.
     fn restart_count(&self) -> u64 {
-        0
+        self.traversal_stats().restarts
     }
+
+    /// Traversal statistics (restarts / recoveries / zone entries), see
+    /// [`ConcurrentMap::traversal_stats`].
+    fn traversal_stats(&self) -> TraversalSnapshot;
 }
 
 impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K> for M {
@@ -260,40 +393,22 @@ impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K> for M {
             .collect()
     }
 
+    fn collect_range(&self, handle: &mut Self::Handle, lo: K, hi: K) -> Vec<K> {
+        let mut guard = self.pin(handle);
+        let mut scan = self.scan(&mut guard, lo, Some(hi));
+        let mut keys = Vec::new();
+        while let Some((k, ())) = scan.next_entry() {
+            keys.push(k);
+        }
+        keys
+    }
+
     fn restart_count(&self) -> u64 {
         ConcurrentMap::restart_count(self)
     }
-}
 
-/// Statistics shared by the list/tree implementations: restart counting for
-/// the paper's Table 2, plus §3.2.1 recovery events for the ablation bench.
-#[derive(Default)]
-pub(crate) struct Stats {
-    restarts: core::sync::atomic::AtomicU64,
-    recoveries: core::sync::atomic::AtomicU64,
-}
-
-impl Stats {
-    #[inline]
-    pub(crate) fn record_restart(&self) {
-        self.restarts
-            .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn record_recovery(&self) {
-        self.recoveries
-            .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn restarts(&self) -> u64 {
-        self.restarts.load(core::sync::atomic::Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn recoveries(&self) -> u64 {
-        self.recoveries.load(core::sync::atomic::Ordering::Relaxed)
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        ConcurrentMap::traversal_stats(self)
     }
 }
 

@@ -31,27 +31,12 @@
 //! the whole `Seek` if the validation fails.  Per §3.2.2 the tree does not use
 //! the recovery optimization: diverging traversals simply restart.
 
-use crate::{Key, Stats, Value};
+use crate::slots::{HP_ANC, HP_CHILD, HP_LEAF, HP_PARENT, HP_SUCC, HP_VICTIM};
+use crate::traverse::{validate_link, TraversalStats};
+use crate::{Key, RangeScan, TraversalSnapshot, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-
-/// Hazard slot: child pointer currently being followed.
-const HP_CHILD: usize = 0;
-/// Hazard slot: current leaf candidate.
-const HP_LEAF: usize = 1;
-/// Hazard slot: parent of the leaf.
-const HP_PARENT: usize = 2;
-/// Hazard slot: successor (first node of the tagged zone).
-const HP_SUCC: usize = 3;
-/// Hazard slot: ancestor (owner of the deepest untagged edge).
-const HP_ANC: usize = 4;
-/// Hazard slot: the victim leaf of an in-flight `remove`.  The seek record
-/// slots (0–4) are recycled by every re-seek of the cleanup loop, but the
-/// value-returning map API must keep the *evicted* leaf protected until the
-/// caller's guard-scoped borrow ends, so the victim gets a dedicated slot
-/// that no traversal ever touches (`dup` still copies lower → higher: 1 → 5).
-const HP_VICTIM: usize = 5;
 
 /// Edge mark: the child is a leaf undergoing deletion.
 const FLAG: usize = 1;
@@ -119,6 +104,42 @@ impl<K, V> TreeNode<K, V> {
     }
 }
 
+/// A generalized seek target: the ordinary "descend to `key`'s leaf" of the
+/// paper, or the strictly-above probe the range scan's leaf-successor walk
+/// uses ("descend to the position of `k + ε`").
+#[derive(Clone, Copy, Debug)]
+enum SeekQuery<K> {
+    /// Descend to the leaf on `key`'s search path (the paper's `Seek(k)`).
+    At(TreeKey<K>),
+    /// Descend to where a key infinitesimally above `k` would live; the leaf
+    /// reached is either the successor of `k` or its predecessor (whose
+    /// interval upper bound — the deepest left-turn routing key — then names
+    /// where the successor must be looked up).
+    Above(K),
+}
+
+impl<K: Key> SeekQuery<K> {
+    /// Whether the descent turns left at a node with routing key `routing`.
+    #[inline]
+    fn goes_left(&self, routing: &TreeKey<K>) -> bool {
+        match self {
+            SeekQuery::At(q) => q < routing,
+            // `k + ε < routing ⟺ Fin(k) < routing`: routing keys are realized
+            // key values, so nothing can sit strictly between `k` and `k + ε`.
+            SeekQuery::Above(k) => &TreeKey::Fin(*k) < routing,
+        }
+    }
+
+    /// Whether a leaf holding `key` satisfies this query's lower bound.
+    #[inline]
+    fn admits(&self, key: &K) -> bool {
+        match self {
+            SeekQuery::At(q) => &TreeKey::Fin(*key) >= q,
+            SeekQuery::Above(k) => key > k,
+        }
+    }
+}
+
 /// The result of a `Seek`: the four nodes of the paper's seek record plus the
 /// link (field address) of the ancestor → successor edge and the value of the
 /// parent → leaf edge as it was read.
@@ -136,6 +157,10 @@ struct SeekRecord<K, V> {
     /// Value of the parent → leaf edge when it was traversed (marks included).
     #[allow(dead_code)]
     parent_edge: Shared<TreeNode<K, V>>,
+    /// Routing key of the deepest node at which the descent turned left: the
+    /// upper bound of the reached leaf's key interval.  The range scan's
+    /// successor walk resumes from it when the seek lands on a predecessor.
+    left_turn: TreeKey<K>,
 }
 
 /// The Natarajan-Mittal ordered map with SCOT traversals, parameterized by the
@@ -155,7 +180,7 @@ pub struct NmTree<K, S: Smr, V = ()> {
     /// Root sentinel `R` (key `Inf2`); `R.left = S`, `R.right = leaf(Inf2)`.
     root: Shared<TreeNode<K, V>>,
     smr: Arc<S>,
-    stats: Stats,
+    stats: TraversalStats,
 }
 
 unsafe impl<K: Key, S: Smr, V: Value> Send for NmTree<K, S, V> {}
@@ -203,7 +228,7 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
         Self {
             root: r_node,
             smr,
-            stats: Stats::default(),
+            stats: TraversalStats::default(),
         }
     }
 
@@ -237,9 +262,12 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
         unsafe { self.root.deref() }
     }
 
-    /// `Seek`: descend to the leaf on `key`'s search path, maintaining the
-    /// seek record and performing SCOT validation on every marked edge.
-    fn seek<G: SmrGuard>(&self, g: &mut G, key: &TreeKey<K>) -> SeekRecord<K, V> {
+    /// `Seek`: descend to the leaf on the query's search path, maintaining
+    /// the seek record and performing SCOT validation on every marked edge.
+    /// The validation primitive itself is `crate::traverse::validate_link`;
+    /// per §3.2.2 the tree uses no recovery ladder — a failed validation
+    /// restarts the whole seek.
+    fn seek<G: SmrGuard>(&self, g: &mut G, query: &SeekQuery<K>) -> SeekRecord<K, V> {
         'restart: loop {
             let root = self.root;
             let root_ref = self.root_ref();
@@ -258,6 +286,13 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
             let mut parent_edge_link = s_ref.left.as_link();
             let mut parent_edge = g.protect(HP_LEAF, &s_ref.left);
             let mut leaf = parent_edge.untagged();
+            // The descent into S.left is the implicit deepest left turn so
+            // far (S routes everything real to its left, key `Inf1`).
+            let mut left_turn = TreeKey::Inf1;
+            // Whether the previous step crossed a marked edge: the zone-entry
+            // statistic counts contiguous marked chains once, like the list
+            // cursor's `enter_zone`, not once per edge.
+            let mut in_zone = false;
 
             loop {
                 debug_assert!(!leaf.is_null(), "external tree: S.left is never null");
@@ -265,7 +300,8 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
                 // it was the child being followed (or is the sentinel child of
                 // S, reachable via a never-marked edge).
                 let leaf_ref = unsafe { leaf.deref() };
-                let field = if *key < leaf_ref.key {
+                let field = if query.goes_left(&leaf_ref.key) {
+                    left_turn = leaf_ref.key;
                     &leaf_ref.left
                 } else {
                     &leaf_ref.right
@@ -276,22 +312,28 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
                     // a flagged/tagged edge, confirm the deepest clean edge
                     // above it still holds its recorded value; otherwise the
                     // chain may already have been pruned and reclaimed.
+                    if !in_zone {
+                        self.stats.record_zone_entry();
+                        in_zone = true;
+                    }
                     let ok = if parent_edge.tag() == 0 {
                         // The parent edge is the deepest clean edge.
                         //
                         // SAFETY: the link belongs to `parent` (HP_PARENT) or
                         // to the sentinel S.
-                        (unsafe { parent_edge_link.load(Ordering::Acquire) }) == parent_edge
+                        unsafe { validate_link(parent_edge_link, parent_edge) }
                     } else {
                         // Inside a tagged chain: validate ancestor → successor.
                         //
                         // SAFETY: the link belongs to `ancestor` (HP_ANC) or R.
-                        (unsafe { ancestor_link.load(Ordering::Acquire) }) == successor
+                        unsafe { validate_link(ancestor_link, successor) }
                     };
                     if !ok {
                         self.stats.record_restart();
                         continue 'restart;
                     }
+                } else {
+                    in_zone = false;
                 }
                 if child.untagged().is_null() {
                     // `leaf` is an actual leaf: the seek ends here.
@@ -302,6 +344,7 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
                         leaf,
                         ancestor_link,
                         parent_edge,
+                        left_turn,
                     };
                 }
                 // Shift the seek record one level down (Figure 6 roles).
@@ -459,12 +502,98 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
     }
 }
 
+/// State of a [`TreeRange`] between two advances.
+enum TreeScanState<K> {
+    /// Next advance seeks with this query (a fresh validated descent).
+    From(SeekQuery<K>),
+    /// Past the upper bound or onto the sentinels.
+    Done,
+}
+
+/// Guard-scoped range scan over an [`NmTree`]: a **leaf-successor walk**.
+/// Each advance is one full validated `Seek` for the position just above the
+/// last yielded key; when the descent lands on the predecessor leaf instead
+/// of the successor (the tree's routing sent `k + ε` into an exhausted
+/// interval), the walk re-seeks at the interval's upper bound — the deepest
+/// left-turn routing key — which strictly increases until the successor or a
+/// sentinel is reached.
+pub struct TreeRange<'r, 'h, K: Key, S: Smr, V: Value = ()> {
+    tree: &'r NmTree<K, S, V>,
+    guard: &'r mut <S::Handle as SmrHandle>::Guard<'h>,
+    state: TreeScanState<K>,
+    hi: Option<K>,
+}
+
+impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for TreeRange<'r, 'h, K, S, V> {
+    fn next_entry(&mut self) -> Option<(K, &V)> {
+        // Position first (repeated seeks mutate the guard), then hand out the
+        // guard-scoped borrow once, outside the loop.
+        let (key, leaf) = loop {
+            let query = match &self.state {
+                TreeScanState::Done => return None,
+                TreeScanState::From(q) => *q,
+            };
+            let s = self.tree.seek(&mut *self.guard, &query);
+            // SAFETY: `leaf` is protected by HP_LEAF (published under the
+            // seek's validation).
+            let leaf_key = unsafe { s.leaf.deref() }.key;
+            match leaf_key {
+                TreeKey::Fin(k) if query.admits(&k) => {
+                    if self.hi.is_some_and(|h| k >= h) {
+                        self.state = TreeScanState::Done;
+                        return None;
+                    }
+                    self.state = TreeScanState::From(SeekQuery::Above(k));
+                    break (k, s.leaf);
+                }
+                TreeKey::Fin(_) => {
+                    // Landed on the predecessor leaf: no live key exists
+                    // below the deepest left-turn routing key, so the
+                    // successor is the smallest key at or above it — unless
+                    // that bound is already a sentinel, in which case no real
+                    // key remains.
+                    match s.left_turn {
+                        TreeKey::Fin(_) => {
+                            self.state = TreeScanState::From(SeekQuery::At(s.left_turn));
+                        }
+                        _ => {
+                            self.state = TreeScanState::Done;
+                            return None;
+                        }
+                    }
+                }
+                // A sentinel leaf: past every real key.
+                _ => {
+                    self.state = TreeScanState::Done;
+                    return None;
+                }
+            }
+        };
+        // SAFETY: the leaf stays protected by HP_LEAF — no further seek runs
+        // before the next advance, and the exclusive guard borrow keeps the
+        // slot published while the returned borrow is alive.
+        let leaf_ref = unsafe { leaf.deref_guarded(&*self.guard) };
+        Some((
+            key,
+            leaf_ref
+                .value
+                .as_ref()
+                .expect("a live Fin leaf always carries a value"),
+        ))
+    }
+}
+
 impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     type Handle = NmTreeHandle<S>;
     type Guard<'h>
         = <S::Handle as SmrHandle>::Guard<'h>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = TreeRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         NmTree::handle(self)
@@ -477,7 +606,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
-        let s = self.seek(&mut *guard, &tkey);
+        let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
         // SAFETY: `leaf` is protected by HP_LEAF, and the `&'g mut` guard
         // borrow keeps that slot published while the value borrow is alive.
         let leaf_ref = unsafe { s.leaf.deref_guarded(&*guard) };
@@ -491,7 +620,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(key);
-        let mut s = self.seek(&mut *guard, &tkey);
+        let mut s = self.seek(&mut *guard, &SeekQuery::At(tkey));
         // SAFETY: `leaf` is protected by HP_LEAF.
         if unsafe { s.leaf.deref() }.key == tkey {
             return Err(value);
@@ -551,7 +680,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
                     }
                 }
             }
-            s = self.seek(&mut *guard, &tkey);
+            s = self.seek(&mut *guard, &SeekQuery::At(tkey));
             // SAFETY: `leaf` is protected by HP_LEAF.
             if unsafe { s.leaf.deref() }.key == tkey {
                 // A concurrent insert won the race after our first seek.
@@ -574,7 +703,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
         let mut target: Shared<TreeNode<K, V>> = Shared::null();
         let mut injected = false;
         loop {
-            let s = self.seek(&mut *guard, &tkey);
+            let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
             if !injected {
                 // SAFETY: protected by HP_LEAF.
                 let leaf_ref = unsafe { s.leaf.deref() };
@@ -643,9 +772,27 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
-        let s = self.seek(&mut *guard, &tkey);
+        let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
         // SAFETY: protected by HP_LEAF.
         unsafe { s.leaf.deref() }.key == tkey
+    }
+
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.check_guard(&*guard);
+        TreeRange {
+            tree: self,
+            guard,
+            state: TreeScanState::From(SeekQuery::At(TreeKey::Fin(lo))),
+            hi,
+        }
     }
 
     fn collect(&self, _handle: &mut Self::Handle) -> Vec<(K, V)>
@@ -658,8 +805,8 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
         out
     }
 
-    fn restart_count(&self) -> u64 {
-        self.stats.restarts()
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        self.stats.snapshot()
     }
 }
 

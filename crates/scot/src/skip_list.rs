@@ -79,31 +79,15 @@
 //! | `Hp5` | removal victim, across the post-mark cleanup traversal |
 //! | `Hp6` | the inserter's own tower, across the tower build |
 
-use crate::{Key, Stats, Value};
+use crate::slots::{HP_CURR, HP_ENTRY, HP_NEXT, HP_PREV, HP_TOWER, HP_VICTIM};
+use crate::traverse::{
+    self, Cursor, Restart, ScanState, Seek, SeekBound, SlotNode, TraversalStats, ZoneMode, MARK,
+};
+use crate::{Key, RangeScan, TraversalSnapshot, Value};
 use scot_smr::{Atomic, Link, Shared, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::mem;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-/// Hazard slot protecting the next node at the current level.
-const HP_NEXT: usize = 0;
-/// Hazard slot protecting the current node.
-const HP_CURR: usize = 1;
-/// Hazard slot protecting the last safe (predecessor) node.
-const HP_PREV: usize = 2;
-/// Hazard slot protecting the first unsafe node of a dangerous zone.
-const HP_ANCHOR: usize = 3;
-/// Hazard slot protecting the node the current level was entered through —
-/// the restart-from-highest-valid-level anchor.
-const HP_LEVEL: usize = 4;
-/// Hazard slot protecting a removal victim across the cleanup traversal.
-const HP_VICTIM: usize = 5;
-/// Hazard slot protecting the inserter's own tower during the tower build.
-const HP_TOWER: usize = 6;
-
-/// Tag bit marking a node as logically deleted at one level (stored in that
-/// level's `next` pointer, exactly as in Harris' algorithm).
-const MARK: usize = 1;
 
 /// Maximum tower height.  With the geometric height distribution of
 /// [`tower_height`] (`p = 1/2`), twelve levels keep the expected search cost
@@ -206,6 +190,25 @@ impl<K, V> Node<K, V> {
     }
 }
 
+impl<K: Key, V: Value> SlotNode<K> for Node<K, V> {
+    type Value = V;
+
+    #[inline]
+    unsafe fn successor(&self, level: usize) -> &Atomic<Self> {
+        self.level(level)
+    }
+
+    #[inline]
+    fn node_key(&self) -> &K {
+        &self.key
+    }
+
+    #[inline]
+    fn node_value(&self) -> &V {
+        &self.value
+    }
+}
+
 /// Result of the internal multi-level find, describing the target level:
 /// the predecessor link (for CAS), the protected `curr` snapshot and whether
 /// `curr` matches the key.  (Unlike the Harris list, removal re-reads the
@@ -243,7 +246,7 @@ pub struct SkipList<K, S: Smr, V = ()> {
     /// recovery ladder unconditional.
     head: [Atomic<Node<K, V>>; MAX_HEIGHT],
     smr: Arc<S>,
-    stats: Stats,
+    stats: TraversalStats,
 }
 
 unsafe impl<K: Key, S: Smr, V: Value> Send for SkipList<K, S, V> {}
@@ -279,7 +282,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         Self {
             head: std::array::from_fn(|_| Atomic::null()),
             smr,
-            stats: Stats::default(),
+            stats: TraversalStats::default(),
         }
     }
 
@@ -374,44 +377,15 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         }
     }
 
-    /// One climb of the recovery ladder, shared by every failure path inside
-    /// [`SkipList::find`]: returns the node to re-enter the current level
-    /// from.  Rung 2 ("restart from the highest valid level") re-enters
-    /// through the level's entry node; whether the entry is still traversable
-    /// is re-checked by the tag test at the top of the level loop.  Rung 3
-    /// falls back to the level's head link (`None` entry, or the entry itself
-    /// was the failing predecessor).
-    ///
-    /// The direct publish into `Hp2` is sound despite copying "downwards"
-    /// (from slot 4 to slot 2): the entry stays continuously protected by
-    /// `Hp4` for the whole level, so no scan ordering can miss it.
-    fn climb_ladder<G: SmrGuard>(
-        &self,
-        g: &mut G,
-        pred: Shared<Node<K, V>>,
-        entry: Shared<Node<K, V>>,
-    ) -> Shared<Node<K, V>> {
-        if pred != entry && !entry.is_null() {
-            self.stats.record_recovery();
-            g.announce(HP_PREV, entry);
-            entry
-        } else {
-            self.stats.record_restart();
-            Shared::null()
-        }
-    }
-
     /// Multi-level find: descends from the top level to `target_level`,
-    /// applying the SCOT validation in every dangerous zone and the recovery
-    /// ladder on every validation failure.  In cleanup mode, marked chains
-    /// are physically unlinked before the descent continues — but, unlike the
-    /// Harris list, **never retired here**: retirement belongs exclusively to
-    /// the marking remover or the handed-off builder (see the module
-    /// documentation), because a node unlinked from one level may still be
-    /// reachable through another.
-    ///
-    /// On return, `Hp2`/`Hp1`/`Hp0` protect `pred`/`curr`/`next` at
-    /// `target_level`.
+    /// running the shared `Cursor` per level.  The cursor applies the SCOT
+    /// validation in every dangerous zone and reports ladder outcomes; this
+    /// method only translates them into the level re-entry: `Restart::Entry`
+    /// re-enters through the level's entry anchor (held in `Hp4`,
+    /// [`crate::slots::HP_ENTRY`], and re-published into `Hp2` by the cursor —
+    /// sound despite copying "downwards" because `Hp4` protects the entry
+    /// continuously for the whole level), `Restart::Head` falls back to the
+    /// level's immortal head link.
     fn find<G: SmrGuard>(
         &self,
         g: &mut G,
@@ -419,9 +393,29 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         cleanup: bool,
         target_level: usize,
     ) -> LevelPos<K, V> {
+        self.find_bound(g, &SeekBound::Ge(*key), cleanup, target_level)
+    }
+
+    /// [`SkipList::find`] generalized over the stop bound, which is what the
+    /// range scan's re-positioning uses (`Gt` bounds).  In cleanup mode,
+    /// marked chains are physically unlinked before the descent continues —
+    /// but, unlike the Harris list, **never retired here**: retirement
+    /// belongs exclusively to the marking remover or the handed-off builder
+    /// (see the module documentation), because a node unlinked from one level
+    /// may still be reachable through another.
+    ///
+    /// On return, `Hp2`/`Hp1`/`Hp0` protect `pred`/`curr`/`next` at
+    /// `target_level`.
+    fn find_bound<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        bound: &SeekBound<K>,
+        cleanup: bool,
+        target_level: usize,
+    ) -> LevelPos<K, V> {
         debug_assert!(target_level < MAX_HEIGHT);
-        // `pred` is the last node with key < `key` seen so far; null means the
-        // implicit head tower.  Protected by Hp2 whenever interior.
+        // `pred` is the last node with key below the bound seen so far; null
+        // means the implicit head tower.  Protected by Hp2 whenever interior.
         let mut pred: Shared<Node<K, V>> = Shared::null();
         let mut level = MAX_HEIGHT;
         loop {
@@ -430,7 +424,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
             // ladder rung 2.  It stays protected by Hp4 for the whole level.
             let entry = pred;
             if !entry.is_null() {
-                g.dup(HP_PREV, HP_LEVEL);
+                g.dup(HP_PREV, HP_ENTRY);
             }
             let pos = 'level: loop {
                 // (Re)start the level traversal from `pred`.
@@ -438,154 +432,79 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                 // SAFETY: `pred` is the head or protected by Hp2/Hp4; its
                 // height exceeds `level` because it was reached through a
                 // level >= `level` link.
-                let mut pred_link = if pred.is_null() {
+                let start = if pred.is_null() {
                     self.head[level].as_link()
                 } else {
                     unsafe { pred.deref().level(level) }.as_link()
                 };
-                // SAFETY: the link owner is the head or protected (Hp2/Hp4).
-                let mut curr = g.protect(HP_CURR, unsafe { pred_link.as_atomic() });
-                if curr.tag() != 0 {
-                    // `pred` is marked at this level: climb the ladder.
-                    pred = self.climb_ladder(g, pred, entry);
-                    continue 'level;
-                }
-                // First unsafe node of the current dangerous zone; null while
-                // in the safe zone.  Mirrors `prev_next` in HarrisList::find.
-                let mut chain: Shared<Node<K, V>> = Shared::null();
-                let mut next = if curr.is_null() {
-                    Shared::null()
-                } else {
-                    // SAFETY: `curr` was protected against a link of an
-                    // unmarked owner (tag checked above), hence durable.
-                    g.protect(HP_NEXT, unsafe { curr.deref().level(level) })
-                };
-
-                'traverse: loop {
-                    // ---------- safe zone ----------
-                    loop {
-                        if curr.is_null() {
-                            break 'traverse;
-                        }
-                        if next.tag() != 0 {
-                            // `curr` is marked at this level: dangerous zone.
-                            break;
-                        }
-                        // SAFETY: `curr` is protected (Hp1) and was validated
-                        // reachable from an unmarked predecessor when the
-                        // protection was published.
-                        let curr_ref = unsafe { curr.deref() };
-                        if curr_ref.key >= *key {
-                            break 'traverse;
-                        }
-                        // SAFETY: `curr` is linked at `level`, so its height
-                        // exceeds `level`.
-                        pred_link = unsafe { curr_ref.level(level) }.as_link();
-                        pred = curr;
-                        chain = Shared::null();
-                        g.dup(HP_CURR, HP_PREV);
-                        curr = next;
-                        if curr.is_null() {
-                            break 'traverse;
-                        }
-                        g.dup(HP_NEXT, HP_CURR);
-                        // SAFETY: `curr` was published (Hp0) by the protect
-                        // that read it from an unmarked predecessor.
-                        next = g.protect(HP_NEXT, unsafe { curr.deref().level(level) });
-                    }
-
-                    // ---------- dangerous zone ----------
-                    // Anchor the first unsafe node (Hp3) so the validation
-                    // below can rely on pointer comparison even if the chain
-                    // is concurrently unlinked (ABA prevention, §3.2).
-                    g.dup(HP_CURR, HP_ANCHOR);
-                    chain = curr;
-                    loop {
-                        // SCOT validation: the last safe node must still point
-                        // at the first unsafe node, checked before every
-                        // dereference deeper into the zone.
-                        //
-                        // SAFETY: `pred_link` belongs to the head or to the
-                        // node protected by Hp2.
-                        let observed = unsafe { pred_link.load(Ordering::Acquire) };
-                        if observed != chain {
-                            if observed.tag() == 0 {
-                                // Rung 1 (§3.2.1): the last safe node is
-                                // still unmarked; continue from its new
-                                // successor.
-                                self.stats.record_recovery();
-                                // SAFETY: as above; the protect re-reads the
-                                // link, whose owner is unmarked, so the
-                                // returned pointer was not retired when the
-                                // protection became visible.
-                                curr = g.protect(HP_CURR, unsafe { pred_link.as_atomic() });
-                                if curr.tag() != 0 {
-                                    // The last safe node got marked after
-                                    // all; climb to rung 2/3.
-                                    break;
-                                }
-                                chain = Shared::null();
-                                if curr.is_null() {
-                                    break 'traverse;
-                                }
-                                // SAFETY: protected and validated just above.
-                                next = g.protect(HP_NEXT, unsafe { curr.deref().level(level) });
-                                continue 'traverse;
-                            }
-                            // The last safe node is marked: climb the ladder.
-                            break;
-                        }
-                        if next.tag() == 0 {
-                            // End of the marked chain: back to the safe zone
-                            // with the pending cleanup information intact.
-                            continue 'traverse;
-                        }
-                        // Step deeper into the zone.
-                        curr = next.untagged();
-                        if curr.is_null() {
-                            break 'traverse;
-                        }
-                        g.dup(HP_NEXT, HP_CURR);
-                        // SAFETY: `curr` was published in Hp0 by the protect
-                        // that read it, and the validation above confirmed
-                        // the zone was still linked after that publication,
-                        // so the protection is durable (Theorem 2, applied to
-                        // this level's list).
-                        next = g.protect(HP_NEXT, unsafe { curr.deref().level(level) });
-                    }
-                    // Ladder climb requested from inside the dangerous zone.
-                    pred = self.climb_ladder(g, pred, entry);
-                    continue 'level;
-                }
-
-                // ---------- per-level cleanup ----------
-                if cleanup && !chain.is_null() && chain != curr {
-                    // Unlink the marked chain [chain, curr) at this level with
-                    // one CAS.  The nodes are NOT retired here: each one's
-                    // remover (or handed-off builder) retires it after
-                    // confirming it is unlinked from *every* level.
-                    //
-                    // SAFETY: `pred_link` belongs to the head or the node
-                    // protected by Hp2.
-                    if unsafe { pred_link.cas(chain, curr) }.is_err() {
-                        pred = self.climb_ladder(g, pred, entry);
+                let mut c = match Cursor::begin(
+                    g,
+                    pred,
+                    start,
+                    level,
+                    entry,
+                    &self.stats,
+                    ZoneMode::Scot { recovery: true },
+                ) {
+                    Ok(c) => c,
+                    // `pred` is marked at this level: ladder rung 2 or 3.
+                    Err(Restart::Entry) => {
+                        pred = entry;
                         continue 'level;
                     }
+                    Err(Restart::Head) => {
+                        pred = Shared::null();
+                        continue 'level;
+                    }
+                };
+                match c.seek(g, bound, || false) {
+                    Seek::Positioned => {}
+                    Seek::Restart(Restart::Entry) => {
+                        pred = entry;
+                        continue 'level;
+                    }
+                    Seek::Restart(Restart::Head) => {
+                        pred = Shared::null();
+                        continue 'level;
+                    }
+                    Seek::Interrupted => unreachable!("find has no interrupt source"),
                 }
+                // Per-level cleanup: unlink the pending marked chain, without
+                // retiring (towers retire through their handshake).
+                if cleanup {
+                    match c.unlink_pending(g, false) {
+                        Ok(()) => {}
+                        Err(Restart::Entry) => {
+                            pred = entry;
+                            continue 'level;
+                        }
+                        Err(Restart::Head) => {
+                            pred = Shared::null();
+                            continue 'level;
+                        }
+                    }
+                }
+                // Descend: this level's last safe node is the entry node of
+                // `level - 1`.
+                pred = c.pred();
+                let curr = c.curr();
                 break 'level LevelPos {
-                    pred: pred_link,
+                    pred: c.prev_link(),
                     curr,
                     found: !curr.is_null() && {
-                        // SAFETY: `curr` is protected (Hp1) and durable; exits
-                        // from the traversal guarantee it is unmarked.
-                        unsafe { curr.deref() }.key == *key
+                        match bound {
+                            // SAFETY: `curr` is protected (Hp1) and durable;
+                            // positioned exits guarantee it is unmarked.
+                            SeekBound::Ge(k) => unsafe { curr.deref() }.key == *k,
+                            // A strict bound never "finds" its key.
+                            SeekBound::Gt(_) => false,
+                        }
                     },
                 };
             };
             if level == target_level {
                 return pos;
             }
-            // Descend: `pred` carries over as the entry node of `level - 1`.
         }
     }
 
@@ -674,12 +593,41 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
     }
 }
 
+/// Guard-scoped range scan over a [`SkipList`]: parks on the last yielded
+/// node of the membership level (level 0) and re-positions through the full
+/// multi-level descent when disrupted — so scan steps are cheap but every
+/// re-positioning is a validated `O(log n)` search.
+pub struct SkipRange<'r, 'h, K: Key, S: Smr, V: Value = ()> {
+    list: &'r SkipList<K, S, V>,
+    guard: &'r mut SkipListGuard<'h, S>,
+    state: ScanState<K, Node<K, V>>,
+    hi: Option<K>,
+}
+
+impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for SkipRange<'r, 'h, K, S, V> {
+    fn next_entry(&mut self) -> Option<(K, &V)> {
+        let list = self.list;
+        traverse::scan_entry(
+            &mut self.guard.g,
+            &mut self.state,
+            self.hi.as_ref(),
+            0,
+            |g, bound| list.find_bound(g, bound, false, 0).curr,
+        )
+    }
+}
+
 impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> {
     type Handle = SkipListHandle<S>;
     type Guard<'h>
         = SkipListGuard<'h, S>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = SkipRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         SkipList::handle(self)
@@ -821,6 +769,24 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
         self.find(&mut guard.g, key, false, 0).found
     }
 
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        self.check_guard(&*guard);
+        SkipRange {
+            list: self,
+            guard,
+            state: ScanState::Seek(SeekBound::Ge(lo)),
+            hi,
+        }
+    }
+
     fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
     where
         V: Clone,
@@ -836,8 +802,8 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
         out
     }
 
-    fn restart_count(&self) -> u64 {
-        self.stats.restarts()
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        self.stats.snapshot()
     }
 }
 

@@ -1,0 +1,84 @@
+//! The **slot map**: one documented table assigning a role to every hazard
+//! slot used anywhere in this crate.
+//!
+//! The paper's pseudocode (Figure 5, Figure 6) names hazard slots `Hp0`–`Hp4`
+//! and gives each a fixed role per structure.  Before this module existed,
+//! every structure re-declared its own copy of those constants; now the
+//! assignment lives in exactly one place, shared by the [`crate::traverse`]
+//! cursor and every structure built on it.
+//!
+//! | slot | list / skip-list role (Figure 5)       | NM-tree role (Figure 6) |
+//! |------|----------------------------------------|-------------------------|
+//! | 0    | [`HP_NEXT`] — next node                | [`HP_CHILD`] — child pointer being followed |
+//! | 1    | [`HP_CURR`] — current node             | [`HP_LEAF`] — current leaf candidate |
+//! | 2    | [`HP_PREV`] — last safe node           | [`HP_PARENT`] — parent of the leaf |
+//! | 3    | [`HP_ANCHOR`] — first unsafe node      | [`HP_SUCC`] — successor (entrance of the tagged zone) |
+//! | 4    | [`HP_ENTRY`] — level-entry restart anchor (skip list) | [`HP_ANC`] — ancestor (owner of the deepest untagged edge) |
+//! | 5    | [`HP_VICTIM`] — removal victim, across cleanup traversals | same |
+//! | 6    | [`HP_TOWER`] — the inserter's own tower during the build (skip list) | — |
+//!
+//! Two invariants make this table sound (paper §3.2):
+//!
+//! * `dup` only ever copies a **lower** slot into a **higher** slot on the
+//!   traversal path (`0 → 1`, `1 → 2`, `1 → 3`, `2 → 4`, `1 → 5`), which
+//!   together with ascending-order hazard scans closes the race window where a
+//!   reclaimer could miss a protection mid-copy.  The two documented
+//!   exceptions — the skip list's ladder publishing the entry node back into
+//!   [`HP_PREV`], and nothing else — are sound because the source slot keeps
+//!   the node continuously protected across the copy.
+//! * Slots 5 and 6 are never touched by any traversal, so protections parked
+//!   there survive the slot-0–4 recycling of nested cleanup traversals.
+//!
+//! `scot_smr::MAX_HAZARDS` (8) leaves one slot of headroom beyond this table.
+
+/// Hazard slot protecting the next node on the current level's list.
+pub const HP_NEXT: usize = 0;
+/// Hazard slot protecting the current node.
+pub const HP_CURR: usize = 1;
+/// Hazard slot protecting the last safe (predecessor) node.
+pub const HP_PREV: usize = 2;
+/// Hazard slot protecting the first unsafe node of a dangerous zone
+/// (the SCOT validation anchor, §3.2).
+pub const HP_ANCHOR: usize = 3;
+/// Hazard slot protecting the node the current skip-list level was entered
+/// through — the restart-from-highest-valid-level anchor (ladder rung 2).
+pub const HP_ENTRY: usize = 4;
+/// Hazard slot protecting a removal victim across cleanup traversals, so the
+/// value-returning `remove` can hand out a guard-scoped borrow after the seek
+/// slots were recycled.
+pub const HP_VICTIM: usize = 5;
+/// Hazard slot protecting the skip-list inserter's own tower during the
+/// tower build.
+pub const HP_TOWER: usize = 6;
+
+/// NM-tree alias of slot 0: the child pointer currently being followed.
+pub const HP_CHILD: usize = HP_NEXT;
+/// NM-tree alias of slot 1: the current leaf candidate.
+pub const HP_LEAF: usize = HP_CURR;
+/// NM-tree alias of slot 2: the parent of the leaf.
+pub const HP_PARENT: usize = HP_PREV;
+/// NM-tree alias of slot 3: the successor (entrance of the tagged zone).
+pub const HP_SUCC: usize = HP_ANCHOR;
+/// NM-tree alias of slot 4: the ancestor (owner of the deepest untagged edge).
+pub const HP_ANC: usize = HP_ENTRY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_map_fits_the_smr_budget() {
+        // Every slot in the table must exist in the per-thread slot array.
+        for slot in [
+            HP_NEXT, HP_CURR, HP_PREV, HP_ANCHOR, HP_ENTRY, HP_VICTIM, HP_TOWER,
+        ] {
+            assert!(slot < scot_smr::MAX_HAZARDS, "slot {slot} out of budget");
+        }
+        // The tree aliases map onto the shared indices, not past them.
+        assert_eq!(HP_CHILD, HP_NEXT);
+        assert_eq!(HP_LEAF, HP_CURR);
+        assert_eq!(HP_PARENT, HP_PREV);
+        assert_eq!(HP_SUCC, HP_ANCHOR);
+        assert_eq!(HP_ANC, HP_ENTRY);
+    }
+}

@@ -24,12 +24,11 @@
 //! Updates themselves remain lock-free; only traversals gain wait-freedom
 //! (Theorem 7), which matches the evaluation's `listwf` configuration.
 
-use crate::harris_list::{
-    HarrisList, HarrisListHandle, Node, HP_ANCHOR, HP_CURR, HP_NEXT, HP_PREV,
-};
-use crate::{Key, Stats, Value};
+use crate::harris_list::{HarrisList, HarrisListHandle, ListRange};
+use crate::traverse::{Cursor, Seek, SeekBound, TraversalStats, ZoneMode};
+use crate::{Key, TraversalSnapshot, Value};
 use crossbeam_utils::CachePadded;
-use scot_smr::{Link, Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
+use scot_smr::{Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -131,7 +130,12 @@ pub struct WfHarrisList<K, S: Smr, V = ()> {
     list: HarrisList<K, S, V>,
     records: Box<[CachePadded<HelpRecord>]>,
     record_slots: Arc<SlotRegistry>,
-    stats: Stats,
+    /// Restarts (and recoveries) of the read-only fast/slow-path traversals,
+    /// kept separate from the underlying list's update traversals.
+    stats: TraversalStats,
+    /// Number of searches that exhausted the fast-path restart budget and
+    /// entered `Slow_Search`.
+    slow_entries: AtomicU64,
 }
 
 /// Per-thread handle for [`WfHarrisList`].
@@ -174,7 +178,8 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
             list: HarrisList::new(smr),
             records,
             record_slots: Arc::new(SlotRegistry::new(max_threads)),
-            stats: Stats::default(),
+            stats: TraversalStats::default(),
+            slow_entries: AtomicU64::new(0),
         }
     }
 
@@ -209,7 +214,7 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
     /// Number of slow-path searches that were actually entered; exposed for
     /// the wait-free ablation benchmark.
     pub fn slow_path_entries(&self) -> u64 {
-        self.stats.recoveries()
+        self.slow_entries.load(Ordering::Relaxed)
     }
 
     /// `Help_Threads` (Figure 7, L12-L26): every `DELAY` calls, examine one
@@ -257,7 +262,8 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
         tag
     }
 
-    /// Read-only SCOT traversal shared by the fast path and `Slow_Search`.
+    /// Read-only SCOT traversal shared by the fast path and `Slow_Search`:
+    /// the shared `Cursor` with an interrupt hook.
     ///
     /// `max_restarts = None` means unbounded (slow path); `check` is consulted
     /// on every step and may abort the traversal with an externally produced
@@ -269,8 +275,9 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
         max_restarts: Option<usize>,
         mut check: impl FnMut() -> Option<bool>,
     ) -> Option<bool> {
+        let bound = SeekBound::Ge(*key);
         let mut restarts = 0usize;
-        'restart: loop {
+        loop {
             if let Some(done) = check() {
                 return Some(done);
             }
@@ -281,86 +288,34 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
             }
             restarts += 1;
 
-            let mut prev: Link<Node<K, V>> = self.list.head.as_link();
-            let mut curr = g.protect(HP_CURR, &self.list.head);
-            let mut next = if curr.is_null() {
-                Shared::null()
-            } else {
-                // SAFETY: protected against the immortal head link.
-                g.protect(HP_NEXT, unsafe { &curr.deref().next })
+            // The head link is never tagged, so `begin` cannot fail here.
+            let Ok(mut c) = Cursor::begin(
+                g,
+                Shared::null(),
+                self.list.head.as_link(),
+                0,
+                Shared::null(),
+                &self.stats,
+                ZoneMode::Scot { recovery: true },
+            ) else {
+                continue;
             };
-            'traverse: loop {
-                // Safe zone.
-                loop {
-                    if let Some(done) = check() {
-                        return Some(done);
-                    }
-                    if curr.is_null() {
-                        return Some(false);
-                    }
-                    if next.tag() != 0 {
-                        break;
-                    }
-                    // SAFETY: same protection discipline as `HarrisList::find`.
-                    let curr_ref = unsafe { curr.deref() };
-                    if curr_ref.key >= *key {
-                        return Some(curr_ref.key == *key);
-                    }
-                    prev = curr_ref.next.as_link();
-                    g.dup(HP_CURR, HP_PREV);
-                    curr = next;
-                    if curr.is_null() {
-                        return Some(false);
-                    }
-                    g.dup(HP_NEXT, HP_CURR);
-                    // SAFETY: durable protection (read from an unmarked,
-                    // validated predecessor).
-                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+            let mut answered = None;
+            match c.seek(g, &bound, || {
+                if let Some(done) = check() {
+                    answered = Some(done);
+                    true
+                } else {
+                    false
                 }
-                // Dangerous zone.  `prev_next` mirrors Figure 5's variable of
-                // the same name; in this read-only traversal it is consulted
-                // only by the validation load, so it lives inside the zone.
-                g.dup(HP_CURR, HP_ANCHOR);
-                let prev_next = curr;
-                loop {
-                    if let Some(done) = check() {
-                        return Some(done);
-                    }
-                    // SCOT validation before dereferencing deeper.
-                    //
-                    // SAFETY: `prev` is the head link or a field of the node
-                    // protected by HP_PREV.
-                    let observed = unsafe { prev.load(Ordering::Acquire) };
-                    if observed != prev_next {
-                        if observed.tag() == 0 {
-                            // §3.2.1 recovery.
-                            // SAFETY: as above.
-                            curr = g.protect(HP_CURR, unsafe { prev.as_atomic() });
-                            if curr.tag() != 0 {
-                                self.stats.record_restart();
-                                continue 'restart;
-                            }
-                            if curr.is_null() {
-                                return Some(false);
-                            }
-                            // SAFETY: protected and validated just above.
-                            next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
-                            continue 'traverse;
-                        }
-                        self.stats.record_restart();
-                        continue 'restart;
-                    }
-                    if next.tag() == 0 {
-                        continue 'traverse;
-                    }
-                    curr = next.untagged();
-                    if curr.is_null() {
-                        return Some(false);
-                    }
-                    g.dup(HP_NEXT, HP_CURR);
-                    // SAFETY: published before the validation above succeeded.
-                    next = g.protect(HP_NEXT, unsafe { &curr.deref().next });
+            }) {
+                Seek::Positioned => {
+                    let curr = c.curr();
+                    // SAFETY: `curr` is protected (HP_CURR) and durable.
+                    return Some(!curr.is_null() && unsafe { curr.deref() }.key == *key);
                 }
+                Seek::Restart(_) => continue,
+                Seek::Interrupted => return answered,
             }
         }
     }
@@ -404,6 +359,11 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
         = WfGuard<'h, S>
     where
         Self: 'h;
+    type Range<'r, 'h>
+        = ListRange<'r, 'h, K, S, V>
+    where
+        Self: 'h,
+        'h: 'r;
 
     fn handle(&self) -> Self::Handle {
         WfHarrisList::handle(self)
@@ -454,10 +414,25 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
             return found;
         }
         // Slow path: announce the request and search with helpers.
-        self.stats.record_recovery();
+        self.slow_entries.fetch_add(1, Ordering::Relaxed);
         let tag = self.request_help(guard, *key);
         let index = guard.index;
         self.slow_search(&mut guard.g, key, index, tag)
+    }
+
+    fn scan<'r, 'h>(
+        &'r self,
+        guard: &'r mut Self::Guard<'h>,
+        lo: K,
+        hi: Option<K>,
+    ) -> Self::Range<'r, 'h>
+    where
+        'h: 'r,
+    {
+        // Scans are lock-free by design, like `get`: every yielded borrow
+        // must be backed by this thread's own protection, which the helping
+        // protocol (a published boolean) cannot substitute for.
+        crate::ConcurrentMap::scan(&self.list, &mut guard.g, lo, hi)
     }
 
     fn collect(&self, handle: &mut Self::Handle) -> Vec<(K, V)>
@@ -469,6 +444,12 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
 
     fn restart_count(&self) -> u64 {
         self.restarts()
+    }
+
+    fn traversal_stats(&self) -> TraversalSnapshot {
+        // The underlying list's update traversals plus this structure's
+        // read-only fast/slow-path traversals.
+        crate::ConcurrentMap::traversal_stats(&self.list).merged(self.stats.snapshot())
     }
 }
 

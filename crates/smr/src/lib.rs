@@ -69,7 +69,8 @@ use std::sync::Arc;
 /// (`Hp5`), and the skip list needs 7 (`Hp0`–`Hp3` for the per-level
 /// traversal, `Hp4` as the restart-from-highest-valid-level anchor, `Hp5` for
 /// the removal victim, `Hp6` for the inserter's own tower); 8 leaves headroom
-/// for future structures.
+/// for future structures.  The authoritative role-per-slot table is the
+/// `scot::slots` module of the data-structure crate.
 pub const MAX_HAZARDS: usize = 8;
 
 /// Errors surfaced by the fallible SMR entry points ([`Smr::try_register`]
@@ -376,6 +377,20 @@ pub trait SmrGuard {
     /// responsible for re-validating reachability afterwards (this is exactly
     /// the SCOT validation step).
     fn announce<T>(&mut self, idx: usize, ptr: Shared<T>);
+
+    /// Reads through a link address (`node_t **` in the paper's pseudocode)
+    /// and protects the result in slot `idx` — [`SmrGuard::protect`] for the
+    /// cursor paths that hold the predecessor as a [`Link`] rather than a
+    /// field reference (restarting a traversal from the last safe node,
+    /// re-protecting across cursor steps).
+    ///
+    /// # Safety
+    /// The owner of the link (the structure head or a protected node) must be
+    /// live for the duration of the call, exactly as for [`Link::as_atomic`].
+    #[inline]
+    unsafe fn protect_link<T>(&mut self, idx: usize, link: Link<T>) -> Shared<T> {
+        self.protect(idx, link.as_atomic())
+    }
 
     /// Copies the protection in slot `from` to slot `to` (`dup` in Figure 1).
     /// Per §3.2, callers must only duplicate from a lower to a higher index on

@@ -14,6 +14,7 @@ fn tiny() -> ExperimentOptions {
         threads: vec![2],
         scale_large_range: 50_000,
         value_bytes: 16,
+        scan_lens: vec![8],
     }
 }
 
@@ -106,6 +107,7 @@ fn custom_mix_run_matches_requested_shape() {
         seed: 42,
         pool: true,
         value_bytes: 0,
+        scan_len: 64,
     };
     let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
     assert!(r.ops > 0);
@@ -115,4 +117,31 @@ fn custom_mix_run_matches_requested_shape() {
     };
     let r = run_timed(DsKind::ListLf, SmrKind::He, &cfg);
     assert!(r.ops > 0);
+}
+
+#[test]
+fn scan_experiment_sweeps_lengths_and_schemes_with_verified_output() {
+    let results = run_experiment("scan", &tiny(), |_| {}).unwrap();
+    // 2 structures × 9 scheme variants × 1 scan length.
+    assert_eq!(results.len(), 2 * SmrKind::ALL.len());
+    for smr in SmrKind::ALL {
+        assert!(
+            results.iter().any(|r| r.smr == smr.name() && r.ops > 0),
+            "scan experiment idle under {smr}"
+        );
+    }
+    for r in &results {
+        // The hot loop oracle-checks every scan; a completed run with scanned
+        // keys certifies window/order correctness under that scheme.
+        assert!(
+            r.scanned_keys > 0,
+            "{} under {} scanned nothing",
+            r.ds,
+            r.smr
+        );
+        assert_eq!(r.scan_len, 8);
+    }
+    let table = scot_harness::experiments::scan_table(&results);
+    assert!(table.contains("SkipList") && table.contains("NMTree"));
+    assert!(table.contains("keys/scan") && table.contains("recoveries"));
 }

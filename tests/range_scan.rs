@@ -1,0 +1,392 @@
+//! Integration tests for the guard-scoped range-scan API: semantics against a
+//! `BTreeMap` oracle for every structure under every scheme, and scans racing
+//! concurrent inserts/removes under the robust schemes (HP, IBR) where a
+//! traversal bug would surface as a use-after-free or a corrupted value.
+
+#![allow(clippy::drop_non_drop)] // drops end guard borrows; the types are guard wrappers
+
+use scot::{
+    ConcurrentMap, ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan,
+    SkipList, WfHarrisList,
+};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, SmrConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        max_threads: 32,
+        scan_threshold: 16,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+        ..SmrConfig::default()
+    }
+}
+
+/// Key-derived value stamp: lets every scan verify that a yielded borrow
+/// still belongs to the key it was filed under.
+fn stamp(k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5c07
+}
+
+/// Drains a scan over `[lo, hi)` into `(key, value)` pairs, checking bounds
+/// and value integrity on the fly.
+fn drain<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    guard: &mut M::Guard<'_>,
+    lo: u64,
+    hi: u64,
+) -> Vec<(u64, u64)> {
+    let mut scan = map.range(guard, lo..hi);
+    let mut out = Vec::new();
+    while let Some((k, v)) = scan.next_entry() {
+        assert!((lo..hi).contains(&k), "scan [{lo}, {hi}) yielded {k}");
+        assert_eq!(*v, stamp(k), "value borrow for {k} is corrupted");
+        out.push((k, *v));
+    }
+    out
+}
+
+/// Quiescent oracle check: a random operation tape applied to both the map
+/// and a `BTreeMap`, then a battery of windows compared exactly.  `ordered`
+/// selects whether the scan output itself must be ascending (everything but
+/// the hash map) or is sorted before comparison.
+fn check_range_oracle<M: ConcurrentMap<u64, u64>>(map: &M, ordered: bool) {
+    let mut h = map.handle();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut x = 0x5eed_0123_4567u64;
+    for _ in 0..4000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 512;
+        let mut g = map.pin(&mut h);
+        if x.is_multiple_of(3) {
+            let inserted = map.insert(&mut g, k, stamp(k)).is_ok();
+            assert_eq!(inserted, model.insert(k, stamp(k)).is_none(), "insert {k}");
+        } else if x % 3 == 1 {
+            assert_eq!(
+                map.remove(&mut g, &k).copied(),
+                model.remove(&k),
+                "remove {k}"
+            );
+        }
+    }
+    // Windows: empty, inverted, single-key, interior, past-the-end, full.
+    let windows = [
+        (0, 0),
+        (100, 50),
+        (7, 8),
+        (37, 141),
+        (500, 512),
+        (510, 9999),
+        (0, u64::MAX),
+    ];
+    for (lo, hi) in windows {
+        let mut g = map.pin(&mut h);
+        let mut got = drain(map, &mut g, lo, hi);
+        if ordered {
+            assert!(
+                got.windows(2).all(|w| w[0].0 < w[1].0),
+                "scan [{lo}, {hi}) not strictly ascending: {got:?}"
+            );
+        } else {
+            got.sort_unstable();
+        }
+        let expected: Vec<(u64, u64)> =
+            model.range(lo..hi.max(lo)).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, expected, "window [{lo}, {hi}) disagrees with oracle");
+    }
+    // `iter_from` runs to the end of the structure.
+    {
+        let mut g = map.pin(&mut h);
+        let mut scan = map.iter_from(&mut g, 256);
+        let mut got = Vec::new();
+        while let Some((k, v)) = scan.next_entry() {
+            assert!(k >= 256);
+            assert_eq!(*v, stamp(k));
+            got.push(k);
+        }
+        if !ordered {
+            got.sort_unstable();
+        }
+        let expected: Vec<u64> = model.range(256..).map(|(&k, _)| k).collect();
+        assert_eq!(got, expected, "iter_from(256) disagrees with oracle");
+    }
+}
+
+/// The set-level `collect_range` adapter (over `V = ()`) agrees with a
+/// `BTreeSet`-style model and returns ascending keys for ordered structures.
+#[test]
+fn collect_range_set_adapter_matches_membership() {
+    let list: HarrisList<u64, Hp> = HarrisList::with_config(cfg());
+    let mut h = ConcurrentSet::handle(&list);
+    for k in [5u64, 1, 9, 3, 7, 40, 12] {
+        ConcurrentSet::insert(&list, &mut h, k);
+    }
+    assert_eq!(list.collect_range(&mut h, 3, 13), vec![3, 5, 7, 9, 12]);
+    assert_eq!(list.collect_range(&mut h, 0, 2), vec![1]);
+    assert_eq!(list.collect_range(&mut h, 13, 40), Vec::<u64>::new());
+    let map: HashMap<u64, Ibr> = HashMap::with_config(8, cfg());
+    let mut h = ConcurrentSet::handle(&map);
+    for k in 0..64u64 {
+        ConcurrentSet::insert(&map, &mut h, k);
+    }
+    let mut keys = map.collect_range(&mut h, 16, 48);
+    keys.sort_unstable();
+    assert_eq!(keys, (16..48).collect::<Vec<_>>());
+}
+
+/// Concurrent churn check: even keys are stable (inserted up front, never
+/// touched again), odd keys churn under `writers` threads while scanners
+/// sweep windows.  Every scan must yield only in-window keys with intact
+/// values, in ascending order for ordered structures, and must contain every
+/// stable key of its window — the "continuously present keys are seen"
+/// half of the lock-free scan contract.
+fn check_concurrent_churn<M: ConcurrentMap<u64, u64> + 'static>(map: Arc<M>, ordered: bool) {
+    const RANGE: u64 = 512;
+    {
+        let mut h = map.handle();
+        for k in (0..RANGE).step_by(2) {
+            let mut g = map.pin(&mut h);
+            map.insert(&mut g, k, stamp(k)).unwrap();
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let map = map.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut x = t * 7919 + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let odd = (x % (RANGE / 2)) * 2 + 1;
+                    let mut g = map.pin(&mut h);
+                    if x.is_multiple_of(2) {
+                        let _ = map.insert(&mut g, odd, stamp(odd));
+                    } else {
+                        let _ = map.remove(&mut g, &odd);
+                    }
+                }
+            });
+        }
+        for t in 0..2u64 {
+            let map = map.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut x = t * 104729 + 3;
+                for _ in 0..300 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let lo = x % RANGE;
+                    let hi = (lo + 64).min(RANGE);
+                    let mut g = map.pin(&mut h);
+                    let got = drain(map.as_ref(), &mut g, lo, hi);
+                    if ordered {
+                        assert!(
+                            got.windows(2).all(|w| w[0].0 < w[1].0),
+                            "concurrent scan [{lo}, {hi}) not ascending: {got:?}"
+                        );
+                    }
+                    // No duplicates even for the unordered hash map.
+                    let mut keys: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
+                    keys.sort_unstable();
+                    let before = keys.len();
+                    keys.dedup();
+                    assert_eq!(keys.len(), before, "scan [{lo}, {hi}) yielded duplicates");
+                    // Every stable (even) key of the window must be present.
+                    for k in (lo..hi).filter(|k| k.is_multiple_of(2)) {
+                        assert!(
+                            keys.binary_search(&k).is_ok(),
+                            "stable key {k} missing from scan [{lo}, {hi})"
+                        );
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+macro_rules! range_oracle_tests {
+    ($($name:ident, $smr:ty);* $(;)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn harris_list() {
+                let map: HarrisList<u64, $smr, u64> = HarrisList::with_config(cfg());
+                check_range_oracle(&map, true);
+            }
+
+            #[test]
+            fn harris_michael_list() {
+                let map: HarrisMichaelList<u64, $smr, u64> =
+                    HarrisMichaelList::with_config(cfg());
+                check_range_oracle(&map, true);
+            }
+
+            #[test]
+            fn nm_tree() {
+                let map: NmTree<u64, $smr, u64> = NmTree::with_config(cfg());
+                check_range_oracle(&map, true);
+            }
+
+            #[test]
+            fn wf_harris_list() {
+                let map: WfHarrisList<u64, $smr, u64> = WfHarrisList::with_config(cfg());
+                check_range_oracle(&map, true);
+            }
+
+            #[test]
+            fn hash_map() {
+                let map: HashMap<u64, $smr, u64> = HashMap::with_config(16, cfg());
+                check_range_oracle(&map, false);
+            }
+
+            #[test]
+            fn skip_list() {
+                let map: SkipList<u64, $smr, u64> = SkipList::with_config(cfg());
+                check_range_oracle(&map, true);
+            }
+        }
+    )*};
+}
+
+range_oracle_tests! {
+    under_nr, Nr;
+    under_ebr, Ebr;
+    under_hp, Hp;
+    under_he, He;
+    under_ibr, Ibr;
+    under_hyaline, Hyaline;
+}
+
+macro_rules! churn_tests {
+    ($($name:ident, $smr:ty);* $(;)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn harris_list() {
+                let map: Arc<HarrisList<u64, $smr, u64>> =
+                    Arc::new(HarrisList::with_config(cfg()));
+                check_concurrent_churn(map, true);
+            }
+
+            #[test]
+            fn harris_michael_list() {
+                let map: Arc<HarrisMichaelList<u64, $smr, u64>> =
+                    Arc::new(HarrisMichaelList::with_config(cfg()));
+                check_concurrent_churn(map, true);
+            }
+
+            #[test]
+            fn nm_tree() {
+                let map: Arc<NmTree<u64, $smr, u64>> = Arc::new(NmTree::with_config(cfg()));
+                check_concurrent_churn(map, true);
+            }
+
+            #[test]
+            fn wf_harris_list() {
+                let map: Arc<WfHarrisList<u64, $smr, u64>> =
+                    Arc::new(WfHarrisList::with_config(cfg()));
+                check_concurrent_churn(map, true);
+            }
+
+            #[test]
+            fn hash_map() {
+                let map: Arc<HashMap<u64, $smr, u64>> =
+                    Arc::new(HashMap::with_config(16, cfg()));
+                check_concurrent_churn(map, false);
+            }
+
+            #[test]
+            fn skip_list() {
+                let map: Arc<SkipList<u64, $smr, u64>> = Arc::new(SkipList::with_config(cfg()));
+                check_concurrent_churn(map, true);
+            }
+        }
+    )*};
+}
+
+// The robust schemes are where a scan stepping onto a reclaimed node would be
+// an observable use-after-free; EBR rides along as the epoch baseline.
+churn_tests! {
+    churn_under_hp, Hp;
+    churn_under_ibr, Ibr;
+    churn_under_ebr, Ebr;
+}
+
+/// A scan parked mid-structure survives the nodes around its frontier being
+/// removed: the next advance re-seeks past them instead of touching freed
+/// memory.  Single-threaded determinism makes this a precise regression test
+/// for the park/re-seek path.
+#[test]
+fn parked_scan_survives_removal_of_its_frontier() {
+    let map: SkipList<u64, Hp, u64> = SkipList::with_config(cfg());
+    let mut h = map.handle();
+    let mut g = map.pin(&mut h);
+    for k in 0..100u64 {
+        map.insert(&mut g, k, stamp(k)).unwrap();
+    }
+    drop(g);
+    // Park a scan on key 10...
+    let mut g = map.pin(&mut h);
+    let mut scan = map.range(&mut g, 10..90);
+    assert_eq!(scan.next_entry().map(|(k, _)| k), Some(10));
+    drop(scan);
+    drop(g);
+    // ...then delete the parked key and everything up to 50 from another
+    // handle, flushing so the nodes are actually reclaimed.
+    let mut other = map.handle();
+    for k in 10..50u64 {
+        let mut g = map.pin(&mut other);
+        map.remove(&mut g, &k);
+    }
+    other.flush();
+    // Resuming from a *fresh* scan with the same state transition (Gt(10))
+    // must land on 50.
+    let mut g = map.pin(&mut h);
+    let mut scan = map.range(&mut g, 11..90);
+    assert_eq!(scan.next_entry().map(|(k, _)| k), Some(50));
+}
+
+/// The borrow handed out by `next_entry` reads valid data even when the entry
+/// was concurrently removed just after being yielded — the guard keeps the
+/// node alive until the next advance.
+#[test]
+fn yielded_borrow_outlives_concurrent_removal() {
+    let map: Arc<HarrisList<u64, Hp, u64>> = Arc::new(HarrisList::with_config(cfg()));
+    let mut h = map.handle();
+    {
+        let mut g = map.pin(&mut h);
+        for k in 0..8u64 {
+            map.insert(&mut g, k, stamp(k)).unwrap();
+        }
+    }
+    let mut g = map.pin(&mut h);
+    let mut scan = map.iter_from(&mut g, 0);
+    let (k, v) = scan.next_entry().expect("first entry");
+    // Remove the yielded key from another thread and force reclamation.
+    let map2 = map.clone();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut h2 = map2.handle();
+            let mut g2 = map2.pin(&mut h2);
+            assert!(map2.remove(&mut g2, &0).is_some());
+            drop(g2);
+            h2.flush();
+        });
+    });
+    // The borrow is still protected by our own guard's hazard slot.
+    assert_eq!(k, 0);
+    assert_eq!(*v, stamp(0));
+}
