@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]
-//! scot-bench exp <experiment-id | all> [--quick] [--seconds N] [--runs N] [--json DIR]
+//! scot-bench exp <experiment-id | all> [--quick] [--seconds N] [--runs N] [--json DIR] [--bench-dir DIR]
 //! scot-bench list
 //! ```
 //!
@@ -22,14 +22,18 @@
 
 use scot_harness::experiments::{
     cache_table, compatibility_matrix, pool_table, restart_table, run_experiment, scan_table,
-    skiplist_table, ExperimentOptions, ALL_EXPERIMENTS,
+    skiplist_table, write_bench_artifact, ExperimentOptions, ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
 
 fn usage() -> ! {
+    // The scheme list is rendered from `SmrKind::ALL` so a newly added scheme
+    // shows up here without touching the CLI.
+    let schemes: Vec<&str> = SmrKind::ALL.iter().map(|s| s.name()).collect();
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--json DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     NR EBR HP HPopt HE HEopt IBR IBRopt HLN\nexperiments:     {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--json DIR] [--bench-dir DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}",
+        schemes.join(" "),
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -96,6 +100,7 @@ fn cmd_exp(args: &[String]) {
     let id = args[0].to_ascii_lowercase();
     let mut opts = ExperimentOptions::default();
     let mut json_dir: Option<String> = None;
+    let mut bench_dir = String::from(".");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,6 +135,10 @@ fn cmd_exp(args: &[String]) {
                 i += 1;
                 json_dir = Some(args[i].clone());
             }
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = args[i].clone();
+            }
             other => {
                 eprintln!("unknown option {other}");
                 usage();
@@ -161,6 +170,16 @@ fn cmd_exp(args: &[String]) {
         }
         if let Some(dir) = &json_dir {
             write_json(dir, id, &results);
+        }
+        // Every `exp` run refreshes the normalized trajectory artifact, so
+        // the committed BENCH_<preset>.json files stay regenerable and
+        // diffable across sessions.
+        match write_bench_artifact(&bench_dir, id, &results) {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write bench artifact for {id}: {e}");
+                std::process::exit(1);
+            }
         }
         println!();
     }

@@ -17,8 +17,8 @@
 //! | tab1   | Table 1    | compatibility matrix (every DS × every SMR) |
 //! | tab2   | Table 2    | restart statistics, HP, key range 10,000 |
 //! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
-//! | skiplist | (extension) | skip-list 50r/50w sweep over all nine scheme variants |
-//! | scan   | (extension) | guard-scoped range scans, scan-length sweep × all nine scheme variants |
+//! | skiplist | (extension) | skip-list 50r/50w sweep over every scheme variant |
+//! | scan   | (extension) | guard-scoped range scans, scan-length sweep × every scheme variant |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
 //! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
@@ -347,8 +347,8 @@ fn run_pool_ablation(
 
 /// Runs the key-value cache experiment: the read-dominated (90% get) workload
 /// of [`run_timed_kv`], with `opts.value_bytes` of padding per stored value,
-/// swept over every scheme variant in the spec (all nine, per the Table-1
-/// claim that one fixed structure serves them all).
+/// swept over every scheme variant in the spec (all of [`SmrKind::ALL`], per
+/// the Table-1 claim that one fixed structure serves them all).
 fn run_cache_experiment(
     spec: &ExperimentSpec,
     opts: &ExperimentOptions,
@@ -569,6 +569,74 @@ pub fn compatibility_matrix(results: &[RunResult]) -> String {
     out
 }
 
+/// One normalized row of a `BENCH_<preset>.json` trajectory artifact: the
+/// stable subset of [`RunResult`] that is comparable across machines and
+/// sessions (throughput and the paper's robustness counters), keyed by
+/// scheme × structure × thread count.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchRecord {
+    /// Data structure name (e.g. `HList`).
+    pub ds: String,
+    /// Scheme name (e.g. `NBR`; the pool ablation suffixes `+pool`/`-pool`).
+    pub smr: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Total traversal restarts.
+    pub restarts: u64,
+    /// Total §3.2.1 recoveries.
+    pub recoveries: u64,
+    /// Peak sampled retired-but-unreclaimed objects (`None` where the paper
+    /// skips the metric, e.g. Hyaline).
+    pub peak_unreclaimed: Option<usize>,
+}
+
+/// The top-level shape of a `BENCH_<preset>.json` artifact.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchArtifact {
+    /// Experiment preset id (e.g. `tab1`).
+    pub preset: String,
+    /// Scheme names available at generation time, in [`SmrKind::ALL`] order —
+    /// lets a reader detect artifacts from before a scheme existed.
+    pub schemes: Vec<String>,
+    /// One record per measured (structure, scheme, threads) point.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Normalizes experiment results into the committed-trajectory shape.
+pub fn bench_artifact(id: &str, results: &[RunResult]) -> BenchArtifact {
+    BenchArtifact {
+        preset: id.to_string(),
+        schemes: SmrKind::ALL.iter().map(|s| s.name().to_string()).collect(),
+        records: results
+            .iter()
+            .map(|r| BenchRecord {
+                ds: r.ds.clone(),
+                smr: r.smr.clone(),
+                threads: r.threads,
+                ops_per_sec: r.ops_per_sec,
+                restarts: r.restarts,
+                recoveries: r.recoveries,
+                peak_unreclaimed: r.max_unreclaimed,
+            })
+            .collect(),
+    }
+}
+
+/// Writes the normalized `BENCH_<preset>.json` artifact into `dir` and returns
+/// the path written.  Every `exp` invocation of the `scot-bench` CLI calls
+/// this, so the benchmark trajectory is regenerated (and diffable) on each
+/// run.
+pub fn write_bench_artifact(dir: &str, id: &str, results: &[RunResult]) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/BENCH_{id}.json");
+    let json = serde_json::to_string_pretty(&bench_artifact(id, results))
+        .expect("bench artifact serialization cannot fail");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
 /// Renders Table 2 (restart statistics) from the tab2 results.
 pub fn restart_table(results: &[RunResult]) -> String {
     let mut out = String::new();
@@ -649,13 +717,13 @@ mod tests {
     }
 
     #[test]
-    fn quick_cache_experiment_covers_all_nine_schemes() {
+    fn quick_cache_experiment_covers_every_scheme() {
         let opts = ExperimentOptions {
             value_bytes: 16,
             ..ExperimentOptions::quick()
         };
         let results = run_experiment("cache", &opts, |_| {}).unwrap();
-        // 1 structure × 9 scheme variants.
+        // 1 structure × every variant in `SmrKind::ALL`.
         assert_eq!(results.len(), SmrKind::ALL.len());
         for smr in SmrKind::ALL {
             assert!(
@@ -670,10 +738,10 @@ mod tests {
     }
 
     #[test]
-    fn quick_skiplist_sweep_covers_all_nine_schemes() {
+    fn quick_skiplist_sweep_covers_every_scheme() {
         let opts = ExperimentOptions::quick();
         let results = run_experiment("skiplist", &opts, |_| {}).unwrap();
-        // 1 structure × 9 scheme variants, single thread point.
+        // 1 structure × every variant in `SmrKind::ALL`, single thread point.
         assert_eq!(results.len(), SmrKind::ALL.len());
         for smr in SmrKind::ALL {
             assert!(
@@ -685,6 +753,41 @@ mod tests {
         assert!(table.contains("SkipList"));
         assert!(table.contains("restarts"));
         assert!(table.contains("HLN"), "table:\n{table}");
+    }
+
+    #[test]
+    fn bench_artifact_is_normalized_and_writable() {
+        let results = vec![RunResult {
+            ds: "SkipList".into(),
+            smr: "NBR".into(),
+            threads: 2,
+            key_range: 64,
+            ops: 10,
+            ops_per_sec: 123.0,
+            avg_unreclaimed: Some(1.5),
+            max_unreclaimed: Some(3),
+            restarts: 7,
+            recoveries: 2,
+            scan_len: 0,
+            scanned_keys: 0,
+            elapsed_secs: 0.1,
+        }];
+        let artifact = bench_artifact("smoke", &results);
+        assert_eq!(artifact.preset, "smoke");
+        // The artifact's scheme list is single-sourced from `SmrKind::ALL`.
+        assert_eq!(artifact.schemes.len(), SmrKind::ALL.len());
+        assert!(artifact.schemes.iter().any(|s| s == "NBR"));
+        assert!(artifact.schemes.iter().any(|s| s == "VBR"));
+        assert_eq!(artifact.records.len(), 1);
+        assert_eq!(artifact.records[0].peak_unreclaimed, Some(3));
+        let dir = std::env::temp_dir().join("scot-bench-artifact-test");
+        let dir = dir.to_str().unwrap();
+        let path = write_bench_artifact(dir, "smoke", &results).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("BENCH_smoke.json"));
+        assert!(body.contains("\"ops_per_sec\""));
+        assert!(body.contains("\"peak_unreclaimed\""));
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! exactly that path: worker threads pin a guard per operation, `get` values
 //! and *read their bytes* (so a use-after-free or torn read would be observed,
 //! not optimized away), `insert` freshly built payloads, and `remove` entries.
-//! The `exp cache` experiment sweeps this read-dominated workload over all
-//! nine scheme variants.
+//! The `exp cache` experiment sweeps this read-dominated workload over every
+//! scheme variant in [`SmrKind::ALL`].
 //!
 //! Payload integrity doubles as a safety check: every payload is derived from
 //! its key, and the hot loop panics if a value read under a guard ever
@@ -22,7 +22,7 @@ use scot::{
     ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan, SkipList,
     TraversalSnapshot, WfHarrisList,
 };
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrKind};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Smr, SmrKind, Vbr};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -188,6 +188,8 @@ fn with_kv_target<R>(
         SmrKind::He | SmrKind::HeOpt => build_for_scheme!(He),
         SmrKind::Ibr | SmrKind::IbrOpt => build_for_scheme!(Ibr),
         SmrKind::Hyaline => build_for_scheme!(Hyaline),
+        SmrKind::Nbr => build_for_scheme!(Nbr),
+        SmrKind::Vbr => build_for_scheme!(Vbr),
     }
 }
 

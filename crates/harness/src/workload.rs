@@ -5,7 +5,7 @@ use scot::{
     ConcurrentMap, ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan,
     SkipList, TraversalSnapshot, WfHarrisList,
 };
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrKind};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Smr, SmrConfig, SmrKind, Vbr};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -393,6 +393,8 @@ fn with_target<R>(
         SmrKind::He | SmrKind::HeOpt => build_for_scheme!(He),
         SmrKind::Ibr | SmrKind::IbrOpt => build_for_scheme!(Ibr),
         SmrKind::Hyaline => build_for_scheme!(Hyaline),
+        SmrKind::Nbr => build_for_scheme!(Nbr),
+        SmrKind::Vbr => build_for_scheme!(Vbr),
     }
 }
 

@@ -3,6 +3,7 @@
 //! executable so the usage surface documented in the binary's doc comment is
 //! covered end to end.
 
+use scot_harness::SmrKind;
 use std::process::{Command, Output};
 
 fn scot_bench(args: &[&str]) -> Output {
@@ -10,6 +11,40 @@ fn scot_bench(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("failed to spawn scot-bench")
+}
+
+/// A scratch directory for the `BENCH_<preset>.json` artifacts an `exp` run
+/// always emits, so CLI tests don't litter the crate directory.  Removed on
+/// drop.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(test: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("scot-bench-cli-{test}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn arg(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+
+    fn artifact(&self, id: &str) -> std::path::PathBuf {
+        self.0.join(format!("BENCH_{id}.json"))
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Every scheme name, single-sourced from `SmrKind::ALL` so these tests grow
+/// automatically when a scheme family is added.
+fn all_scheme_names() -> Vec<&'static str> {
+    SmrKind::ALL.iter().map(|s| s.name()).collect()
 }
 
 fn stdout(out: &Output) -> String {
@@ -35,7 +70,9 @@ fn list_prints_every_experiment_id() {
 
 #[test]
 fn exp_skiplist_sweeps_every_scheme_and_renders_the_table() {
-    // This is also the exact invocation the CI smoke step runs.
+    // This is also the exact invocation the CI smoke step runs (CI passes
+    // `--bench-dir .` instead, committing the artifact at the repo root).
+    let bench = BenchDir::new("skiplist");
     let out = scot_bench(&[
         "exp",
         "skiplist",
@@ -45,6 +82,8 @@ fn exp_skiplist_sweeps_every_scheme_and_renders_the_table() {
         "1",
         "--threads",
         "1",
+        "--bench-dir",
+        bench.arg(),
     ]);
     assert!(
         out.status.success(),
@@ -52,15 +91,23 @@ fn exp_skiplist_sweeps_every_scheme_and_renders_the_table() {
         stderr(&out)
     );
     let text = stdout(&out);
-    for smr in [
-        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
-    ] {
+    for smr in all_scheme_names() {
         assert!(text.contains(smr), "skiplist table missing {smr}:\n{text}");
     }
     assert!(
         text.contains("SkipList") && text.contains("restarts"),
         "skiplist table must name the structure and the restart column:\n{text}"
     );
+    // Every exp run emits the normalized trajectory artifact.
+    let body = std::fs::read_to_string(bench.artifact("skiplist"))
+        .expect("exp must write BENCH_skiplist.json");
+    for smr in all_scheme_names() {
+        assert!(
+            body.contains(&format!("\"{smr}\"")),
+            "bench artifact missing {smr}:\n{body}"
+        );
+    }
+    assert!(body.contains("\"ops_per_sec\"") && body.contains("\"peak_unreclaimed\""));
 }
 
 #[test]
@@ -76,6 +123,7 @@ fn run_arm_accepts_the_skiplist_structure() {
 
 #[test]
 fn exp_cache_sweeps_every_scheme_and_renders_the_value_table() {
+    let bench = BenchDir::new("cache");
     let out = scot_bench(&[
         "exp",
         "cache",
@@ -87,6 +135,8 @@ fn exp_cache_sweeps_every_scheme_and_renders_the_value_table() {
         "1",
         "--value-bytes",
         "32",
+        "--bench-dir",
+        bench.arg(),
     ]);
     assert!(
         out.status.success(),
@@ -94,10 +144,8 @@ fn exp_cache_sweeps_every_scheme_and_renders_the_value_table() {
         stderr(&out)
     );
     let text = stdout(&out);
-    // All nine scheme variants appear in the rendered table.
-    for smr in [
-        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
-    ] {
+    // Every scheme variant appears in the rendered table.
+    for smr in all_scheme_names() {
         assert!(text.contains(smr), "cache table missing {smr}:\n{text}");
     }
     assert!(
@@ -108,7 +156,8 @@ fn exp_cache_sweeps_every_scheme_and_renders_the_value_table() {
 
 #[test]
 fn exp_pool_reports_a_throughput_delta() {
-    let out = scot_bench(&["exp", "pool", "--quick"]);
+    let bench = BenchDir::new("pool");
+    let out = scot_bench(&["exp", "pool", "--quick", "--bench-dir", bench.arg()]);
     assert!(
         out.status.success(),
         "exp pool must exit 0: {}",
@@ -126,7 +175,9 @@ fn exp_pool_reports_a_throughput_delta() {
 
 #[test]
 fn exp_scan_sweeps_every_scheme_and_renders_the_table() {
-    // This is also the exact invocation the CI smoke step runs.
+    // This is also the exact invocation the CI smoke step runs (CI passes
+    // `--bench-dir .` instead, committing the artifact at the repo root).
+    let bench = BenchDir::new("scan");
     let out = scot_bench(&[
         "exp",
         "scan",
@@ -138,6 +189,8 @@ fn exp_scan_sweeps_every_scheme_and_renders_the_table() {
         "1",
         "--scan-lens",
         "8,32",
+        "--bench-dir",
+        bench.arg(),
     ]);
     assert!(
         out.status.success(),
@@ -145,9 +198,7 @@ fn exp_scan_sweeps_every_scheme_and_renders_the_table() {
         stderr(&out)
     );
     let text = stdout(&out);
-    for smr in [
-        "NR", "EBR", "HP", "HPopt", "IBR", "IBRopt", "HE", "HEopt", "HLN",
-    ] {
+    for smr in all_scheme_names() {
         assert!(text.contains(smr), "scan table missing {smr}:\n{text}");
     }
     assert!(
@@ -274,6 +325,7 @@ fn exp_arm_requires_an_experiment_id() {
 fn exp_arm_runs_tab2_with_custom_knobs() {
     // tab2 is the cheapest preset (2 structures x 1 scheme); constrain it
     // further so the CLI test stays fast while exercising the option parser.
+    let bench = BenchDir::new("tab2");
     let out = scot_bench(&[
         "exp",
         "tab2",
@@ -283,6 +335,8 @@ fn exp_arm_runs_tab2_with_custom_knobs() {
         "1",
         "--threads",
         "1",
+        "--bench-dir",
+        bench.arg(),
     ]);
     assert!(out.status.success(), "exp must exit 0: {}", stderr(&out));
     let text = stdout(&out);

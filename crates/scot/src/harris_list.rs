@@ -206,12 +206,16 @@ impl<K: Key, S: Smr, V: Value> HarrisList<K, S, V> {
         loop {
             // The head link is never tagged, so `begin` cannot fail here; the
             // restart loop keeps the control flow total regardless.
+            // Checkpoints are allowed: nothing protected survives across the
+            // `continue` (insert's pending block is unpublished and owned, so
+            // voiding the guard's slots cannot invalidate it).
             let Ok(mut c) = Cursor::begin(
                 g,
                 Shared::null(),
                 self.head.as_link(),
                 0,
                 Shared::null(),
+                true,
                 &self.stats,
                 self.mode(),
             ) else {
@@ -485,7 +489,7 @@ impl<K, S: Smr, V> Drop for HarrisList<K, S, V> {
 mod tests {
     use super::*;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Vbr};
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -524,6 +528,8 @@ mod tests {
         basic_set_semantics::<He>();
         basic_set_semantics::<Ibr>();
         basic_set_semantics::<Hyaline>();
+        basic_set_semantics::<Nbr>();
+        basic_set_semantics::<Vbr>();
     }
 
     #[test]
@@ -626,6 +632,8 @@ mod tests {
         run::<He>();
         run::<Ibr>();
         run::<Hyaline>();
+        run::<Nbr>();
+        run::<Vbr>();
     }
 
     #[test]

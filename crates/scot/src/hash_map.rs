@@ -289,7 +289,7 @@ mod tests {
     // `insert`/`remove`/`contains` method calls ambiguous.
     use super::HashMap;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, Hp, Hyaline, Smr, SmrConfig, SmrHandle};
+    use scot_smr::{Ebr, Hp, Hyaline, Nbr, Smr, SmrConfig, SmrHandle, Vbr};
     use std::sync::Arc;
 
     fn cfg() -> SmrConfig {
@@ -302,9 +302,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn basic_semantics() {
-        let map: HashMap<u64, Hp> = HashMap::with_config(8, cfg());
+    fn basic_semantics_under<S: Smr>() {
+        let map: HashMap<u64, S> = HashMap::with_config(8, cfg());
         let mut h = map.handle();
         assert!(map.is_empty(&mut h));
         for i in 0..100u64 {
@@ -321,6 +320,13 @@ mod tests {
         for i in 0..100u64 {
             assert_eq!(map.contains(&mut h, &i), i % 3 != 0);
         }
+    }
+
+    #[test]
+    fn basic_semantics() {
+        basic_semantics_under::<Hp>();
+        basic_semantics_under::<Nbr>();
+        basic_semantics_under::<Vbr>();
     }
 
     #[test]

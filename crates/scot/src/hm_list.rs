@@ -112,6 +112,7 @@ impl<K: Key, S: Smr, V: Value> HarrisMichaelList<K, S, V> {
                 self.head.as_link(),
                 0,
                 Shared::null(),
+                true,
                 &self.stats,
                 ZoneMode::Eager,
             ) else {
@@ -352,7 +353,7 @@ impl<K, S: Smr, V> Drop for HarrisMichaelList<K, S, V> {
 mod tests {
     use super::*;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Vbr};
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -385,6 +386,8 @@ mod tests {
         basic_set_semantics::<He>();
         basic_set_semantics::<Ibr>();
         basic_set_semantics::<Hyaline>();
+        basic_set_semantics::<Nbr>();
+        basic_set_semantics::<Vbr>();
     }
 
     #[test]
@@ -452,6 +455,8 @@ mod tests {
         run::<Hp>();
         run::<Ebr>();
         run::<Hyaline>();
+        run::<Nbr>();
+        run::<Vbr>();
     }
 
     #[test]

@@ -267,8 +267,26 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
     /// The validation primitive itself is `crate::traverse::validate_link`;
     /// per §3.2.2 the tree uses no recovery ladder — a failed validation
     /// restarts the whole seek.
-    fn seek<G: SmrGuard>(&self, g: &mut G, query: &SeekQuery<K>) -> SeekRecord<K, V> {
+    ///
+    /// `checkpoints` enables answering a scheme's restart request
+    /// (`SmrGuard::needs_restart`) between descents: the acknowledging
+    /// `checkpoint` voids every protection of the guard, which is sound here
+    /// because the seek restarts from the immortal root and re-publishes all
+    /// slots.  Callers holding a protected pointer of their own across the
+    /// seek (the remover's `Hp5` victim after injection) must pass `false`.
+    fn seek<G: SmrGuard>(
+        &self,
+        g: &mut G,
+        query: &SeekQuery<K>,
+        checkpoints: bool,
+    ) -> SeekRecord<K, V> {
         'restart: loop {
+            if checkpoints && g.needs_restart() {
+                g.checkpoint();
+                self.stats.record_restart();
+                // Fall through: this iteration starts from the root and
+                // republishes every slot, which is a complete acknowledgment.
+            }
             let root = self.root;
             let root_ref = self.root_ref();
             // R and S are never removed, so no validation is required for the
@@ -295,6 +313,11 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
             let mut in_zone = false;
 
             loop {
+                if checkpoints && g.needs_restart() {
+                    g.checkpoint();
+                    self.stats.record_restart();
+                    continue 'restart;
+                }
                 debug_assert!(!leaf.is_null(), "external tree: S.left is never null");
                 // SAFETY: `leaf` is protected (HP_LEAF) and was validated when
                 // it was the child being followed (or is the sentinel child of
@@ -533,7 +556,7 @@ impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for TreeRange<'r, 'h, K, 
                 TreeScanState::Done => return None,
                 TreeScanState::From(q) => *q,
             };
-            let s = self.tree.seek(&mut *self.guard, &query);
+            let s = self.tree.seek(&mut *self.guard, &query, true);
             // SAFETY: `leaf` is protected by HP_LEAF (published under the
             // seek's validation).
             let leaf_key = unsafe { s.leaf.deref() }.key;
@@ -606,7 +629,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
-        let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
+        let s = self.seek(&mut *guard, &SeekQuery::At(tkey), true);
         // SAFETY: `leaf` is protected by HP_LEAF, and the `&'g mut` guard
         // borrow keeps that slot published while the value borrow is alive.
         let leaf_ref = unsafe { s.leaf.deref_guarded(&*guard) };
@@ -620,7 +643,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(key);
-        let mut s = self.seek(&mut *guard, &SeekQuery::At(tkey));
+        let mut s = self.seek(&mut *guard, &SeekQuery::At(tkey), true);
         // SAFETY: `leaf` is protected by HP_LEAF.
         if unsafe { s.leaf.deref() }.key == tkey {
             return Err(value);
@@ -680,7 +703,9 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
                     }
                 }
             }
-            s = self.seek(&mut *guard, &SeekQuery::At(tkey));
+            // A checkpoint here is still safe: neither allocation has been
+            // published, so no thread can retire them out from under us.
+            s = self.seek(&mut *guard, &SeekQuery::At(tkey), true);
             // SAFETY: `leaf` is protected by HP_LEAF.
             if unsafe { s.leaf.deref() }.key == tkey {
                 // A concurrent insert won the race after our first seek.
@@ -703,7 +728,9 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
         let mut target: Shared<TreeNode<K, V>> = Shared::null();
         let mut injected = false;
         loop {
-            let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
+            // After injection the victim is pinned in Hp5 across re-seeks, so
+            // a checkpoint (which voids that protection) must not be answered.
+            let s = self.seek(&mut *guard, &SeekQuery::At(tkey), !injected);
             if !injected {
                 // SAFETY: protected by HP_LEAF.
                 let leaf_ref = unsafe { s.leaf.deref() };
@@ -772,7 +799,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
     fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
         self.check_guard(&*guard);
         let tkey = TreeKey::Fin(*key);
-        let s = self.seek(&mut *guard, &SeekQuery::At(tkey));
+        let s = self.seek(&mut *guard, &SeekQuery::At(tkey), true);
         // SAFETY: protected by HP_LEAF.
         unsafe { s.leaf.deref() }.key == tkey
     }
@@ -835,7 +862,7 @@ impl<K, S: Smr, V> Drop for NmTree<K, S, V> {
 mod tests {
     use super::*;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Vbr};
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -888,6 +915,8 @@ mod tests {
         basic_set_semantics::<He>();
         basic_set_semantics::<Ibr>();
         basic_set_semantics::<Hyaline>();
+        basic_set_semantics::<Nbr>();
+        basic_set_semantics::<Vbr>();
     }
 
     #[test]
@@ -1001,6 +1030,8 @@ mod tests {
         run::<He>();
         run::<Ibr>();
         run::<Hyaline>();
+        run::<Nbr>();
+        run::<Vbr>();
     }
 
     #[test]

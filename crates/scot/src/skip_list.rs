@@ -385,15 +385,22 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
     /// [`crate::slots::HP_ENTRY`], and re-published into `Hp2` by the cursor —
     /// sound despite copying "downwards" because `Hp4` protects the entry
     /// continuously for the whole level), `Restart::Head` falls back to the
-    /// level's immortal head link.
+    /// level's immortal head link, and `Restart::Operation` (a scheme
+    /// checkpoint voided every protection, including the upper levels'
+    /// anchors) resets the whole descent from the top.
+    ///
+    /// `checkpoints` is forwarded to every level's cursor; pass `false` when
+    /// the calling operation holds a protected pointer of its own across this
+    /// find (the tower builder's `Hp6` node, the remover's `Hp5` victim).
     fn find<G: SmrGuard>(
         &self,
         g: &mut G,
         key: &K,
         cleanup: bool,
+        checkpoints: bool,
         target_level: usize,
     ) -> LevelPos<K, V> {
-        self.find_bound(g, &SeekBound::Ge(*key), cleanup, target_level)
+        self.find_bound(g, &SeekBound::Ge(*key), cleanup, checkpoints, target_level)
     }
 
     /// [`SkipList::find`] generalized over the stop bound, which is what the
@@ -411,6 +418,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         g: &mut G,
         bound: &SeekBound<K>,
         cleanup: bool,
+        checkpoints: bool,
         target_level: usize,
     ) -> LevelPos<K, V> {
         debug_assert!(target_level < MAX_HEIGHT);
@@ -418,7 +426,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         // means the implicit head tower.  Protected by Hp2 whenever interior.
         let mut pred: Shared<Node<K, V>> = Shared::null();
         let mut level = MAX_HEIGHT;
-        loop {
+        'descend: loop {
             level -= 1;
             // The node this level is entered through: the restart anchor for
             // ladder rung 2.  It stays protected by Hp4 for the whole level.
@@ -443,6 +451,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                     start,
                     level,
                     entry,
+                    checkpoints,
                     &self.stats,
                     ZoneMode::Scot { recovery: true },
                 ) {
@@ -456,6 +465,12 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                         pred = Shared::null();
                         continue 'level;
                     }
+                    // `begin` never polls the checkpoint, but stay total.
+                    Err(Restart::Operation) => {
+                        pred = Shared::null();
+                        level = MAX_HEIGHT;
+                        continue 'descend;
+                    }
                 };
                 match c.seek(g, bound, || false) {
                     Seek::Positioned => {}
@@ -466,6 +481,13 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                     Seek::Restart(Restart::Head) => {
                         pred = Shared::null();
                         continue 'level;
+                    }
+                    // Rung 4: the checkpoint voided every protection, the
+                    // upper levels' anchors included — redo the whole descent.
+                    Seek::Restart(Restart::Operation) => {
+                        pred = Shared::null();
+                        level = MAX_HEIGHT;
+                        continue 'descend;
                     }
                     Seek::Interrupted => unreachable!("find has no interrupt source"),
                 }
@@ -481,6 +503,12 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                         Err(Restart::Head) => {
                             pred = Shared::null();
                             continue 'level;
+                        }
+                        // As above: unreachable from `unlink_pending`, total.
+                        Err(Restart::Operation) => {
+                            pred = Shared::null();
+                            level = MAX_HEIGHT;
+                            continue 'descend;
                         }
                     }
                 }
@@ -523,7 +551,9 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
         let node_ref = unsafe { node.deref() };
         'levels: for lvl in 1..height {
             loop {
-                let pos = self.find(g, key, true, lvl);
+                // Checkpoints stay off: `node` may already be published, and
+                // a checkpoint would void its Hp6 protection mid-build.
+                let pos = self.find(g, key, true, false, lvl);
                 if pos.found {
                     if pos.curr == node {
                         // Already linked at this level (a lost pred-CAS race
@@ -566,7 +596,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
             // No further links can appear (every level is marked now and the
             // build has stopped), so one cleanup traversal conclusively
             // unlinks the tower from every level it ever reached.
-            let _ = self.find(g, key, true, 0);
+            let _ = self.find(g, key, true, false, 0);
             // SAFETY: the handshake elects exactly one retirer, the cleanup
             // pass above confirmed the tower is unreachable from every level,
             // and Hp6 keeps the node protected while we still touch it.
@@ -612,7 +642,7 @@ impl<'r, 'h, K: Key, S: Smr, V: Value> RangeScan<K, V> for SkipRange<'r, 'h, K, 
             &mut self.state,
             self.hi.as_ref(),
             0,
-            |g, bound| list.find_bound(g, bound, false, 0).curr,
+            |g, bound| list.find_bound(g, bound, false, true, 0).curr,
         )
     }
 }
@@ -642,7 +672,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
 
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
-        let pos = self.find(&mut guard.g, key, false, 0);
+        let pos = self.find(&mut guard.g, key, false, true, 0);
         if pos.found {
             // SAFETY: `curr` is protected by Hp1 (published under the SCOT
             // validation during the find) and the `&'g mut` guard borrow
@@ -656,7 +686,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
 
     fn insert<'h>(&self, guard: &mut Self::Guard<'h>, key: K, value: V) -> Result<(), V> {
         self.check_guard(&*guard);
-        let mut pos = self.find(&mut guard.g, &key, true, 0);
+        let mut pos = self.find(&mut guard.g, &key, true, true, 0);
         if pos.found {
             return Err(value);
         }
@@ -674,7 +704,9 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
             if unsafe { pos.pred.cas(pos.curr, new) }.is_ok() {
                 break;
             }
-            pos = self.find(&mut guard.g, &key, true, 0);
+            // A checkpoint here is still safe: `new` is unpublished (the CAS
+            // failed), so no thread can retire it out from under us.
+            pos = self.find(&mut guard.g, &key, true, true, 0);
             if pos.found {
                 // A concurrent insert won the race after our first find.
                 // SAFETY: `new` was never published; reclaim the block and
@@ -690,7 +722,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
     fn remove<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
         'retry: loop {
-            let pos = self.find(&mut guard.g, key, true, 0);
+            let pos = self.find(&mut guard.g, key, true, true, 0);
             if !pos.found {
                 return None;
             }
@@ -747,7 +779,10 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
                 .state
                 .compare_exchange(BUILDING, HANDOFF, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok();
-            let _ = self.find(&mut guard.g, key, true, 0);
+            // Checkpoints stay off for the cleanup pass: a checkpoint would
+            // void the victim's Hp5 protection while a handed-off builder may
+            // already be retiring it.
+            let _ = self.find(&mut guard.g, key, true, false, 0);
             if !handed_off {
                 // SAFETY: we won the level-0 marking CAS (unique remover),
                 // the builder had already finished (state was DONE), and the
@@ -766,7 +801,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
 
     fn contains<'h>(&self, guard: &mut Self::Guard<'h>, key: &K) -> bool {
         self.check_guard(&*guard);
-        self.find(&mut guard.g, key, false, 0).found
+        self.find(&mut guard.g, key, false, true, 0).found
     }
 
     fn scan<'r, 'h>(
@@ -831,7 +866,7 @@ impl<K, S: Smr, V> Drop for SkipList<K, S, V> {
 mod tests {
     use super::*;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr};
+    use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Vbr};
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -870,6 +905,8 @@ mod tests {
         basic_set_semantics::<He>();
         basic_set_semantics::<Ibr>();
         basic_set_semantics::<Hyaline>();
+        basic_set_semantics::<Nbr>();
+        basic_set_semantics::<Vbr>();
     }
 
     #[test]
@@ -1015,6 +1052,8 @@ mod tests {
         run::<He>();
         run::<Ibr>();
         run::<Hyaline>();
+        run::<Nbr>();
+        run::<Vbr>();
     }
 
     #[test]

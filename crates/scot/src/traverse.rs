@@ -25,9 +25,24 @@
 //! | L57-62 cleanup + `Do_Retire`             | `Cursor::unlink_pending` |
 //!
 //! The validation itself — *"does the last safe node still point at the first
-//! unsafe node?"* — is the one-line primitive `validate_link`; the
-//! Natarajan-Mittal tree, whose recovery policy is a plain restart (§3.2.2),
-//! calls it directly on its edges instead of driving a full cursor.
+//! unsafe node?"* — is the one-line primitive `validate_link` plus a
+//! recycling-incarnation re-check on the anchored chain head (the version
+//! stamp the block pool maintains for VBR); the Natarajan-Mittal tree, whose
+//! recovery policy is a plain restart (§3.2.2), calls it directly on its
+//! edges instead of driving a full cursor.
+//!
+//! # The checkpoint protocol (rung 4)
+//!
+//! The neutralization/version schemes (NBR, VBR) may ask a reader to restart
+//! its whole operation so reclamation can advance past it.  The cursor is the
+//! single place that request is honored: `seek` polls
+//! `SmrGuard::needs_restart` alongside the caller's interrupt hook,
+//! acknowledges with `SmrGuard::checkpoint` (which voids every protection the
+//! guard holds) and surfaces [`Restart::Operation`] — per-structure code only
+//! has to treat that rung as "restart the operation from the root", which the
+//! existing restart arms already do.  Traversals that keep protected pointers
+//! of their own across seeks (tower builds, post-injection cleanups) disable
+//! the poll through `Cursor::begin`'s `checkpoints` flag.
 //!
 //! # Statistics
 //!
@@ -233,6 +248,14 @@ pub enum Restart {
     /// Rung 3: restart from the (level) head.  Counted as a restart — this is
     /// the Table 2 number.
     Head,
+    /// Rung 4: the reclamation scheme asked the whole operation to restart
+    /// (`SmrGuard::needs_restart`, the NBR/VBR checkpoint protocol).  By the
+    /// time the cursor surfaces this, it has already acknowledged with
+    /// `SmrGuard::checkpoint`, which voids **every** protection the guard
+    /// held — so the caller must restart its operation from the structure
+    /// root without touching any previously read pointer.  Counted as a
+    /// restart.
+    Operation,
 }
 
 /// Internal outcome of one validation failure: either the §3.2.1 recovery
@@ -286,6 +309,16 @@ pub(crate) struct Cursor<'t, K, N> {
     level: usize,
     /// Restart anchor for ladder rung 2 (null = no rung 2, restart from head).
     entry: Shared<N>,
+    /// Whether this traversal may answer a scheme's checkpoint request
+    /// (`SmrGuard::needs_restart`) with rung 4.  A checkpoint voids every
+    /// protection of the guard, so the constructing operation may only enable
+    /// this when it keeps **no** protected pointer of its own across the seek
+    /// (the skip-list tower builder and the tree's post-injection cleanup
+    /// hold their victim across re-seeks and must leave it off).
+    checkpoints: bool,
+    /// Recycling-incarnation stamp of the anchored chain head, captured at
+    /// zone entry and re-checked by every validation.
+    chain_version: u64,
     stats: &'t TraversalStats,
     mode: ZoneMode,
     _key: core::marker::PhantomData<K>,
@@ -304,15 +337,21 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     /// possible only for interior starts, where the owner can be logically
     /// deleted between levels.
     ///
+    /// `checkpoints` enables the rung-4 answer to a scheme's restart request
+    /// (see the field docs): pass `true` only when the calling operation
+    /// holds no protected pointers of its own across this seek.
+    ///
     /// # Safety contract (debug-checked by construction sites)
     /// The owner of `start` must be the head or a node protected by
     /// `HP_PREV`/[`crate::slots::HP_ENTRY`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn begin<G: SmrGuard>(
         g: &mut G,
         pred: Shared<N>,
         start: Link<N>,
         level: usize,
         entry: Shared<N>,
+        checkpoints: bool,
         stats: &'t TraversalStats,
         mode: ZoneMode,
     ) -> Result<Self, Restart> {
@@ -324,6 +363,8 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
             next: Shared::null(),
             level,
             entry,
+            checkpoints,
+            chain_version: 0,
             stats,
             mode,
             _key: core::marker::PhantomData,
@@ -367,6 +408,22 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     #[inline]
     pub(crate) fn pred(&self) -> Shared<N> {
         self.pred
+    }
+
+    /// The rung-4 poll: answers a pending scheme restart request
+    /// (`SmrGuard::needs_restart`) when this traversal is allowed to.  The
+    /// acknowledging `checkpoint` call discards all protections and
+    /// re-announces the current era, so on `true` the seek must return
+    /// [`Restart::Operation`] immediately — every cursor slot is void.
+    #[inline]
+    fn poll_checkpoint<G: SmrGuard>(&mut self, g: &mut G) -> bool {
+        if self.checkpoints && g.needs_restart() {
+            g.checkpoint();
+            self.stats.record_restart();
+            true
+        } else {
+            false
+        }
     }
 
     /// The recovery ladder, rungs 2 and 3: re-enter through the level-entry
@@ -441,6 +498,9 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                 if interrupt() {
                     return Seek::Interrupted;
                 }
+                if self.poll_checkpoint(g) {
+                    return Seek::Restart(Restart::Operation);
+                }
                 if self.curr.is_null() {
                     return Seek::Positioned;
                 }
@@ -507,6 +567,9 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                 if interrupt() {
                     return Seek::Interrupted;
                 }
+                if self.poll_checkpoint(g) {
+                    return Seek::Restart(Restart::Operation);
+                }
                 match self.validate(g) {
                     Ok(()) => {}
                     Err(Recovery::Recovered) => continue 'traverse,
@@ -551,6 +614,10 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     fn enter_zone<G: SmrGuard>(&mut self, g: &mut G) {
         g.dup(HP_CURR, HP_ANCHOR);
         self.chain = self.curr;
+        // SAFETY: `chain` (= `curr`) is non-null — Phase 1 only breaks into
+        // the zone on a non-null, protected `curr` — so its header is
+        // readable for the incarnation stamp.
+        self.chain_version = unsafe { scot_smr::version_of(self.chain.untagged().as_ptr()) };
         self.stats.record_zone_entry();
     }
 
@@ -569,7 +636,22 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
         // protected by HP_PREV.
         let observed = unsafe { self.prev.load(Ordering::Acquire) };
         if observed == self.chain {
-            Ok(())
+            // Version re-check on top of the pointer comparison: a matching
+            // address whose recycling-incarnation stamp moved means the
+            // anchored chain head was reclaimed and the same memory
+            // re-inserted here (ABA through the block pool).  The anchor
+            // protection makes this impossible while it holds, so the check
+            // is hardening for the eager-recycling schemes, where the stamp
+            // is the paper-faithful detection primitive.
+            //
+            // SAFETY: `chain` is protected by HP_ANCHOR (or the guard's
+            // era/epoch), so its header is readable.
+            if unsafe { scot_smr::version_of(self.chain.untagged().as_ptr()) } == self.chain_version
+            {
+                Ok(())
+            } else {
+                Err(self.recover(g, observed))
+            }
         } else {
             Err(self.recover(g, observed))
         }

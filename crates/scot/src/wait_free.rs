@@ -295,6 +295,7 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
                 self.list.head.as_link(),
                 0,
                 Shared::null(),
+                true,
                 &self.stats,
                 ZoneMode::Scot { recovery: true },
             ) else {
@@ -475,7 +476,7 @@ impl<S: Smr> Drop for WfListHandle<S> {
 mod tests {
     use super::*;
     use crate::ConcurrentSet;
-    use scot_smr::{Ebr, Hp, Hyaline, Ibr};
+    use scot_smr::{Ebr, Hp, Hyaline, Ibr, Nbr, Vbr};
 
     /// UFCS pin helper: the tests exercise `ConcurrentSet` method syntax, so
     /// `ConcurrentMap` itself must stay out of scope (method-name overlap).
@@ -536,6 +537,8 @@ mod tests {
         basic_set_semantics::<Hp>();
         basic_set_semantics::<Ibr>();
         basic_set_semantics::<Hyaline>();
+        basic_set_semantics::<Nbr>();
+        basic_set_semantics::<Vbr>();
     }
 
     #[test]

@@ -75,16 +75,19 @@ pub fn vtable_of<T>() -> &'static BlockVTable {
 /// | `batch_link` | –              | –        | –                | pointer to the batch REFS node  |
 /// | `batch_all`  | –              | –        | –                | intra-batch chain for freeing   |
 /// | `refs`       | –              | –        | –                | batch reference counter (REFS)  |
+/// | `version`    | all schemes: recycling-incarnation stamp (VBR re-checks it) |||
 /// | `vtable`     | all schemes: type-erased destructor + allocation layout |||
 ///
 /// While a block sits in a [`crate::pool::BlockPool`] free list (payload
 /// already dropped), the `next` field is repurposed as the free-list link;
-/// every other field is dead and rewritten on reuse.
+/// every other field except `version` is dead and rewritten on reuse —
+/// `version` survives parking and is bumped by the pool on each reuse, so it
+/// counts the block's recycling incarnations across its whole life.
 #[repr(C)]
 pub struct Header {
-    /// Global era at allocation time (HE / IBR / Hyaline-1S).
+    /// Global era at allocation time (HE / IBR / Hyaline-1S / VBR).
     pub birth_era: AtomicU64,
-    /// Global era / epoch at retirement time (EBR / HE / IBR).
+    /// Global era / epoch at retirement time (EBR / HE / IBR / NBR / VBR).
     pub retire_era: AtomicU64,
     /// Hyaline: link in a slot's retirement list.  Pool: free-list link.
     pub next: AtomicUsize,
@@ -95,6 +98,11 @@ pub struct Header {
     pub batch_all: AtomicUsize,
     /// Hyaline: reference counter, meaningful only on the REFS node of a batch.
     pub refs: AtomicIsize,
+    /// Recycling-incarnation counter: 0 on a fresh allocation, incremented by
+    /// [`crate::pool::BlockPool`] each time the raw memory is reused for a new
+    /// value.  Version-based reclamation re-checks it to detect that a block
+    /// it optimistically dereferenced has been recycled underneath it.
+    pub version: AtomicU64,
     /// Type-erased destructor and allocation layout.  Installed by
     /// [`alloc_block`] / [`init_block`].
     pub vtable: &'static BlockVTable,
@@ -109,6 +117,7 @@ impl Header {
             batch_link: AtomicUsize::new(0),
             batch_all: AtomicUsize::new(0),
             refs: AtomicIsize::new(0),
+            version: AtomicU64::new(0),
             vtable,
         }
     }
@@ -190,6 +199,24 @@ pub unsafe fn header_of<T>(value: *mut T) -> *mut Header {
 #[inline]
 pub unsafe fn value_of<T>(hdr: *mut Header) -> *mut T {
     (hdr as *mut u8).add(value_offset::<T>()) as *mut T
+}
+
+/// Reads the recycling-incarnation stamp of the block holding `value`
+/// (see [`Header::version`]): 0 for a fresh allocation, +1 per pool reuse.
+///
+/// This is the load behind VBR's version re-check on deref: a traversal
+/// captures the stamp when it first protects a node and compares on
+/// re-validation — a changed stamp proves the memory was recycled.
+///
+/// # Safety
+/// `value` must have been returned by [`alloc_block`] or
+/// [`crate::pool::BlockPool::alloc`] (tag bits stripped) and the block must be
+/// live or era-protected so the header read does not race a `dealloc_raw`.
+#[inline]
+pub unsafe fn version_of<T>(value: *mut T) -> u64 {
+    (*header_of(value))
+        .version
+        .load(core::sync::atomic::Ordering::Acquire)
 }
 
 /// Runs the payload destructor of a block in place, leaving the raw memory

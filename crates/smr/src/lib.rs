@@ -18,6 +18,18 @@
 //! * [`Hyaline`] — a Hyaline-1S-style scheme: per-thread retirement slots,
 //!   batched retirement with reference counting performed only during
 //!   reclamation, birth-era exemption for robustness, and any-thread freeing.
+//! * [`Nbr`] — neutralization-based reclamation in the spirit of Brown's
+//!   DEBRA+ line: per-thread checkpoint eras plus a cooperative neutralize
+//!   flag that asks lagging readers to restart their operation so the epoch
+//!   can advance past them.  The restart request is surfaced through
+//!   [`SmrGuard::needs_restart`] / [`SmrGuard::checkpoint`] and routed into
+//!   the traversal cursor's restart ladder by the `scot` crate.
+//! * [`Vbr`] — version-based reclamation in the spirit of Cohen's VBR:
+//!   retired blocks are recycled *eagerly* through the block pool (FIFO, in
+//!   retire-era order, O(1) per alloc instead of limbo scans), with a
+//!   per-incarnation version stamp in every [`Header`] and allocation-driven
+//!   epoch advancement that displaces long-running readers through the same
+//!   checkpoint protocol.
 //!
 //! All schemes expose the same narrow interface — [`Smr`] / [`SmrHandle`] /
 //! [`SmrGuard`] — modeled directly on the paper's Figure 1 (`protect`, `dup`)
@@ -47,18 +59,24 @@ mod he;
 mod hp;
 mod hyaline;
 mod ibr;
+mod nbr;
 mod nr;
+mod vbr;
 
-pub use block::{alloc_block, free_block, header_of, Block, BlockVTable, Header, Retired};
+pub use block::{
+    alloc_block, free_block, header_of, version_of, Block, BlockVTable, Header, Retired,
+};
 pub use ebr::Ebr;
 pub use he::He;
 pub use hp::Hp;
 pub use hyaline::Hyaline;
 pub use ibr::Ibr;
+pub use nbr::Nbr;
 pub use nr::Nr;
 pub use pool::{BlockPool, PoolShared, ShardedCounter};
 pub use ptr::{Atomic, Link, Shared, TAG_MASK};
 pub use registry::SlotRegistry;
+pub use vbr::Vbr;
 
 use std::sync::Arc;
 
@@ -125,11 +143,16 @@ pub enum SmrKind {
     IbrOpt,
     /// Hyaline-1S-style reclamation.
     Hyaline,
+    /// Neutralization-based reclamation (cooperative DEBRA+-style restarts).
+    Nbr,
+    /// Version-based reclamation (eager recycling with version stamps).
+    Vbr,
 }
 
 impl SmrKind {
-    /// All kinds, in the order the paper's figures list them.
-    pub const ALL: [SmrKind; 9] = [
+    /// All kinds, in the order the paper's figures list them; the two
+    /// checkpoint-protocol families (NBR, VBR) come last.
+    pub const ALL: [SmrKind; 11] = [
         SmrKind::Nr,
         SmrKind::Ebr,
         SmrKind::Hp,
@@ -139,10 +162,13 @@ impl SmrKind {
         SmrKind::He,
         SmrKind::HeOpt,
         SmrKind::Hyaline,
+        SmrKind::Nbr,
+        SmrKind::Vbr,
     ];
 
     /// Parses the names used by the paper's artifact (`NR`, `EBR`, `HP`,
-    /// `HPopt`/`HPO`, `HE`, `IBR`, `HLN`/`Hyaline`), case-insensitively.
+    /// `HPopt`/`HPO`, `HE`, `IBR`, `HLN`/`Hyaline`, `NBR`, `VBR`),
+    /// case-insensitively.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_uppercase().as_str() {
             "NR" => Some(SmrKind::Nr),
@@ -154,6 +180,8 @@ impl SmrKind {
             "IBR" => Some(SmrKind::Ibr),
             "IBROPT" | "IBRO" => Some(SmrKind::IbrOpt),
             "HLN" | "HYALINE" | "HYALINE-1S" | "HYALINE1S" => Some(SmrKind::Hyaline),
+            "NBR" | "NBR+" | "NEUTRALIZATION" => Some(SmrKind::Nbr),
+            "VBR" | "VERSION" | "VERSIONED" => Some(SmrKind::Vbr),
             _ => None,
         }
     }
@@ -170,13 +198,27 @@ impl SmrKind {
             SmrKind::Ibr => "IBR",
             SmrKind::IbrOpt => "IBRopt",
             SmrKind::Hyaline => "HLN",
+            SmrKind::Nbr => "NBR",
+            SmrKind::Vbr => "VBR",
         }
     }
 
     /// Whether the scheme is robust to stalled threads (bounded memory, the
     /// paper's property (A)).
+    ///
+    /// NBR and VBR are classified as *not* robust here even though the
+    /// published schemes are: the originals obtain robustness from POSIX
+    /// signals (NBR neutralizes a stalled reader from the outside) or from an
+    /// unbounded version space (VBR readers fail their version re-validation
+    /// instead of blocking reclamation).  This crate's variants are
+    /// cooperative — a reader that never polls [`SmrGuard::needs_restart`]
+    /// keeps its checkpoint era pinned, exactly like a stalled EBR reader —
+    /// so claiming property (A) for them would overstate the implementation.
     pub fn is_robust(&self) -> bool {
-        !matches!(self, SmrKind::Nr | SmrKind::Ebr)
+        !matches!(
+            self,
+            SmrKind::Nr | SmrKind::Ebr | SmrKind::Nbr | SmrKind::Vbr
+        )
     }
 }
 
@@ -419,6 +461,39 @@ pub trait SmrGuard {
     /// # Safety
     /// No other thread may have observed the pointer.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>);
+
+    /// Polls whether the scheme has asked this reader to restart its current
+    /// operation (the checkpoint/neutralize protocol).
+    ///
+    /// NBR raises this when the reader's checkpoint era lags the global era
+    /// and is blocking reclamation; VBR raises it when the global epoch has
+    /// advanced far enough past the epoch announced at [`SmrHandle::pin`]
+    /// that continuing would delay recycling.  All other schemes never ask.
+    ///
+    /// Ignoring the request is always *safe* — protection is carried entirely
+    /// by the published checkpoint era/epoch, and the flag is only a progress
+    /// accelerator — but a cooperative reader should answer it by calling
+    /// [`SmrGuard::checkpoint`] and restarting its traversal from the
+    /// structure root (the `Restart::Operation` rung of the `scot` cursor's
+    /// restart ladder).
+    #[inline]
+    fn needs_restart(&self) -> bool {
+        false
+    }
+
+    /// Acknowledges a pending restart request: discards every protection
+    /// established since [`SmrHandle::pin`] and re-announces the current
+    /// era/epoch, as if the guard had been dropped and re-pinned.
+    ///
+    /// After this call **all previously read pointers are void** — hazard
+    /// slots may be reused for other nodes and era-protected blocks may be
+    /// reclaimed — so callers must hold no `Shared` pointers across it and
+    /// must restart from the structure root.  The `scot` cursor only polls
+    /// [`SmrGuard::needs_restart`] at points where the calling operation
+    /// keeps no cross-seek state, which is what makes the blanket restart
+    /// sound.  No-op for schemes without the checkpoint protocol.
+    #[inline]
+    fn checkpoint(&mut self) {}
 }
 
 #[cfg(test)]
@@ -427,18 +502,28 @@ mod tests {
 
     #[test]
     fn kind_parse_roundtrip() {
+        assert_eq!(SmrKind::ALL.len(), 11, "8 families, 11 variants");
         for k in SmrKind::ALL {
             assert_eq!(SmrKind::parse(k.name()), Some(k));
         }
         assert_eq!(SmrKind::parse("ebr"), Some(SmrKind::Ebr));
         assert_eq!(SmrKind::parse("hyaline-1s"), Some(SmrKind::Hyaline));
+        assert_eq!(SmrKind::parse("nbr"), Some(SmrKind::Nbr));
+        assert_eq!(SmrKind::parse("NBR+"), Some(SmrKind::Nbr));
+        assert_eq!(SmrKind::parse("neutralization"), Some(SmrKind::Nbr));
+        assert_eq!(SmrKind::parse("vbr"), Some(SmrKind::Vbr));
+        assert_eq!(SmrKind::parse("version"), Some(SmrKind::Vbr));
+        assert_eq!(SmrKind::parse("versioned"), Some(SmrKind::Vbr));
         assert_eq!(SmrKind::parse("bogus"), None);
     }
 
     #[test]
     fn robustness_classification() {
-        assert!(!SmrKind::Nr.is_robust());
-        assert!(!SmrKind::Ebr.is_robust());
+        // The cooperative checkpoint schemes share EBR's stalled-reader
+        // weakness (see `SmrKind::is_robust`).
+        for k in [SmrKind::Nr, SmrKind::Ebr, SmrKind::Nbr, SmrKind::Vbr] {
+            assert!(!k.is_robust(), "{k} should not claim robustness");
+        }
         for k in [
             SmrKind::Hp,
             SmrKind::HpOpt,
@@ -448,6 +533,21 @@ mod tests {
         ] {
             assert!(k.is_robust(), "{k} should be robust");
         }
+    }
+
+    #[test]
+    fn checkpoint_protocol_defaults_to_no_restarts() {
+        // Schemes without the checkpoint protocol inherit the trait defaults:
+        // never ask for a restart, and acknowledge as a no-op.
+        let d = Ebr::new(SmrConfig {
+            max_threads: 1,
+            ..SmrConfig::default()
+        });
+        let mut h = d.register();
+        let mut g = h.pin();
+        assert!(!g.needs_restart());
+        g.checkpoint();
+        assert!(!g.needs_restart());
     }
 
     #[test]

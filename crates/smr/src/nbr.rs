@@ -1,0 +1,517 @@
+//! NBR — neutralization-based reclamation (Brown's DEBRA+ line), cooperative
+//! variant.
+//!
+//! Like EBR, every operation publishes an era (its *checkpoint*) and a retired
+//! node is reclaimable once every active thread's checkpoint is two eras past
+//! its retirement.  Unlike EBR, the global era does not wait for laggards:
+//! when a sweep finds the minimum checkpoint blocking its limbo list, it bumps
+//! the global era and raises a per-thread *neutralize* flag on every lagging
+//! reader.  A cooperative reader polls the flag through
+//! [`SmrGuard::needs_restart`] at restart-safe points of its traversal (the
+//! `scot` cursor does this), acknowledges with [`SmrGuard::checkpoint`] —
+//! which discards all of its protections and re-announces the current era —
+//! and restarts from the structure root.  The minimum checkpoint then rises
+//! and the blocked sweep succeeds.
+//!
+//! DEBRA+ neutralizes readers *preemptively* with a POSIX signal, which makes
+//! it robust against stalled threads.  Signals cannot restart a Rust
+//! traversal safely (the paper's own artifact confines them to setjmp-style
+//! recovery code), so this variant is cooperative: safety is carried entirely
+//! by the published checkpoint eras, and the flag is only a progress
+//! accelerator.  A reader that never polls keeps its checkpoint pinned and
+//! blocks reclamation exactly like a stalled EBR reader — which is why
+//! [`SmrKind::is_robust`] reports `false` for NBR.
+
+use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
+use crate::ptr::{Atomic, Shared};
+use crate::registry::SlotRegistry;
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Checkpoint value meaning "not in a critical section".
+const INACTIVE: u64 = 0;
+/// First valid era; starting above `INACTIVE + 2` keeps the "retire era + 2"
+/// comparison free of underflow special cases.
+const FIRST_ERA: u64 = 4;
+
+struct NbrSlot {
+    /// Era announced by the slot's owner at pin/checkpoint, or [`INACTIVE`].
+    checkpoint: AtomicU64,
+    /// Raised by a blocked sweep to ask the owner to checkpoint; cleared by
+    /// the owner when it does (or when it pins afresh).
+    neutralize: AtomicBool,
+}
+
+/// The neutralization-based reclamation domain.
+pub struct Nbr {
+    config: SmrConfig,
+    registry: SlotRegistry,
+    global_era: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<NbrSlot>]>,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
+    orphans: Mutex<Vec<Retired>>,
+    /// Total neutralize flags raised by blocked sweeps (monotonic; a
+    /// diagnostic mirror of how often reclamation had to push readers).
+    neutralizations: AtomicU64,
+}
+
+impl Smr for Nbr {
+    type Handle = NbrHandle;
+
+    fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(NbrSlot {
+                    checkpoint: AtomicU64::new(INACTIVE),
+                    neutralize: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        Arc::new(Self {
+            registry: SlotRegistry::new(config.max_threads),
+            global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
+            slots,
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            orphans: Mutex::new(Vec::new()),
+            neutralizations: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    fn try_register(self: &Arc<Self>) -> Result<NbrHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
+        self.slots[slot]
+            .checkpoint
+            .store(INACTIVE, Ordering::Relaxed);
+        self.slots[slot].neutralize.store(false, Ordering::Relaxed);
+        Ok(NbrHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
+            domain: self.clone(),
+            slot,
+            limbo: Vec::new(),
+            retire_count: 0,
+        })
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.unreclaimed.sum()
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Nbr
+    }
+}
+
+impl Nbr {
+    /// Minimum checkpoint era over all active slots, or `u64::MAX` when no
+    /// thread is inside a critical section (everything retired is then safe).
+    fn min_checkpoint(&self) -> u64 {
+        let mut min = u64::MAX;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let c = slot.checkpoint.load(Ordering::SeqCst);
+            if c != INACTIVE && c < min {
+                min = c;
+            }
+        }
+        min
+    }
+
+    /// Frees every limbo entry retired at least two eras before the minimum
+    /// active checkpoint.  A reader checkpointed at era `C` can only reach
+    /// nodes retired at `C - 1` or later (anything older was unlinked before
+    /// the reader announced `C`), so `retire + 2 <= C` leaves one era of
+    /// slack — the same grace argument as EBR, with the quiescence check
+    /// moved from the epoch-advance path to the sweep itself.
+    fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
+        let min = self.min_checkpoint();
+        let mut freed = 0usize;
+        limbo.retain(|r| {
+            if r.retire_era().saturating_add(2) <= min {
+                unsafe { r.free_into(pool) };
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if freed > 0 {
+            self.unreclaimed.sub(slot, freed);
+        }
+    }
+
+    /// The neutralization step: bumps the global era and raises the
+    /// neutralize flag on every active reader still checkpointed below it.
+    /// Called when a sweep leaves its limbo list over the scan threshold —
+    /// i.e. exactly when lagging readers are what blocks reclamation.
+    fn neutralize_laggards(&self) {
+        let era = self.global_era.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut raised = 0u64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let c = slot.checkpoint.load(Ordering::SeqCst);
+            if c != INACTIVE && c < era && !slot.neutralize.swap(true, Ordering::AcqRel) {
+                raised += 1;
+            }
+        }
+        if raised > 0 {
+            self.neutralizations.fetch_add(raised, Ordering::Relaxed);
+        }
+    }
+
+    /// Adopts and sweeps orphaned limbo entries left by deregistered threads.
+    fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
+        if let Some(mut orphans) = self.orphans.try_lock() {
+            if !orphans.is_empty() {
+                self.sweep(&mut orphans, slot, pool);
+            }
+        }
+    }
+
+    /// Total neutralize flags raised so far (diagnostic).
+    pub fn neutralizations(&self) -> u64 {
+        self.neutralizations.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Nbr {
+    fn drop(&mut self) {
+        // No handles remain (they hold `Arc<Nbr>`), so nothing can be
+        // protected any more: release whatever is still in the orphan list.
+        let mut orphans = self.orphans.lock();
+        for r in orphans.drain(..) {
+            unsafe { r.free() };
+        }
+    }
+}
+
+/// Per-thread handle for [`Nbr`].
+pub struct NbrHandle {
+    domain: Arc<Nbr>,
+    slot: usize,
+    limbo: Vec<Retired>,
+    pool: BlockPool,
+    retire_count: usize,
+}
+
+impl NbrHandle {
+    /// Publishes the current global era as this thread's checkpoint,
+    /// confirming it is still current, and clears a pending neutralize flag —
+    /// the shared body of `pin` and `checkpoint`.
+    fn announce_checkpoint(&mut self) {
+        let slot = &self.domain.slots[self.slot];
+        slot.neutralize.store(false, Ordering::Relaxed);
+        loop {
+            let e = self.domain.global_era.load(Ordering::SeqCst);
+            slot.checkpoint.store(e, Ordering::SeqCst);
+            if self.domain.global_era.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+    }
+
+    fn scan(&mut self) {
+        let domain = self.domain.clone();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
+        if self.limbo.len() >= self.domain.config.scan_threshold {
+            // Readers are what blocks us: neutralize them and retry once —
+            // flags raised now typically pay off at the *next* scan, but a
+            // quiescent domain drains immediately.
+            domain.neutralize_laggards();
+            domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        }
+    }
+}
+
+impl SmrHandle for NbrHandle {
+    type Guard<'g>
+        = NbrGuard<'g>
+    where
+        Self: 'g;
+
+    fn pin(&mut self) -> NbrGuard<'_> {
+        self.announce_checkpoint();
+        NbrGuard { handle: self }
+    }
+
+    fn flush(&mut self) {
+        self.domain.global_era.fetch_add(1, Ordering::SeqCst);
+        let domain = self.domain.clone();
+        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        domain.sweep_orphans(self.slot, &mut self.pool);
+        if !self.limbo.is_empty() {
+            // A forced flush is the impatient path: neutralize whoever blocks
+            // even a single entry, then retry.
+            domain.neutralize_laggards();
+            domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+        }
+    }
+}
+
+impl Drop for NbrHandle {
+    fn drop(&mut self) {
+        let slot = &self.domain.slots[self.slot];
+        slot.checkpoint.store(INACTIVE, Ordering::SeqCst);
+        slot.neutralize.store(false, Ordering::Relaxed);
+        if !self.limbo.is_empty() {
+            self.domain.orphans.lock().append(&mut self.limbo);
+        }
+        self.domain.registry.release(self.slot);
+    }
+}
+
+/// Critical-section guard for [`Nbr`].
+pub struct NbrGuard<'g> {
+    handle: &'g mut NbrHandle,
+}
+
+impl Drop for NbrGuard<'_> {
+    fn drop(&mut self) {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        slot.checkpoint.store(INACTIVE, Ordering::Release);
+    }
+}
+
+impl SmrGuard for NbrGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
+    #[inline]
+    fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        // The checkpoint era announced at pin (or at the last `checkpoint`
+        // call) protects everything reachable; per-pointer work is
+        // unnecessary, exactly as under EBR.
+        src.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {}
+
+    #[inline]
+    fn dup(&mut self, _from: usize, _to: usize) {}
+
+    #[inline]
+    fn clear(&mut self, _idx: usize) {}
+
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
+        Shared::from_ptr(self.handle.pool.alloc(value))
+    }
+
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
+        let value = ptr.untagged().as_ptr();
+        debug_assert!(!value.is_null());
+        let retired = Retired::from_value(value);
+        (*retired.hdr).retire_era.store(
+            self.handle.domain.global_era.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.handle.limbo.push(retired);
+        self.handle.retire_count += 1;
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
+        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
+            self.handle.scan();
+        }
+    }
+
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+    }
+
+    #[inline]
+    fn needs_restart(&self) -> bool {
+        self.handle.domain.slots[self.handle.slot]
+            .neutralize
+            .load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn checkpoint(&mut self) {
+        self.handle.announce_checkpoint();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SmrConfig {
+        SmrConfig {
+            max_threads: 4,
+            scan_threshold: 4,
+            ..SmrConfig::default()
+        }
+    }
+
+    #[test]
+    fn retired_nodes_are_eventually_freed() {
+        let d = Nbr::new(small_config());
+        let mut h = d.register();
+        for i in 0..64u64 {
+            let mut g = h.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn blocked_sweep_neutralizes_the_lagging_reader() {
+        let d = Nbr::new(small_config());
+        let mut reader = d.register();
+        let mut worker = d.register();
+
+        let mut g = reader.pin();
+        assert!(!g.needs_restart());
+
+        // Churn way past the scan threshold: the worker's sweeps are blocked
+        // by the reader's checkpoint and must raise its neutralize flag.
+        for i in 0..64u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            unsafe { wg.retire(p) };
+        }
+        assert!(
+            g.needs_restart(),
+            "a blocked sweep must ask the lagging reader to restart"
+        );
+        assert!(d.neutralizations() > 0);
+        assert!(d.unreclaimed() > 0, "reader still blocks reclamation");
+
+        // The reader cooperates: checkpoint + (conceptually) restart.
+        g.checkpoint();
+        assert!(!g.needs_restart());
+        let era = d.global_era.load(Ordering::SeqCst);
+        assert_eq!(
+            d.slots[0].checkpoint.load(Ordering::SeqCst),
+            era,
+            "checkpoint must re-announce the current era"
+        );
+        drop(g);
+        for _ in 0..4 {
+            worker.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn checkpoint_unblocks_reclamation_while_reader_stays_pinned() {
+        let d = Nbr::new(small_config());
+        let mut reader = d.register();
+        let mut worker = d.register();
+
+        let mut g = reader.pin();
+        for i in 0..32u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            unsafe { wg.retire(p) };
+        }
+        let before = d.unreclaimed();
+        assert!(before > 0);
+        // Cooperating (checkpointing whenever asked) is enough: the reader
+        // never unpins, yet reclamation proceeds past it.
+        for _ in 0..8 {
+            if g.needs_restart() {
+                g.checkpoint();
+            }
+            worker.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0, "cooperative reader must not block");
+        drop(g);
+    }
+
+    #[test]
+    fn uncooperative_reader_blocks_reclamation() {
+        // The cooperative caveat: safety is carried by the checkpoint era, so
+        // a reader that never polls keeps everything since its pin alive.
+        let d = Nbr::new(small_config());
+        let mut stalled = d.register();
+        let mut worker = d.register();
+        let _guard = stalled.pin();
+        for i in 0..256u64 {
+            let mut g = worker.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() > 128,
+            "NBR must not reclaim past an uncooperative reader (got {})",
+            d.unreclaimed()
+        );
+    }
+
+    #[test]
+    fn pin_clears_a_stale_neutralize_flag() {
+        let d = Nbr::new(small_config());
+        let mut h = d.register();
+        d.slots[0].neutralize.store(true, Ordering::SeqCst);
+        let g = h.pin();
+        assert!(!g.needs_restart(), "pin starts a fresh checkpoint");
+    }
+
+    #[test]
+    fn multi_threaded_retire_storm_reclaims_everything() {
+        let d = Nbr::new(SmrConfig {
+            max_threads: 8,
+            scan_threshold: 16,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let mut h = d.register();
+                    for i in 0..1000u64 {
+                        let mut g = h.pin();
+                        let p = g.alloc(t * 10_000 + i);
+                        unsafe { g.retire(p) };
+                        if g.needs_restart() {
+                            g.checkpoint();
+                        }
+                    }
+                    for _ in 0..8 {
+                        h.flush();
+                    }
+                });
+            }
+        });
+        let mut h = d.register();
+        for _ in 0..8 {
+            h.flush();
+        }
+        drop(h);
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn orphans_are_freed_on_domain_drop() {
+        let d = Nbr::new(small_config());
+        {
+            let mut h = d.register();
+            let mut g = h.pin();
+            let p = g.alloc(1u64);
+            unsafe { g.retire(p) };
+        }
+        assert_eq!(d.unreclaimed(), 1);
+        drop(d);
+    }
+}

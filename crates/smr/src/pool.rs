@@ -244,6 +244,12 @@ impl BlockPool {
     /// Allocates a block holding `value`, reusing a cached block of the same
     /// layout when one is available (local bin first, then a batched refill
     /// from the shared overflow, then the global allocator).
+    ///
+    /// A reused block keeps its recycling-incarnation stamp
+    /// ([`Header::version`]) across the reinitialization, incremented by one —
+    /// the stamp survives parking in either pool tier, so it counts every
+    /// reuse of the raw memory since the original allocation.  VBR's version
+    /// re-check relies on this monotonicity.
     pub fn alloc<T>(&mut self, value: T) -> *mut T {
         if self.capacity == 0 {
             return crate::block::alloc_block(value);
@@ -252,15 +258,32 @@ impl BlockPool {
         let bin = self.bin_index(layout);
         if let Some(hdr) = self.bins[bin].pop() {
             self.len -= 1;
-            return unsafe { crate::block::init_block(hdr, value) };
+            return unsafe { Self::reinit(hdr, value) };
         }
         if self.refill(bin) {
             if let Some(hdr) = self.bins[bin].pop() {
                 self.len -= 1;
-                return unsafe { crate::block::init_block(hdr, value) };
+                return unsafe { Self::reinit(hdr, value) };
             }
         }
         crate::block::alloc_block(value)
+    }
+
+    /// Rewrites a parked block with a fresh header and `value`, preserving
+    /// (and bumping) the recycling-incarnation stamp that
+    /// [`crate::block::init_block`] would otherwise reset to zero.
+    ///
+    /// # Safety
+    /// Same contract as [`crate::block::init_block`]: `hdr` must be a dead
+    /// block of exactly `Block<T>`'s layout.
+    #[inline]
+    unsafe fn reinit<T>(hdr: *mut Header, value: T) -> *mut T {
+        let incarnation = (*hdr).version.load(Ordering::Relaxed);
+        let ptr = crate::block::init_block(hdr, value);
+        (*hdr)
+            .version
+            .store(incarnation.wrapping_add(1), Ordering::Release);
+        ptr
     }
 
     /// Runs the block's destructor and recycles its memory: into a local bin
@@ -546,6 +569,41 @@ mod tests {
         let back = pool.alloc(10u64);
         assert_eq!(back as usize, raw as usize);
         unsafe { pool.free(header_of(back)) };
+    }
+
+    #[test]
+    fn version_stamp_counts_recycling_incarnations() {
+        let (_shared, mut pool) = pool(8, 1);
+        let a = pool.alloc(1u64);
+        assert_eq!(unsafe { crate::block::version_of(a) }, 0, "fresh block");
+        unsafe { pool.free(header_of(a)) };
+        let b = pool.alloc(2u64);
+        assert_eq!(b as usize, a as usize, "must reuse the same memory");
+        assert_eq!(unsafe { crate::block::version_of(b) }, 1);
+        unsafe { pool.free(header_of(b)) };
+        let c = pool.alloc(3u64);
+        assert_eq!(unsafe { crate::block::version_of(c) }, 2);
+        unsafe { pool.free(header_of(c)) };
+    }
+
+    #[test]
+    fn version_stamp_survives_the_overflow_tier() {
+        let shared = PoolShared::new(8, 4);
+        let mut producer = BlockPool::new(shared.clone(), 8);
+        let mut consumer = BlockPool::new(shared.clone(), 8);
+        // One recycle through the producer gives the block version 1, then
+        // its drop parks everything in the shared overflow.
+        let a = producer.alloc(1u64);
+        unsafe { producer.free(header_of(a)) };
+        let b = producer.alloc(2u64);
+        assert_eq!(unsafe { crate::block::version_of(b) }, 1);
+        unsafe { producer.free(header_of(b)) };
+        drop(producer);
+        // The consumer refills from the overflow; the stamp keeps counting.
+        let c = consumer.alloc(3u64);
+        assert_eq!(c as usize, b as usize);
+        assert_eq!(unsafe { crate::block::version_of(c) }, 2);
+        unsafe { consumer.free(header_of(c)) };
     }
 
     #[test]

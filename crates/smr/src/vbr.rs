@@ -1,0 +1,611 @@
+//! VBR — version-based reclamation (Cohen's "Every Data Structure Deserves
+//! Lock-Free Memory Reclamation"), epoch-displaced variant.
+//!
+//! Cohen's VBR never scans limbo lists: retired nodes go straight onto a
+//! per-thread FIFO recycle queue and are handed back to the allocator in
+//! retire-order, while readers that may still hold references detect the
+//! reuse *after the fact* by re-checking a per-block version stamp.  This
+//! module keeps that shape — O(1) retire, FIFO recycling in epoch order
+//! through the [`BlockPool`]'s layout bins, a monotonic per-incarnation
+//! version stamp in every block header, allocation-driven epoch advancement —
+//! but gates the actual memory handoff on a two-epoch displacement bound
+//! instead of unconditional reuse:
+//!
+//! * every operation announces the global epoch at [`SmrHandle::pin`];
+//! * a recycle-queue entry is released to the pool once its retire epoch is
+//!   two behind the minimum announced epoch;
+//! * a reader whose announced epoch falls two behind the advancing global
+//!   epoch is asked to restart through [`SmrGuard::needs_restart`] /
+//!   [`SmrGuard::checkpoint`] (the same cursor-routed protocol as NBR), which
+//!   re-announces the current epoch and lets recycling proceed past it.
+//!
+//! The reason for the gate is Rust-specific and spelled out in `DESIGN.md`:
+//! the structure API hands out guard-scoped borrows (`&'g V`), and a borrow
+//! into memory that is recycled mid-lifetime is undefined behavior even if a
+//! later version re-check would discard the value — Cohen's deref-then-
+//! validate is sound in C but not under Rust references.  The version stamp
+//! ([`crate::block::version_of`]) still travels with every block and the
+//! traversal cursor re-checks it on validation as a hardening layer; the
+//! two-epoch bound is what turns "probably caught by validation" into a
+//! memory-safety guarantee.  The price is the cooperative-caveat shared with
+//! [`crate::Nbr`]: a reader that never polls pins the minimum epoch, so
+//! [`SmrKind::is_robust`] reports `false`.
+
+use crate::block::{header_of, Retired};
+use crate::pool::{BlockPool, PoolShared, ShardedCounter};
+use crate::ptr::{Atomic, Shared};
+use crate::registry::SlotRegistry;
+use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Epoch value meaning "not in a critical section".
+const INACTIVE: u64 = 0;
+/// First valid epoch; starting above `INACTIVE + 2` keeps the "retire epoch
+/// + 2" comparison free of underflow special cases.
+const FIRST_EPOCH: u64 = 4;
+
+/// How many epochs a reader may lag the global epoch before it is asked to
+/// restart.  One epoch of slack means an epoch tick does not stampede every
+/// in-flight operation; two epochs of lag is exactly where the reader starts
+/// delaying the recycle queue (entries retired at its announce epoch become
+/// eligible only once the minimum rises).
+const DISPLACEMENT_SLACK: u64 = 2;
+
+struct VbrSlot {
+    /// Epoch announced by the slot's owner, or [`INACTIVE`].
+    epoch: AtomicU64,
+}
+
+/// The version-based reclamation domain.
+pub struct Vbr {
+    config: SmrConfig,
+    registry: SlotRegistry,
+    global_epoch: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<VbrSlot>]>,
+    unreclaimed: ShardedCounter,
+    pool: Arc<PoolShared>,
+    /// Recycle entries inherited from threads that deregistered before their
+    /// entries became eligible.
+    orphans: Mutex<Vec<Retired>>,
+    /// Total reader displacements acknowledged via `checkpoint` (diagnostic).
+    displacements: AtomicU64,
+}
+
+impl Smr for Vbr {
+    type Handle = VbrHandle;
+
+    fn new(config: SmrConfig) -> Arc<Self> {
+        let config = config.validated();
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(VbrSlot {
+                    epoch: AtomicU64::new(INACTIVE),
+                })
+            })
+            .collect();
+        Arc::new(Self {
+            registry: SlotRegistry::new(config.max_threads),
+            global_epoch: CachePadded::new(AtomicU64::new(FIRST_EPOCH)),
+            slots,
+            unreclaimed: ShardedCounter::new(config.max_threads),
+            pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            orphans: Mutex::new(Vec::new()),
+            displacements: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    fn try_register(self: &Arc<Self>) -> Result<VbrHandle, SmrError> {
+        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+            capacity: self.registry.capacity(),
+        })?;
+        self.slots[slot].epoch.store(INACTIVE, Ordering::Relaxed);
+        Ok(VbrHandle {
+            pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
+            domain: self.clone(),
+            slot,
+            recycle: VecDeque::new(),
+            alloc_count: 0,
+            retire_count: 0,
+        })
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.unreclaimed.sum()
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Vbr
+    }
+}
+
+impl Vbr {
+    /// Minimum epoch announced by any active slot, or `u64::MAX` when no
+    /// thread is inside a critical section.
+    fn min_active_epoch(&self) -> u64 {
+        let mut min = u64::MAX;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !self.registry.is_claimed(i) {
+                continue;
+            }
+            let e = slot.epoch.load(Ordering::SeqCst);
+            if e != INACTIVE && e < min {
+                min = e;
+            }
+        }
+        min
+    }
+
+    /// Releases eligible entries from the front of `recycle` into the pool.
+    ///
+    /// The queue is FIFO and retire epochs are stamped from a monotonic
+    /// counter, so eligibility is a prefix: the drain stops at the first
+    /// entry retired later than two epochs before the minimum announced
+    /// epoch.  One `min_active_epoch` scan amortizes over the whole prefix —
+    /// there is no per-entry rescan, which is the structural difference from
+    /// the limbo-list schemes.
+    fn drain(&self, recycle: &mut VecDeque<Retired>, slot: usize, pool: &mut BlockPool) {
+        let min = self.min_active_epoch();
+        let mut freed = 0usize;
+        while let Some(front) = recycle.front() {
+            if front.retire_era().saturating_add(2) <= min {
+                let r = recycle.pop_front().expect("front was just observed");
+                unsafe { r.free_into(pool) };
+                freed += 1;
+            } else {
+                break;
+            }
+        }
+        if freed > 0 {
+            self.unreclaimed.sub(slot, freed);
+        }
+    }
+
+    /// Adopts and drains orphaned recycle entries left by deregistered
+    /// threads.  Orphans lose their FIFO ordering guarantee (several queues
+    /// may have been appended), so this path re-checks every entry.
+    fn drain_orphans(&self, slot: usize, pool: &mut BlockPool) {
+        if let Some(mut orphans) = self.orphans.try_lock() {
+            if orphans.is_empty() {
+                return;
+            }
+            let min = self.min_active_epoch();
+            let mut freed = 0usize;
+            orphans.retain(|r| {
+                if r.retire_era().saturating_add(2) <= min {
+                    unsafe { r.free_into(pool) };
+                    freed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            if freed > 0 {
+                self.unreclaimed.sub(slot, freed);
+            }
+        }
+    }
+
+    /// Total reader displacements acknowledged so far (diagnostic).
+    pub fn displacements(&self) -> u64 {
+        self.displacements.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Vbr {
+    fn drop(&mut self) {
+        let mut orphans = self.orphans.lock();
+        for r in orphans.drain(..) {
+            unsafe { r.free() };
+        }
+    }
+}
+
+/// Per-thread handle for [`Vbr`].
+pub struct VbrHandle {
+    domain: Arc<Vbr>,
+    slot: usize,
+    /// FIFO recycle queue: pushed at retire, released from the front once the
+    /// two-epoch displacement bound allows.
+    recycle: VecDeque<Retired>,
+    pool: BlockPool,
+    alloc_count: usize,
+    retire_count: usize,
+}
+
+impl SmrHandle for VbrHandle {
+    type Guard<'g>
+        = VbrGuard<'g>
+    where
+        Self: 'g;
+
+    fn pin(&mut self) -> VbrGuard<'_> {
+        let slot = &self.domain.slots[self.slot];
+        let op_epoch = loop {
+            let e = self.domain.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if self.domain.global_epoch.load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+        VbrGuard {
+            op_epoch,
+            handle: self,
+        }
+    }
+
+    fn flush(&mut self) {
+        let domain = self.domain.clone();
+        domain.drain(&mut self.recycle, self.slot, &mut self.pool);
+        domain.drain_orphans(self.slot, &mut self.pool);
+        if !self.recycle.is_empty() {
+            // Entries retired at the current epoch need the epoch to move two
+            // ticks before any quiescent observer may release them.
+            domain.global_epoch.fetch_add(1, Ordering::SeqCst);
+            domain.drain(&mut self.recycle, self.slot, &mut self.pool);
+        }
+    }
+}
+
+impl Drop for VbrHandle {
+    fn drop(&mut self) {
+        let slot = &self.domain.slots[self.slot];
+        slot.epoch.store(INACTIVE, Ordering::SeqCst);
+        let domain = self.domain.clone();
+        domain.drain(&mut self.recycle, self.slot, &mut self.pool);
+        if !self.recycle.is_empty() {
+            self.domain.orphans.lock().extend(self.recycle.drain(..));
+        }
+        self.domain.registry.release(self.slot);
+    }
+}
+
+/// Critical-section guard for [`Vbr`].
+pub struct VbrGuard<'g> {
+    handle: &'g mut VbrHandle,
+    /// Epoch announced for this operation (re-announced by `checkpoint`).
+    op_epoch: u64,
+}
+
+impl Drop for VbrGuard<'_> {
+    fn drop(&mut self) {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        slot.epoch.store(INACTIVE, Ordering::Release);
+    }
+}
+
+impl SmrGuard for VbrGuard<'_> {
+    #[inline]
+    fn domain_addr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.handle.domain) as usize
+    }
+
+    #[inline]
+    fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        // The epoch announced at pin (or the last checkpoint) holds the
+        // recycle queues back; per-pointer work is unnecessary.
+        src.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {}
+
+    #[inline]
+    fn dup(&mut self, _from: usize, _to: usize) {}
+
+    #[inline]
+    fn clear(&mut self, _idx: usize) {}
+
+    fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
+        let ptr = self.handle.pool.alloc(value);
+        let epoch = self.handle.domain.global_epoch.load(Ordering::Relaxed);
+        unsafe { (*header_of(ptr)).birth_era.store(epoch, Ordering::Relaxed) };
+        self.handle.alloc_count += 1;
+        if self
+            .handle
+            .alloc_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            // Allocation-driven epoch advancement: reuse pressure, not limbo
+            // growth, is what moves the clock under VBR.
+            self.handle
+                .domain
+                .global_epoch
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        Shared::from_ptr(ptr)
+    }
+
+    unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
+        let value = ptr.untagged().as_ptr();
+        debug_assert!(!value.is_null());
+        let retired = Retired::from_value(value);
+        let epoch = self.handle.domain.global_epoch.load(Ordering::Relaxed);
+        (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed);
+        self.handle.recycle.push_back(retired);
+        self.handle.retire_count += 1;
+        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
+        if self
+            .handle
+            .retire_count
+            .is_multiple_of(self.handle.domain.config.epoch_freq())
+        {
+            self.handle
+                .domain
+                .global_epoch
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        if self.handle.recycle.len() >= self.handle.domain.config.scan_threshold {
+            let domain = self.handle.domain.clone();
+            domain.drain(
+                &mut self.handle.recycle,
+                self.handle.slot,
+                &mut self.handle.pool,
+            );
+            domain.drain_orphans(self.handle.slot, &mut self.handle.pool);
+            if self.handle.recycle.len() >= self.handle.domain.config.scan_threshold {
+                // Still blocked: advance the epoch so lagging readers trip
+                // the displacement bound and re-announce.
+                domain.global_epoch.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
+        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+    }
+
+    #[inline]
+    fn needs_restart(&self) -> bool {
+        let global = self.handle.domain.global_epoch.load(Ordering::Acquire);
+        global.saturating_sub(self.op_epoch) >= DISPLACEMENT_SLACK
+    }
+
+    #[inline]
+    fn checkpoint(&mut self) {
+        let slot = &self.handle.domain.slots[self.handle.slot];
+        self.op_epoch = loop {
+            let e = self.handle.domain.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if self.handle.domain.global_epoch.load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+        self.handle
+            .domain
+            .displacements
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::version_of;
+
+    fn small_config() -> SmrConfig {
+        SmrConfig {
+            max_threads: 4,
+            scan_threshold: 4,
+            epoch_freq_per_thread: 1,
+            ..SmrConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiescent_flush_drains_to_zero() {
+        let d = Vbr::new(small_config());
+        let mut h = d.register();
+        for i in 0..64u64 {
+            let mut g = h.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn retired_blocks_are_recycled_with_bumped_versions() {
+        let d = Vbr::new(small_config());
+        let mut h = d.register();
+        // Churn enough for the recycle queue to feed the pool and for the
+        // pool to hand memory back out.
+        let mut max_version = 0;
+        for i in 0..512u64 {
+            let mut g = h.pin();
+            let p = g.alloc(i);
+            max_version = max_version.max(unsafe { version_of(p.as_ptr()) });
+            unsafe { g.retire(p) };
+        }
+        assert!(
+            max_version > 0,
+            "VBR churn must recycle memory through the pool (version stamp)"
+        );
+    }
+
+    #[test]
+    fn lagging_reader_is_displaced() {
+        let d = Vbr::new(small_config());
+        let mut reader = d.register();
+        let mut worker = d.register();
+
+        let mut g = reader.pin();
+        assert!(!g.needs_restart());
+
+        // Alloc/retire churn advances the epoch (epoch_freq = 4 here) until
+        // the reader is two behind.
+        for i in 0..64u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            unsafe { wg.retire(p) };
+        }
+        assert!(
+            g.needs_restart(),
+            "a reader two epochs behind must be asked to restart"
+        );
+        g.checkpoint();
+        assert!(!g.needs_restart());
+        assert!(d.displacements() > 0);
+        let epoch = d.global_epoch.load(Ordering::SeqCst);
+        assert_eq!(
+            d.slots[0].epoch.load(Ordering::SeqCst),
+            epoch,
+            "checkpoint must re-announce the current epoch"
+        );
+        drop(g);
+        for _ in 0..4 {
+            worker.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn cooperative_reader_does_not_block_recycling() {
+        let d = Vbr::new(small_config());
+        let mut reader = d.register();
+        let mut worker = d.register();
+        let mut g = reader.pin();
+        for i in 0..128u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            unsafe { wg.retire(p) };
+            if g.needs_restart() {
+                g.checkpoint();
+            }
+        }
+        if g.needs_restart() {
+            g.checkpoint();
+        }
+        for _ in 0..4 {
+            worker.flush();
+            if g.needs_restart() {
+                g.checkpoint();
+            }
+        }
+        assert!(
+            d.unreclaimed() <= 4,
+            "a checkpointing reader must not pin the recycle queues (got {})",
+            d.unreclaimed()
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn uncooperative_reader_blocks_recycling() {
+        let d = Vbr::new(small_config());
+        let mut stalled = d.register();
+        let mut worker = d.register();
+        let _guard = stalled.pin();
+        for i in 0..256u64 {
+            let mut g = worker.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() > 128,
+            "VBR must not recycle past an uncooperative reader (got {})",
+            d.unreclaimed()
+        );
+    }
+
+    #[test]
+    fn fifo_drain_stops_at_the_first_protected_entry() {
+        let d = Vbr::new(SmrConfig {
+            max_threads: 4,
+            scan_threshold: 1024, // no automatic drains
+            epoch_freq_per_thread: 1024,
+            ..SmrConfig::default()
+        });
+        let mut worker = d.register();
+        let mut reader = d.register();
+        // Two entries retired at the initial epoch...
+        for i in 0..2u64 {
+            let mut g = worker.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        // ...epoch moves two ahead, a reader pins at the new epoch...
+        d.global_epoch.fetch_add(2, Ordering::SeqCst);
+        let g = reader.pin();
+        // ...and two more entries are retired at the reader's epoch.
+        {
+            let mut wg = worker.pin();
+            for i in 10..12u64 {
+                let p = wg.alloc(i);
+                unsafe { wg.retire(p) };
+            }
+        }
+        assert_eq!(d.unreclaimed(), 4);
+        let domain = d.clone();
+        domain.drain(&mut worker.recycle, worker.slot, &mut worker.pool);
+        assert_eq!(
+            d.unreclaimed(),
+            2,
+            "the pre-pin prefix drains, the reader-epoch suffix stays"
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn multi_threaded_churn_reclaims_everything() {
+        let d = Vbr::new(SmrConfig {
+            max_threads: 8,
+            scan_threshold: 16,
+            epoch_freq_per_thread: 1,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let mut h = d.register();
+                    for i in 0..1000u64 {
+                        let mut g = h.pin();
+                        let p = g.alloc(t * 10_000 + i);
+                        unsafe { g.retire(p) };
+                        if g.needs_restart() {
+                            g.checkpoint();
+                        }
+                    }
+                    for _ in 0..8 {
+                        h.flush();
+                    }
+                });
+            }
+        });
+        let mut h = d.register();
+        for _ in 0..8 {
+            h.flush();
+        }
+        drop(h);
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn orphans_are_freed_on_domain_drop() {
+        let d = Vbr::new(small_config());
+        let mut reader = d.register();
+        let mut h = d.register();
+        {
+            let mut g = h.pin();
+            let p = g.alloc(1u64);
+            unsafe { g.retire(p) };
+        }
+        // A pinned reader keeps the entry ineligible, so the handle drop must
+        // orphan it instead of draining it.
+        let rg = reader.pin();
+        drop(h);
+        assert_eq!(d.unreclaimed(), 1);
+        drop(rg);
+        drop(reader);
+        drop(d);
+    }
+}

@@ -57,11 +57,40 @@ fn tab1_matrix_covers_every_pair() {
     for smr in SmrKind::ALL {
         assert!(matrix.contains(smr.name()), "matrix missing {}", smr.name());
     }
-    // Every pair must have completed operations ("ok" appears 5*9 times).
+    // Every pair must have completed operations ("ok" appears once per
+    // structure × scheme cell — the matrix dimensions come straight from
+    // `DsKind::ALL` × `SmrKind::ALL`, so this grows with new schemes).
     assert_eq!(
         matrix.matches(" ok").count(),
         DsKind::ALL.len() * SmrKind::ALL.len()
     );
+}
+
+#[test]
+fn checkpoint_schemes_run_timed_and_report_counters() {
+    // NBR and VBR flow through the full harness path: completed operations,
+    // tracked memory samples (they are not Hyaline), and finite restart
+    // counters fed by the rung-4 checkpoint acknowledgments.
+    let cfg = RunConfig {
+        threads: 2,
+        key_range: 256,
+        mix: Mix::READ_50,
+        duration: Duration::from_millis(60),
+        sample_interval: Duration::from_millis(5),
+        seed: 7,
+        pool: true,
+        value_bytes: 0,
+        scan_len: 64,
+    };
+    for smr in [SmrKind::Nbr, SmrKind::Vbr] {
+        let r = run_timed(DsKind::SkipList, smr, &cfg);
+        assert!(r.ops > 0, "{smr}: no operations completed");
+        assert!(
+            r.avg_unreclaimed.is_some(),
+            "{smr} must report memory overhead"
+        );
+        assert_eq!(r.smr, smr.name());
+    }
 }
 
 #[test]
@@ -122,7 +151,7 @@ fn custom_mix_run_matches_requested_shape() {
 #[test]
 fn scan_experiment_sweeps_lengths_and_schemes_with_verified_output() {
     let results = run_experiment("scan", &tiny(), |_| {}).unwrap();
-    // 2 structures × 9 scheme variants × 1 scan length.
+    // 2 structures × every scheme variant × 1 scan length.
     assert_eq!(results.len(), 2 * SmrKind::ALL.len());
     for smr in SmrKind::ALL {
         assert!(

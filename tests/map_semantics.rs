@@ -6,7 +6,7 @@
 //! (reclaimed node, structure drop, or conflict give-back).
 
 use scot::{ConcurrentMap, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Smr, SmrConfig, Vbr};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -115,6 +115,8 @@ map_semantics_tests! {
     under_he, He;
     under_ibr, Ibr;
     under_hyaline, Hyaline;
+    under_nbr, Nbr;
+    under_vbr, Vbr;
 }
 
 /// A guard pinned from one map's handle must be rejected by a different map
@@ -134,6 +136,79 @@ fn foreign_guard_is_rejected() {
     }
     let mut ga = a.pin(&mut ha);
     let _ = b.get(&mut ga, &1); // guard from a's domain handed to b
+}
+
+/// Foreign-guard rejection for the checkpoint-protocol schemes, across all
+/// six structures: NBR and VBR guards carry per-domain checkpoint/epoch
+/// state, so honoring a foreign guard would not just misplace protections —
+/// it would answer the wrong domain's neutralization signals.  The brand
+/// check must fire for every structure under both schemes.
+#[test]
+fn foreign_guard_is_rejected_under_checkpoint_schemes() {
+    fn rejects<M: ConcurrentMap<u64, String>>(make: impl Fn() -> M, what: &str) {
+        let a = make();
+        let b = make();
+        let mut ha = a.handle();
+        let mut hb = b.handle();
+        {
+            let mut gb = b.pin(&mut hb);
+            assert!(b.insert(&mut gb, 1, "own-domain ops work".into()).is_ok());
+        }
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ga = a.pin(&mut ha);
+            let _ = b.get(&mut ga, &1); // guard from a's domain handed to b
+        }));
+        let err = panicked.expect_err(&format!("{what}: foreign guard must be rejected"));
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("different map's reclamation domain"),
+            "{what}: wrong panic message: {msg}"
+        );
+    }
+
+    // The brand-check panic is expected 12 times; silence the default hook's
+    // backtrace spam for the duration.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    fn all_six<S: Smr>() {
+        let name = std::any::type_name::<S>();
+        rejects(
+            || HarrisList::<u64, S, String>::with_config(cfg()),
+            &format!("HarrisList/{name}"),
+        );
+        rejects(
+            || HarrisMichaelList::<u64, S, String>::with_config(cfg()),
+            &format!("HarrisMichaelList/{name}"),
+        );
+        rejects(
+            || NmTree::<u64, S, String>::with_config(cfg()),
+            &format!("NmTree/{name}"),
+        );
+        rejects(
+            || WfHarrisList::<u64, S, String>::with_config(cfg()),
+            &format!("WfHarrisList/{name}"),
+        );
+        rejects(
+            || HashMap::<u64, S, String>::with_config(16, cfg()),
+            &format!("HashMap/{name}"),
+        );
+        rejects(
+            || SkipList::<u64, S, String>::with_config(cfg()),
+            &format!("SkipList/{name}"),
+        );
+    }
+    let result = std::panic::catch_unwind(|| {
+        all_six::<Nbr>();
+        all_six::<Vbr>();
+    });
+    std::panic::set_hook(hook);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
 }
 
 /// A value whose drops are counted, so leaks and double frees are visible.
@@ -194,6 +269,8 @@ fn value_destructors_run_exactly_once() {
     run::<Hp>();
     run::<Ebr>();
     run::<Hyaline>();
+    run::<Nbr>();
+    run::<Vbr>();
 }
 
 /// The same exactly-once guarantee through the skip list, whose values take a
@@ -240,6 +317,8 @@ fn skip_list_value_destructors_run_exactly_once() {
     run::<Hp>();
     run::<Ibr>();
     run::<Hyaline>();
+    run::<Nbr>();
+    run::<Vbr>();
 }
 
 /// Concurrent kv churn: stable keys keep readable, coherent values while
@@ -296,4 +375,6 @@ fn concurrent_value_reads_stay_coherent() {
     run::<Hp>();
     run::<Ibr>();
     run::<Hyaline>();
+    run::<Nbr>();
+    run::<Vbr>();
 }

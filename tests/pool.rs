@@ -4,7 +4,7 @@
 
 use scot::skip_list::tower_height;
 use scot::{ConcurrentSet, HarrisList, NmTree, SkipList};
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, Smr, SmrConfig, SmrGuard, SmrHandle};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, Smr, SmrConfig, SmrGuard, SmrHandle, Vbr};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -79,6 +79,16 @@ fn destructors_run_exactly_once_under_recycling_hyaline() {
     destructor_exactly_once::<Hyaline>();
 }
 
+#[test]
+fn destructors_run_exactly_once_under_recycling_nbr() {
+    destructor_exactly_once::<Nbr>();
+}
+
+#[test]
+fn destructors_run_exactly_once_under_recycling_vbr() {
+    destructor_exactly_once::<Vbr>();
+}
+
 /// Lost-CAS giveback (`dealloc`) recycles immediately through the pool and
 /// must also drop exactly once — including under NR, which never retires.
 #[test]
@@ -93,6 +103,51 @@ fn dealloc_gives_back_exactly_once_nr() {
         unsafe { g.dealloc(p) };
     }
     assert_eq!(count.load(Ordering::SeqCst), N);
+}
+
+/// Conflict give-back under the checkpoint schemes: an unpublished block a
+/// lost CAS hands back via `dealloc` goes straight to the pool (under VBR
+/// with a bumped version stamp) and its payload drops exactly once; blocks
+/// that *were* published and retired instead flow through the scheme's limbo
+/// or recycle queue.  Interleaving both paths over one small pool would
+/// surface any double-free or missed-drop between them.
+fn dealloc_and_retire_interleave_exactly_once<S: Smr>() {
+    const N: usize = 2000;
+    let count = Arc::new(AtomicUsize::new(0));
+    let domain = S::new(cfg(4));
+    {
+        let mut h = domain.register();
+        for i in 0..N {
+            let mut g = h.pin();
+            let p = g.alloc(DropCounter(count.clone(), i as u64));
+            if i % 2 == 0 {
+                // Lost-CAS path: never published, given back immediately.
+                unsafe { g.dealloc(p) };
+            } else {
+                // Published-then-removed path: reclaimed by the scheme.
+                unsafe { g.retire(p) };
+            }
+        }
+        for _ in 0..8 {
+            h.flush();
+        }
+    }
+    drop(domain);
+    assert_eq!(
+        count.load(Ordering::SeqCst),
+        N,
+        "interleaved dealloc/retire must drop every payload exactly once"
+    );
+}
+
+#[test]
+fn dealloc_and_retire_interleave_exactly_once_nbr() {
+    dealloc_and_retire_interleave_exactly_once::<Nbr>();
+}
+
+#[test]
+fn dealloc_and_retire_interleave_exactly_once_vbr() {
+    dealloc_and_retire_interleave_exactly_once::<Vbr>();
 }
 
 /// After a churn-heavy run drains (all threads quiescent, all handles
@@ -135,6 +190,8 @@ fn drained_list_accounts_to_zero_under_every_reclaiming_scheme() {
     drain_accounts_to_zero::<He>();
     drain_accounts_to_zero::<Ibr>();
     drain_accounts_to_zero::<Hyaline>();
+    drain_accounts_to_zero::<Nbr>();
+    drain_accounts_to_zero::<Vbr>();
 }
 
 /// Same property through the tree, whose nodes have a different layout (the

@@ -9,7 +9,7 @@ use scot::{
     ConcurrentMap, ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, RangeScan,
     SkipList, WfHarrisList,
 };
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, SmrConfig};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, SmrConfig, Vbr};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -267,6 +267,8 @@ range_oracle_tests! {
     under_he, He;
     under_ibr, Ibr;
     under_hyaline, Hyaline;
+    under_nbr, Nbr;
+    under_vbr, Vbr;
 }
 
 macro_rules! churn_tests {
@@ -318,11 +320,17 @@ macro_rules! churn_tests {
 }
 
 // The robust schemes are where a scan stepping onto a reclaimed node would be
-// an observable use-after-free; EBR rides along as the epoch baseline.
+// an observable use-after-free; EBR rides along as the epoch baseline.  NBR
+// and VBR exercise the checkpoint protocol mid-scan: between yields the scan
+// frontier is held by key (not by pointer), so each advance's re-seek may
+// answer a checkpoint and restart — the churn here would turn a botched
+// restart into a lost stable key, a duplicate, or a torn value.
 churn_tests! {
     churn_under_hp, Hp;
     churn_under_ibr, Ibr;
     churn_under_ebr, Ebr;
+    churn_under_nbr, Nbr;
+    churn_under_vbr, Vbr;
 }
 
 /// A scan parked mid-structure survives the nodes around its frontier being

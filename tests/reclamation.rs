@@ -3,7 +3,7 @@
 //! EBR's unbounded growth) that motivates the whole paper.
 
 use scot::{ConcurrentSet, HarrisList, NmTree, SkipList};
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Smr, SmrConfig, SmrHandle};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Smr, SmrConfig, SmrHandle, Vbr};
 use std::sync::Arc;
 
 fn cfg() -> SmrConfig {
@@ -71,6 +71,16 @@ fn churn_then_quiesce_ebr() {
 #[test]
 fn churn_then_quiesce_hyaline() {
     churn_then_quiesce::<Hyaline>();
+}
+
+#[test]
+fn churn_then_quiesce_nbr() {
+    churn_then_quiesce::<Nbr>();
+}
+
+#[test]
+fn churn_then_quiesce_vbr() {
+    churn_then_quiesce::<Vbr>();
 }
 
 /// Theorem 1 flavoured robustness check: with a reader stalled inside a
@@ -361,6 +371,88 @@ fn skiplist_churn_bounded_under_ibr_with_pool() {
 #[test]
 fn skiplist_churn_bounded_under_ibr_without_pool() {
     skiplist_churn_bounded_and_drained::<Ibr>(false);
+}
+
+/// Churn-bounded backlog for the checkpoint-protocol schemes: NBR and VBR
+/// are *not* robust (a stalled reader can block them, see
+/// `SmrKind::is_robust`), but with every thread making progress their
+/// cooperative protocols must still keep the backlog independent of the total
+/// churn volume — NBR by neutralizing laggards as eras advance, VBR by
+/// draining the recycle-queue prefix as the epoch moves.  After quiescence
+/// both must account to exactly zero, with the block pool on and off.
+fn checkpoint_scheme_churn_bounded_and_drained<S: Smr>(pool: bool) {
+    let scan_threshold = 16usize;
+    let max_threads = 16usize;
+    let config = SmrConfig {
+        max_threads,
+        scan_threshold,
+        epoch_freq_per_thread: 1,
+        snapshot_scan: false,
+        pool_capacity: Some(if pool { 32 } else { 0 }),
+    };
+    let domain = S::new(config);
+    let list: Arc<SkipList<u64, S>> = Arc::new(SkipList::new(domain.clone()));
+    const WORKERS: u64 = 4;
+    const CHURN: u64 = 1500;
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let list = list.clone();
+            s.spawn(move || {
+                let mut h = list.handle();
+                for i in 0..CHURN {
+                    let k = t * 100_000 + (i % 256);
+                    list.insert(&mut h, k);
+                    list.remove(&mut h, &k);
+                }
+                // No final flush: the backlog assertion must see what the
+                // amortized era/epoch advancement left behind.
+            });
+        }
+    });
+    // Not the robust H*N bound — the cooperative bound instead: each thread
+    // can hold at most a few scan-threshold batches spanning the two-era
+    // (two-epoch) reclamation lag.  What matters is churn-independence: 6000
+    // retired towers, yet the residue stays within this fixed ceiling.
+    let bound = 4 * max_threads * scan_threshold;
+    let seen = domain.unreclaimed();
+    assert!(
+        seen <= bound,
+        "{} (pool={pool}): churn backlog {seen} exceeds cooperative bound {bound} \
+         (churned {} nodes)",
+        domain.name(),
+        WORKERS * CHURN
+    );
+    let mut h = list.handle();
+    for _ in 0..4 {
+        h.flush();
+    }
+    drop(h);
+    assert_eq!(
+        domain.unreclaimed(),
+        0,
+        "{} (pool={pool}): retired towers must all be reclaimed after quiescence",
+        domain.name()
+    );
+}
+
+#[test]
+fn skiplist_churn_bounded_under_nbr_with_pool() {
+    checkpoint_scheme_churn_bounded_and_drained::<Nbr>(true);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_nbr_without_pool() {
+    checkpoint_scheme_churn_bounded_and_drained::<Nbr>(false);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_vbr_with_pool() {
+    checkpoint_scheme_churn_bounded_and_drained::<Vbr>(true);
+}
+
+#[test]
+fn skiplist_churn_bounded_under_vbr_without_pool() {
+    checkpoint_scheme_churn_bounded_and_drained::<Vbr>(false);
 }
 
 /// The skip list under the remaining reclaiming schemes must also drain to

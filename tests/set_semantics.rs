@@ -2,7 +2,7 @@
 //! must behave as a set, and the harness must be able to drive all of them.
 
 use scot::{ConcurrentSet, HarrisList, HarrisMichaelList, HashMap, NmTree, SkipList, WfHarrisList};
-use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nr, SmrConfig};
+use scot_smr::{Ebr, He, Hp, Hyaline, Ibr, Nbr, Nr, SmrConfig, Vbr};
 use std::sync::Arc;
 
 fn cfg() -> SmrConfig {
@@ -93,6 +93,8 @@ semantics_tests! {
     under_he, He;
     under_ibr, Ibr;
     under_hyaline, Hyaline;
+    under_nbr, Nbr;
+    under_vbr, Vbr;
 }
 
 /// The paper's Table 1, as an executable assertion: the SCOT structures work
@@ -180,6 +182,8 @@ concurrency_tests! {
     concurrent_under_ibr, Ibr;
     concurrent_under_hyaline, Hyaline;
     concurrent_under_ebr, Ebr;
+    concurrent_under_nbr, Nbr;
+    concurrent_under_vbr, Vbr;
 }
 
 /// All six structures driven through the same operation tape end up with the
