@@ -6,37 +6,77 @@
 //! ```text
 //! scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]
 //! scot-bench exp <experiment-id | all> [--quick] [--seconds N] [--runs N] [--json DIR] [--bench-dir DIR]
+//! scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT]
 //! scot-bench list
 //! ```
 //!
 //! Examples (the first mirrors the paper's `./bench listlf 2 512 1 50 25 25 EBR 4`;
-//! the third adds 20% range scans of 64 keys each to the mix):
+//! the third adds 20% range scans of 64 keys each to the mix; the fifth runs
+//! the fault-injection robustness matrix with only the reader-stall and
+//! thread-death fault classes):
 //!
 //! ```text
 //! scot-bench run listlf 2 512 4 50 25 25 EBR
 //! scot-bench exp fig8a --quick
 //! scot-bench run skiplist 2 8192 4 40 20 20 HP 20 64
 //! scot-bench exp scan --quick
-//! scot-bench exp all --seconds 2 --json results/
+//! scot-bench exp faults --quick --faults stall,death
+//! scot-bench bench-diff BENCH_tab1.json fresh/BENCH_tab1.json --max-regress 25
 //! ```
 
 use scot_harness::experiments::{
-    cache_table, compatibility_matrix, pool_table, restart_table, run_experiment, scan_table,
-    skiplist_table, write_bench_artifact, ExperimentOptions, ALL_EXPERIMENTS,
+    cache_table, compatibility_matrix, faults_table, pool_table, restart_table, run_experiment,
+    run_faults_experiment, scan_table, skiplist_table, write_bench_artifact, write_fault_artifact,
+    ExperimentOptions, ALL_EXPERIMENTS,
 };
-use scot_harness::{run_timed, DsKind, Mix, RunConfig, RunResult, SmrKind};
+use scot_harness::{run_timed, DsKind, FaultKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
+
+/// Upper bound on `--threads`/`<threads>`: far above any sane benchmark
+/// configuration, low enough that a typo ("1000000") is rejected instead of
+/// exhausting the machine with thread spawns.
+const MAX_THREADS: usize = 1024;
 
 fn usage() -> ! {
     // The scheme list is rendered from `SmrKind::ALL` so a newly added scheme
-    // shows up here without touching the CLI.
+    // shows up here without touching the CLI; likewise the fault classes.
     let schemes: Vec<&str> = SmrKind::ALL.iter().map(|s| s.name()).collect();
+    let faults: Vec<&str> = FaultKind::ALL.iter().map(|f| f.name()).collect();
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--json DIR] [--bench-dir DIR]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--faults A,B,..] [--json DIR] [--bench-dir DIR]\n  scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}\nfault classes:   {}",
         schemes.join(" "),
-        ALL_EXPERIMENTS.join(" ")
+        ALL_EXPERIMENTS.join(" "),
+        faults.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Rendered-error exit used by the validation paths: prints the message and
+/// exits 2 without the full usage dump (the message is the diagnosis).
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Validates a thread count: positive and below [`MAX_THREADS`].
+fn check_threads(threads: usize) {
+    if threads == 0 {
+        fail("thread count must be at least 1");
+    }
+    if threads > MAX_THREADS {
+        fail(&format!(
+            "thread count {threads} exceeds the supported maximum of {MAX_THREADS}"
+        ));
+    }
+}
+
+/// Validates a run duration: strictly positive and finite.
+fn check_seconds(secs: f64) {
+    if !secs.is_finite() || secs <= 0.0 {
+        fail(&format!(
+            "duration must be a positive number of seconds (got {secs})"
+        ));
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
@@ -46,14 +86,25 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
     })
 }
 
+/// Returns the value following a flag, or a rendered error if the flag is the
+/// last argument.
+fn next_arg<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
 fn cmd_run(args: &[String]) {
     if !(8..=10).contains(&args.len()) {
         usage();
     }
     let ds = DsKind::parse(&args[0]).unwrap_or_else(|| usage());
     let seconds: f64 = parse(&args[1], "seconds");
+    check_seconds(seconds);
     let key_range: u64 = parse(&args[2], "key range");
     let threads: usize = parse(&args[3], "threads");
+    check_threads(threads);
     let read: u32 = parse(&args[4], "read%");
     let ins: u32 = parse(&args[5], "insert%");
     let del: u32 = parse(&args[6], "delete%");
@@ -108,36 +159,54 @@ fn cmd_exp(args: &[String]) {
                 opts = ExperimentOptions::quick();
             }
             "--seconds" => {
-                i += 1;
-                let secs: f64 = parse(&args[i], "--seconds");
+                let secs: f64 = parse(next_arg(args, &mut i, "--seconds"), "--seconds");
+                check_seconds(secs);
                 opts.duration = Duration::from_secs_f64(secs);
             }
             "--runs" => {
-                i += 1;
-                opts.runs = parse(&args[i], "--runs");
+                opts.runs = parse(next_arg(args, &mut i, "--runs"), "--runs");
             }
             "--threads" => {
-                i += 1;
-                opts.threads = args[i].split(',').map(|t| parse(t, "--threads")).collect();
+                opts.threads = next_arg(args, &mut i, "--threads")
+                    .split(',')
+                    .map(|t| parse(t, "--threads"))
+                    .collect();
+                if opts.threads.is_empty() {
+                    fail("--threads needs at least one thread count");
+                }
+                for &t in &opts.threads {
+                    check_threads(t);
+                }
+            }
+            "--faults" => {
+                opts.faults = next_arg(args, &mut i, "--faults")
+                    .split(',')
+                    .map(|name| {
+                        FaultKind::parse(name).unwrap_or_else(|| {
+                            let known: Vec<&str> =
+                                FaultKind::ALL.iter().map(|f| f.name()).collect();
+                            fail(&format!(
+                                "unknown fault class `{name}` (known: {})",
+                                known.join(", ")
+                            ))
+                        })
+                    })
+                    .collect();
             }
             "--value-bytes" => {
-                i += 1;
-                opts.value_bytes = parse(&args[i], "--value-bytes");
+                opts.value_bytes = parse(next_arg(args, &mut i, "--value-bytes"), "--value-bytes");
             }
             "--scan-lens" => {
-                i += 1;
-                opts.scan_lens = args[i]
+                opts.scan_lens = next_arg(args, &mut i, "--scan-lens")
                     .split(',')
                     .map(|t| parse(t, "--scan-lens"))
                     .collect();
             }
             "--json" => {
-                i += 1;
-                json_dir = Some(args[i].clone());
+                json_dir = Some(next_arg(args, &mut i, "--json").to_string());
             }
             "--bench-dir" => {
-                i += 1;
-                bench_dir = args[i].clone();
+                bench_dir = next_arg(args, &mut i, "--bench-dir").to_string();
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -155,6 +224,33 @@ fn cmd_exp(args: &[String]) {
 
     for id in &ids {
         println!("=== {id} ===");
+        if id == "faults" {
+            // The fault harness renders verdicts, not throughput rows, so it
+            // bypasses the generic RunResult plumbing.
+            let reports = run_faults_experiment(&opts, |r| {
+                println!(
+                    "{:<10} {:<7} {:<16} baseline={:<8} peak={:<8} residual={:<6} {}",
+                    r.ds, r.smr, r.fault, r.baseline, r.peak, r.residual, r.verdict
+                )
+            });
+            println!("\n{}", faults_table(&reports));
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("cannot create output directory");
+                let path = format!("{dir}/faults.json");
+                let json = serde_json::to_string_pretty(&reports).unwrap();
+                std::fs::write(&path, json).expect("cannot write results file");
+                println!("wrote {path}");
+            }
+            match write_fault_artifact(&bench_dir, &reports) {
+                Ok(path) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("cannot write fault artifact: {e}");
+                    std::process::exit(1);
+                }
+            }
+            println!();
+            continue;
+        }
         let Some(results) = run_experiment(id, &opts, |r| println!("{}", r.row())) else {
             eprintln!("unknown experiment id: {id}");
             usage();
@@ -185,11 +281,150 @@ fn cmd_exp(args: &[String]) {
     }
 }
 
+/// One comparable row extracted from a `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+struct DiffRecord {
+    ds: String,
+    smr: String,
+    threads: u64,
+    ops_per_sec: f64,
+}
+
+/// Extracts the `records` rows of a `BENCH_*.json` artifact with a
+/// line-oriented scanner.  The vendored `serde_json` is serialize-only, and
+/// the artifacts are written by this binary with `to_string_pretty` (one
+/// `"key": value` pair per line), so a full JSON parser is not needed.
+fn parse_bench_records(body: &str) -> Vec<DiffRecord> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\":"))?;
+        Some(rest.trim().trim_end_matches(','))
+    }
+    let mut records = Vec::new();
+    let mut in_records = false;
+    let (mut ds, mut smr, mut threads, mut ops) = (None::<String>, None::<String>, None, None);
+    for line in body.lines() {
+        if line.trim_start().starts_with("\"records\"") {
+            in_records = true;
+            continue;
+        }
+        if !in_records {
+            continue;
+        }
+        if let Some(v) = field(line, "ds") {
+            ds = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = field(line, "smr") {
+            smr = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = field(line, "threads") {
+            threads = v.parse::<u64>().ok();
+        } else if let Some(v) = field(line, "ops_per_sec") {
+            ops = v.parse::<f64>().ok();
+        } else if line.trim() == "}" || line.trim() == "}," {
+            // End of one record object: emit it if complete.
+            if let (Some(d), Some(s), Some(t), Some(o)) = (&ds, &smr, threads, ops) {
+                records.push(DiffRecord {
+                    ds: d.clone(),
+                    smr: s.clone(),
+                    threads: t,
+                    ops_per_sec: o,
+                });
+            }
+            (ds, smr, threads, ops) = (None, None, None, None);
+        }
+    }
+    records
+}
+
+/// `bench-diff <baseline.json> <fresh.json> [--max-regress PCT]`: compares
+/// two trajectory artifacts point by point and exits non-zero if any point's
+/// throughput regressed by more than the threshold.  The CI regression gate
+/// runs this against the committed artifacts.
+fn cmd_bench_diff(args: &[String]) {
+    if args.len() < 2 {
+        usage();
+    }
+    let mut max_regress = 25.0f64;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regress" => {
+                max_regress = parse(next_arg(args, &mut i, "--max-regress"), "--max-regress");
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let read = |path: &str| -> Vec<DiffRecord> {
+        let body = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let records = parse_bench_records(&body);
+        if records.is_empty() {
+            fail(&format!("{path} contains no comparable records"));
+        }
+        records
+    };
+    let baseline = read(&args[0]);
+    let fresh = read(&args[1]);
+    println!(
+        "{:<12}{:<10}{:>8}{:>16}{:>16}{:>10}",
+        "structure", "scheme", "threads", "baseline ops/s", "fresh ops/s", "change"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    // Occurrence-indexed matching: presets that sweep an extra dimension
+    // (e.g. scan lengths) emit several rows per (ds, smr, threads) key, in a
+    // stable order.
+    let mut seen: std::collections::HashMap<(String, String, u64), usize> =
+        std::collections::HashMap::new();
+    for f in &fresh {
+        let key = (f.ds.clone(), f.smr.clone(), f.threads);
+        let occurrence = seen.entry(key).or_insert(0);
+        let base = baseline
+            .iter()
+            .filter(|b| b.ds == f.ds && b.smr == f.smr && b.threads == f.threads)
+            .nth(*occurrence);
+        *occurrence += 1;
+        let Some(base) = base else {
+            println!(
+                "{:<12}{:<10}{:>8}{:>16}{:>16.0}{:>10}",
+                f.ds, f.smr, f.threads, "(new)", f.ops_per_sec, "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let change = if base.ops_per_sec > 0.0 {
+            100.0 * (f.ops_per_sec - base.ops_per_sec) / base.ops_per_sec
+        } else {
+            0.0
+        };
+        let flag = if change < -max_regress {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<12}{:<10}{:>8}{:>16.0}{:>16.0}{:>+9.1}%{}",
+            f.ds, f.smr, f.threads, base.ops_per_sec, f.ops_per_sec, change, flag
+        );
+    }
+    println!(
+        "{compared} points compared, {regressions} regressed beyond {max_regress}% \
+         (threshold applies to throughput only)"
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("exp") => cmd_exp(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("list") => {
             let opts = ExperimentOptions::quick();
             for id in ALL_EXPERIMENTS {

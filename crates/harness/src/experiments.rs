@@ -25,6 +25,7 @@
 //! down with `ExperimentOptions::scale_large_range` so the sweep finishes on
 //! small machines while still exceeding cache capacity.
 
+use crate::faults::{run_fault_scenario, FaultKind, FaultPlan, FaultReport};
 use crate::kv::run_timed_kv;
 use crate::workload::{run_timed, DsKind, Mix, RunConfig, RunResult};
 use crate::{default_thread_counts, SmrKind};
@@ -49,6 +50,9 @@ pub struct ExperimentOptions {
     /// Scan-window widths swept by the `scan` experiment (the `--scan-lens`
     /// CLI knob).
     pub scan_lens: Vec<u64>,
+    /// Fault classes injected by the `faults` experiment (the `--faults` CLI
+    /// knob); defaults to all of [`FaultKind::ALL`].
+    pub faults: Vec<FaultKind>,
 }
 
 impl Default for ExperimentOptions {
@@ -60,6 +64,7 @@ impl Default for ExperimentOptions {
             scale_large_range: 50,
             value_bytes: 64,
             scan_lens: vec![16, 64, 256],
+            faults: FaultKind::ALL.to_vec(),
         }
     }
 }
@@ -74,6 +79,7 @@ impl ExperimentOptions {
             scale_large_range: 5_000,
             value_bytes: 64,
             scan_lens: vec![8, 64],
+            faults: FaultKind::ALL.to_vec(),
         }
     }
 }
@@ -96,11 +102,12 @@ pub struct ExperimentSpec {
 }
 
 /// All experiment identifiers, in paper order (the `pool` ablation, the
-/// key-value `cache` workload and the `skiplist` structure sweep are this
-/// reproduction's own additions and come last).
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+/// key-value `cache` workload, the `skiplist` structure sweep and the
+/// `faults` robustness validation are this reproduction's own additions and
+/// come last).
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool", "cache", "skiplist", "scan",
+    "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -264,6 +271,21 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 8192,
             memory_metric: false,
         },
+        "faults" => ExperimentSpec {
+            id: "faults",
+            description: "Fault-injection robustness: stalled, dying and panicking threads \
+                 against every SMR scheme variant, with a bounded-footprint verdict per cell",
+            // Quick sweeps keep the matrix affordable with a single
+            // structure; the full run adds the tree.
+            structures: if opts.duration <= Duration::from_millis(150) {
+                vec![DsKind::ListLf]
+            } else {
+                vec![DsKind::ListLf, DsKind::Tree]
+            },
+            schemes: SmrKind::ALL.to_vec(),
+            key_range: 512,
+            memory_metric: true,
+        },
         _ => return None,
     };
     Some(s)
@@ -279,6 +301,17 @@ pub fn run_experiment(
     let spec = spec(id, opts)?;
     if id == "pool" {
         return Some(run_pool_ablation(&spec, opts, progress));
+    }
+    if id == "faults" {
+        // The fault harness has its own richer report type; expose the
+        // footprint numbers through the uniform `RunResult` plumbing and let
+        // the CLI call `run_faults_experiment` directly for the verdicts.
+        let reports = run_faults_experiment(opts, |_| {});
+        let results: Vec<RunResult> = reports.iter().map(fault_run_result).collect();
+        for r in &results {
+            progress(r);
+        }
+        return Some(results);
     }
     if id == "cache" {
         return Some(run_cache_experiment(&spec, opts, progress));
@@ -406,6 +439,169 @@ fn run_scan_experiment(
     results
 }
 
+/// Derives the phase schedule for one fault cell from the options: the
+/// requested per-run duration is split 1/4 warmup, 1/2 fault, 1/4 recovery
+/// (with floors so `--quick` cells still have meaningful phases).
+fn fault_plan_for(kind: FaultKind, opts: &ExperimentOptions) -> FaultPlan {
+    let d = opts.duration;
+    FaultPlan {
+        warmup: (d / 4).max(Duration::from_millis(30)),
+        fault: (d / 2).max(Duration::from_millis(60)),
+        recovery: (d / 4).max(Duration::from_millis(30)),
+        ..FaultPlan::new(kind)
+    }
+}
+
+/// Runs the fault-injection robustness experiment: every structure × scheme
+/// pair of the `faults` spec under every fault class in `opts.faults`,
+/// returning one verdict per cell.  This is the entry point the CLI uses so
+/// it can render the verdict table; [`run_experiment`] wraps it for uniform
+/// `RunResult` plumbing.
+pub fn run_faults_experiment(
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&FaultReport),
+) -> Vec<FaultReport> {
+    let spec = spec("faults", opts).expect("faults spec always exists");
+    let threads = *opts.threads.last().unwrap_or(&2);
+    let mut reports = Vec::new();
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            for &kind in &opts.faults {
+                let cfg = RunConfig::paper_default(threads, spec.key_range);
+                let r = run_fault_scenario(ds, smr, &cfg, &fault_plan_for(kind, opts));
+                progress(&r);
+                reports.push(r);
+            }
+        }
+    }
+    reports
+}
+
+/// Projects a fault verdict onto the uniform [`RunResult`] shape (footprint
+/// numbers only; the verdict itself lives in [`FaultReport`]).
+fn fault_run_result(r: &FaultReport) -> RunResult {
+    RunResult {
+        ds: r.ds.clone(),
+        smr: r.smr.clone(),
+        threads: r.threads,
+        key_range: 0,
+        ops: r.ops,
+        ops_per_sec: if r.elapsed_secs > 0.0 {
+            r.ops as f64 / r.elapsed_secs
+        } else {
+            0.0
+        },
+        avg_unreclaimed: Some(r.baseline as f64),
+        max_unreclaimed: Some(r.peak),
+        restarts: 0,
+        recoveries: 0,
+        scan_len: 0,
+        scanned_keys: 0,
+        elapsed_secs: r.elapsed_secs,
+    }
+}
+
+/// Whether a result-table scheme label (possibly carrying the pool ablation's
+/// `+pool`/`-pool` suffix) names a robust scheme.
+fn smr_is_robust(smr: &str) -> bool {
+    let base = smr
+        .strip_suffix("+pool")
+        .or_else(|| smr.strip_suffix("-pool"))
+        .unwrap_or(smr);
+    SmrKind::parse(base).is_some_and(|k| k.is_robust())
+}
+
+/// `yes`/`no` robustness column value for a scheme label.
+fn robust_cell(smr: &str) -> &'static str {
+    if smr_is_robust(smr) {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Renders the fault-injection verdict table: peak/steady unreclaimed per
+/// scheme × structure per fault class, the bound each peak was judged
+/// against, and the verdict.  Ends with a one-line claim-violation summary.
+pub fn faults_table(reports: &[FaultReport]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Fault-injection robustness: bounded peak unreclaimed per scheme x structure x fault\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}  {}\n",
+        "structure",
+        "scheme",
+        "fault",
+        "robust",
+        "baseline",
+        "peak",
+        "bound",
+        "residual",
+        "drained",
+        "verdict"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}  {}\n",
+            r.ds,
+            r.smr,
+            r.fault,
+            if r.is_robust { "yes" } else { "no" },
+            r.baseline,
+            r.peak,
+            r.bound,
+            r.residual,
+            if r.drained { "yes" } else { "no" },
+            r.verdict,
+        ));
+    }
+    let violations = reports.iter().filter(|r| r.violates_claim()).count();
+    out.push_str(&format!(
+        "{} cells, {} robustness-claim violations\n",
+        reports.len(),
+        violations
+    ));
+    out
+}
+
+/// The top-level shape of the `BENCH_faults.json` artifact: full fault
+/// verdicts rather than throughput rows.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FaultArtifact {
+    /// Always `faults`.
+    pub preset: String,
+    /// Scheme names available at generation time, in [`SmrKind::ALL`] order.
+    pub schemes: Vec<String>,
+    /// Fault-class names covered, in [`FaultKind::ALL`] order.
+    pub faults: Vec<String>,
+    /// One verdict per measured (structure, scheme, fault) cell.
+    pub records: Vec<FaultReport>,
+}
+
+/// Normalizes fault verdicts into the committed-artifact shape.
+pub fn fault_artifact(reports: &[FaultReport]) -> FaultArtifact {
+    FaultArtifact {
+        preset: "faults".to_string(),
+        schemes: SmrKind::ALL.iter().map(|s| s.name().to_string()).collect(),
+        faults: FaultKind::ALL
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect(),
+        records: reports.to_vec(),
+    }
+}
+
+/// Writes `BENCH_faults.json` into `dir` and returns the path written.
+pub fn write_fault_artifact(dir: &str, reports: &[FaultReport]) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/BENCH_faults.json");
+    let json = serde_json::to_string_pretty(&fault_artifact(reports))
+        .expect("fault artifact serialization cannot fail");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
 /// Renders the scan experiment: throughput and scanned-key volume per
 /// (structure, scheme, scan length), with the uniform restart/recovery
 /// columns.  `keys/scan` is the average scan yield — about half the window
@@ -417,9 +613,10 @@ pub fn scan_table(results: &[RunResult]) -> String {
          oracle-checked output\n",
     );
     out.push_str(&format!(
-        "{:<10}{:<8}{:>8}{:>10}{:>14}{:>16}{:>11}{:>10}{:>12}\n",
+        "{:<10}{:<8}{:>7}{:>8}{:>10}{:>14}{:>16}{:>11}{:>10}{:>12}\n",
         "structure",
         "scheme",
+        "robust",
         "threads",
         "scan_len",
         "ops/s",
@@ -432,9 +629,10 @@ pub fn scan_table(results: &[RunResult]) -> String {
         // Scans are scan_pct% of all completed operations.
         let scan_ops = (r.ops as f64 * f64::from(Mix::SCAN_HEAVY.scan_pct) / 100.0).max(1.0);
         out.push_str(&format!(
-            "{:<10}{:<8}{:>8}{:>10}{:>14.0}{:>16}{:>11.1}{:>10}{:>12}\n",
+            "{:<10}{:<8}{:>7}{:>8}{:>10}{:>14.0}{:>16}{:>11.1}{:>10}{:>12}\n",
             r.ds,
             r.smr,
+            robust_cell(&r.smr),
             r.threads,
             r.scan_len,
             r.ops_per_sec,
@@ -455,14 +653,22 @@ pub fn cache_table(results: &[RunResult], value_bytes: usize) -> String {
         "Key-value cache workload: 90% get / 5% insert / 5% remove, {value_bytes}-byte values\n"
     ));
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
-        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts", "recoveries"
+        "{:<12}{:<8}{:>7}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
+        "structure",
+        "scheme",
+        "robust",
+        "threads",
+        "ops/s",
+        "unreclaimed(avg)",
+        "restarts",
+        "recoveries"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
+            "{:<12}{:<8}{:>7}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
             r.ds,
             r.smr,
+            robust_cell(&r.smr),
             r.threads,
             r.ops_per_sec,
             r.avg_unreclaimed
@@ -481,9 +687,10 @@ pub fn pool_table(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str("Block-pool ablation, write-only mix (50% insert / 50% delete)\n");
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>16}{:>10}{:>12}{:>12}\n",
+        "{:<12}{:<8}{:>7}{:>8}{:>16}{:>16}{:>10}{:>12}{:>12}\n",
         "structure",
         "scheme",
+        "robust",
         "threads",
         "pool-on ops/s",
         "pool-off ops/s",
@@ -505,9 +712,10 @@ pub fn pool_table(results: &[RunResult]) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>16.0}{:>10}{:>12}{:>+11.1}%\n",
+            "{:<12}{:<8}{:>7}{:>8}{:>16.0}{:>16.0}{:>10}{:>12}{:>+11.1}%\n",
             on.ds,
             base,
+            robust_cell(base),
             on.threads,
             on.ops_per_sec,
             off.ops_per_sec,
@@ -527,14 +735,22 @@ pub fn skiplist_table(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str("Skip-list sweep: 50% read / 25% insert / 25% delete, every scheme variant\n");
     out.push_str(&format!(
-        "{:<12}{:<8}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
-        "structure", "scheme", "threads", "ops/s", "unreclaimed(avg)", "restarts", "recoveries"
+        "{:<12}{:<8}{:>7}{:>8}{:>16}{:>18}{:>10}{:>12}\n",
+        "structure",
+        "scheme",
+        "robust",
+        "threads",
+        "ops/s",
+        "unreclaimed(avg)",
+        "restarts",
+        "recoveries"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<12}{:<8}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
+            "{:<12}{:<8}{:>7}{:>8}{:>16.0}{:>18}{:>10}{:>12}\n",
             r.ds,
             r.smr,
+            robust_cell(&r.smr),
             r.threads,
             r.ops_per_sec,
             r.avg_unreclaimed
@@ -549,11 +765,18 @@ pub fn skiplist_table(results: &[RunResult]) -> String {
 
 /// Renders a compatibility matrix (Table 1) from smoke-run results: a
 /// structure is "compatible" with a scheme if its runs completed operations.
+/// Robust schemes (bounded unreclaimed growth under stalled readers) carry a
+/// `*` marker.
 pub fn compatibility_matrix(results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<12}", "structure"));
     for smr in SmrKind::ALL {
-        out.push_str(&format!("{:>9}", smr.name()));
+        let label = if smr.is_robust() {
+            format!("{}*", smr.name())
+        } else {
+            smr.name().to_string()
+        };
+        out.push_str(&format!("{label:>9}"));
     }
     out.push('\n');
     for ds in DsKind::ALL {
@@ -566,6 +789,7 @@ pub fn compatibility_matrix(results: &[RunResult]) -> String {
         }
         out.push('\n');
     }
+    out.push_str("(* = robust: bounded unreclaimed memory under stalled/dead readers)\n");
     out
 }
 
@@ -581,6 +805,9 @@ pub struct BenchRecord {
     pub smr: String,
     /// Worker threads.
     pub threads: usize,
+    /// Whether the scheme is robust ([`SmrKind::is_robust`]): bounded
+    /// unreclaimed growth even under stalled or dead readers.
+    pub is_robust: bool,
     /// Throughput in operations per second.
     pub ops_per_sec: f64,
     /// Total traversal restarts.
@@ -615,6 +842,7 @@ pub fn bench_artifact(id: &str, results: &[RunResult]) -> BenchArtifact {
                 ds: r.ds.clone(),
                 smr: r.smr.clone(),
                 threads: r.threads,
+                is_robust: smr_is_robust(&r.smr),
                 ops_per_sec: r.ops_per_sec,
                 restarts: r.restarts,
                 recoveries: r.recoveries,
@@ -640,7 +868,7 @@ pub fn write_bench_artifact(dir: &str, id: &str, results: &[RunResult]) -> std::
 /// Renders Table 2 (restart statistics) from the tab2 results.
 pub fn restart_table(results: &[RunResult]) -> String {
     let mut out = String::new();
-    out.push_str("Restart statistics under HP, key range 10,000 (paper Table 2)\n");
+    out.push_str("Restart statistics under HP (robust), key range 10,000 (paper Table 2)\n");
     out.push_str(&format!(
         "{:<12}{:>10}{:>16}{:>12}{:>16}{:>12}\n",
         "structure", "threads", "restarts", "recoveries", "ops/sec", "restart %"
@@ -788,6 +1016,128 @@ mod tests {
         assert!(body.contains("\"ops_per_sec\""));
         assert!(body.contains("\"peak_unreclaimed\""));
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn synthetic_report(smr: SmrKind, fault: FaultKind, peak: usize, bound: usize) -> FaultReport {
+        FaultReport {
+            ds: "HList".into(),
+            smr: smr.name().into(),
+            fault: fault.name().into(),
+            threads: 2,
+            victims: 1,
+            is_robust: smr.is_robust(),
+            baseline: 10,
+            peak,
+            end_of_fault: peak,
+            residual: 0,
+            drained: true,
+            bound,
+            bounded: peak <= bound,
+            verdict: if peak <= bound {
+                "bounded".into()
+            } else {
+                format!("grows (+{})", peak - 10)
+            },
+            ops: 1000,
+            elapsed_secs: 0.2,
+        }
+    }
+
+    #[test]
+    fn faults_table_renders_verdicts_and_violation_count() {
+        let reports = vec![
+            synthetic_report(SmrKind::Hp, FaultKind::ReaderStall, 100, 5000),
+            synthetic_report(SmrKind::Ebr, FaultKind::ReaderStall, 90_000, 5000),
+        ];
+        let table = faults_table(&reports);
+        assert!(table.contains("reader-stall"));
+        assert!(table.contains("bounded"));
+        assert!(table.contains("grows (+89990)"));
+        assert!(table.contains("robust"));
+        // EBR exceeding the bound is expected behaviour, not a violation of
+        // its (non-)robustness claim.
+        assert!(table.contains("2 cells, 0 robustness-claim violations"));
+        // A robust scheme exceeding the bound IS a violation.
+        let bad = vec![synthetic_report(
+            SmrKind::Hp,
+            FaultKind::ReaderStall,
+            90_000,
+            5000,
+        )];
+        assert!(faults_table(&bad).contains("1 robustness-claim violations"));
+    }
+
+    #[test]
+    fn fault_artifact_is_writable_and_carries_is_robust() {
+        let reports = vec![synthetic_report(
+            SmrKind::Vbr,
+            FaultKind::ThreadDeath,
+            50,
+            5000,
+        )];
+        let artifact = fault_artifact(&reports);
+        assert_eq!(artifact.preset, "faults");
+        assert_eq!(artifact.faults.len(), FaultKind::ALL.len());
+        assert_eq!(artifact.schemes.len(), SmrKind::ALL.len());
+        assert!(!artifact.records[0].is_robust);
+        let dir = std::env::temp_dir().join("scot-fault-artifact-test");
+        let dir = dir.to_str().unwrap();
+        let path = write_fault_artifact(dir, &reports).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("BENCH_faults.json"));
+        assert!(body.contains("\"is_robust\""));
+        assert!(body.contains("\"verdict\""));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bench_records_carry_the_robustness_flag() {
+        let mk = |smr: &str| RunResult {
+            ds: "HMList".into(),
+            smr: smr.into(),
+            threads: 2,
+            key_range: 64,
+            ops: 10,
+            ops_per_sec: 1.0,
+            avg_unreclaimed: None,
+            max_unreclaimed: None,
+            restarts: 0,
+            recoveries: 0,
+            scan_len: 0,
+            scanned_keys: 0,
+            elapsed_secs: 0.1,
+        };
+        let artifact = bench_artifact("smoke", &[mk("HP"), mk("EBR"), mk("IBR+pool")]);
+        assert!(artifact.records[0].is_robust, "HP is robust");
+        assert!(!artifact.records[1].is_robust, "EBR is not robust");
+        assert!(
+            artifact.records[2].is_robust,
+            "pool suffix must not hide IBR's robustness"
+        );
+    }
+
+    #[test]
+    fn quick_faults_experiment_renders_verdicts() {
+        // One structure (quick spec), two schemes, one fault class: enough to
+        // prove the full pipeline (runner -> table -> artifact) end to end.
+        let opts = ExperimentOptions {
+            faults: vec![FaultKind::PanicDuringOp],
+            ..ExperimentOptions::quick()
+        };
+        let spec = spec("faults", &opts).unwrap();
+        assert_eq!(spec.structures, vec![DsKind::ListLf]);
+        let mut small = opts.clone();
+        small.faults = vec![FaultKind::ThreadDeath];
+        let reports: Vec<FaultReport> = run_faults_experiment(&small, |_| {})
+            .into_iter()
+            .filter(|r| r.smr == "HP" || r.smr == "EBR")
+            .collect();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.drained, "{}: thread death must drain (adoption)", r.smr);
+        }
+        let table = faults_table(&reports);
+        assert!(table.contains("thread-death"));
     }
 
     #[test]

@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faults;
 pub mod kv;
 pub mod workload;
 
+pub use faults::{run_fault_scenario, FaultKind, FaultPlan, FaultReport};
 pub use kv::{run_timed_kv, Payload};
 pub use workload::{run_fixed_ops, run_timed, DsKind, Mix, RunConfig, RunResult};
 

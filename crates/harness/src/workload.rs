@@ -281,14 +281,16 @@ impl RunResult {
 }
 
 /// Internal: everything the generic runner needs from a concrete structure.
-struct Target<C> {
-    set: Arc<C>,
-    unreclaimed: Arc<dyn Fn() -> usize + Send + Sync>,
-    stats: Arc<dyn Fn() -> TraversalSnapshot + Send + Sync>,
-    track_memory: bool,
+/// `pub(crate)` so the fault-injection runner ([`crate::faults`]) can drive
+/// the same monomorphized targets.
+pub(crate) struct Target<C> {
+    pub(crate) set: Arc<C>,
+    pub(crate) unreclaimed: Arc<dyn Fn() -> usize + Send + Sync>,
+    pub(crate) stats: Arc<dyn Fn() -> TraversalSnapshot + Send + Sync>,
+    pub(crate) track_memory: bool,
     /// Whether scans must yield globally ascending keys (see
     /// [`DsKind::is_ordered`]).
-    ordered: bool,
+    pub(crate) ordered: bool,
 }
 
 pub(crate) fn smr_config(kind: SmrKind, threads: usize, pool: bool) -> SmrConfig {
@@ -330,7 +332,7 @@ where
 ///
 /// This is the single dispatch point where the (data structure × SMR) matrix
 /// is monomorphized, exactly once for the whole harness.
-fn with_target<R>(
+pub(crate) fn with_target<R>(
     ds: DsKind,
     smr: SmrKind,
     threads: usize,
@@ -407,12 +409,16 @@ type FixedOutput = (u64, f64, u64);
 type TimedRunner = Box<dyn FnOnce(&RunConfig) -> TimedOutput + Send>;
 /// Boxed fixed-ops entry point of a monomorphized target.
 type FixedRunner = Box<dyn FnOnce(&RunConfig, u64) -> FixedOutput + Send>;
+/// Boxed fault-scenario entry point of a monomorphized target.
+type FaultRunner =
+    Box<dyn FnOnce(&RunConfig, &crate::faults::FaultPlan) -> crate::faults::FaultOutput + Send>;
 
 /// Type-erased target: the generic runner functions below are instantiated per
 /// concrete set type through this enum-free trampoline.
-struct TargetAny {
-    run_timed: TimedRunner,
-    run_fixed: FixedRunner,
+pub(crate) struct TargetAny {
+    pub(crate) run_timed: TimedRunner,
+    pub(crate) run_fixed: FixedRunner,
+    pub(crate) run_faults: FaultRunner,
 }
 
 impl<C> From<Target<C>> for TargetAny
@@ -420,16 +426,19 @@ where
     C: ConcurrentMap<u64, ()> + 'static,
 {
     fn from(target: Target<C>) -> Self {
-        let t2 = Target {
-            set: target.set.clone(),
-            unreclaimed: target.unreclaimed.clone(),
-            stats: target.stats.clone(),
-            track_memory: target.track_memory,
-            ordered: target.ordered,
+        let clone = |t: &Target<C>| Target {
+            set: t.set.clone(),
+            unreclaimed: t.unreclaimed.clone(),
+            stats: t.stats.clone(),
+            track_memory: t.track_memory,
+            ordered: t.ordered,
         };
+        let t2 = clone(&target);
+        let t3 = clone(&target);
         TargetAny {
             run_timed: Box::new(move |cfg| timed_inner(&target, cfg)),
             run_fixed: Box::new(move |cfg, ops| fixed_inner(&t2, cfg, ops)),
+            run_faults: Box::new(move |cfg, plan| crate::faults::faults_inner(&t3, cfg, plan)),
         }
     }
 }
@@ -443,7 +452,7 @@ where
 /// single-threaded prefill dwarfs the measurement itself.  Tiny ranges keep
 /// the deterministic single-threaded fill so the populated key set (every
 /// other key) stays exactly what the small-range figures assume.
-fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64, threads: usize) {
+pub(crate) fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64, threads: usize) {
     let target = (key_range / 2).max(1);
     if key_range <= 1024 {
         let mut handle = set.handle();
@@ -532,7 +541,7 @@ fn scan_once<C: ConcurrentMap<u64, ()>>(
 }
 
 /// The measurement hot loop.  Returns `(ops, scanned_keys)`.
-fn op_loop<C: ConcurrentMap<u64, ()>>(
+pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
     set: &C,
     cfg: &RunConfig,
     stop: &AtomicBool,

@@ -62,7 +62,7 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist",
+        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist", "faults",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
@@ -319,6 +319,143 @@ fn exp_arm_requires_an_experiment_id() {
     let out = scot_bench(&["exp"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn exp_faults_renders_the_verdict_table_and_artifact() {
+    // The CI fault-smoke lane runs this same invocation (with `--bench-dir .`).
+    // One fault class on the quick preset keeps the test cheap while still
+    // driving the full phased runner for every scheme.
+    let bench = BenchDir::new("faults");
+    let out = scot_bench(&[
+        "exp",
+        "faults",
+        "--quick",
+        "--faults",
+        "death",
+        "--bench-dir",
+        bench.arg(),
+    ]);
+    assert!(
+        out.status.success(),
+        "exp faults must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    for smr in all_scheme_names() {
+        assert!(text.contains(smr), "faults table missing {smr}:\n{text}");
+    }
+    for col in ["fault", "robust", "peak", "bound", "verdict", "drained"] {
+        assert!(text.contains(col), "faults table missing {col}:\n{text}");
+    }
+    assert!(
+        text.contains("thread-death"),
+        "faults table must name the injected fault class:\n{text}"
+    );
+    assert!(
+        text.contains("0 robustness-claim violations"),
+        "thread-death must not violate any scheme's robustness claim:\n{text}"
+    );
+    let body = std::fs::read_to_string(bench.artifact("faults"))
+        .expect("exp faults must write BENCH_faults.json");
+    for key in ["\"is_robust\"", "\"verdict\"", "\"peak\"", "\"drained\""] {
+        assert!(body.contains(key), "fault artifact missing {key}:\n{body}");
+    }
+}
+
+#[test]
+fn exp_arm_rejects_unknown_fault_class() {
+    let out = scot_bench(&["exp", "faults", "--quick", "--faults", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown fault class") && err.contains("reader-stall"),
+        "error must name the bad class and list the known ones:\n{err}"
+    );
+}
+
+#[test]
+fn exp_arm_rejects_oversized_thread_count() {
+    let out = scot_bench(&["exp", "tab2", "--quick", "--threads", "99999"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("thread count"));
+}
+
+#[test]
+fn exp_arm_rejects_zero_threads() {
+    let out = scot_bench(&["exp", "tab2", "--quick", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("thread count"));
+}
+
+#[test]
+fn exp_arm_rejects_zero_duration() {
+    let out = scot_bench(&["exp", "tab2", "--seconds", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("duration"));
+}
+
+#[test]
+fn run_arm_rejects_zero_duration() {
+    let out = scot_bench(&["run", "listlf", "0", "64", "1", "50", "25", "25", "EBR"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("duration"));
+}
+
+#[test]
+fn run_arm_rejects_oversized_thread_count() {
+    let out = scot_bench(&[
+        "run", "listlf", "0.05", "64", "99999", "50", "25", "25", "EBR",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("thread count"));
+}
+
+#[test]
+fn exp_arm_rejects_trailing_flag_without_value() {
+    // A flag as the last token used to walk off the end of argv and panic;
+    // it must render an error instead.
+    let out = scot_bench(&["exp", "tab2", "--seconds"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("needs a value"));
+}
+
+#[test]
+fn bench_diff_passes_identical_artifacts_and_flags_regressions() {
+    let bench = BenchDir::new("diff");
+    let base = bench.0.join("base.json");
+    let regressed = bench.0.join("regressed.json");
+    // Minimal artifact in the committed BENCH_*.json shape: a `records` array
+    // of per-point objects.
+    let record = |ops: f64| {
+        format!(
+            "{{\n  \"records\": [\n    {{\n      \"ds\": \"HList\",\n      \"smr\": \"HP\",\n      \"threads\": 1,\n      \"ops_per_sec\": {ops}\n    }}\n  ]\n}}\n"
+        )
+    };
+    std::fs::write(&base, record(1000.0)).unwrap();
+    std::fs::write(&regressed, record(100.0)).unwrap();
+
+    let same = scot_bench(&["bench-diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(
+        same.status.success(),
+        "identical artifacts must pass: {}",
+        stderr(&same)
+    );
+    assert!(stdout(&same).contains("0 regressed"));
+
+    let bad = scot_bench(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        regressed.to_str().unwrap(),
+    ]);
+    assert_eq!(bad.status.code(), Some(1), "a 10x drop must fail the gate");
+    assert!(stdout(&bad).contains("REGRESSION"));
+}
+
+#[test]
+fn bench_diff_rejects_missing_files() {
+    let out = scot_bench(&["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -272,6 +272,10 @@ impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
         out
     }
 
+    fn flush(&self, handle: &mut Self::Handle) {
+        handle.flush();
+    }
+
     fn traversal_stats(&self) -> TraversalSnapshot {
         // The buckets share one domain but count independently; the map's
         // numbers are the aggregate.

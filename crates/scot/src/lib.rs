@@ -294,6 +294,12 @@ pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
     where
         V: Clone;
 
+    /// Forces a reclamation pass on the handle's SMR state: drains what the
+    /// scheme allows and adopts slots orphaned by dead threads.  The
+    /// fault-injection harness drives domain drains through this after
+    /// stalled, panicked, or dead workers.
+    fn flush(&self, handle: &mut Self::Handle);
+
     /// Number of traversal restarts observed so far (Table 2 of the paper).
     fn restart_count(&self) -> u64 {
         self.traversal_stats().restarts

@@ -832,6 +832,10 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for NmTree<K, S, V> {
         out
     }
 
+    fn flush(&self, handle: &mut Self::Handle) {
+        handle.flush();
+    }
+
     fn traversal_stats(&self) -> TraversalSnapshot {
         self.stats.snapshot()
     }

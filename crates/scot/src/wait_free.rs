@@ -28,7 +28,7 @@ use crate::harris_list::{HarrisList, HarrisListHandle, ListRange};
 use crate::traverse::{Cursor, Seek, SeekBound, TraversalStats, ZoneMode};
 use crate::{Key, TraversalSnapshot, Value};
 use crossbeam_utils::CachePadded;
-use scot_smr::{Shared, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
+use scot_smr::{Shared, SlotClaim, SlotRegistry, Smr, SmrConfig, SmrGuard, SmrHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -143,8 +143,8 @@ pub struct WfListHandle<S: Smr> {
     inner: HarrisListHandle<S>,
     /// Registry the announcement-record index was claimed from.
     record_slots: Arc<SlotRegistry>,
-    /// Index of this thread's announcement record.
-    index: usize,
+    /// Claim on this thread's announcement record.
+    claim: SlotClaim,
     /// `nextCheck` amortization counter.
     next_check: usize,
     /// Round-robin cursor over the announcement array.
@@ -199,7 +199,7 @@ impl<K: WfKey, S: Smr, V: Value> WfHarrisList<K, S, V> {
         WfListHandle {
             inner: self.list.handle(),
             record_slots: self.record_slots.clone(),
-            index: self.record_slots.claim(),
+            claim: self.record_slots.claim(),
             next_check: DELAY,
             next_tid: 0,
             local_tag: 1,
@@ -376,14 +376,14 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
         let WfListHandle {
             inner,
             record_slots: _,
-            index,
+            claim,
             next_check,
             next_tid,
             local_tag,
         } = handle;
         WfGuard {
             g: inner.smr.pin(),
-            index: *index,
+            index: claim.index,
             next_check,
             next_tid,
             local_tag,
@@ -447,6 +447,10 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
         self.restarts()
     }
 
+    fn flush(&self, handle: &mut Self::Handle) {
+        handle.flush();
+    }
+
     fn traversal_stats(&self) -> TraversalSnapshot {
         // The underlying list's update traversals plus this structure's
         // read-only fast/slow-path traversals.
@@ -457,7 +461,7 @@ impl<K: WfKey, S: Smr, V: Value> crate::ConcurrentMap<K, V> for WfHarrisList<K, 
 impl<S: Smr> WfListHandle<S> {
     /// Index of this handle's announcement record (diagnostics).
     pub fn record_index(&self) -> usize {
-        self.index
+        self.claim.index
     }
 
     /// Forces a reclamation pass on this thread's SMR handle.
@@ -468,7 +472,7 @@ impl<S: Smr> WfListHandle<S> {
 
 impl<S: Smr> Drop for WfListHandle<S> {
     fn drop(&mut self) {
-        self.record_slots.release(self.index);
+        self.record_slots.release(self.claim);
     }
 }
 
@@ -551,7 +555,7 @@ mod tests {
         for i in 0..64 {
             list.insert(&mut searcher, i);
         }
-        let searcher_index = searcher.index;
+        let searcher_index = searcher.claim.index;
         // Searcher announces a request but does not run the search yet.
         let tag = {
             let mut sg = pin(&list, &mut searcher);
@@ -585,7 +589,7 @@ mod tests {
         // has moved on.
         let list: WfHarrisList<u64, Hp> = WfHarrisList::with_config(cfg());
         let mut a = list.handle();
-        let a_index = a.index;
+        let a_index = a.claim.index;
         let mut g = pin(&list, &mut a);
         let old_tag = list.request_help(&mut g, 1);
         let new_tag = list.request_help(&mut g, 2);

@@ -9,12 +9,18 @@
 //! per-access overhead (a single epoch announcement per operation) and is
 //! compatible with every data structure, but a single stalled thread freezes
 //! the global epoch and memory grows without bound — the behaviour exercised
-//! by the `stalled_reader` example and the robustness integration tests.
+//! by the `stalled_reader` example and the fault-injection harness.
+//!
+//! Retired-but-unreclaimed nodes live in per-slot *vaults* owned by the
+//! domain rather than in handle-local lists, so that when a thread dies
+//! without dropping its handle a survivor can adopt the vault: the dead
+//! slot's epoch announcement is forced to `INACTIVE` (sound — the owner can
+//! issue no further loads) and its vault drains into the shared orphan list.
 
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -40,8 +46,12 @@ pub struct Ebr {
     slots: Box<[CachePadded<EbrSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
-    /// Limbo entries inherited from threads that deregistered before their
-    /// retired nodes became reclaimable.
+    /// Per-slot retire lists.  Domain-owned so a dead thread's list is
+    /// adoptable; locked per retirement, but only ever contended by an
+    /// adopter (the owner is the sole routine writer).
+    vaults: Box<[Mutex<Vec<Retired>>]>,
+    /// Limbo entries inherited from threads that deregistered (or died)
+    /// before their retired nodes became reclaimable.
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -63,21 +73,22 @@ impl Smr for Ebr {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             config,
         })
     }
 
     fn try_register(self: &Arc<Self>) -> Result<EbrHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
         Ok(EbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            limbo: Vec::new(),
-            retire_count: 0,
+            claim,
         })
     }
 
@@ -137,6 +148,15 @@ impl Ebr {
         }
     }
 
+    /// Sweeps the retire vault of slot `vault_idx`, charging frees to the
+    /// sweeper's counter shard.
+    fn sweep_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.sweep(&mut vault, counter_slot, pool);
+        }
+    }
+
     /// Adopts and sweeps orphaned limbo entries left by deregistered threads.
     fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
@@ -145,12 +165,41 @@ impl Ebr {
             }
         }
     }
+
+    /// Scans for slots whose owning thread died without releasing (leaked
+    /// handle, thread torn down first) and adopts them: the dead slot's epoch
+    /// announcement is neutralized — sound because the owner can issue no
+    /// further memory accesses — and its retire vault drains into the orphan
+    /// list, so neither the epoch nor the memory stays pinned forever.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                self.slots[i].epoch.store(INACTIVE, Ordering::SeqCst);
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().append(&mut vault);
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.sweep_orphans(my_slot, pool);
+    }
 }
 
 impl Drop for Ebr {
     fn drop(&mut self) {
         // No handles remain (they hold `Arc<Ebr>`), so nothing can be
-        // protected any more: release whatever is still in the orphan list.
+        // protected any more: release whatever is still in the vaults (slots
+        // leaked by dead threads that were never adopted) and the orphan list.
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -161,18 +210,16 @@ impl Drop for Ebr {
 /// Per-thread handle for [`Ebr`].
 pub struct EbrHandle {
     domain: Arc<Ebr>,
-    slot: usize,
-    limbo: Vec<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
-    retire_count: usize,
 }
 
 impl EbrHandle {
     fn scan(&mut self) {
         self.domain.try_advance();
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.adopt_orphans(self.claim.index, &mut self.pool);
     }
 }
 
@@ -183,7 +230,8 @@ impl SmrHandle for EbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> EbrGuard<'_> {
-        let slot = &self.domain.slots[self.slot];
+        self.domain.registry.check_owner(self.claim);
+        let slot = &self.domain.slots[self.claim.index];
         // Publish the epoch we observed and confirm it is still current; if it
         // moved we re-announce so we never run a critical section under an
         // announcement older than the epoch we entered at.
@@ -204,13 +252,20 @@ impl SmrHandle for EbrHandle {
 
 impl Drop for EbrHandle {
     fn drop(&mut self) {
-        self.domain.slots[self.slot]
-            .epoch
-            .store(INACTIVE, Ordering::SeqCst);
-        if !self.limbo.is_empty() {
-            self.domain.orphans.lock().append(&mut self.limbo);
-        }
-        self.domain.registry.release(self.slot);
+        let domain = self.domain.clone();
+        // The teardown runs under the slot's beacon mutex after the
+        // generation check: if the slot was adopted (registering thread died
+        // while the handle lived elsewhere), the closure is skipped — the
+        // adopter already neutralized the epoch and drained the vault.
+        domain.registry.release_with(self.claim, || {
+            domain.slots[self.claim.index]
+                .epoch
+                .store(INACTIVE, Ordering::SeqCst);
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().append(&mut vault);
+            }
+        });
     }
 }
 
@@ -222,7 +277,7 @@ pub struct EbrGuard<'g> {
 impl Drop for EbrGuard<'_> {
     fn drop(&mut self) {
         let domain = &self.handle.domain;
-        domain.slots[self.handle.slot]
+        domain.slots[self.handle.claim.index]
             .epoch
             .store(INACTIVE, Ordering::Release);
     }
@@ -259,24 +314,22 @@ impl SmrGuard for EbrGuard<'_> {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         let retired = Retired::from_value(value);
+        let handle = &mut *self.handle;
         (*retired.hdr).retire_era.store(
-            self.handle.domain.global_epoch.load(Ordering::Relaxed),
+            handle.domain.global_epoch.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
-        self.handle.limbo.push(retired);
-        self.handle.retire_count += 1;
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push(retired);
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, 1);
+        if pending >= handle.domain.config.scan_threshold {
             // Amortized reclamation: one epoch-advance attempt plus a sweep of
-            // the local limbo list per `scan_threshold` retirements (§5).
-            self.handle.domain.try_advance();
-            let domain = self.handle.domain.clone();
-            domain.sweep(
-                &mut self.handle.limbo,
-                self.handle.slot,
-                &mut self.handle.pool,
-            );
-            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
+            // the local vault per `scan_threshold` retirements (§5).
+            handle.scan();
         }
     }
 
@@ -345,12 +398,44 @@ mod tests {
             let mut g = h.pin();
             let p = g.alloc(1u64);
             unsafe { g.retire(p) };
-            // Handle dropped with a non-empty limbo list -> orphaned.
+            // Handle dropped with a non-empty vault -> orphaned.
         }
         assert_eq!(d.unreclaimed(), 1);
         drop(d);
         // Nothing to assert directly (the memory is freed); absence of leaks
         // is verified by the drop-counting integration tests.
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = Ebr::new(small_config());
+        {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let mut h = d.register();
+                let mut g = h.pin();
+                for i in 0..3u64 {
+                    let p = g.alloc(i);
+                    unsafe { g.retire(p) };
+                }
+                drop(g);
+                // The handle is leaked with a pinned-then-released slot; the
+                // thread exits without ever releasing the slot.
+                std::mem::forget(h);
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(d.unreclaimed(), 3);
+        let mut h = d.register();
+        for _ in 0..8 {
+            h.flush();
+        }
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "a survivor must adopt the dead thread's slot and drain its vault"
+        );
     }
 
     #[test]

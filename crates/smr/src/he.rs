@@ -19,7 +19,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -44,6 +44,9 @@ pub struct He {
     slots: Box<[CachePadded<HeSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
+    /// Per-slot retire lists, domain-owned so a dead thread's list is
+    /// adoptable (see [`He::adopt_orphans`]).
+    vaults: Box<[Mutex<Vec<Retired>>]>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -65,23 +68,25 @@ impl Smr for He {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             config,
         })
     }
 
     fn try_register(self: &Arc<Self>) -> Result<HeHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        for e in &self.slots[slot].eras {
+        for e in &self.slots[claim.index].eras {
             e.store(NONE, Ordering::Relaxed);
         }
         Ok(HeHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            limbo: Vec::new(),
+            claim,
             alloc_count: 0,
             retire_count: 0,
         })
@@ -170,6 +175,13 @@ impl He {
         }
     }
 
+    fn sweep_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.sweep(&mut vault, counter_slot, pool);
+        }
+    }
+
     fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
@@ -177,10 +189,38 @@ impl He {
             }
         }
     }
+
+    /// Adopts slots abandoned by dead threads: clears the dead thread's era
+    /// reservations (sound — the owner can issue no further loads) and drains
+    /// its retire vault into the orphan list.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                for e in &self.slots[i].eras {
+                    e.store(NONE, Ordering::SeqCst);
+                }
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().append(&mut vault);
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.sweep_orphans(my_slot, pool);
+    }
 }
 
 impl Drop for He {
     fn drop(&mut self) {
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -191,8 +231,7 @@ impl Drop for He {
 /// Per-thread handle for [`He`].
 pub struct HeHandle {
     domain: Arc<He>,
-    slot: usize,
-    limbo: Vec<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -205,27 +244,30 @@ impl SmrHandle for HeHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HeGuard<'_> {
+        self.domain.registry.check_owner(self.claim);
         HeGuard { handle: self }
     }
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.adopt_orphans(self.claim.index, &mut self.pool);
     }
 }
 
 impl Drop for HeHandle {
     fn drop(&mut self) {
-        for e in &self.domain.slots[self.slot].eras {
-            e.store(NONE, Ordering::Release);
-        }
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        if !self.limbo.is_empty() {
-            self.domain.orphans.lock().append(&mut self.limbo);
-        }
-        self.domain.registry.release(self.slot);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.registry.release_with(self.claim, || {
+            for e in &domain.slots[self.claim.index].eras {
+                e.store(NONE, Ordering::Release);
+            }
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().append(&mut vault);
+            }
+        });
     }
 }
 
@@ -237,8 +279,10 @@ pub struct HeGuard<'g> {
 impl Drop for HeGuard<'_> {
     fn drop(&mut self) {
         // Clearing reservations at the end of every operation is what bounds
-        // the set of protected eras (and thus memory) per thread.
-        for e in &self.handle.domain.slots[self.handle.slot].eras {
+        // the set of protected eras (and thus memory) per thread; it is also
+        // what makes a panic that unwinds through a traversal drop its
+        // protections (RAII unwind safety).
+        for e in &self.handle.domain.slots[self.handle.claim.index].eras {
             e.store(NONE, Ordering::Release);
         }
     }
@@ -247,7 +291,7 @@ impl Drop for HeGuard<'_> {
 impl HeGuard<'_> {
     #[inline]
     fn eras(&self) -> &[AtomicU64; MAX_HAZARDS] {
-        &self.handle.domain.slots[self.handle.slot].eras
+        &self.handle.domain.slots[self.handle.claim.index].eras
     }
 }
 
@@ -259,7 +303,7 @@ impl SmrGuard for HeGuard<'_> {
 
     #[inline]
     fn protect<T>(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T> {
-        let eras = &self.handle.domain.slots[self.handle.slot].eras;
+        let eras = &self.handle.domain.slots[self.handle.claim.index].eras;
         let global = &self.handle.domain.global_era;
         let mut reserved = eras[idx].load(Ordering::Relaxed);
         loop {
@@ -313,26 +357,27 @@ impl SmrGuard for HeGuard<'_> {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         let retired = Retired::from_value(value);
-        let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        let handle = &mut *self.handle;
+        let era = handle.domain.global_era.load(Ordering::Relaxed);
         (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
-        self.handle.limbo.push(retired);
-        self.handle.retire_count += 1;
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self
-            .handle
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push(retired);
+            vault.len()
+        };
+        handle.retire_count += 1;
+        handle.domain.unreclaimed.add(slot, 1);
+        if handle
             .retire_count
-            .is_multiple_of(self.handle.domain.config.epoch_freq())
+            .is_multiple_of(handle.domain.config.epoch_freq())
         {
-            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
+            handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
-        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
-            let domain = self.handle.domain.clone();
-            domain.sweep(
-                &mut self.handle.limbo,
-                self.handle.slot,
-                &mut self.handle.pool,
-            );
-            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
         }
     }
 
@@ -449,6 +494,36 @@ mod tests {
         assert!(
             after > before,
             "era should advance every epoch_freq allocations"
+        );
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = He::new(config(true));
+        {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let mut h = d.register();
+                let mut g = h.pin();
+                let p = g.alloc(1u64);
+                let cell = Atomic::new(p);
+                g.protect(0, &cell);
+                unsafe { g.retire(p) };
+                // Leak guard + handle: the reservation stays published and
+                // the slot stays claimed past thread death.
+                std::mem::forget(g);
+                std::mem::forget(h);
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(d.unreclaimed(), 1);
+        let mut h = d.register();
+        h.flush();
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "adoption must clear the dead thread's eras and drain its vault"
         );
     }
 

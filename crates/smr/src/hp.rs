@@ -7,6 +7,11 @@
 //! copies one slot into another so a pointer never passes through an
 //! unprotected state while traversal roles shift (next → curr → prev).
 //!
+//! Guards track which slots they published (a small bitmask) and clear them on
+//! drop, so a panic that unwinds out of a traversal releases its protections —
+//! without this, one panicked operation would pin its last-protected nodes for
+//! the life of the thread and the domain could never drain to zero.
+//!
 //! Reclamation scans every slot of every registered thread:
 //!
 //! * **HP** (baseline): for each retired node, rescan the global hazard array —
@@ -31,7 +36,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -58,6 +63,9 @@ pub struct Hp {
     slots: Box<[CachePadded<HpSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
+    /// Per-slot retire lists, domain-owned so a dead thread's list is
+    /// adoptable (see [`Hp::adopt_orphans`]).
+    vaults: Box<[Mutex<Vec<Retired>>]>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -74,23 +82,25 @@ impl Smr for Hp {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             config,
         })
     }
 
     fn try_register(self: &Arc<Self>) -> Result<HpHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        for h in &self.slots[slot].hazards {
+        for h in &self.slots[claim.index].hazards {
             h.store(0, Ordering::Relaxed);
         }
         Ok(HpHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            limbo: Vec::new(),
+            claim,
         })
     }
 
@@ -174,6 +184,13 @@ impl Hp {
         }
     }
 
+    fn sweep_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.sweep(&mut vault, counter_slot, pool);
+        }
+    }
+
     fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
@@ -181,10 +198,39 @@ impl Hp {
             }
         }
     }
+
+    /// Adopts slots abandoned by dead threads: clears the dead thread's
+    /// hazard slots (sound — the owner can issue no further loads, so nothing
+    /// those hazards protected is still being dereferenced by it) and drains
+    /// its retire vault into the orphan list.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                for h in &self.slots[i].hazards {
+                    h.store(0, Ordering::SeqCst);
+                }
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().append(&mut vault);
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.sweep_orphans(my_slot, pool);
+    }
 }
 
 impl Drop for Hp {
     fn drop(&mut self) {
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -195,8 +241,7 @@ impl Drop for Hp {
 /// Per-thread handle for [`Hp`].
 pub struct HpHandle {
     domain: Arc<Hp>,
-    slot: usize,
-    limbo: Vec<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
 }
 
@@ -207,41 +252,64 @@ impl SmrHandle for HpHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HpGuard<'_> {
+        self.domain.registry.check_owner(self.claim);
         // Hazard pointers have no notion of a critical section: protection is
-        // entirely per-pointer, so `pin` is free.
-        HpGuard { handle: self }
+        // entirely per-pointer, so `pin` publishes nothing.
+        HpGuard {
+            handle: self,
+            used: 0,
+        }
     }
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.adopt_orphans(self.claim.index, &mut self.pool);
     }
 }
 
 impl Drop for HpHandle {
     fn drop(&mut self) {
-        for h in &self.domain.slots[self.slot].hazards {
-            h.store(0, Ordering::Release);
-        }
+        // Guards cannot outlive the handle, so our hazards are already clear;
+        // sweep what we can before handing the remainder to the orphan list.
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        if !self.limbo.is_empty() {
-            self.domain.orphans.lock().append(&mut self.limbo);
-        }
-        self.domain.registry.release(self.slot);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.registry.release_with(self.claim, || {
+            for h in &domain.slots[self.claim.index].hazards {
+                h.store(0, Ordering::Release);
+            }
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().append(&mut vault);
+            }
+        });
     }
 }
 
 /// Critical-section guard for [`Hp`].
 pub struct HpGuard<'g> {
     handle: &'g mut HpHandle,
+    /// Bitmask of hazard slots this guard published; cleared on drop so a
+    /// panicking operation releases its protections (RAII unwind safety).
+    used: u8,
 }
 
 impl HpGuard<'_> {
     #[inline]
     fn hazards(&self) -> &[AtomicUsize; MAX_HAZARDS] {
-        &self.handle.domain.slots[self.handle.slot].hazards
+        &self.handle.domain.slots[self.handle.claim.index].hazards
+    }
+}
+
+impl Drop for HpGuard<'_> {
+    fn drop(&mut self) {
+        if self.used != 0 {
+            for (idx, hazard) in self.hazards().iter().enumerate() {
+                if self.used & (1 << idx) != 0 {
+                    hazard.store(0, Ordering::Release);
+                }
+            }
+        }
     }
 }
 
@@ -256,7 +324,8 @@ impl SmrGuard for HpGuard<'_> {
         // Figure 1 `protect`: publish, then verify the source still holds the
         // published pointer.  The hazard slot always stores the untagged
         // address ("also clear logical-deletion bits").
-        let hazards = &self.handle.domain.slots[self.handle.slot].hazards;
+        self.used |= 1 << idx;
+        let hazards = &self.handle.domain.slots[self.handle.claim.index].hazards;
         let mut published = usize::MAX;
         loop {
             let ptr = src.load(Ordering::Acquire);
@@ -271,6 +340,7 @@ impl SmrGuard for HpGuard<'_> {
 
     #[inline]
     fn announce<T>(&mut self, idx: usize, ptr: Shared<T>) {
+        self.used |= 1 << idx;
         self.hazards()[idx].store(ptr.untagged().into_raw(), Ordering::SeqCst);
     }
 
@@ -280,6 +350,7 @@ impl SmrGuard for HpGuard<'_> {
             from < to,
             "dup must copy a lower slot into a higher slot (paper §3.2)"
         );
+        self.used |= 1 << to;
         let hazards = self.hazards();
         let v = hazards[from].load(Ordering::Relaxed);
         hazards[to].store(v, Ordering::Release);
@@ -297,16 +368,18 @@ impl SmrGuard for HpGuard<'_> {
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        self.handle.limbo.push(Retired::from_value(value));
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
-            let domain = self.handle.domain.clone();
-            domain.sweep(
-                &mut self.handle.limbo,
-                self.handle.slot,
-                &mut self.handle.pool,
-            );
-            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
+        let handle = &mut *self.handle;
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push(Retired::from_value(value));
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, 1);
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
         }
     }
 
@@ -355,14 +428,16 @@ mod tests {
             let d = Hp::new(config(snapshot));
             let mut owner = d.register();
             let mut worker = d.register();
+            // The owner keeps its guard (and thus hazard slot 0) alive across
+            // the worker's retire storm.
+            let mut og = owner.pin();
             let target = {
-                let mut g = owner.pin();
-                let p = g.alloc(123u64);
+                let p = og.alloc(123u64);
                 let cell = Atomic::new(p);
-                let seen = g.protect(0, &cell);
+                let seen = og.protect(0, &cell);
                 assert_eq!(seen, p);
                 p
-            }; // guard dropped but the hazard slot is still published
+            };
 
             {
                 let mut g = worker.pin();
@@ -376,11 +451,8 @@ mod tests {
             // Everything except the protected node must be gone.
             assert_eq!(d.unreclaimed(), 1, "snapshot={snapshot}");
 
-            // Clearing the hazard releases it.
-            {
-                let mut g = owner.pin();
-                g.clear(0);
-            }
+            // Dropping the guard releases the hazard (RAII unwind safety).
+            drop(og);
             worker.flush();
             assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
         }
@@ -391,13 +463,13 @@ mod tests {
         let d = Hp::new(config(true));
         let mut owner = d.register();
         let mut worker = d.register();
+        let mut og = owner.pin();
         let p = {
-            let mut g = owner.pin();
-            let p = g.alloc(5u64);
+            let p = og.alloc(5u64);
             let cell = Atomic::new(p);
-            g.protect(0, &cell);
-            g.dup(0, 3);
-            g.clear(0);
+            og.protect(0, &cell);
+            og.dup(0, 3);
+            og.clear(0);
             p
         };
         {
@@ -406,12 +478,67 @@ mod tests {
         }
         worker.flush();
         assert_eq!(d.unreclaimed(), 1, "slot 3 still protects the node");
-        {
-            let mut g = owner.pin();
-            g.clear(3);
-        }
+        og.clear(3);
         worker.flush();
         assert_eq!(d.unreclaimed(), 0);
+        drop(og);
+    }
+
+    #[test]
+    fn guard_drop_clears_published_hazards() {
+        let d = Hp::new(config(false));
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(7u64);
+        let cell = Atomic::new(p);
+        g.protect(1, &cell);
+        g.dup(1, 4);
+        assert_ne!(d.slots[0].hazards[1].load(Ordering::SeqCst), 0);
+        assert_ne!(d.slots[0].hazards[4].load(Ordering::SeqCst), 0);
+        unsafe { g.retire(p) };
+        drop(g);
+        for i in 0..MAX_HAZARDS {
+            assert_eq!(
+                d.slots[0].hazards[i].load(Ordering::SeqCst),
+                0,
+                "hazard {i} must be cleared by guard drop"
+            );
+        }
+        h.flush();
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        for snapshot in [false, true] {
+            let d = Hp::new(config(snapshot));
+            {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut h = d.register();
+                    let mut g = h.pin();
+                    let p = g.alloc(1u64);
+                    let cell = Atomic::new(p);
+                    g.protect(0, &cell);
+                    unsafe { g.retire(p) };
+                    // Leak guard + handle: the hazard stays published and the
+                    // slot stays claimed past thread death.
+                    std::mem::forget(g);
+                    std::mem::forget(h);
+                })
+                .join()
+                .unwrap();
+            }
+            assert_eq!(d.unreclaimed(), 1, "snapshot={snapshot}");
+            let mut h = d.register();
+            h.flush();
+            assert_eq!(
+                d.unreclaimed(),
+                0,
+                "adoption must clear the dead thread's hazards and drain its \
+                 vault (snapshot={snapshot})"
+            );
+        }
     }
 
     #[test]
@@ -422,12 +549,12 @@ mod tests {
         let d = Hp::new(cfg.clone());
         let mut stalled = d.register();
         let mut worker = d.register();
+        let mut sg = stalled.pin();
         {
-            let mut g = stalled.pin();
-            let p = g.alloc(u64::MAX);
+            let p = sg.alloc(u64::MAX);
             let cell = Atomic::new(p);
-            g.protect(0, &cell);
-            // never cleared
+            sg.protect(0, &cell);
+            // never cleared: the guard stays alive for the whole test
         }
         for i in 0..4096u64 {
             let mut g = worker.pin();
@@ -442,6 +569,7 @@ mod tests {
             d.unreclaimed(),
             bound
         );
+        drop(sg);
     }
 
     #[test]

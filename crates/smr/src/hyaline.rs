@@ -53,13 +53,23 @@
 //!   boundary address to cycle through free → pool → alloc → retire → push
 //!   onto the same slot inside it, the same accepted-risk class as the
 //!   handle ABA of the published algorithm.
+//! * Orphaned slots (owner thread died without releasing): the accumulating
+//!   batch lives in a domain-owned vault so a survivor can adopt and retire
+//!   it.  If the owner died *outside* a critical section (`refs == 0`) the
+//!   slot is fully recycled.  If it died *inside* one its acknowledgement
+//!   boundary is unknowable — decrementing its list on its behalf could
+//!   double-acknowledge batches pushed before it entered — so the slot is
+//!   [poisoned](crate::registry::AdoptGuard::poison): excluded from all
+//!   future pushes (stopping the leak from growing) but never recycled, and
+//!   the batches already pinned by its list are leaked permanently.
 
 use crate::block::{header_of, Header};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -91,12 +101,34 @@ struct HySlot {
     era: AtomicU64,
 }
 
+/// A slot's accumulating (not yet pushed) retirement batch, domain-owned so a
+/// dead thread's batch is adoptable.
+struct HyBatch {
+    nodes: Vec<*mut Header>,
+    min_birth: u64,
+}
+
+impl HyBatch {
+    fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            min_birth: u64::MAX,
+        }
+    }
+}
+
+// The raw header pointers are retired nodes owned by the batch; any thread may
+// flush them (the "any thread reclaims" property).
+unsafe impl Send for HyBatch {}
+
 /// The Hyaline-1S-style reclamation domain.
 pub struct Hyaline {
     config: SmrConfig,
     registry: SlotRegistry,
     global_era: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<HySlot>]>,
+    /// Per-slot accumulating batches (see [`HyBatch`]).
+    vaults: Box<[Mutex<HyBatch>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
     /// Batch size: enough nodes so that one node can be pushed to every slot
@@ -121,6 +153,9 @@ impl Smr for Hyaline {
             registry: SlotRegistry::new(config.max_threads),
             global_era: CachePadded::new(AtomicU64::new(FIRST_ERA)),
             slots,
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(HyBatch::new()))
+                .collect(),
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
             batch_capacity: config.max_threads + 1,
@@ -129,17 +164,15 @@ impl Smr for Hyaline {
     }
 
     fn try_register(self: &Arc<Self>) -> Result<HyalineHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        self.slots[slot].head.store(0, Ordering::Relaxed);
-        self.slots[slot].era.store(0, Ordering::Relaxed);
+        self.slots[claim.index].head.store(0, Ordering::Relaxed);
+        self.slots[claim.index].era.store(0, Ordering::Relaxed);
         Ok(HyalineHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            batch: Vec::with_capacity(self.batch_capacity),
-            batch_min_birth: u64::MAX,
+            claim,
             alloc_count: 0,
         })
     }
@@ -296,55 +329,94 @@ impl Hyaline {
             self.free_batch(refs_node, slot, pool);
         }
     }
+
+    /// Pushes slot `vault_idx`'s accumulated batch to the active slots,
+    /// padding it with dummy blocks up to the full linkage capacity.  Frees
+    /// and padding are charged to `counter_slot`.
+    fn flush_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let (mut nodes, min_birth) = {
+            let mut vault = self.vaults[vault_idx].lock();
+            if vault.nodes.is_empty() {
+                return;
+            }
+            (
+                std::mem::take(&mut vault.nodes),
+                std::mem::replace(&mut vault.min_birth, u64::MAX),
+            )
+        };
+        // A batch needs one linkage node per active slot plus the REFS node.
+        // Pad undersized batches (possible at flush/drop/adoption time) with
+        // freshly allocated dummy blocks.
+        while nodes.len() < self.batch_capacity {
+            let dummy = pool.alloc(());
+            unsafe {
+                let hdr = header_of(dummy);
+                (*hdr)
+                    .birth_era
+                    .store(self.global_era.load(Ordering::Relaxed), Ordering::Relaxed);
+                nodes.push(hdr);
+            }
+            self.unreclaimed.add(counter_slot, 1);
+        }
+        unsafe { self.retire_batch(&nodes, min_birth, counter_slot, pool) };
+    }
+
+    /// Adopts slots abandoned by dead threads.  A dead slot's `refs` counter
+    /// is frozen (only its owner could pin): `refs == 0` means the owner died
+    /// outside any critical section, so its accumulated batch is flushed and
+    /// the slot recycled; `refs > 0` means it died *inside* one, its
+    /// acknowledgement boundary is unknowable, and the slot is poisoned (see
+    /// the module docs) before its batch is flushed.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                let (refs, _) = unpack(self.slots[i].head.load(Ordering::SeqCst));
+                if refs == 0 {
+                    // Flush before recycling so a new claimant cannot race us
+                    // for the vault; pushes skip the dead slot itself because
+                    // its refs count is zero.
+                    self.flush_vault(i, my_slot, pool);
+                    adoption.finish();
+                } else {
+                    // Poison first: once the slot stops being `is_claimed`,
+                    // the flush below (and all future pushes) exclude it, so
+                    // the leak stops growing.
+                    adoption.poison();
+                    self.flush_vault(i, my_slot, pool);
+                }
+            }
+        }
+    }
 }
 
 impl Drop for Hyaline {
     fn drop(&mut self) {
-        // All handles are gone (they hold `Arc<Hyaline>`), so every slot has
-        // refs == 0 and every batch has been freed by its last acknowledger or
-        // retirer.  Nothing to do here; the accounting tests assert that the
-        // unreclaimed counter indeed returns to zero.
+        // All handles are gone, so every *flushed* batch has been freed by
+        // its last acknowledger or retirer.  What can remain are the vaults
+        // of orphaned slots no survivor adopted: free their nodes directly
+        // (they were never pushed, so nothing else references them).  Batches
+        // pinned by a poisoned slot's list stay leaked — see the module docs.
+        let mut pool = BlockPool::new(self.pool.clone(), 0);
+        for (i, vault) in self.vaults.iter().enumerate() {
+            let mut vault = vault.lock();
+            let n = vault.nodes.len();
+            for hdr in vault.nodes.drain(..) {
+                unsafe { pool.free(hdr) };
+            }
+            self.unreclaimed.sub(i, n);
+        }
     }
 }
 
 /// Per-thread handle for [`Hyaline`].
 pub struct HyalineHandle {
     domain: Arc<Hyaline>,
-    slot: usize,
-    /// Locally accumulated batch of retired nodes (headers).
-    batch: Vec<*mut Header>,
-    batch_min_birth: u64,
+    claim: SlotClaim,
     pool: BlockPool,
     alloc_count: usize,
-}
-
-unsafe impl Send for HyalineHandle {}
-
-impl HyalineHandle {
-    fn flush_batch(&mut self) {
-        if self.batch.is_empty() {
-            return;
-        }
-        // A batch needs one linkage node per active slot plus the REFS node.
-        // Pad undersized batches (possible only at flush/drop time) with
-        // freshly allocated dummy blocks.
-        while self.batch.len() < self.domain.batch_capacity {
-            let dummy = self.pool.alloc(());
-            unsafe {
-                let hdr = header_of(dummy);
-                (*hdr).birth_era.store(
-                    self.domain.global_era.load(Ordering::Relaxed),
-                    Ordering::Relaxed,
-                );
-                self.batch.push(hdr);
-            }
-            self.domain.unreclaimed.add(self.slot, 1);
-        }
-        let nodes = std::mem::take(&mut self.batch);
-        let min_birth = std::mem::replace(&mut self.batch_min_birth, u64::MAX);
-        let domain = self.domain.clone();
-        unsafe { domain.retire_batch(&nodes, min_birth, self.slot, &mut self.pool) };
-    }
 }
 
 impl SmrHandle for HyalineHandle {
@@ -354,7 +426,8 @@ impl SmrHandle for HyalineHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HyalineGuard<'_> {
-        let slot = &self.domain.slots[self.slot];
+        self.domain.registry.check_owner(self.claim);
+        let slot = &self.domain.slots[self.claim.index];
         let era = self.domain.global_era.load(Ordering::SeqCst);
         slot.era.store(era, Ordering::SeqCst);
         // Enter: bump the slot's reference count.  The fetch_add returns the
@@ -370,14 +443,21 @@ impl SmrHandle for HyalineHandle {
     }
 
     fn flush(&mut self) {
-        self.flush_batch();
+        let idx = self.claim.index;
+        let domain = self.domain.clone();
+        domain.flush_vault(idx, idx, &mut self.pool);
+        domain.adopt_orphans(idx, &mut self.pool);
     }
 }
 
 impl Drop for HyalineHandle {
     fn drop(&mut self) {
-        self.flush_batch();
-        self.domain.registry.release(self.slot);
+        let domain = self.domain.clone();
+        let claim = self.claim;
+        let pool = &mut self.pool;
+        domain.registry.release_with(claim, || {
+            domain.flush_vault(claim.index, claim.index, pool);
+        });
     }
 }
 
@@ -392,8 +472,11 @@ pub struct HyalineGuard<'g> {
 
 impl Drop for HyalineGuard<'_> {
     fn drop(&mut self) {
+        // Runs on unwind too: a panicking operation still drops its slot
+        // reference and acknowledges the batches pushed during its critical
+        // section (RAII unwind safety).
         let domain = &self.handle.domain;
-        let slot = &domain.slots[self.handle.slot];
+        let slot = &domain.slots[self.handle.claim.index];
         // Leave: drop our reference.  If we are the last thread in the slot we
         // also detach the list so the next entrant starts from a clean head.
         let observed = loop {
@@ -419,7 +502,7 @@ impl Drop for HyalineGuard<'_> {
             domain.acknowledge(
                 observed,
                 self.entry_addr,
-                self.handle.slot,
+                self.handle.claim.index,
                 &mut self.handle.pool,
             )
         };
@@ -437,7 +520,7 @@ impl SmrGuard for HyalineGuard<'_> {
         // Same publication protocol as IBR's upper bound: the era is published
         // before the pointer that is returned is (re-)read, so any returned
         // pointer's birth era is covered by the published era.
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         let global = &self.handle.domain.global_era;
         loop {
             let ptr = src.load(Ordering::Acquire);
@@ -452,7 +535,7 @@ impl SmrGuard for HyalineGuard<'_> {
 
     #[inline]
     fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         let era = self.handle.domain.global_era.load(Ordering::SeqCst);
         slot.era.store(era, Ordering::SeqCst);
         self.cached_era = era;
@@ -484,14 +567,18 @@ impl SmrGuard for HyalineGuard<'_> {
         debug_assert!(!value.is_null());
         let hdr = header_of(value);
         let birth = (*hdr).birth_era.load(Ordering::Relaxed);
-        self.handle.batch_min_birth = self.handle.batch_min_birth.min(birth);
-        self.handle.batch.push(hdr);
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self.handle.batch.len() >= self.handle.domain.batch_capacity {
-            let domain = self.handle.domain.clone();
-            let nodes = std::mem::take(&mut self.handle.batch);
-            let min_birth = std::mem::replace(&mut self.handle.batch_min_birth, u64::MAX);
-            domain.retire_batch(&nodes, min_birth, self.handle.slot, &mut self.handle.pool);
+        let handle = &mut *self.handle;
+        let idx = handle.claim.index;
+        let full = {
+            let mut vault = handle.domain.vaults[idx].lock();
+            vault.min_birth = vault.min_birth.min(birth);
+            vault.nodes.push(hdr);
+            vault.nodes.len() >= handle.domain.batch_capacity
+        };
+        handle.domain.unreclaimed.add(idx, 1);
+        if full {
+            let domain = handle.domain.clone();
+            domain.flush_vault(idx, idx, &mut handle.pool);
         }
     }
 
@@ -607,6 +694,73 @@ mod tests {
             d.unreclaimed()
         );
         drop(stalled_guard);
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = Hyaline::new(config());
+        let dd = d.clone();
+        std::thread::spawn(move || {
+            let mut h = dd.register();
+            {
+                let mut g = h.pin();
+                for i in 0..3u64 {
+                    let p = g.alloc(i);
+                    unsafe { g.retire(p) };
+                }
+            }
+            // Die without unwinding the handle; the sub-batch stays in the
+            // vault.
+            std::mem::forget(h);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(d.unreclaimed(), 3);
+        let mut survivor = d.register();
+        survivor.flush();
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "a survivor must adopt and flush the dead thread's batch"
+        );
+        assert_eq!(d.registry.poisoned(), 0, "death outside a CS recycles");
+    }
+
+    #[test]
+    fn reader_dead_inside_critical_section_poisons_its_slot() {
+        let d = Hyaline::new(config());
+        let dd = d.clone();
+        std::thread::spawn(move || {
+            let mut h = dd.register();
+            let g = h.pin();
+            // Die while holding a slot reference: the acknowledgement
+            // boundary is lost with the thread.
+            std::mem::forget(g);
+            std::mem::forget(h);
+        })
+        .join()
+        .unwrap();
+        let mut survivor = d.register();
+        survivor.flush();
+        assert_eq!(
+            d.registry.poisoned(),
+            1,
+            "death inside a CS must poison the slot, not recycle it"
+        );
+        // The poisoned slot is excluded from pushes, so the survivor's own
+        // churn still reclaims fully.
+        for i in 0..64u64 {
+            let mut g = survivor.pin();
+            let p = g.alloc(i);
+            unsafe { g.retire(p) };
+        }
+        survivor.flush();
+        drop(survivor);
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "a poisoned slot must not pin batches retired after poisoning"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -43,6 +43,9 @@ pub struct Ibr {
     slots: Box<[CachePadded<IbrSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
+    /// Per-slot retire lists, domain-owned so a dead thread's list is
+    /// adoptable (see [`Ibr::adopt_orphans`]).
+    vaults: Box<[Mutex<Vec<Retired>>]>,
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -65,22 +68,26 @@ impl Smr for Ibr {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             config,
         })
     }
 
     fn try_register(self: &Arc<Self>) -> Result<IbrHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        self.slots[slot].lower.store(u64::MAX, Ordering::Relaxed);
-        self.slots[slot].upper.store(0, Ordering::Relaxed);
+        self.slots[claim.index]
+            .lower
+            .store(u64::MAX, Ordering::Relaxed);
+        self.slots[claim.index].upper.store(0, Ordering::Relaxed);
         Ok(IbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            limbo: Vec::new(),
+            claim,
             alloc_count: 0,
             retire_count: 0,
         })
@@ -163,6 +170,13 @@ impl Ibr {
         }
     }
 
+    fn sweep_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.sweep(&mut vault, counter_slot, pool);
+        }
+    }
+
     fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
             if !orphans.is_empty() {
@@ -170,10 +184,37 @@ impl Ibr {
             }
         }
     }
+
+    /// Adopts slots abandoned by dead threads: collapses the dead thread's
+    /// interval to the empty `[MAX, 0]` (sound — the owner can issue no
+    /// further loads) and drains its retire vault into the orphan list.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                self.slots[i].lower.store(u64::MAX, Ordering::SeqCst);
+                self.slots[i].upper.store(0, Ordering::SeqCst);
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().append(&mut vault);
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.sweep_orphans(my_slot, pool);
+    }
 }
 
 impl Drop for Ibr {
     fn drop(&mut self) {
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -184,8 +225,7 @@ impl Drop for Ibr {
 /// Per-thread handle for [`Ibr`].
 pub struct IbrHandle {
     domain: Arc<Ibr>,
-    slot: usize,
-    limbo: Vec<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -198,7 +238,8 @@ impl SmrHandle for IbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> IbrGuard<'_> {
-        let slot = &self.domain.slots[self.slot];
+        self.domain.registry.check_owner(self.claim);
+        let slot = &self.domain.slots[self.claim.index];
         let era = self.domain.global_era.load(Ordering::SeqCst);
         slot.upper.store(era, Ordering::SeqCst);
         slot.lower.store(era, Ordering::SeqCst);
@@ -210,22 +251,24 @@ impl SmrHandle for IbrHandle {
 
     fn flush(&mut self) {
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.adopt_orphans(self.claim.index, &mut self.pool);
     }
 }
 
 impl Drop for IbrHandle {
     fn drop(&mut self) {
-        let slot = &self.domain.slots[self.slot];
-        slot.lower.store(u64::MAX, Ordering::Release);
-        slot.upper.store(0, Ordering::Release);
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        if !self.limbo.is_empty() {
-            self.domain.orphans.lock().append(&mut self.limbo);
-        }
-        self.domain.registry.release(self.slot);
+        domain.sweep_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.registry.release_with(self.claim, || {
+            let slot = &domain.slots[self.claim.index];
+            slot.lower.store(u64::MAX, Ordering::Release);
+            slot.upper.store(0, Ordering::Release);
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().append(&mut vault);
+            }
+        });
     }
 }
 
@@ -239,7 +282,9 @@ pub struct IbrGuard<'g> {
 
 impl Drop for IbrGuard<'_> {
     fn drop(&mut self) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        // Deactivating the interval on drop is what makes a panicking
+        // operation release its protection (RAII unwind safety).
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         slot.lower.store(u64::MAX, Ordering::Release);
         slot.upper.store(0, Ordering::Release);
     }
@@ -253,7 +298,7 @@ impl SmrGuard for IbrGuard<'_> {
 
     #[inline]
     fn protect<T>(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         let global = &self.handle.domain.global_era;
         loop {
             let ptr = src.load(Ordering::Acquire);
@@ -271,7 +316,7 @@ impl SmrGuard for IbrGuard<'_> {
 
     #[inline]
     fn announce<T>(&mut self, _idx: usize, _ptr: Shared<T>) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         let era = self.handle.domain.global_era.load(Ordering::SeqCst);
         slot.upper.store(era, Ordering::SeqCst);
         self.cached_upper = era;
@@ -302,26 +347,27 @@ impl SmrGuard for IbrGuard<'_> {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         let retired = Retired::from_value(value);
-        let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        let handle = &mut *self.handle;
+        let era = handle.domain.global_era.load(Ordering::Relaxed);
         (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
-        self.handle.limbo.push(retired);
-        self.handle.retire_count += 1;
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self
-            .handle
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push(retired);
+            vault.len()
+        };
+        handle.retire_count += 1;
+        handle.domain.unreclaimed.add(slot, 1);
+        if handle
             .retire_count
-            .is_multiple_of(self.handle.domain.config.epoch_freq())
+            .is_multiple_of(handle.domain.config.epoch_freq())
         {
-            self.handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
+            handle.domain.global_era.fetch_add(1, Ordering::SeqCst);
         }
-        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
-            let domain = self.handle.domain.clone();
-            domain.sweep(
-                &mut self.handle.limbo,
-                self.handle.slot,
-                &mut self.handle.pool,
-            );
-            domain.sweep_orphans(self.handle.slot, &mut self.handle.pool);
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
         }
     }
 
@@ -407,6 +453,36 @@ mod tests {
             d.unreclaimed() < 64,
             "IBR must reclaim nodes born after a stalled interval (got {})",
             d.unreclaimed()
+        );
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = Ibr::new(config(true));
+        {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let mut h = d.register();
+                let mut g = h.pin();
+                let p = g.alloc(1u64);
+                let cell = Atomic::new(p);
+                g.protect(0, &cell);
+                unsafe { g.retire(p) };
+                // Leak guard + handle: the interval stays active and the slot
+                // stays claimed past thread death.
+                std::mem::forget(g);
+                std::mem::forget(h);
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(d.unreclaimed(), 1);
+        let mut h = d.register();
+        h.flush();
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "adoption must collapse the dead thread's interval and drain its vault"
         );
     }
 

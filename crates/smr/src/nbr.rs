@@ -25,7 +25,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -54,6 +54,9 @@ pub struct Nbr {
     slots: Box<[CachePadded<NbrSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
+    /// Per-slot retire lists, domain-owned so a dead thread's list is
+    /// adoptable (see [`Nbr::adopt_orphans`]).
+    vaults: Box<[Mutex<Vec<Retired>>]>,
     orphans: Mutex<Vec<Retired>>,
     /// Total neutralize flags raised by blocked sweeps (monotonic; a
     /// diagnostic mirror of how often reclamation had to push readers).
@@ -79,6 +82,9 @@ impl Smr for Nbr {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             neutralizations: AtomicU64::new(0),
             config,
@@ -86,19 +92,19 @@ impl Smr for Nbr {
     }
 
     fn try_register(self: &Arc<Self>) -> Result<NbrHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        self.slots[slot]
+        self.slots[claim.index]
             .checkpoint
             .store(INACTIVE, Ordering::Relaxed);
-        self.slots[slot].neutralize.store(false, Ordering::Relaxed);
+        self.slots[claim.index]
+            .neutralize
+            .store(false, Ordering::Relaxed);
         Ok(NbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            limbo: Vec::new(),
-            retire_count: 0,
+            claim,
         })
     }
 
@@ -172,6 +178,13 @@ impl Nbr {
         }
     }
 
+    fn sweep_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.sweep(&mut vault, counter_slot, pool);
+        }
+    }
+
     /// Adopts and sweeps orphaned limbo entries left by deregistered threads.
     fn sweep_orphans(&self, slot: usize, pool: &mut BlockPool) {
         if let Some(mut orphans) = self.orphans.try_lock() {
@@ -179,6 +192,29 @@ impl Nbr {
                 self.sweep(&mut orphans, slot, pool);
             }
         }
+    }
+
+    /// Adopts slots abandoned by dead threads: clears the dead thread's
+    /// checkpoint (sound — the owner can issue no further loads, so its
+    /// protection requirement has lapsed) plus its pending neutralize flag,
+    /// and drains its retire vault into the orphan list.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                self.slots[i].checkpoint.store(INACTIVE, Ordering::SeqCst);
+                self.slots[i].neutralize.store(false, Ordering::Relaxed);
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().append(&mut vault);
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.sweep_orphans(my_slot, pool);
     }
 
     /// Total neutralize flags raised so far (diagnostic).
@@ -190,7 +226,13 @@ impl Nbr {
 impl Drop for Nbr {
     fn drop(&mut self) {
         // No handles remain (they hold `Arc<Nbr>`), so nothing can be
-        // protected any more: release whatever is still in the orphan list.
+        // protected any more: release whatever is still in the vaults and
+        // the orphan list.
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -201,10 +243,8 @@ impl Drop for Nbr {
 /// Per-thread handle for [`Nbr`].
 pub struct NbrHandle {
     domain: Arc<Nbr>,
-    slot: usize,
-    limbo: Vec<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
-    retire_count: usize,
 }
 
 impl NbrHandle {
@@ -212,7 +252,7 @@ impl NbrHandle {
     /// confirming it is still current, and clears a pending neutralize flag —
     /// the shared body of `pin` and `checkpoint`.
     fn announce_checkpoint(&mut self) {
-        let slot = &self.domain.slots[self.slot];
+        let slot = &self.domain.slots[self.claim.index];
         slot.neutralize.store(false, Ordering::Relaxed);
         loop {
             let e = self.domain.global_era.load(Ordering::SeqCst);
@@ -224,15 +264,16 @@ impl NbrHandle {
     }
 
     fn scan(&mut self) {
+        let idx = self.claim.index;
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
-        if self.limbo.len() >= self.domain.config.scan_threshold {
+        domain.sweep_vault(idx, idx, &mut self.pool);
+        domain.adopt_orphans(idx, &mut self.pool);
+        if domain.vaults[idx].lock().len() >= domain.config.scan_threshold {
             // Readers are what blocks us: neutralize them and retry once —
             // flags raised now typically pay off at the *next* scan, but a
             // quiescent domain drains immediately.
             domain.neutralize_laggards();
-            domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+            domain.sweep_vault(idx, idx, &mut self.pool);
         }
     }
 }
@@ -244,33 +285,38 @@ impl SmrHandle for NbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> NbrGuard<'_> {
+        self.domain.registry.check_owner(self.claim);
         self.announce_checkpoint();
         NbrGuard { handle: self }
     }
 
     fn flush(&mut self) {
+        let idx = self.claim.index;
         self.domain.global_era.fetch_add(1, Ordering::SeqCst);
         let domain = self.domain.clone();
-        domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
-        domain.sweep_orphans(self.slot, &mut self.pool);
-        if !self.limbo.is_empty() {
+        domain.sweep_vault(idx, idx, &mut self.pool);
+        domain.adopt_orphans(idx, &mut self.pool);
+        if !domain.vaults[idx].lock().is_empty() {
             // A forced flush is the impatient path: neutralize whoever blocks
             // even a single entry, then retry.
             domain.neutralize_laggards();
-            domain.sweep(&mut self.limbo, self.slot, &mut self.pool);
+            domain.sweep_vault(idx, idx, &mut self.pool);
         }
     }
 }
 
 impl Drop for NbrHandle {
     fn drop(&mut self) {
-        let slot = &self.domain.slots[self.slot];
-        slot.checkpoint.store(INACTIVE, Ordering::SeqCst);
-        slot.neutralize.store(false, Ordering::Relaxed);
-        if !self.limbo.is_empty() {
-            self.domain.orphans.lock().append(&mut self.limbo);
-        }
-        self.domain.registry.release(self.slot);
+        let domain = self.domain.clone();
+        domain.registry.release_with(self.claim, || {
+            let slot = &domain.slots[self.claim.index];
+            slot.checkpoint.store(INACTIVE, Ordering::SeqCst);
+            slot.neutralize.store(false, Ordering::Relaxed);
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().append(&mut vault);
+            }
+        });
     }
 }
 
@@ -281,7 +327,9 @@ pub struct NbrGuard<'g> {
 
 impl Drop for NbrGuard<'_> {
     fn drop(&mut self) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        // Deactivating the checkpoint on drop also covers panicking
+        // operations (RAII unwind safety).
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         slot.checkpoint.store(INACTIVE, Ordering::Release);
     }
 }
@@ -317,15 +365,20 @@ impl SmrGuard for NbrGuard<'_> {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         let retired = Retired::from_value(value);
+        let handle = &mut *self.handle;
         (*retired.hdr).retire_era.store(
-            self.handle.domain.global_era.load(Ordering::Relaxed),
+            handle.domain.global_era.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
-        self.handle.limbo.push(retired);
-        self.handle.retire_count += 1;
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self.handle.limbo.len() >= self.handle.domain.config.scan_threshold {
-            self.handle.scan();
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push(retired);
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, 1);
+        if pending >= handle.domain.config.scan_threshold {
+            handle.scan();
         }
     }
 
@@ -335,7 +388,7 @@ impl SmrGuard for NbrGuard<'_> {
 
     #[inline]
     fn needs_restart(&self) -> bool {
-        self.handle.domain.slots[self.handle.slot]
+        self.handle.domain.slots[self.handle.claim.index]
             .neutralize
             .load(Ordering::Acquire)
     }
@@ -500,6 +553,36 @@ mod tests {
         }
         drop(h);
         assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = Nbr::new(small_config());
+        {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let mut h = d.register();
+                let mut g = h.pin();
+                let p = g.alloc(1u64);
+                unsafe { g.retire(p) };
+                // Leak guard + handle: the checkpoint stays published and the
+                // slot stays claimed past thread death.
+                std::mem::forget(g);
+                std::mem::forget(h);
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(d.unreclaimed(), 1);
+        let mut h = d.register();
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "adoption must clear the dead thread's checkpoint and drain its vault"
+        );
     }
 
     #[test]

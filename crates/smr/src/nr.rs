@@ -14,7 +14,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -41,13 +41,13 @@ impl Smr for Nr {
     }
 
     fn try_register(self: &Arc<Self>) -> Result<NrHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
         Ok(NrHandle {
             pool: BlockPool::new(self.pool.clone(), self.pool_capacity),
             domain: self.clone(),
-            slot,
+            claim,
         })
     }
 
@@ -63,13 +63,13 @@ impl Smr for Nr {
 /// Per-thread handle for [`Nr`].
 pub struct NrHandle {
     domain: Arc<Nr>,
-    slot: usize,
+    claim: SlotClaim,
     pool: BlockPool,
 }
 
 impl Drop for NrHandle {
     fn drop(&mut self) {
-        self.domain.registry.release(self.slot);
+        self.domain.registry.release(self.claim);
     }
 }
 
@@ -80,10 +80,24 @@ impl SmrHandle for NrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> NrGuard<'_> {
+        self.domain.registry.check_owner(self.claim);
         NrGuard { handle: self }
     }
 
-    fn flush(&mut self) {}
+    fn flush(&mut self) {
+        // NR has nothing to reclaim, but adopting dead threads' slots keeps
+        // the registry from filling up under thread churn: the leaked
+        // handle's slot (there is no other per-slot state) returns to the
+        // free pool.
+        for i in 0..self.domain.registry.capacity() {
+            if i == self.claim.index {
+                continue;
+            }
+            if let Some(adoption) = self.domain.registry.try_begin_adopt(i) {
+                adoption.finish();
+            }
+        }
+    }
 }
 
 /// Critical-section guard for [`Nr`]; every operation is a plain load.
@@ -120,7 +134,7 @@ impl SmrGuard for NrGuard<'_> {
         // the (ever-growing) number of unreclaimed objects.
         debug_assert!(!ptr.is_null());
         let _ = Retired::from_value(ptr.untagged().as_ptr());
-        self.handle.domain.retired.add(self.handle.slot, 1);
+        self.handle.domain.retired.add(self.handle.claim.index, 1);
     }
 
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {

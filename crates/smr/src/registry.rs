@@ -1,93 +1,335 @@
-//! Thread-slot registry shared by all schemes.
+//! Thread-slot registry shared by all schemes, with orphaned-slot detection.
 //!
 //! Every domain owns a fixed-size array of per-thread records (hazard slots,
 //! era reservations, activity flags).  A handle claims one slot index on
 //! registration and releases it on drop; slot indices are recycled so a
 //! benchmark that repeatedly spawns short-lived threads does not exhaust the
 //! table.
+//!
+//! ## Orphaned slots
+//!
+//! A slot is *orphaned* when the thread that claimed it exits while the slot
+//! is still claimed — the handle was leaked (`mem::forget`), or the thread was
+//! torn down before the handle's destructor could run.  Without recovery an
+//! orphaned slot pins its reservations forever: under EBR the global epoch
+//! never advances again, under HP the dead thread's hazards protect garbage,
+//! and the slot itself is lost to future registrations.
+//!
+//! Detection is based on a per-thread *liveness beacon*: an `Arc<Beacon>`
+//! owned by a thread-local whose destructor fires when the thread exits.
+//! [`SlotRegistry::try_claim`] captures the calling thread's beacon, so a
+//! claimed slot whose beacon has fired is provably dead — the owning thread
+//! cannot issue another load or store.  Surviving threads adopt such slots
+//! through [`SlotRegistry::try_begin_adopt`]: the scheme neutralizes the dead
+//! slot's reservations (safe precisely because the owner performs no further
+//! memory accesses), drains its retire vault, and either recycles the slot
+//! ([`AdoptGuard::finish`]) or permanently retires it ([`AdoptGuard::poison`],
+//! used by Hyaline when the owner died inside a critical section and its
+//! acknowledgement boundary is unknowable).
+//!
+//! Each claim carries a *generation* ([`SlotClaim::gen`]); adoption bumps it.
+//! A release with a stale generation is a no-op (the adopter already owns the
+//! cleanup), and schemes cross-check the generation on every `pin` so a handle
+//! whose slot was adopted out from under it — possible only when a handle is
+//! moved off the thread that registered it and that thread exits — panics
+//! loudly instead of publishing reservations into a recycled slot.
+//!
+//! Adoption, release, and claim of one slot serialize on the slot's beacon
+//! mutex; the state machine (`FREE → CLAIMED → {FREE | ADOPTING → {FREE |
+//! POISONED}}`) is advanced only while holding it, so exactly one party ever
+//! tears a claim down.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
-/// Allocation bitmap for thread slots.
+/// Slot states: free for claiming.
+const FREE: u8 = 0;
+/// Claimed by a live (or since-exited) handle.
+const CLAIMED: u8 = 1;
+/// A surviving thread is neutralizing a dead owner's reservations.
+const ADOPTING: u8 = 2;
+/// Permanently retired: the dead owner's reservations cannot be soundly
+/// neutralized (Hyaline's died-in-critical-section case).
+const POISONED: u8 = 3;
+
+/// A per-thread liveness signal: flips to "exited" when the owning thread's
+/// thread-local storage is destroyed, i.e. when the thread can no longer
+/// perform any memory access.
+pub struct Beacon {
+    exited: AtomicBool,
+}
+
+impl Beacon {
+    fn new() -> Self {
+        Self {
+            exited: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the owning thread has exited.  Once true, stays true.
+    #[inline]
+    pub fn has_exited(&self) -> bool {
+        self.exited.load(Ordering::Acquire)
+    }
+}
+
+/// Thread-local owner of the beacon; the destructor is the exit signal.
+struct BeaconOwner(Arc<Beacon>);
+
+impl Drop for BeaconOwner {
+    fn drop(&mut self) {
+        self.0.exited.store(true, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static LIVENESS: BeaconOwner = BeaconOwner(Arc::new(Beacon::new()));
+}
+
+/// The calling thread's liveness beacon.  During thread-local teardown (when
+/// the per-thread beacon is already destroyed) a fresh beacon that never fires
+/// is returned: a handle registered that late is never treated as orphaned —
+/// leaking its slot is the safe failure mode, spuriously adopting a live
+/// handle would not be.
+pub fn thread_beacon() -> Arc<Beacon> {
+    LIVENESS
+        .try_with(|owner| owner.0.clone())
+        .unwrap_or_else(|_| Arc::new(Beacon::new()))
+}
+
+/// Proof of a slot claim: the index plus the generation it was claimed at.
+/// Adoption bumps the generation, which is what makes stale releases (and
+/// stale pins) detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotClaim {
+    /// The claimed slot index.
+    pub index: usize,
+    /// Generation of this claim; see [`SlotRegistry::release`].
+    pub gen: u64,
+}
+
+struct SlotEntry {
+    state: AtomicU8,
+    gen: AtomicU64,
+    beacon: Mutex<Option<Arc<Beacon>>>,
+}
+
+/// Allocation table for thread slots with orphan detection (see the module
+/// docs for the lifecycle).
 pub struct SlotRegistry {
-    used: Box<[AtomicBool]>,
+    slots: Box<[SlotEntry]>,
 }
 
 impl SlotRegistry {
     /// Creates a registry with `capacity` slots.
     pub fn new(capacity: usize) -> Self {
-        let used = (0..capacity).map(|_| AtomicBool::new(false)).collect();
-        Self { used }
+        let slots = (0..capacity)
+            .map(|_| SlotEntry {
+                state: AtomicU8::new(FREE),
+                gen: AtomicU64::new(0),
+                beacon: Mutex::new(None),
+            })
+            .collect();
+        Self { slots }
     }
 
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.used.len()
+        self.slots.len()
     }
 
-    /// Attempts to claim a free slot, returning its index, or `None` when
-    /// every slot is taken.  This is the fallible primitive behind
-    /// [`crate::Smr::try_register`].
-    pub fn try_claim(&self) -> Option<usize> {
-        for (i, flag) in self.used.iter().enumerate() {
-            if !flag.load(Ordering::Relaxed)
-                && flag
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+    /// Attempts to claim a free slot, capturing the calling thread's liveness
+    /// beacon, or returns `None` when every slot is taken.  This is the
+    /// fallible primitive behind [`crate::Smr::try_register`].
+    pub fn try_claim(&self) -> Option<SlotClaim> {
+        for (i, entry) in self.slots.iter().enumerate() {
+            if entry.state.load(Ordering::Relaxed) == FREE
+                && entry
+                    .state
+                    .compare_exchange(FREE, CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
             {
-                return Some(i);
+                *entry.beacon.lock() = Some(thread_beacon());
+                let gen = entry.gen.fetch_add(1, Ordering::Relaxed) + 1;
+                return Some(SlotClaim { index: i, gen });
             }
         }
         None
     }
 
-    /// Claims a free slot, returning its index.
+    /// Claims a free slot.
     ///
     /// Panics if every slot is taken: this indicates the domain was created
     /// with a `max_threads` smaller than the number of live handles, which is
     /// a configuration error rather than a recoverable condition.  Callers
     /// that want to surface the condition instead use [`SlotRegistry::try_claim`].
-    pub fn claim(&self) -> usize {
+    pub fn claim(&self) -> SlotClaim {
         self.try_claim().unwrap_or_else(|| {
             panic!(
                 "SMR domain slot table exhausted ({} slots); raise SmrConfig::max_threads",
-                self.used.len()
+                self.slots.len()
             )
         })
     }
 
-    /// Releases a previously claimed slot.
-    pub fn release(&self, idx: usize) {
-        debug_assert!(self.used[idx].load(Ordering::Relaxed));
-        self.used[idx].store(false, Ordering::Release);
+    /// Releases a previously claimed slot.  Returns `true` when this call tore
+    /// the claim down; `false` when the claim's generation is stale — the slot
+    /// was adopted (the owning thread exited while the handle was live on
+    /// another thread) and the adopter already owns the cleanup, so the caller
+    /// must not touch the slot's scheme state.
+    pub fn release(&self, claim: SlotClaim) -> bool {
+        self.release_with(claim, || {})
     }
 
-    /// Whether the slot is currently claimed.  Scans use this to skip
-    /// unregistered slots cheaply.
+    /// [`SlotRegistry::release`] with a teardown closure that runs *between*
+    /// the generation check and the slot becoming free, while the slot's
+    /// beacon mutex is held.  Schemes neutralize their per-slot reservations
+    /// and drain their retire vault inside `teardown`: the mutex excludes a
+    /// concurrent adopter, and the ordering excludes the slot being handed to
+    /// a new claimant while the old owner is still scribbling on it.  When
+    /// the generation is stale, `teardown` is *not* run (the adopter already
+    /// owns the cleanup) and `false` is returned.
+    pub fn release_with(&self, claim: SlotClaim, teardown: impl FnOnce()) -> bool {
+        let entry = &self.slots[claim.index];
+        let mut beacon = entry.beacon.lock();
+        if entry.gen.load(Ordering::Relaxed) != claim.gen {
+            return false;
+        }
+        debug_assert_eq!(entry.state.load(Ordering::Relaxed), CLAIMED);
+        teardown();
+        *beacon = None;
+        entry.state.store(FREE, Ordering::Release);
+        true
+    }
+
+    /// Whether the slot currently carries reservations a reclaimer must
+    /// honour: claimed by a handle, or mid-adoption (the dead owner's
+    /// reservations may not be neutralized yet).  Poisoned slots are *not*
+    /// claimed: no future acknowledgement can come from them.
     #[inline]
     pub fn is_claimed(&self, idx: usize) -> bool {
-        self.used[idx].load(Ordering::Acquire)
+        matches!(
+            self.slots[idx].state.load(Ordering::Acquire),
+            CLAIMED | ADOPTING
+        )
+    }
+
+    /// Current generation of a slot.
+    #[inline]
+    pub fn generation(&self, idx: usize) -> u64 {
+        self.slots[idx].gen.load(Ordering::Relaxed)
+    }
+
+    /// Asserts that `claim` still owns its slot; called by schemes on every
+    /// `pin`.  Panics when the slot was adopted: the handle outlived the
+    /// thread that registered it, and continuing would publish reservations
+    /// into a slot that has been neutralized (and possibly re-claimed).
+    #[inline]
+    pub fn check_owner(&self, claim: SlotClaim) {
+        if self.generation(claim.index) != claim.gen {
+            panic!(
+                "SMR handle used after its slot was adopted: the registering \
+                 thread exited while the handle was still live (slot {})",
+                claim.index
+            );
+        }
+    }
+
+    /// Attempts to start adopting slot `idx`: succeeds only when the slot is
+    /// claimed and its owner's beacon has fired (the thread exited without
+    /// releasing).  At most one adopter wins; the returned guard holds the
+    /// slot in the `ADOPTING` state until [`AdoptGuard::finish`] or
+    /// [`AdoptGuard::poison`] (dropping the guard without either, e.g. on a
+    /// panicking adopter, reverts the slot to claimed so adoption is retried).
+    pub fn try_begin_adopt(&self, idx: usize) -> Option<AdoptGuard<'_>> {
+        let entry = &self.slots[idx];
+        if entry.state.load(Ordering::Acquire) != CLAIMED {
+            return None;
+        }
+        let beacon = entry.beacon.try_lock()?;
+        if !beacon.as_ref().is_some_and(|b| b.has_exited()) {
+            return None;
+        }
+        entry
+            .state
+            .compare_exchange(CLAIMED, ADOPTING, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()?;
+        Some(AdoptGuard {
+            entry,
+            beacon,
+            done: false,
+        })
+    }
+
+    /// Number of permanently poisoned slots (diagnostic).
+    pub fn poisoned(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|e| e.state.load(Ordering::Relaxed) == POISONED)
+            .count()
+    }
+}
+
+/// Exclusive license to tear down one orphaned slot; see
+/// [`SlotRegistry::try_begin_adopt`].
+pub struct AdoptGuard<'a> {
+    entry: &'a SlotEntry,
+    beacon: MutexGuard<'a, Option<Arc<Beacon>>>,
+    done: bool,
+}
+
+impl AdoptGuard<'_> {
+    /// Completes the adoption: the dead owner's reservations were neutralized
+    /// and its retire vault drained, so the slot returns to the free pool.
+    pub fn finish(mut self) {
+        *self.beacon = None;
+        self.entry.gen.fetch_add(1, Ordering::Relaxed);
+        self.entry.state.store(FREE, Ordering::Release);
+        self.done = true;
+    }
+
+    /// Completes the adoption by permanently retiring the slot: its
+    /// reservations cannot be soundly neutralized (the owner died inside a
+    /// critical section under a scheme where the acknowledgement boundary is
+    /// unknowable), so reclaimers must stop waiting on it *and* the slot must
+    /// never be handed out again.
+    pub fn poison(mut self) {
+        *self.beacon = None;
+        self.entry.gen.fetch_add(1, Ordering::Relaxed);
+        self.entry.state.store(POISONED, Ordering::Release);
+        self.done = true;
+    }
+}
+
+impl Drop for AdoptGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Adoption abandoned (adopter panicked): make it retryable.
+            self.entry.state.store(CLAIMED, Ordering::Release);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::Arc as StdArc;
 
     #[test]
     fn claim_release_recycles() {
         let r = SlotRegistry::new(2);
         let a = r.claim();
         let b = r.claim();
-        assert_ne!(a, b);
-        assert!(r.is_claimed(a));
-        r.release(a);
-        assert!(!r.is_claimed(a));
+        assert_ne!(a.index, b.index);
+        assert!(r.is_claimed(a.index));
+        assert!(r.release(a));
+        assert!(!r.is_claimed(a.index));
         let c = r.claim();
-        assert_eq!(c, a);
-        r.release(b);
-        r.release(c);
+        assert_eq!(c.index, a.index);
+        assert!(c.gen > a.gen, "re-claim must bump the generation");
+        assert!(r.release(b));
+        assert!(r.release(c));
     }
 
     #[test]
@@ -104,27 +346,109 @@ mod tests {
         assert_eq!(r.capacity(), 2);
         let a = r.try_claim().unwrap();
         let b = r.try_claim().unwrap();
-        assert_ne!(a, b);
-        assert_eq!(r.try_claim(), None);
-        r.release(a);
-        assert_eq!(r.try_claim(), Some(a));
-        r.release(a);
-        r.release(b);
+        assert_ne!(a.index, b.index);
+        assert!(r.try_claim().is_none());
+        assert!(r.release(a));
+        assert_eq!(r.try_claim().map(|c| c.index), Some(a.index));
+        let a2 = SlotClaim {
+            index: a.index,
+            gen: r.generation(a.index),
+        };
+        assert!(r.release(a2));
+        assert!(r.release(b));
     }
 
     #[test]
     fn concurrent_claims_are_unique() {
-        let r = Arc::new(SlotRegistry::new(64));
+        let r = StdArc::new(SlotRegistry::new(64));
         let mut joins = Vec::new();
         for _ in 0..8 {
             let r = r.clone();
             joins.push(std::thread::spawn(move || {
-                (0..8).map(|_| r.claim()).collect::<Vec<_>>()
+                (0..8).map(|_| r.claim().index).collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<usize> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 64, "no slot may be handed out twice");
+    }
+
+    #[test]
+    fn live_owner_cannot_be_adopted() {
+        let r = SlotRegistry::new(2);
+        let a = r.claim();
+        // This thread is alive: its beacon has not fired.
+        assert!(r.try_begin_adopt(a.index).is_none());
+        assert!(r.release(a));
+    }
+
+    #[test]
+    fn dead_owner_is_adoptable_and_stale_release_is_a_no_op() {
+        let r = StdArc::new(SlotRegistry::new(2));
+        let claim = {
+            let r = r.clone();
+            std::thread::spawn(move || r.claim())
+                .join()
+                .expect("claiming thread must not panic")
+        };
+        // The claiming thread has exited; its beacon fired with the slot
+        // still claimed.
+        assert!(r.is_claimed(claim.index));
+        let adoption = r
+            .try_begin_adopt(claim.index)
+            .expect("dead owner's slot must be adoptable");
+        adoption.finish();
+        assert!(!r.is_claimed(claim.index));
+        // The original claim is stale now: releasing it must not free the
+        // slot a second time.
+        assert!(!r.release(claim));
+        // And the slot is reusable.
+        let again = r.try_claim().unwrap();
+        assert_eq!(again.index, claim.index);
+        assert!(again.gen > claim.gen);
+        assert!(r.release(again));
+    }
+
+    #[test]
+    fn adoption_is_exclusive_and_abandonment_reverts() {
+        let r = StdArc::new(SlotRegistry::new(1));
+        let claim = {
+            let r = r.clone();
+            std::thread::spawn(move || r.claim()).join().unwrap()
+        };
+        let first = r.try_begin_adopt(claim.index).unwrap();
+        // While one adopter holds the slot, a second cannot begin.
+        assert!(r.try_begin_adopt(claim.index).is_none());
+        // Abandoning (adopter panic) reverts to claimed, so it is retried.
+        drop(first);
+        assert!(r.is_claimed(claim.index));
+        r.try_begin_adopt(claim.index).unwrap().finish();
+    }
+
+    #[test]
+    fn poisoned_slot_is_neither_claimed_nor_reusable() {
+        let r = StdArc::new(SlotRegistry::new(1));
+        let claim = {
+            let r = r.clone();
+            std::thread::spawn(move || r.claim()).join().unwrap()
+        };
+        r.try_begin_adopt(claim.index).unwrap().poison();
+        assert!(!r.is_claimed(claim.index));
+        assert_eq!(r.poisoned(), 1);
+        // The sole slot is poisoned: the table is effectively exhausted.
+        assert!(r.try_claim().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot was adopted")]
+    fn stale_pin_panics_instead_of_publishing() {
+        let r = StdArc::new(SlotRegistry::new(1));
+        let claim = {
+            let r = r.clone();
+            std::thread::spawn(move || r.claim()).join().unwrap()
+        };
+        r.try_begin_adopt(claim.index).unwrap().finish();
+        r.check_owner(claim);
     }
 }

@@ -34,7 +34,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::SlotRegistry;
+use crate::registry::{SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -68,6 +68,9 @@ pub struct Vbr {
     slots: Box<[CachePadded<VbrSlot>]>,
     unreclaimed: ShardedCounter,
     pool: Arc<PoolShared>,
+    /// Per-slot FIFO recycle queues, domain-owned so a dead thread's queue is
+    /// adoptable (see [`Vbr::adopt_orphans`]).
+    vaults: Box<[Mutex<VecDeque<Retired>>]>,
     /// Recycle entries inherited from threads that deregistered before their
     /// entries became eligible.
     orphans: Mutex<Vec<Retired>>,
@@ -93,6 +96,9 @@ impl Smr for Vbr {
             slots,
             unreclaimed: ShardedCounter::new(config.max_threads),
             pool: PoolShared::new(config.pool_blocks(), config.max_threads),
+            vaults: (0..config.max_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             orphans: Mutex::new(Vec::new()),
             displacements: AtomicU64::new(0),
             config,
@@ -100,15 +106,16 @@ impl Smr for Vbr {
     }
 
     fn try_register(self: &Arc<Self>) -> Result<VbrHandle, SmrError> {
-        let slot = self.registry.try_claim().ok_or(SmrError::RegistryFull {
+        let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
-        self.slots[slot].epoch.store(INACTIVE, Ordering::Relaxed);
+        self.slots[claim.index]
+            .epoch
+            .store(INACTIVE, Ordering::Relaxed);
         Ok(VbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
-            slot,
-            recycle: VecDeque::new(),
+            claim,
             alloc_count: 0,
             retire_count: 0,
         })
@@ -165,6 +172,36 @@ impl Vbr {
         }
     }
 
+    /// Drains the recycle queue of slot `vault_idx`, charging frees to the
+    /// drainer's counter shard.
+    fn drain_vault(&self, vault_idx: usize, counter_slot: usize, pool: &mut BlockPool) {
+        let mut vault = self.vaults[vault_idx].lock();
+        if !vault.is_empty() {
+            self.drain(&mut vault, counter_slot, pool);
+        }
+    }
+
+    /// Adopts slots abandoned by dead threads: clears the dead thread's
+    /// epoch announcement (sound — the owner can issue no further loads) and
+    /// moves its recycle queue into the orphan list.
+    fn adopt_orphans(&self, my_slot: usize, pool: &mut BlockPool) {
+        for i in 0..self.registry.capacity() {
+            if i == my_slot {
+                continue;
+            }
+            if let Some(adoption) = self.registry.try_begin_adopt(i) {
+                self.slots[i].epoch.store(INACTIVE, Ordering::SeqCst);
+                let mut vault = self.vaults[i].lock();
+                if !vault.is_empty() {
+                    self.orphans.lock().extend(vault.drain(..));
+                }
+                drop(vault);
+                adoption.finish();
+            }
+        }
+        self.drain_orphans(my_slot, pool);
+    }
+
     /// Adopts and drains orphaned recycle entries left by deregistered
     /// threads.  Orphans lose their FIFO ordering guarantee (several queues
     /// may have been appended), so this path re-checks every entry.
@@ -198,6 +235,11 @@ impl Vbr {
 
 impl Drop for Vbr {
     fn drop(&mut self) {
+        for vault in self.vaults.iter() {
+            for r in vault.lock().drain(..) {
+                unsafe { r.free() };
+            }
+        }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
             unsafe { r.free() };
@@ -208,10 +250,7 @@ impl Drop for Vbr {
 /// Per-thread handle for [`Vbr`].
 pub struct VbrHandle {
     domain: Arc<Vbr>,
-    slot: usize,
-    /// FIFO recycle queue: pushed at retire, released from the front once the
-    /// two-epoch displacement bound allows.
-    recycle: VecDeque<Retired>,
+    claim: SlotClaim,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -224,7 +263,8 @@ impl SmrHandle for VbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> VbrGuard<'_> {
-        let slot = &self.domain.slots[self.slot];
+        self.domain.registry.check_owner(self.claim);
+        let slot = &self.domain.slots[self.claim.index];
         let op_epoch = loop {
             let e = self.domain.global_epoch.load(Ordering::SeqCst);
             slot.epoch.store(e, Ordering::SeqCst);
@@ -239,28 +279,32 @@ impl SmrHandle for VbrHandle {
     }
 
     fn flush(&mut self) {
+        let idx = self.claim.index;
         let domain = self.domain.clone();
-        domain.drain(&mut self.recycle, self.slot, &mut self.pool);
-        domain.drain_orphans(self.slot, &mut self.pool);
-        if !self.recycle.is_empty() {
+        domain.drain_vault(idx, idx, &mut self.pool);
+        domain.adopt_orphans(idx, &mut self.pool);
+        if !domain.vaults[idx].lock().is_empty() {
             // Entries retired at the current epoch need the epoch to move two
             // ticks before any quiescent observer may release them.
             domain.global_epoch.fetch_add(1, Ordering::SeqCst);
-            domain.drain(&mut self.recycle, self.slot, &mut self.pool);
+            domain.drain_vault(idx, idx, &mut self.pool);
         }
     }
 }
 
 impl Drop for VbrHandle {
     fn drop(&mut self) {
-        let slot = &self.domain.slots[self.slot];
-        slot.epoch.store(INACTIVE, Ordering::SeqCst);
         let domain = self.domain.clone();
-        domain.drain(&mut self.recycle, self.slot, &mut self.pool);
-        if !self.recycle.is_empty() {
-            self.domain.orphans.lock().extend(self.recycle.drain(..));
-        }
-        self.domain.registry.release(self.slot);
+        domain.drain_vault(self.claim.index, self.claim.index, &mut self.pool);
+        domain.registry.release_with(self.claim, || {
+            domain.slots[self.claim.index]
+                .epoch
+                .store(INACTIVE, Ordering::SeqCst);
+            let mut vault = domain.vaults[self.claim.index].lock();
+            if !vault.is_empty() {
+                domain.orphans.lock().extend(vault.drain(..));
+            }
+        });
     }
 }
 
@@ -273,7 +317,9 @@ pub struct VbrGuard<'g> {
 
 impl Drop for VbrGuard<'_> {
     fn drop(&mut self) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        // Deactivating the epoch announcement on drop also covers panicking
+        // operations (RAII unwind safety).
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         slot.epoch.store(INACTIVE, Ordering::Release);
     }
 }
@@ -324,30 +370,28 @@ impl SmrGuard for VbrGuard<'_> {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
         let retired = Retired::from_value(value);
-        let epoch = self.handle.domain.global_epoch.load(Ordering::Relaxed);
+        let handle = &mut *self.handle;
+        let epoch = handle.domain.global_epoch.load(Ordering::Relaxed);
         (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed);
-        self.handle.recycle.push_back(retired);
-        self.handle.retire_count += 1;
-        self.handle.domain.unreclaimed.add(self.handle.slot, 1);
-        if self
-            .handle
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.push_back(retired);
+            vault.len()
+        };
+        handle.retire_count += 1;
+        handle.domain.unreclaimed.add(slot, 1);
+        if handle
             .retire_count
-            .is_multiple_of(self.handle.domain.config.epoch_freq())
+            .is_multiple_of(handle.domain.config.epoch_freq())
         {
-            self.handle
-                .domain
-                .global_epoch
-                .fetch_add(1, Ordering::SeqCst);
+            handle.domain.global_epoch.fetch_add(1, Ordering::SeqCst);
         }
-        if self.handle.recycle.len() >= self.handle.domain.config.scan_threshold {
-            let domain = self.handle.domain.clone();
-            domain.drain(
-                &mut self.handle.recycle,
-                self.handle.slot,
-                &mut self.handle.pool,
-            );
-            domain.drain_orphans(self.handle.slot, &mut self.handle.pool);
-            if self.handle.recycle.len() >= self.handle.domain.config.scan_threshold {
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.drain_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
+            if domain.vaults[slot].lock().len() >= domain.config.scan_threshold {
                 // Still blocked: advance the epoch so lagging readers trip
                 // the displacement bound and re-announce.
                 domain.global_epoch.fetch_add(1, Ordering::SeqCst);
@@ -367,7 +411,7 @@ impl SmrGuard for VbrGuard<'_> {
 
     #[inline]
     fn checkpoint(&mut self) {
-        let slot = &self.handle.domain.slots[self.handle.slot];
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
         self.op_epoch = loop {
             let e = self.handle.domain.global_epoch.load(Ordering::SeqCst);
             slot.epoch.store(e, Ordering::SeqCst);
@@ -545,13 +589,42 @@ mod tests {
         }
         assert_eq!(d.unreclaimed(), 4);
         let domain = d.clone();
-        domain.drain(&mut worker.recycle, worker.slot, &mut worker.pool);
+        domain.drain_vault(worker.claim.index, worker.claim.index, &mut worker.pool);
         assert_eq!(
             d.unreclaimed(),
             2,
             "the pre-pin prefix drains, the reader-epoch suffix stays"
         );
         drop(g);
+    }
+
+    #[test]
+    fn leaked_handle_on_dead_thread_is_adopted() {
+        let d = Vbr::new(small_config());
+        let dd = d.clone();
+        std::thread::spawn(move || {
+            let mut h = dd.register();
+            {
+                let mut g = h.pin();
+                for i in 0..3u64 {
+                    let p = g.alloc(i);
+                    unsafe { g.retire(p) };
+                }
+            }
+            // Simulate a thread dying without unwinding its handle.
+            std::mem::forget(h);
+        })
+        .join()
+        .unwrap();
+        let mut survivor = d.register();
+        for _ in 0..8 {
+            survivor.flush();
+        }
+        assert_eq!(
+            d.unreclaimed(),
+            0,
+            "a survivor must adopt and drain the dead thread's recycle queue"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn tiny() -> ExperimentOptions {
         scale_large_range: 50_000,
         value_bytes: 16,
         scan_lens: vec![8],
+        faults: vec![scot_harness::FaultKind::ThreadDeath],
     }
 }
 
@@ -109,6 +110,23 @@ fn cache_experiment_reads_values_under_every_scheme() {
     for r in &results {
         assert!(r.ops > 0, "cache idle: {} under {}", r.ds, r.smr);
         assert_eq!(r.ds, "HashMap");
+    }
+}
+
+#[test]
+fn faults_experiment_flows_through_run_experiment() {
+    // The faults preset is reachable through the generic `run_experiment`
+    // entry point like every other preset, projecting each fault cell onto
+    // the common result shape (baseline → avg, peak → max unreclaimed).
+    let results = run_experiment("faults", &tiny(), |_| {}).unwrap();
+    assert_eq!(results.len(), SmrKind::ALL.len()); // 1 structure × 1 fault
+    for r in &results {
+        assert!(r.ops > 0, "faults idle: {} under {}", r.ds, r.smr);
+        assert!(
+            r.max_unreclaimed.is_some(),
+            "fault cells must report peak unreclaimed ({})",
+            r.smr
+        );
     }
 }
 
