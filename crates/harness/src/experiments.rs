@@ -522,14 +522,18 @@ fn robust_cell(smr: &str) -> &'static str {
 
 /// Renders the fault-injection verdict table: peak/steady unreclaimed per
 /// scheme × structure per fault class, the bound each peak was judged
-/// against, and the verdict.  Ends with a one-line claim-violation summary.
+/// against, and the verdict.  The `pool-leak` column is the thread-death
+/// blind spot made visible: blocks stranded in dead victims' leaked pool
+/// caches, which `residual`/`drained` cannot see
+/// ([`FaultReport::pool_leak_bound`]).  Ends with a one-line claim-violation
+/// summary.
 pub fn faults_table(reports: &[FaultReport]) -> String {
     let mut out = String::new();
     out.push_str(
         "Fault-injection robustness: bounded peak unreclaimed per scheme x structure x fault\n",
     );
     out.push_str(&format!(
-        "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}  {}\n",
+        "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}{:>10}  {}\n",
         "structure",
         "scheme",
         "fault",
@@ -539,11 +543,12 @@ pub fn faults_table(reports: &[FaultReport]) -> String {
         "bound",
         "residual",
         "drained",
+        "pool-leak",
         "verdict"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}  {}\n",
+            "{:<10}{:<8}{:<18}{:>7}{:>10}{:>10}{:>10}{:>10}{:>9}{:>10}  {}\n",
             r.ds,
             r.smr,
             r.fault,
@@ -553,6 +558,11 @@ pub fn faults_table(reports: &[FaultReport]) -> String {
             r.bound,
             r.residual,
             if r.drained { "yes" } else { "no" },
+            if r.pool_leak_bound > 0 {
+                format!("<={}", r.pool_leak_bound)
+            } else {
+                "0".to_string()
+            },
             r.verdict,
         ));
     }
@@ -1032,6 +1042,11 @@ mod tests {
             residual: 0,
             drained: true,
             bound,
+            pool_leak_bound: if fault == FaultKind::ThreadDeath {
+                256
+            } else {
+                0
+            },
             bounded: peak <= bound,
             verdict: if peak <= bound {
                 "bounded".into()
@@ -1052,6 +1067,7 @@ mod tests {
         let table = faults_table(&reports);
         assert!(table.contains("reader-stall"));
         assert!(table.contains("bounded"));
+        assert!(table.contains("pool-leak"));
         assert!(table.contains("grows (+89990)"));
         assert!(table.contains("robust"));
         // EBR exceeding the bound is expected behaviour, not a violation of
@@ -1087,6 +1103,8 @@ mod tests {
         assert!(path.ends_with("BENCH_faults.json"));
         assert!(body.contains("\"is_robust\""));
         assert!(body.contains("\"verdict\""));
+        assert!(body.contains("\"pool_leak_bound\": 256"));
+        assert!(faults_table(&reports).contains("<=256"));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -31,6 +31,15 @@
 //! schemes must stay under it through every fault class, non-robust schemes
 //! are expected to exceed it under reader stalls — and the table shows by how
 //! much, instead of crashing or wedging the process.
+//!
+//! One measurement blind spot is deliberate: a [`FaultKind::ThreadDeath`]
+//! victim leaks its handle, and with it the handle's per-thread block-pool
+//! cache.  Pooled blocks are *recycled capacity*, not live garbage — they
+//! left the `unreclaimed` count the moment they were reclaimed into the pool
+//! — so a drain can legitimately report zero while up to
+//! `victims × pool_blocks` cached blocks went out with the dead handles.
+//! Rather than silently fold that into the verdict, each report carries the
+//! worst case explicitly as [`FaultReport::pool_leak_bound`].
 
 use crate::workload::{
     op_loop, prefill, smr_config, with_target, DsKind, FastRng, RunConfig, Target,
@@ -61,7 +70,9 @@ pub enum FaultKind {
     ReaderStall,
     /// A thread retires some nodes and then exits without releasing its
     /// handle (the handle is leaked), orphaning its registry slot and its
-    /// retire list.  Recovery depends on orphan adoption.
+    /// retire list.  Recovery depends on orphan adoption.  The leaked
+    /// handle also strands its block-pool cache — bounded, and reported
+    /// separately as [`FaultReport::pool_leak_bound`].
     ThreadDeath,
     /// A thread repeatedly panics in the middle of operations (rotating
     /// through get/insert/remove/scan) with a guard live; the unwind must
@@ -511,6 +522,13 @@ pub struct FaultReport {
     pub drained: bool,
     /// The bound `peak` was judged against ([`robustness_bound`]).
     pub bound: usize,
+    /// Worst-case blocks stranded in dead victims' leaked block-pool caches
+    /// (`victims × pool_blocks` for [`FaultKind::ThreadDeath`] with the pool
+    /// enabled, zero otherwise).  Pooled blocks are recycled capacity that
+    /// already left the `unreclaimed` count, so they are invisible to
+    /// `residual`/`drained` — this field makes the blind spot explicit
+    /// instead of letting `drained` over-claim.
+    pub pool_leak_bound: usize,
     /// `peak <= bound`.
     pub bounded: bool,
     /// Human-readable verdict: `bounded`, `grows (+N)`, `undrained (N left)`,
@@ -557,6 +575,14 @@ pub fn run_fault_scenario(
         (t.run_faults)(cfg, &plan)
     });
     let bound = robustness_bound(smr, cfg.threads, actors, cfg.pool, out.baseline);
+    // Dead victims leak their handles, and with them their block-pool
+    // caches; those blocks are pool capacity, not tracked garbage, so the
+    // drain cannot see them.  Surface the worst case alongside the verdict.
+    let pool_leak_bound = if plan.kind == FaultKind::ThreadDeath {
+        plan.victims * smr_config(smr, capacity_threads, cfg.pool).pool_blocks()
+    } else {
+        0
+    };
     let bounded = out.peak <= bound;
     let growth = out.peak.saturating_sub(out.baseline);
     let verdict = if smr == SmrKind::Nr {
@@ -581,6 +607,7 @@ pub fn run_fault_scenario(
         residual: out.residual,
         drained: out.drained,
         bound,
+        pool_leak_bound,
         bounded,
         verdict,
         ops: out.ops,
@@ -723,6 +750,33 @@ mod tests {
                 r.residual
             );
         }
+    }
+
+    /// The pool-cache blind spot is reported, not hidden: thread-death cells
+    /// carry the worst-case count of blocks stranded in the dead victims'
+    /// leaked pool caches, and every other configuration reports zero.
+    #[test]
+    fn thread_death_reports_pool_leak_bound() {
+        let cfg = test_cfg(1, 64);
+        let plan = micro_plan(FaultKind::ThreadDeath);
+        let r = run_fault_scenario(DsKind::ListLf, SmrKind::Hp, &cfg, &plan);
+        let per_handle =
+            smr_config(SmrKind::Hp, cfg.threads + plan.victims + 1, cfg.pool).pool_blocks();
+        assert!(per_handle > 0, "pooled config must cache blocks");
+        assert_eq!(r.pool_leak_bound, plan.victims * per_handle);
+
+        let mut no_pool = cfg.clone();
+        no_pool.pool = false;
+        let r = run_fault_scenario(DsKind::ListLf, SmrKind::Hp, &no_pool, &plan);
+        assert_eq!(r.pool_leak_bound, 0, "no pool, nothing to strand");
+
+        let r = run_fault_scenario(
+            DsKind::ListLf,
+            SmrKind::Hp,
+            &cfg,
+            &micro_plan(FaultKind::ReaderStall),
+        );
+        assert_eq!(r.pool_leak_bound, 0, "stalled readers keep their handles");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -89,6 +89,7 @@ impl Smr for Ebr {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
         })
     }
 
@@ -211,6 +212,7 @@ impl Drop for Ebr {
 pub struct EbrHandle {
     domain: Arc<Ebr>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
 }
 
@@ -230,7 +232,9 @@ impl SmrHandle for EbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> EbrGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         let slot = &self.domain.slots[self.claim.index];
         // Publish the epoch we observed and confirm it is still current; if it
         // moved we re-announce so we never run a critical section under an
@@ -242,7 +246,10 @@ impl SmrHandle for EbrHandle {
                 break;
             }
         }
-        EbrGuard { handle: self }
+        EbrGuard {
+            handle: self,
+            _thread_bound: std::marker::PhantomData,
+        }
     }
 
     fn flush(&mut self) {
@@ -272,6 +279,12 @@ impl Drop for EbrHandle {
 /// Critical-section guard for [`Ebr`].
 pub struct EbrGuard<'g> {
     handle: &'g mut EbrHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
 }
 
 impl Drop for EbrGuard<'_> {

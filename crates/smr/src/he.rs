@@ -19,7 +19,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -87,6 +87,7 @@ impl Smr for He {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
             alloc_count: 0,
             retire_count: 0,
         })
@@ -232,6 +233,7 @@ impl Drop for He {
 pub struct HeHandle {
     domain: Arc<He>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -244,8 +246,13 @@ impl SmrHandle for HeHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HeGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
-        HeGuard { handle: self }
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
+        HeGuard {
+            handle: self,
+            _thread_bound: std::marker::PhantomData,
+        }
     }
 
     fn flush(&mut self) {
@@ -274,6 +281,12 @@ impl Drop for HeHandle {
 /// Critical-section guard for [`He`].
 pub struct HeGuard<'g> {
     handle: &'g mut HeHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
 }
 
 impl Drop for HeGuard<'_> {

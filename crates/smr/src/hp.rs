@@ -36,7 +36,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind, MAX_HAZARDS};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -101,6 +101,7 @@ impl Smr for Hp {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
         })
     }
 
@@ -242,6 +243,7 @@ impl Drop for Hp {
 pub struct HpHandle {
     domain: Arc<Hp>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
 }
 
@@ -252,12 +254,15 @@ impl SmrHandle for HpHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HpGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         // Hazard pointers have no notion of a critical section: protection is
         // entirely per-pointer, so `pin` publishes nothing.
         HpGuard {
             handle: self,
             used: 0,
+            _thread_bound: std::marker::PhantomData,
         }
     }
 
@@ -289,6 +294,12 @@ impl Drop for HpHandle {
 /// Critical-section guard for [`Hp`].
 pub struct HpGuard<'g> {
     handle: &'g mut HpHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
     /// Bitmask of hazard slots this guard published; cleared on drop so a
     /// panicking operation releases its protections (RAII unwind safety).
     used: u8,
@@ -539,6 +550,72 @@ mod tests {
                  vault (snapshot={snapshot})"
             );
         }
+    }
+
+    #[test]
+    fn moved_handle_survives_registrant_death() {
+        // The use-after-free scenario from the moved-handle report: a handle
+        // is registered on thread A, moved to this thread, and A exits.  The
+        // first pin here re-binds the slot's beacon to this (live) thread, so
+        // a reclaiming peer must NOT adopt the slot and must keep honouring
+        // the hazards this thread publishes through the moved handle.
+        for snapshot in [false, true] {
+            let d = Hp::new(config(snapshot));
+            let mut moved = {
+                let d = d.clone();
+                std::thread::spawn(move || d.register()).join().unwrap()
+            };
+            // Registrant is dead; pin from here before anyone adopts.
+            let mut g = moved.pin();
+            let target = {
+                let p = g.alloc(77u64);
+                let cell = Atomic::new(p);
+                let seen = g.protect(0, &cell);
+                assert_eq!(seen, p);
+                p
+            };
+            // A peer retires the protected node plus a storm of garbage and
+            // sweeps (which also attempts orphan adoption).  Without pin-time
+            // re-binding this would adopt our slot, wipe hazard 0, and free
+            // `target` while we still hold a reference to it.
+            let mut worker = d.register();
+            {
+                let mut wg = worker.pin();
+                unsafe { wg.retire(target) };
+                for i in 0..64u64 {
+                    let p = wg.alloc(i);
+                    unsafe { wg.retire(p) };
+                }
+            }
+            worker.flush();
+            assert_eq!(
+                d.unreclaimed(),
+                1,
+                "protected node must survive adoption attempts \
+                 (snapshot={snapshot})"
+            );
+            unsafe { assert_eq!(*target.as_ptr(), 77, "snapshot={snapshot}") };
+            drop(g);
+            worker.flush();
+            assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot was adopted")]
+    fn moved_handle_pin_after_adoption_panics() {
+        // The lossy window: the handle moved off the registering thread and
+        // that thread died BEFORE the handle's first pin here.  A survivor
+        // adopts the slot; the handle's next pin must panic, not publish
+        // hazards into the recycled slot.
+        let d = Hp::new(config(false));
+        let mut moved = {
+            let d = d.clone();
+            std::thread::spawn(move || d.register()).join().unwrap()
+        };
+        let mut survivor = d.register();
+        survivor.flush(); // adopts the orphaned slot
+        let _ = moved.pin();
     }
 
     #[test]

@@ -66,7 +66,7 @@
 use crate::block::{header_of, Header};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -173,6 +173,7 @@ impl Smr for Hyaline {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
             alloc_count: 0,
         })
     }
@@ -415,6 +416,7 @@ impl Drop for Hyaline {
 pub struct HyalineHandle {
     domain: Arc<Hyaline>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
     alloc_count: usize,
 }
@@ -426,7 +428,9 @@ impl SmrHandle for HyalineHandle {
         Self: 'g;
 
     fn pin(&mut self) -> HyalineGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         let slot = &self.domain.slots[self.claim.index];
         let era = self.domain.global_era.load(Ordering::SeqCst);
         slot.era.store(era, Ordering::SeqCst);
@@ -439,6 +443,7 @@ impl SmrHandle for HyalineHandle {
             handle: self,
             entry_addr,
             cached_era: era,
+            _thread_bound: std::marker::PhantomData,
         }
     }
 
@@ -464,6 +469,12 @@ impl Drop for HyalineHandle {
 /// Critical-section guard for [`Hyaline`].
 pub struct HyalineGuard<'g> {
     handle: &'g mut HyalineHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
     /// Slot-list head address observed atomically when entering; the
     /// traversal boundary for leave-time acknowledgements.
     entry_addr: usize,

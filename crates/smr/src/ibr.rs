@@ -17,7 +17,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -88,6 +88,7 @@ impl Smr for Ibr {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
             alloc_count: 0,
             retire_count: 0,
         })
@@ -226,6 +227,7 @@ impl Drop for Ibr {
 pub struct IbrHandle {
     domain: Arc<Ibr>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -238,7 +240,9 @@ impl SmrHandle for IbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> IbrGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         let slot = &self.domain.slots[self.claim.index];
         let era = self.domain.global_era.load(Ordering::SeqCst);
         slot.upper.store(era, Ordering::SeqCst);
@@ -246,6 +250,7 @@ impl SmrHandle for IbrHandle {
         IbrGuard {
             cached_upper: era,
             handle: self,
+            _thread_bound: std::marker::PhantomData,
         }
     }
 
@@ -275,6 +280,12 @@ impl Drop for IbrHandle {
 /// Critical-section guard for [`Ibr`].
 pub struct IbrGuard<'g> {
     handle: &'g mut IbrHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
     /// Local cache of the published `upper`, avoiding an atomic load per
     /// protect call on the fast path.
     cached_upper: u64,

@@ -75,7 +75,7 @@ pub use nbr::Nbr;
 pub use nr::Nr;
 pub use pool::{BlockPool, PoolShared, ShardedCounter};
 pub use ptr::{Atomic, Link, Shared, TAG_MASK};
-pub use registry::{thread_beacon, AdoptGuard, Beacon, SlotClaim, SlotRegistry};
+pub use registry::{thread_beacon, AdoptGuard, Beacon, PinBinding, SlotClaim, SlotRegistry};
 pub use vbr::Vbr;
 
 use std::sync::Arc;
@@ -337,7 +337,21 @@ impl SmrConfig {
 /// structures whose nodes may reference each other).
 ///
 /// Domains are reference counted (`Arc`) so per-thread handles can be moved
-/// freely into worker threads without borrowing the data structure.
+/// into worker threads without borrowing the data structure.
+///
+/// # Thread affinity of handles
+///
+/// Handles are `Send`, and moving one to another thread is supported: every
+/// [`SmrHandle::pin`] re-binds the handle's registry slot to the liveness
+/// beacon of the *pinning* thread (see [`registry`]), so orphan detection
+/// tracks the thread actually using the handle, not the one that happened to
+/// call [`Smr::register`].  The one unsupported pattern is a handle *parked
+/// between pins* whose most recent pinning thread (or registering thread, if
+/// it was never pinned) exits: a survivor may then adopt the slot — draining
+/// the handle's retired backlog and neutralizing its reservations — and the
+/// handle's next `pin` panics instead of publishing into the recycled slot.
+/// Guards, by contrast, are `!Send`: a critical section never leaves the
+/// thread that opened it (see [`SmrGuard`]).
 pub trait Smr: Send + Sync + Sized + 'static {
     /// Per-thread state: hazard slots, era reservations, limbo list.
     type Handle: SmrHandle + Send + 'static;
@@ -384,6 +398,18 @@ pub trait SmrHandle {
 
     /// Enters a critical section: publishes the epoch/era, makes the thread
     /// visible to reclaimers.  Dropping the guard leaves the critical section.
+    ///
+    /// Also re-binds the handle's slot to the calling thread's liveness
+    /// beacon (a pointer compare on the already-bound fast path; see
+    /// [`registry::SlotRegistry::check_owner_and_bind`]).
+    ///
+    /// # Panics
+    /// If the handle's slot was adopted by a surviving thread — the thread
+    /// that last pinned through this handle (or registered it, if it was
+    /// never pinned) exited while the handle sat unpinned on another thread.
+    /// The panic fires *before* any reservation is published, so an adopted
+    /// handle can never corrupt the domain; treat it as "this handle died
+    /// with its last thread, register a new one".
     fn pin(&mut self) -> Self::Guard<'_>;
 
     /// Forces a reclamation attempt (limbo scan / epoch advance), regardless
@@ -393,6 +419,24 @@ pub trait SmrHandle {
 
 /// Operations available inside a critical section.  The method set mirrors the
 /// paper's Figure 1 plus allocation and retirement.
+///
+/// Guards are `!Send` and `!Sync`: a guard *is* the pinning thread's read-side
+/// critical section, and the slot registry's orphan detection relies on the
+/// slot's liveness beacon tracking exactly that thread — a guard that crossed
+/// threads could have its protections neutralized the moment the pinning
+/// thread exits, while the new thread is still dereferencing through them.
+/// The compiler enforces this:
+///
+/// ```compile_fail
+/// use scot_smr::{Hp, Smr, SmrConfig, SmrHandle};
+///
+/// let domain = Hp::new(SmrConfig::default());
+/// let mut handle = domain.register();
+/// let guard = handle.pin();
+/// std::thread::scope(|s| {
+///     s.spawn(move || drop(guard)); // ERROR: guards are `!Send`
+/// });
+/// ```
 pub trait SmrGuard {
     /// Address of the reclamation domain this guard publishes its protections
     /// into.  Data structures use it as a brand: an operation handed a guard

@@ -25,7 +25,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -105,6 +105,7 @@ impl Smr for Nbr {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
         })
     }
 
@@ -244,6 +245,7 @@ impl Drop for Nbr {
 pub struct NbrHandle {
     domain: Arc<Nbr>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
 }
 
@@ -285,9 +287,14 @@ impl SmrHandle for NbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> NbrGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         self.announce_checkpoint();
-        NbrGuard { handle: self }
+        NbrGuard {
+            handle: self,
+            _thread_bound: std::marker::PhantomData,
+        }
     }
 
     fn flush(&mut self) {
@@ -323,6 +330,12 @@ impl Drop for NbrHandle {
 /// Critical-section guard for [`Nbr`].
 pub struct NbrGuard<'g> {
     handle: &'g mut NbrHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
 }
 
 impl Drop for NbrGuard<'_> {

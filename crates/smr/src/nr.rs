@@ -14,7 +14,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -48,6 +48,7 @@ impl Smr for Nr {
             pool: BlockPool::new(self.pool.clone(), self.pool_capacity),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
         })
     }
 
@@ -64,6 +65,7 @@ impl Smr for Nr {
 pub struct NrHandle {
     domain: Arc<Nr>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
 }
 
@@ -80,8 +82,13 @@ impl SmrHandle for NrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> NrGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
-        NrGuard { handle: self }
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
+        NrGuard {
+            handle: self,
+            _thread_bound: std::marker::PhantomData,
+        }
     }
 
     fn flush(&mut self) {
@@ -103,6 +110,12 @@ impl SmrHandle for NrHandle {
 /// Critical-section guard for [`Nr`]; every operation is a plain load.
 pub struct NrGuard<'g> {
     handle: &'g mut NrHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
 }
 
 impl SmrGuard for NrGuard<'_> {

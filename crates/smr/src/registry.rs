@@ -17,27 +17,36 @@
 //!
 //! Detection is based on a per-thread *liveness beacon*: an `Arc<Beacon>`
 //! owned by a thread-local whose destructor fires when the thread exits.
-//! [`SlotRegistry::try_claim`] captures the calling thread's beacon, so a
-//! claimed slot whose beacon has fired is provably dead — the owning thread
-//! cannot issue another load or store.  Surviving threads adopt such slots
-//! through [`SlotRegistry::try_begin_adopt`]: the scheme neutralizes the dead
-//! slot's reservations (safe precisely because the owner performs no further
-//! memory accesses), drains its retire vault, and either recycles the slot
-//! ([`AdoptGuard::finish`]) or permanently retires it ([`AdoptGuard::poison`],
-//! used by Hyaline when the owner died inside a critical section and its
-//! acknowledgement boundary is unknowable).
+//! Each claimed slot stores the beacon of the thread that most recently
+//! *used* the slot — [`SlotRegistry::try_claim`] installs the claiming
+//! thread's beacon, and every `pin` re-binds the slot to the pinning thread's
+//! beacon through [`SlotRegistry::check_owner_and_bind`] (handles are `Send`,
+//! so the thread that registered a handle is not necessarily the thread that
+//! pins through it).  A claimed slot whose *installed* beacon has fired is
+//! therefore provably dead: the last thread to pin through it cannot issue
+//! another load or store, and no guard can be live elsewhere because guards
+//! are `!Send` (they never leave the thread that pinned).  Surviving threads
+//! adopt such slots through [`SlotRegistry::try_begin_adopt`]: the scheme
+//! neutralizes the dead slot's reservations (safe precisely because no
+//! thread can still be using them), drains its retire vault, and either
+//! recycles the slot ([`AdoptGuard::finish`]) or permanently retires it
+//! ([`AdoptGuard::poison`], used by Hyaline when the owner died inside a
+//! critical section and its acknowledgement boundary is unknowable).
 //!
 //! Each claim carries a *generation* ([`SlotClaim::gen`]); adoption bumps it.
 //! A release with a stale generation is a no-op (the adopter already owns the
-//! cleanup), and schemes cross-check the generation on every `pin` so a handle
-//! whose slot was adopted out from under it — possible only when a handle is
-//! moved off the thread that registered it and that thread exits — panics
-//! loudly instead of publishing reservations into a recycled slot.
+//! cleanup).  The one lossy window is a handle *parked between pins* on a
+//! thread other than the one that last pinned it: if the last-pinning thread
+//! exits during that window, a survivor may adopt the slot, and the handle's
+//! next `pin` panics — under the slot mutex, *before* publishing any
+//! reservation — instead of scribbling on a neutralized (and possibly
+//! re-claimed) slot.
 //!
-//! Adoption, release, and claim of one slot serialize on the slot's beacon
-//! mutex; the state machine (`FREE → CLAIMED → {FREE | ADOPTING → {FREE |
-//! POISONED}}`) is advanced only while holding it, so exactly one party ever
-//! tears a claim down.
+//! Adoption, release, claim, and re-binding of one slot serialize on the
+//! slot's beacon mutex; the state machine (`FREE → CLAIMED → {FREE |
+//! ADOPTING → {FREE | POISONED}}`) is advanced only while holding it, so
+//! exactly one party ever tears a claim down, and a pin-time re-bind can
+//! never interleave with an in-flight adoption.
 
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -96,6 +105,35 @@ pub fn thread_beacon() -> Arc<Beacon> {
     LIVENESS
         .try_with(|owner| owner.0.clone())
         .unwrap_or_else(|_| Arc::new(Beacon::new()))
+}
+
+/// Handle-side cache of the beacon installed in the handle's slot.
+///
+/// Every scheme handle owns one, created on the registering thread (where
+/// [`SlotRegistry::try_claim`] installed that same thread's beacon) and kept
+/// in sync by [`SlotRegistry::check_owner_and_bind`] on every `pin`.  While
+/// the cached beacon is the *current* thread's live beacon, the slot cannot
+/// have been adopted — adoption requires the installed beacon to have fired —
+/// so the pin fast path is a single thread-local pointer compare with no
+/// atomics and no lock.
+pub struct PinBinding {
+    beacon: Arc<Beacon>,
+}
+
+impl PinBinding {
+    /// Binding for a slot claimed on the calling thread: captures the same
+    /// beacon [`SlotRegistry::try_claim`] just installed.
+    pub fn new() -> Self {
+        Self {
+            beacon: thread_beacon(),
+        }
+    }
+}
+
+impl Default for PinBinding {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Proof of a slot claim: the index plus the generation it was claimed at.
@@ -221,19 +259,53 @@ impl SlotRegistry {
         self.slots[idx].gen.load(Ordering::Relaxed)
     }
 
-    /// Asserts that `claim` still owns its slot; called by schemes on every
-    /// `pin`.  Panics when the slot was adopted: the handle outlived the
-    /// thread that registered it, and continuing would publish reservations
-    /// into a slot that has been neutralized (and possibly re-claimed).
+    /// Verifies that `claim` still owns its slot and binds the slot's
+    /// liveness beacon to the *calling* thread; schemes call this first thing
+    /// in every `pin`, before publishing any reservation.
+    ///
+    /// Fast path (the handle is pinned from the same thread as last time):
+    /// the cached beacon is the current thread's live beacon, which rules out
+    /// adoption entirely — no lock, no atomics.  Slow path (the handle moved
+    /// to a new thread): re-bind under the slot's beacon mutex, which
+    /// serializes against [`SlotRegistry::try_begin_adopt`], so either the
+    /// re-bind lands first (and the slot is no longer adoptable while the new
+    /// thread lives) or the adoption did, in which case this panics — with
+    /// nothing published yet, so nothing was torn out from under a live
+    /// traversal.
+    ///
+    /// # Panics
+    /// When the slot was adopted: the thread that last pinned through the
+    /// handle (or registered it, if it was never pinned) exited while the
+    /// handle was parked on another thread, and a survivor reclaimed the
+    /// slot.
     #[inline]
-    pub fn check_owner(&self, claim: SlotClaim) {
-        if self.generation(claim.index) != claim.gen {
+    pub fn check_owner_and_bind(&self, claim: SlotClaim, binding: &mut PinBinding) {
+        let bound_to_this_thread = LIVENESS
+            .try_with(|owner| Arc::ptr_eq(&owner.0, &binding.beacon))
+            .unwrap_or(false);
+        if !bound_to_this_thread {
+            self.rebind(claim, binding);
+        }
+    }
+
+    /// Slow path of [`SlotRegistry::check_owner_and_bind`]: the handle is
+    /// being pinned from a thread other than the one whose beacon is
+    /// installed in the slot.
+    #[cold]
+    fn rebind(&self, claim: SlotClaim, binding: &mut PinBinding) {
+        let entry = &self.slots[claim.index];
+        let current = thread_beacon();
+        let mut installed = entry.beacon.lock();
+        if entry.gen.load(Ordering::Relaxed) != claim.gen {
             panic!(
-                "SMR handle used after its slot was adopted: the registering \
-                 thread exited while the handle was still live (slot {})",
+                "SMR handle used after its slot was adopted: the thread that \
+                 last pinned through this handle exited while the handle was \
+                 parked on another thread (slot {})",
                 claim.index
             );
         }
+        *installed = Some(current.clone());
+        binding.beacon = current;
     }
 
     /// Attempts to start adopting slot `idx`: succeeds only when the slot is
@@ -444,11 +516,69 @@ mod tests {
     #[should_panic(expected = "slot was adopted")]
     fn stale_pin_panics_instead_of_publishing() {
         let r = StdArc::new(SlotRegistry::new(1));
-        let claim = {
+        let (claim, mut binding) = {
             let r = r.clone();
-            std::thread::spawn(move || r.claim()).join().unwrap()
+            std::thread::spawn(move || (r.claim(), PinBinding::new()))
+                .join()
+                .unwrap()
         };
         r.try_begin_adopt(claim.index).unwrap().finish();
-        r.check_owner(claim);
+        // The claiming thread died and a survivor adopted the slot before
+        // this thread's first pin: the pin must panic, not publish.
+        r.check_owner_and_bind(claim, &mut binding);
+    }
+
+    #[test]
+    fn pin_rebinds_moved_handle_and_blocks_adoption() {
+        // The moved-handle scenario from the UAF report: thread A claims,
+        // the claim moves to this thread, this thread pins, and only THEN
+        // does A exit.  Re-binding at pin must have made the slot track this
+        // thread's beacon, so A's death must not make the slot adoptable.
+        let r = StdArc::new(SlotRegistry::new(1));
+        let (claim, mut binding) = {
+            let r = r.clone();
+            std::thread::spawn(move || (r.claim(), PinBinding::new()))
+                .join()
+                .unwrap()
+        };
+        // A is dead, but the handle pins from this (live) thread first.
+        r.check_owner_and_bind(claim, &mut binding);
+        assert!(
+            r.try_begin_adopt(claim.index).is_none(),
+            "slot must be bound to the live pinning thread, not the dead \
+             registering thread"
+        );
+        // Subsequent pins from the same thread take the fast path and are
+        // equally un-adoptable.
+        r.check_owner_and_bind(claim, &mut binding);
+        assert!(r.try_begin_adopt(claim.index).is_none());
+        assert!(r.release(claim));
+    }
+
+    #[test]
+    fn slot_follows_the_most_recent_pinning_thread() {
+        // Claim here, pin from a worker thread (re-bind), then let the
+        // worker exit: the slot must be adoptable even though the
+        // registering thread (this one) is still alive — the beacon tracks
+        // the most recent pinner, not the registrant.
+        let r = StdArc::new(SlotRegistry::new(1));
+        let claim = r.claim();
+        let mut binding = PinBinding::new();
+        {
+            let r = r.clone();
+            binding = std::thread::spawn(move || {
+                r.check_owner_and_bind(claim, &mut binding);
+                binding
+            })
+            .join()
+            .unwrap();
+        }
+        let adoption = r
+            .try_begin_adopt(claim.index)
+            .expect("dead last-pinner must make the slot adoptable");
+        adoption.finish();
+        // The original claim is stale now.
+        assert!(!r.release(claim));
+        let _ = &binding;
     }
 }

@@ -34,7 +34,7 @@
 use crate::block::{header_of, Retired};
 use crate::pool::{BlockPool, PoolShared, ShardedCounter};
 use crate::ptr::{Atomic, Shared};
-use crate::registry::{SlotClaim, SlotRegistry};
+use crate::registry::{PinBinding, SlotClaim, SlotRegistry};
 use crate::{Smr, SmrConfig, SmrError, SmrGuard, SmrHandle, SmrKind};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
@@ -116,6 +116,7 @@ impl Smr for Vbr {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
             domain: self.clone(),
             claim,
+            binding: PinBinding::new(),
             alloc_count: 0,
             retire_count: 0,
         })
@@ -251,6 +252,7 @@ impl Drop for Vbr {
 pub struct VbrHandle {
     domain: Arc<Vbr>,
     claim: SlotClaim,
+    binding: PinBinding,
     pool: BlockPool,
     alloc_count: usize,
     retire_count: usize,
@@ -263,7 +265,9 @@ impl SmrHandle for VbrHandle {
         Self: 'g;
 
     fn pin(&mut self) -> VbrGuard<'_> {
-        self.domain.registry.check_owner(self.claim);
+        self.domain
+            .registry
+            .check_owner_and_bind(self.claim, &mut self.binding);
         let slot = &self.domain.slots[self.claim.index];
         let op_epoch = loop {
             let e = self.domain.global_epoch.load(Ordering::SeqCst);
@@ -275,6 +279,7 @@ impl SmrHandle for VbrHandle {
         VbrGuard {
             op_epoch,
             handle: self,
+            _thread_bound: std::marker::PhantomData,
         }
     }
 
@@ -311,6 +316,12 @@ impl Drop for VbrHandle {
 /// Critical-section guard for [`Vbr`].
 pub struct VbrGuard<'g> {
     handle: &'g mut VbrHandle,
+    /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
+    /// read-side critical section, and the slot registry's liveness beacon
+    /// tracks exactly that thread (see [`crate::registry`]) -- a guard that
+    /// crossed threads could see its protections neutralized when the
+    /// pinning thread exits.
+    _thread_bound: std::marker::PhantomData<*mut ()>,
     /// Epoch announced for this operation (re-announced by `checkpoint`).
     op_epoch: u64,
 }
