@@ -24,6 +24,7 @@
 //! documented in `DESIGN.md`; relative trends rather than absolute numbers are
 //! the reproduction target.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

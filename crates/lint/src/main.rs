@@ -1,0 +1,89 @@
+//! CLI driver: `scot-lint check [--fix-safety-stubs] [--root <dir>]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: scot-lint check [--fix-safety-stubs] [--root <dir>]\n\
+     \n\
+     Enforces the repo's concurrency-protocol invariants:\n\
+     \x20 L1 unsafe-audit         every unsafe site carries // SAFETY:\n\
+     \x20 L2 ordering-audit       Relaxed on protection state carries // ORDERING:\n\
+     \x20 L3 slot-discipline      hazard slots are named HP_* constants\n\
+     \x20 L4 matrix-completeness  SmrKind/DsKind matrices enumerate every variant\n\
+     \x20 L5 guard-discipline     no mem::forget on guards; guards are #[must_use]\n\
+     \n\
+     Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n\
+     Grandfathered sites live in lint.allow (`RULE path[:line]` per line);\n\
+     stale entries are findings, so the file can only shrink."
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("scot-lint: unknown command {cmd:?}\n\n{}", usage());
+        return ExitCode::from(2);
+    }
+    let mut opts = scot_lint::Options::default();
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix-safety-stubs" => opts.fix_safety_stubs = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("scot-lint: --root needs a directory\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("scot-lint: unknown flag {other:?}\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p scot-lint -- check` works from any cwd inside it.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    match scot_lint::check(&root, &opts) {
+        Err(e) => {
+            eprintln!("scot-lint: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}\n");
+            }
+            for stale in &report.stale_allows {
+                println!("error[allowlist]: stale lint.allow entry (matches nothing): {stale}\n");
+            }
+            if report.is_clean() {
+                println!(
+                    "scot-lint: clean — {} files scanned, 5 rules, 0 findings",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "scot-lint: {} finding(s), {} stale allowlist entr(ies) across {} files",
+                    report.findings.len(),
+                    report.stale_allows.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

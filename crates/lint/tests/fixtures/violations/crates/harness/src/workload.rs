@@ -1,0 +1,36 @@
+//! Fixture axis: a complete `DsKind`, plus a dispatch `match` over
+//! `SmrKind` that silently forgot `He` (seeded L4 drift).
+
+pub enum DsKind {
+    ListLf,
+    Tree,
+}
+
+impl DsKind {
+    pub const ALL: [DsKind; 2] = [DsKind::ListLf, DsKind::Tree];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DsKind::ListLf => "HList",
+            DsKind::Tree => "NMTree",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DsKind> {
+        Some(match s {
+            "listlf" => DsKind::ListLf,
+            "tree" => DsKind::Tree,
+            _ => return None,
+        })
+    }
+}
+
+pub fn dispatch(kind: SmrKind) -> u32 {
+    match kind {
+        SmrKind::Nr => 0,
+        SmrKind::Ebr => 1,
+        SmrKind::Hp => 2,
+        SmrKind::Ibr => 4,
+        _ => 9,
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: seeded L5 violations — a guard type without `#[must_use]`, a
+//! bare `fn pin`, and forbidden leak idioms outside `faults.rs`.
+
+pub struct LeakyGuard {
+    slot: usize,
+}
+
+#[must_use = "fixture: this one is compliant"]
+pub struct GoodGuard {
+    slot: usize,
+}
+
+impl LeakyGuard {
+    pub fn pin(&mut self) -> GoodGuard {
+        GoodGuard { slot: self.slot }
+    }
+}
+
+pub fn leak_one(g: LeakyGuard) {
+    core::mem::forget(g);
+}
+
+pub fn wrap_one(g: LeakyGuard) -> core::mem::ManuallyDrop<LeakyGuard> {
+    core::mem::ManuallyDrop::new(g)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt from the leak ban (stall tests leak on
+    // purpose), so this must NOT fire.
+    #[test]
+    fn leaks_on_purpose() {
+        core::mem::forget(super::LeakyGuard { slot: 0 });
+    }
+}

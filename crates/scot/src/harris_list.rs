@@ -43,6 +43,7 @@ impl<K: Key, V: Value> SlotNode<K> for Node<K, V> {
     type Value = V;
 
     #[inline]
+    // SAFETY: `_level` is ignored -- a list node always has the single `next` link, so the call is unconditionally in bounds.
     unsafe fn successor(&self, _level: usize) -> &Atomic<Self> {
         &self.next
     }
@@ -116,7 +117,9 @@ pub struct HarrisList<K, S: Smr, V = ()> {
     recovery: bool,
 }
 
+// SAFETY: the structure owns its nodes; every cross-thread access goes through atomic links and the SMR protocol.
 unsafe impl<K: Key, S: Smr, V: Value> Send for HarrisList<K, S, V> {}
+// SAFETY: shared access is mediated by atomic links and guard-protected traversal; there is no unsynchronized interior mutability.
 unsafe impl<K: Key, S: Smr, V: Value> Sync for HarrisList<K, S, V> {}
 
 /// Per-thread handle for [`HarrisList`].
@@ -375,6 +378,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V
         });
         loop {
             // SAFETY: `new` is owned by us until the CAS below publishes it.
+            // ORDERING: the publishing CAS (Release) below makes this initialization visible.
             unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
             // SAFETY: `prev`'s owner is protected (HP_PREV) or is the head.
             if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
@@ -476,11 +480,13 @@ impl<K, S: Smr, V> Drop for HarrisList<K, S, V> {
     fn drop(&mut self) {
         // Free every node still reachable from the head.  Retired nodes are no
         // longer reachable and are released by the reclamation domain.
+        // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
         let mut curr = self.head.load(Ordering::Relaxed).untagged();
         while !curr.is_null() {
             // SAFETY: exclusive access during drop; each reachable node is
             // visited exactly once.
             unsafe {
+                // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
                 let next = curr.deref().next.load(Ordering::Relaxed).untagged();
                 scot_smr::free_block(scot_smr::header_of(curr.as_ptr()));
                 curr = next;

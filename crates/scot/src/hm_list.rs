@@ -52,7 +52,9 @@ pub struct HarrisMichaelList<K, S: Smr, V = ()> {
     stats: TraversalStats,
 }
 
+// SAFETY: the structure owns its nodes; every cross-thread access goes through atomic links and the SMR protocol.
 unsafe impl<K: Key, S: Smr, V: Value> Send for HarrisMichaelList<K, S, V> {}
+// SAFETY: shared access is mediated by atomic links and guard-protected traversal; there is no unsynchronized interior mutability.
 unsafe impl<K: Key, S: Smr, V: Value> Sync for HarrisMichaelList<K, S, V> {}
 
 /// Per-thread handle for [`HarrisMichaelList`].
@@ -247,6 +249,7 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<
         });
         loop {
             // SAFETY: exclusively owned until the publishing CAS.
+            // ORDERING: the publishing CAS (Release) below makes this initialization visible.
             unsafe { new.deref().next.store(r.curr, Ordering::Relaxed) };
             // SAFETY: `prev` owner protected or head.
             if unsafe { r.prev.cas(r.curr, new) }.is_ok() {
@@ -341,10 +344,12 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisMichaelList<
 
 impl<K, S: Smr, V> Drop for HarrisMichaelList<K, S, V> {
     fn drop(&mut self) {
+        // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
         let mut curr = self.head.load(Ordering::Relaxed).untagged();
         while !curr.is_null() {
             // SAFETY: exclusive access during drop.
             unsafe {
+                // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
                 let next = curr.deref().next.load(Ordering::Relaxed).untagged();
                 scot_smr::free_block(scot_smr::header_of(curr.as_ptr()));
                 curr = next;

@@ -52,6 +52,7 @@
 //! are protected exactly like [`ConcurrentMap::get`]'s.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod harris_list;
 pub mod hash_map;
@@ -209,6 +210,7 @@ pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync + 'static {
 
     /// Enters a critical section on this thread's handle.  All operations
     /// take the returned guard; dropping it leaves the critical section.
+    #[must_use = "dropping the guard immediately leaves the critical section"]
     fn pin<'h>(&self, handle: &'h mut Self::Handle) -> Self::Guard<'h>;
 
     /// Looks up `key`, returning a borrow of its value that lives as long as
@@ -430,9 +432,15 @@ impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K> for M {
 pub(crate) unsafe fn take_unpublished<T>(ptr: scot_smr::Shared<T>) -> T {
     let raw = ptr.untagged().as_ptr();
     debug_assert!(!raw.is_null());
-    let value = core::ptr::read(raw);
-    let hdr = scot_smr::header_of(raw);
-    let layout = (*hdr).vtable.layout;
-    scot_smr::block::dealloc_raw(hdr, layout);
-    value
+    // SAFETY: the caller guarantees the block was never published, so this
+    // thread has exclusive access; the value is moved out exactly once and
+    // the raw block (header + payload) is released without re-running the
+    // payload destructor.
+    unsafe {
+        let value = core::ptr::read(raw);
+        let hdr = scot_smr::header_of(raw);
+        let layout = (*hdr).vtable.layout;
+        scot_smr::block::dealloc_raw(hdr, layout);
+        value
+    }
 }

@@ -183,7 +183,9 @@ pub struct NmTree<K, S: Smr, V = ()> {
     stats: TraversalStats,
 }
 
+// SAFETY: the structure owns its nodes; every cross-thread access goes through atomic links and the SMR protocol.
 unsafe impl<K: Key, S: Smr, V: Value> Send for NmTree<K, S, V> {}
+// SAFETY: shared access is mediated by atomic links and guard-protected traversal; there is no unsynchronized interior mutability.
 unsafe impl<K: Key, S: Smr, V: Value> Sync for NmTree<K, S, V> {}
 
 /// Per-thread handle for [`NmTree`].
@@ -464,7 +466,10 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
         let mut cur = successor;
         loop {
             debug_assert!(!cur.is_null());
-            let cur_ref = cur.deref();
+            // SAFETY: the chain was detached by the prune CAS this caller
+            // won, so every node on it is unreachable to new traversals but
+            // still allocated — this thread is its unique owner until retire.
+            let cur_ref = unsafe { cur.deref() };
             let left = cur_ref.left.load(Ordering::Acquire);
             let right = cur_ref.right.load(Ordering::Acquire);
             if cur == parent {
@@ -473,8 +478,12 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
                 // whose cleanup we completed).
                 let victim = if left.untagged() == kept { right } else { left };
                 debug_assert!(victim.untagged() != kept);
-                g.retire(victim.untagged());
-                g.retire(cur);
+                // SAFETY: both nodes hang off the detached chain and are
+                // retired exactly once — by the unique prune winner.
+                unsafe {
+                    g.retire(victim.untagged());
+                    g.retire(cur);
+                }
                 return;
             }
             // Interior chain node: exactly one child edge is flagged (its
@@ -484,8 +493,12 @@ impl<K: Key, S: Smr, V: Value> NmTree<K, S, V> {
             } else {
                 (right, left)
             };
-            g.retire(leaf_edge.untagged());
-            g.retire(cur);
+            // SAFETY: as above — chain nodes and their flagged leaves are
+            // unreachable after the prune CAS and retired exactly once.
+            unsafe {
+                g.retire(leaf_edge.untagged());
+                g.retire(cur);
+            }
             cur = next_edge.untagged();
         }
     }

@@ -183,9 +183,15 @@ impl<K, V> Node<K, V> {
         if lvl == 0 {
             &self.next0
         } else {
-            let first = (self as *const Self as *const u8).add(upper_offset::<K, V>())
-                as *const Atomic<Node<K, V>>;
-            &*first.add(lvl - 1)
+            // SAFETY: the tower was allocated as a `Tower<K, V, EXTRA>` with
+            // `EXTRA = height - 1` upper links laid out contiguously at
+            // `upper_offset` (repr(C), identical for every EXTRA); the
+            // caller's `lvl < height` contract keeps the index in bounds.
+            unsafe {
+                let first = (self as *const Self as *const u8).add(upper_offset::<K, V>())
+                    as *const Atomic<Node<K, V>>;
+                &*first.add(lvl - 1)
+            }
         }
     }
 }
@@ -194,8 +200,11 @@ impl<K: Key, V: Value> SlotNode<K> for Node<K, V> {
     type Value = V;
 
     #[inline]
+    // SAFETY: callers must keep `level < self.height()`; forwarded to `SlotNode::successor`'s contract.
     unsafe fn successor(&self, level: usize) -> &Atomic<Self> {
-        self.level(level)
+        // SAFETY: forwarded — `SlotNode::successor`'s contract (`level`
+        // below this node's height) is exactly `Node::level`'s.
+        unsafe { self.level(level) }
     }
 
     #[inline]
@@ -249,7 +258,9 @@ pub struct SkipList<K, S: Smr, V = ()> {
     stats: TraversalStats,
 }
 
+// SAFETY: the structure owns its nodes; every cross-thread access goes through atomic links and the SMR protocol.
 unsafe impl<K: Key, S: Smr, V: Value> Send for SkipList<K, S, V> {}
+// SAFETY: shared access is mediated by atomic links and guard-protected traversal; there is no unsynchronized interior mutability.
 unsafe impl<K: Key, S: Smr, V: Value> Sync for SkipList<K, S, V> {}
 
 /// Per-thread handle for [`SkipList`]: the SMR registration plus the thread's
@@ -271,6 +282,7 @@ impl<S: Smr> SkipListHandle<S> {
 /// Critical-section guard for [`SkipList`]: the underlying SMR guard plus a
 /// split-borrow of the handle's height RNG, so `insert` can sample tower
 /// heights without widening the `ConcurrentMap` interface.
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct SkipListGuard<'h, S: Smr> {
     g: <S::Handle as SmrHandle>::Guard<'h>,
     rng: &'h mut u64,
@@ -443,6 +455,7 @@ impl<K: Key, S: Smr, V: Value> SkipList<K, S, V> {
                 let start = if pred.is_null() {
                     self.head[level].as_link()
                 } else {
+                    // SAFETY: `pred` was validated at this level, so it is protected and tall enough.
                     unsafe { pred.deref().level(level) }.as_link()
                 };
                 let mut c = match Cursor::begin(
@@ -852,12 +865,14 @@ impl<K, S: Smr, V> Drop for SkipList<K, S, V> {
         // Retired towers are unreachable from level 0 — retirement requires a
         // confirmed unlink from every level — and are released by the domain,
         // so each allocation is freed exactly once.
+        // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
         let mut curr = self.head[0].load(Ordering::Relaxed).untagged();
         while !curr.is_null() {
             // SAFETY: exclusive access during drop; the block header's vtable
             // carries the height-specific tower layout, so the right amount
             // of memory is released for every height class.
             unsafe {
+                // ORDERING: drop holds `&mut self`, so no other thread can touch these links.
                 let next = curr.deref().next0.load(Ordering::Relaxed).untagged();
                 scot_smr::free_block(scot_smr::header_of(curr.as_ptr()));
                 curr = next;

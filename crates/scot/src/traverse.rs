@@ -174,7 +174,12 @@ impl TraversalSnapshot {
 /// a node currently protected by a hazard slot / era reservation.
 #[inline]
 pub(crate) unsafe fn validate_link<T>(link: Link<T>, expected: Shared<T>) -> bool {
-    link.load(Ordering::Acquire) == expected
+    // SAFETY: forwarded — the caller guarantees the link's owner is live,
+    // which is exactly the `Link::load` contract.
+    // ORDERING: Acquire — a successful validation is what licenses the
+    // subsequent deref of `expected`'s pointee, so the load must synchronize
+    // with the release store that published the link.
+    unsafe { link.load(Ordering::Acquire) == expected }
 }
 
 /// A node traversable by the shared cursor: a key, a value, and, per level, a
@@ -556,6 +561,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                     // SAFETY: `curr` was published (HP_NEXT) by the protect
                     // that read it from the validated, unmarked predecessor.
                     self.next =
+                        // SAFETY: see the comment above this statement.
                         g.protect(HP_NEXT, unsafe { self.curr.deref().successor(self.level) });
                 }
                 continue 'traverse;
@@ -598,7 +604,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     /// The safe-zone advance (L43-47): `curr` becomes the last safe node.
     #[inline]
     fn advance<G: SmrGuard>(&mut self, g: &mut G, curr_ref: &N) {
-        // SAFETY (of the successor call): `curr` is linked at `level`, so its
+        // SAFETY: (of the successor call) `curr` is linked at `level`, so its
         // height exceeds `level`.
         self.prev = unsafe { curr_ref.successor(self.level) }.as_link();
         self.pred = self.curr;

@@ -157,6 +157,7 @@ pub struct WfListHandle<S: Smr> {
 /// mutable views of the handle's helping-protocol state, split-borrowed so the
 /// guard can drive `Help_Threads` bookkeeping while the SMR guard protects the
 /// traversal.
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct WfGuard<'h, S: Smr> {
     g: <S::Handle as SmrHandle>::Guard<'h>,
     /// Index of this thread's announcement record (copied, not borrowed: it

@@ -45,7 +45,9 @@ pub struct BlockVTable {
 /// `hdr` must point to the header of a live block created for payload type
 /// `T`, and the payload must not have been dropped already.
 unsafe fn drop_value_in_place<T>(hdr: *mut Header) {
-    core::ptr::drop_in_place(value_of::<T>(hdr));
+    // SAFETY: the caller guarantees `hdr` heads a live block of payload type
+    // `T`, so the value pointer is valid and the payload not yet dropped.
+    unsafe { core::ptr::drop_in_place(value_of::<T>(hdr)) };
 }
 
 /// Returns the static vtable for payload type `T`.
@@ -150,14 +152,19 @@ pub fn value_offset<T>() -> usize {
 #[inline]
 pub unsafe fn init_block<T>(raw: *mut Header, value: T) -> *mut T {
     let block = raw as *mut Block<T>;
-    core::ptr::write(
-        block,
-        Block {
-            header: Header::new(vtable_of::<T>()),
-            value,
-        },
-    );
-    core::ptr::addr_of_mut!((*block).value)
+    // SAFETY: the caller guarantees `raw` is an allocation of exactly
+    // `Layout::new::<Block<T>>()` with no live contents, so writing a whole
+    // fresh `Block<T>` over it neither overruns nor double-drops anything.
+    unsafe {
+        core::ptr::write(
+            block,
+            Block {
+                header: Header::new(vtable_of::<T>()),
+                value,
+            },
+        );
+        core::ptr::addr_of_mut!((*block).value)
+    }
 }
 
 /// Allocates a new block holding `value` straight from the global allocator
@@ -174,10 +181,14 @@ pub fn alloc_block<T>(value: T) -> *mut T {
     debug_assert!(value_offset::<T>().is_multiple_of(8));
     debug_assert!(mem::align_of::<Block<T>>().is_multiple_of(8));
     let layout = Layout::new::<Block<T>>();
+    // SAFETY: `Block<T>` is a non-zero-sized `repr(C)` struct (the header
+    // alone is several words), so the layout is valid for `alloc`.
     let raw = unsafe { std::alloc::alloc(layout) } as *mut Header;
     if raw.is_null() {
         std::alloc::handle_alloc_error(layout);
     }
+    // SAFETY: `raw` was just allocated with exactly `Layout::new::<Block<T>>()`
+    // and holds no previous contents.
     unsafe { init_block(raw, value) }
 }
 
@@ -188,7 +199,10 @@ pub fn alloc_block<T>(value: T) -> *mut T {
 /// the block must still be live.
 #[inline]
 pub unsafe fn header_of<T>(value: *mut T) -> *mut Header {
-    (value as *mut u8).sub(value_offset::<T>()) as *mut Header
+    // SAFETY: the caller guarantees `value` is the value part of a live
+    // `Block<T>`, so the header sits exactly `value_offset::<T>()` bytes
+    // below it within the same allocation.
+    unsafe { (value as *mut u8).sub(value_offset::<T>()) as *mut Header }
 }
 
 /// Returns the value pointer of a block given its header.
@@ -198,7 +212,10 @@ pub unsafe fn header_of<T>(value: *mut T) -> *mut Header {
 /// *same* `T`.
 #[inline]
 pub unsafe fn value_of<T>(hdr: *mut Header) -> *mut T {
-    (hdr as *mut u8).add(value_offset::<T>()) as *mut T
+    // SAFETY: the caller guarantees `hdr` heads a live `Block<T>`, so the
+    // value part sits `value_offset::<T>()` bytes above it within the same
+    // allocation.
+    unsafe { (hdr as *mut u8).add(value_offset::<T>()) as *mut T }
 }
 
 /// Reads the recycling-incarnation stamp of the block holding `value`
@@ -214,9 +231,13 @@ pub unsafe fn value_of<T>(hdr: *mut Header) -> *mut T {
 /// live or era-protected so the header read does not race a `dealloc_raw`.
 #[inline]
 pub unsafe fn version_of<T>(value: *mut T) -> u64 {
-    (*header_of(value))
-        .version
-        .load(core::sync::atomic::Ordering::Acquire)
+    // SAFETY: the caller guarantees the block is live or era-protected, so
+    // the header is a valid `Header` for the duration of the atomic load.
+    unsafe {
+        (*header_of(value))
+            .version
+            .load(core::sync::atomic::Ordering::Acquire)
+    }
 }
 
 /// Runs the payload destructor of a block in place, leaving the raw memory
@@ -228,7 +249,10 @@ pub unsafe fn version_of<T>(value: *mut T) -> u64 {
 /// other thread.
 #[inline]
 pub unsafe fn drop_value(hdr: *mut Header) {
-    ((*hdr).vtable.drop_value)(hdr)
+    // SAFETY: the caller guarantees the block is live and unreachable; the
+    // vtable was installed by `init_block` for the block's true payload type,
+    // so the type-erased destructor matches the payload.
+    unsafe { ((*hdr).vtable.drop_value)(hdr) }
 }
 
 /// Returns a dead block's raw memory to the global allocator.
@@ -238,7 +262,10 @@ pub unsafe fn drop_value(hdr: *mut Header) {
 /// (via [`drop_value`]) and `layout` must be the block's recorded layout.
 #[inline]
 pub unsafe fn dealloc_raw(hdr: *mut Header, layout: Layout) {
-    std::alloc::dealloc(hdr as *mut u8, layout);
+    // SAFETY: the caller guarantees `hdr` came from the global allocator with
+    // exactly `layout` and that its payload has already been dropped, so this
+    // hand-back neither double-frees nor leaks a destructor.
+    unsafe { std::alloc::dealloc(hdr as *mut u8, layout) };
 }
 
 /// Immediately frees a block (running the destructor and releasing the
@@ -249,9 +276,14 @@ pub unsafe fn dealloc_raw(hdr: *mut Header, layout: Layout) {
 /// The block must not be reachable by any thread and must not be freed again.
 #[inline]
 pub unsafe fn free_block(hdr: *mut Header) {
-    let layout = (*hdr).vtable.layout;
-    drop_value(hdr);
-    dealloc_raw(hdr, layout);
+    // SAFETY: the caller guarantees the block is live and unreachable.  The
+    // layout is read out of the header *before* the payload destructor runs
+    // (the vtable reference itself stays valid until `dealloc_raw`).
+    unsafe {
+        let layout = (*hdr).vtable.layout;
+        drop_value(hdr);
+        dealloc_raw(hdr, layout);
+    }
 }
 
 /// A retired-but-not-yet-reclaimed block, as stored in per-thread limbo lists.
@@ -268,9 +300,9 @@ pub struct Retired {
     pub value: usize,
 }
 
-// Retired blocks are unreachable from the data structure; moving them between
-// threads (orphan lists, Hyaline's any-thread reclamation) is part of the SMR
-// contract which requires node payloads to be `Send`.
+// SAFETY: retired blocks are unreachable from the data structure; moving them
+// between threads (orphan lists, Hyaline's any-thread reclamation) is part of
+// the SMR contract, which requires node payloads to be `Send`.
 unsafe impl Send for Retired {}
 
 impl Retired {
@@ -282,7 +314,9 @@ impl Retired {
     /// unlinked from the data structure.
     pub unsafe fn from_value<T>(value: *mut T) -> Self {
         Self {
-            hdr: header_of(value),
+            // SAFETY: the caller guarantees `value` came from `alloc_block`,
+            // so its enclosing block header is live and addressable.
+            hdr: unsafe { header_of(value) },
             value: value as usize,
         }
     }
@@ -290,9 +324,13 @@ impl Retired {
     /// Era at which the block was allocated.
     #[inline]
     pub fn birth_era(&self) -> u64 {
+        // SAFETY: a `Retired` is only constructed from a live retired block
+        // (`from_value`), and the owning limbo list keeps the header alive
+        // until the block is freed, which consumes the `Retired`.
         unsafe {
             (*self.hdr)
                 .birth_era
+                // ORDERING: era stamps are published to this reader by the vault/limbo handoff that made the `Retired` visible.
                 .load(core::sync::atomic::Ordering::Relaxed)
         }
     }
@@ -300,9 +338,12 @@ impl Retired {
     /// Era at which the block was retired.
     #[inline]
     pub fn retire_era(&self) -> u64 {
+        // SAFETY: as for `birth_era` — the limbo list owning this `Retired`
+        // keeps the header alive until the block is freed.
         unsafe {
             (*self.hdr)
                 .retire_era
+                // ORDERING: era stamps are published to this reader by the vault/limbo handoff that made the `Retired` visible.
                 .load(core::sync::atomic::Ordering::Relaxed)
         }
     }
@@ -314,7 +355,9 @@ impl Retired {
     /// No thread may still hold a protected reference to the block.
     #[inline]
     pub unsafe fn free(self) {
-        free_block(self.hdr);
+        // SAFETY: the caller guarantees no protected references remain, and
+        // consuming `self` makes a second free impossible through this record.
+        unsafe { free_block(self.hdr) };
     }
 
     /// Runs the destructor and hands the raw block to `pool` for recycling.
@@ -323,7 +366,10 @@ impl Retired {
     /// No thread may still hold a protected reference to the block.
     #[inline]
     pub unsafe fn free_into(self, pool: &mut crate::pool::BlockPool) {
-        pool.free(self.hdr);
+        // SAFETY: the caller guarantees no protected references remain;
+        // `BlockPool::free` runs the destructor and takes ownership of the
+        // raw memory for recycling.
+        unsafe { pool.free(self.hdr) };
     }
 }
 
@@ -344,6 +390,7 @@ mod tests {
         let count = Arc::new(StdAtomicUsize::new(0));
         let v = alloc_block(DropCounter(count.clone()));
         assert_eq!(count.load(Ordering::SeqCst), 0);
+        // SAFETY: `v` was just allocated; this test is the sole owner of the block.
         unsafe {
             let hdr = header_of(v);
             free_block(hdr);
@@ -354,6 +401,7 @@ mod tests {
     #[test]
     fn header_value_roundtrip() {
         let v = alloc_block(12345u64);
+        // SAFETY: `v` was just allocated; this test is the sole owner of the block.
         unsafe {
             assert_eq!(*v, 12345);
             let hdr = header_of(v);
@@ -376,6 +424,7 @@ mod tests {
         assert_eq!(b as usize % 8, 0);
         assert_eq!(c as usize % 8, 0);
         assert_eq!(d as usize % 8, 0);
+        // SAFETY: each block was allocated above and is freed exactly once.
         unsafe {
             free_block(header_of(a));
             free_block(header_of(b));
@@ -387,9 +436,12 @@ mod tests {
     #[test]
     fn retired_reads_eras_from_header() {
         let v = alloc_block(7u32);
+        // SAFETY: `v` was just allocated; this test is the sole owner of the block.
         unsafe {
             let hdr = header_of(v);
+            // ORDERING: owner-only stamps on an unshared test block.
             (*hdr).birth_era.store(3, Ordering::Relaxed);
+            // ORDERING: owner-only stamps on an unshared test block.
             (*hdr).retire_era.store(9, Ordering::Relaxed);
             let r = Retired::from_value(v);
             assert_eq!(r.birth_era(), 3);
@@ -422,6 +474,7 @@ mod tests {
         }
         let count = Arc::new(StdAtomicUsize::new(0));
         let v = alloc_block(DropCounter(count.clone()));
+        // SAFETY: `v` was just allocated; this test is the sole owner of the block.
         unsafe {
             let hdr = header_of(v);
             let layout = (*hdr).vtable.layout;

@@ -137,6 +137,9 @@ impl Ebr {
         let mut freed = 0usize;
         limbo.retain(|r| {
             if r.retire_era().saturating_add(2) <= global {
+                // SAFETY: the global epoch advanced two past the retire
+                // epoch, so every thread active at retirement has since
+                // passed a quiescent point; no protected reference remains.
                 unsafe { r.free_into(pool) };
                 freed += 1;
                 false
@@ -198,11 +201,14 @@ impl Drop for Ebr {
         // leaked by dead threads that were never adopted) and the orphan list.
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: dropping the domain means no handle (and hence no
+                // guard) exists; nothing can be protected any more.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: as above — no guards can exist at domain drop.
             unsafe { r.free() };
         }
     }
@@ -277,6 +283,7 @@ impl Drop for EbrHandle {
 }
 
 /// Critical-section guard for [`Ebr`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct EbrGuard<'g> {
     handle: &'g mut EbrHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -323,15 +330,29 @@ impl SmrGuard for EbrGuard<'_> {
         Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let retired = Retired::from_value(value);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain and is already unlinked, so its block header is live.
+        let retired = unsafe { Retired::from_value(value) };
         let handle = &mut *self.handle;
-        (*retired.hdr).retire_era.store(
-            handle.domain.global_epoch.load(Ordering::Relaxed),
-            Ordering::Relaxed,
-        );
+        // SAFETY: the block is unlinked but not yet in any limbo list; this
+        // thread has exclusive access to its header stamp.
+        // ORDERING: Relaxed on both — per-location coherence keeps the epoch
+        // read no older than the announcement made at `pin` (re-read there
+        // with SeqCst), which is all the `retire + 2 <= global` comparison
+        // needs, and the stamp itself is published to sweepers through the
+        // vault mutex acquired just below.
+        unsafe {
+            (*retired.hdr).retire_era.store(
+                // ORDERING: see the comment above this unsafe block.
+                handle.domain.global_epoch.load(Ordering::Relaxed),
+                // ORDERING: see the comment above this unsafe block.
+                Ordering::Relaxed,
+            );
+        }
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
@@ -346,8 +367,12 @@ impl SmrGuard for EbrGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // this thread is the only one that has ever seen the block; freeing
+        // it through the pool runs its destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -370,6 +395,7 @@ mod tests {
         for i in 0..64u64 {
             let mut g = h.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         // Repeated flushes advance the epoch twice past the last retirement.
@@ -391,6 +417,7 @@ mod tests {
         for i in 0..256u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -410,6 +437,7 @@ mod tests {
             let mut h = d.register();
             let mut g = h.pin();
             let p = g.alloc(1u64);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
             // Handle dropped with a non-empty vault -> orphaned.
         }
@@ -429,6 +457,7 @@ mod tests {
                 let mut g = h.pin();
                 for i in 0..3u64 {
                     let p = g.alloc(i);
+                    // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                     unsafe { g.retire(p) };
                 }
                 drop(g);
@@ -474,6 +503,7 @@ mod tests {
                     for i in 0..1000u64 {
                         let mut g = h.pin();
                         let p = g.alloc(t * 10_000 + i);
+                        // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                         unsafe { g.retire(p) };
                     }
                     for _ in 0..8 {

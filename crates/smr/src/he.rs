@@ -81,6 +81,9 @@ impl Smr for He {
             capacity: self.registry.capacity(),
         })?;
         for e in &self.slots[claim.index].eras {
+            // ORDERING: Relaxed — the slot is not yet visible to sweeps (the
+            // claim CAS publishes it, and sweeps skip unclaimed slots); real
+            // reservations are published with SeqCst in `protect`/`announce`.
             e.store(NONE, Ordering::Relaxed);
         }
         Ok(HeHandle {
@@ -155,6 +158,10 @@ impl He {
                 if protected {
                     true
                 } else {
+                    // SAFETY: no reserved era falls inside the node's
+                    // `[birth, retire]` interval (snapshot taken after the
+                    // node was unlinked), so no thread can still hold a
+                    // protected reference to it.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -165,6 +172,9 @@ impl He {
                 if self.is_protected(r.birth_era(), r.retire_era()) {
                     true
                 } else {
+                    // SAFETY: a full SeqCst scan found no reservation inside
+                    // the node's lifetime interval, so no thread can still
+                    // hold a protected reference to it.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -219,11 +229,14 @@ impl Drop for He {
     fn drop(&mut self) {
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: dropping the domain means no handle (and hence no
+                // guard) exists; no era can be reserved any more.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: as above — no guards can exist at domain drop.
             unsafe { r.free() };
         }
     }
@@ -279,6 +292,7 @@ impl Drop for HeHandle {
 }
 
 /// Critical-section guard for [`He`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct HeGuard<'g> {
     handle: &'g mut HeHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -318,6 +332,9 @@ impl SmrGuard for HeGuard<'_> {
     fn protect<T>(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T> {
         let eras = &self.handle.domain.slots[self.handle.claim.index].eras;
         let global = &self.handle.domain.global_era;
+        // ORDERING: Relaxed — the slot was last written by this same thread
+        // (reservations are single-writer); the value is only an avoid-a-store
+        // hint, and any actual (re)publication below uses SeqCst.
         let mut reserved = eras[idx].load(Ordering::Relaxed);
         loop {
             let ptr = src.load(Ordering::Acquire);
@@ -342,6 +359,10 @@ impl SmrGuard for HeGuard<'_> {
     fn dup(&mut self, from: usize, to: usize) {
         debug_assert!(from < to, "dup must copy a lower slot into a higher slot");
         let eras = self.eras();
+        // ORDERING: Relaxed read — `from` was last written by this same
+        // thread.  The Release store plus the lower-to-higher slot discipline
+        // and ascending-order scans close the publication window, exactly as
+        // for HP's `dup` (see the hp module docs).
         let v = eras[from].load(Ordering::Relaxed);
         eras[to].store(v, Ordering::Release);
     }
@@ -353,7 +374,14 @@ impl SmrGuard for HeGuard<'_> {
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
         let ptr = self.handle.pool.alloc(value);
+        // ORDERING: Relaxed on both — a conservatively *old* era makes the
+        // birth stamp strictly more protective (it widens the protected
+        // interval), and the stamp is published to sweepers through the vault
+        // mutex taken at retire time.
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        // SAFETY: `ptr` was just allocated and is not yet shared, so this
+        // thread has exclusive access to its header.
+        // ORDERING: a Relaxed era read can only lag, stamping the birth era conservatively old.
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
         if self
@@ -366,13 +394,23 @@ impl SmrGuard for HeGuard<'_> {
         Shared::from_ptr(ptr)
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let retired = Retired::from_value(value);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain and is already unlinked, so its block header is live.
+        let retired = unsafe { Retired::from_value(value) };
         let handle = &mut *self.handle;
+        // ORDERING: Relaxed on both — per-location coherence keeps this era
+        // read no older than any era this thread already observed, and a
+        // conservatively old retire stamp only *narrows* the freeable set;
+        // the stamp reaches sweepers through the vault mutex below.
         let era = handle.domain.global_era.load(Ordering::Relaxed);
-        (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
+        // SAFETY: the block is unlinked but not yet in any limbo list; this
+        // thread has exclusive access to its header stamp.
+        // ORDERING: a lagging retire-era stamp only delays reclamation by one scan; safety is unaffected.
+        unsafe { (*retired.hdr).retire_era.store(era, Ordering::Relaxed) };
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
@@ -394,8 +432,12 @@ impl SmrGuard for HeGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -445,6 +487,7 @@ mod tests {
             }
             {
                 let mut g = worker.pin();
+                // SAFETY: the node was unlinked by this test and is retired exactly once.
                 unsafe { g.retire(target) };
             }
             worker.flush();
@@ -471,6 +514,7 @@ mod tests {
             let cell = Atomic::new(p);
             g.protect(0, &cell);
             core::mem::forget(g);
+            // SAFETY: `p` is test-local; the leaked reservation is exactly what this test exercises.
             unsafe {
                 let mut g2 = worker.pin();
                 g2.retire(p);
@@ -481,6 +525,7 @@ mod tests {
         for i in 0..512u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -500,6 +545,7 @@ mod tests {
             let mut g = h.pin();
             for i in 0..64u64 {
                 let p = g.alloc(i);
+                // SAFETY: `p` was never published; dealloc is the owner's fast path.
                 unsafe { g.dealloc(p) };
             }
         }
@@ -521,6 +567,7 @@ mod tests {
                 let p = g.alloc(1u64);
                 let cell = Atomic::new(p);
                 g.protect(0, &cell);
+                // SAFETY: `p` is test-local; the published reservation keeps this retire from freeing it.
                 unsafe { g.retire(p) };
                 // Leak guard + handle: the reservation stays published and
                 // the slot stays claimed past thread death.
@@ -550,6 +597,7 @@ mod tests {
             let cell = Atomic::new(p);
             g.protect(0, &cell);
             g.protect(3, &cell);
+            // SAFETY: `p` was never shared with another thread; only this guard's own reservations name it.
             unsafe { g.dealloc(p) };
         }
         for e in &d.slots[0].eras {

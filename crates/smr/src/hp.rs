@@ -95,6 +95,10 @@ impl Smr for Hp {
             capacity: self.registry.capacity(),
         })?;
         for h in &self.slots[claim.index].hazards {
+            // ORDERING: Relaxed — the slot is not yet visible to any scan
+            // (the claim CAS in `try_claim` is what publishes it, and scans
+            // skip unclaimed slots); the first real publication goes through
+            // `protect`'s SeqCst store.
             h.store(0, Ordering::Relaxed);
         }
         Ok(HpHandle {
@@ -162,6 +166,9 @@ impl Hp {
             let snap = self.snapshot();
             limbo.retain(|r| {
                 if snap.binary_search(&r.value).is_err() {
+                    // SAFETY: the node was retired (unlinked) and its address
+                    // is absent from the hazard snapshot taken *after* it was
+                    // unlinked, so no thread can still dereference it.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -172,6 +179,10 @@ impl Hp {
         } else {
             limbo.retain(|r| {
                 if !self.is_protected(r.value) {
+                    // SAFETY: the node was retired (unlinked) and a full
+                    // SeqCst scan of every claimed slot's hazards found no
+                    // publication of its address, so no thread can still
+                    // dereference it.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -229,11 +240,14 @@ impl Drop for Hp {
     fn drop(&mut self) {
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: dropping the domain means no handle (and hence no
+                // guard) exists; no hazard can be published any more.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: as above — no guards can exist at domain drop.
             unsafe { r.free() };
         }
     }
@@ -292,6 +306,7 @@ impl Drop for HpHandle {
 }
 
 /// Critical-section guard for [`Hp`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct HpGuard<'g> {
     handle: &'g mut HpHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -363,6 +378,10 @@ impl SmrGuard for HpGuard<'_> {
         );
         self.used |= 1 << to;
         let hazards = self.hazards();
+        // ORDERING: Relaxed — `from` was last written by this same thread
+        // (protect/announce), so the read needs no synchronization; the
+        // Release store plus the lower-to-higher slot discipline and the
+        // ascending-order scan close the publication window (module docs).
         let v = hazards[from].load(Ordering::Relaxed);
         hazards[to].store(v, Ordering::Release);
     }
@@ -376,6 +395,7 @@ impl SmrGuard for HpGuard<'_> {
         Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
@@ -383,7 +403,9 @@ impl SmrGuard for HpGuard<'_> {
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
-            vault.push(Retired::from_value(value));
+            // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+            // domain and is already unlinked, so the block header is live.
+            vault.push(unsafe { Retired::from_value(value) });
             vault.len()
         };
         handle.domain.unreclaimed.add(slot, 1);
@@ -394,8 +416,12 @@ impl SmrGuard for HpGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -430,6 +456,7 @@ mod tests {
         assert_eq!(seen.untagged(), p);
         let published = d.slots[0].hazards[2].load(Ordering::SeqCst);
         assert_eq!(published, p.into_raw());
+        // SAFETY: `p` was never published to another thread; only this guard's own hazard names it.
         unsafe { g.dealloc(p) };
     }
 
@@ -452,9 +479,11 @@ mod tests {
 
             {
                 let mut g = worker.pin();
+                // SAFETY: the node was unlinked by this test and is retired exactly once.
                 unsafe { g.retire(target) };
                 for i in 0..64u64 {
                     let p = g.alloc(i);
+                    // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                     unsafe { g.retire(p) };
                 }
             }
@@ -485,6 +514,7 @@ mod tests {
         };
         {
             let mut g = worker.pin();
+            // SAFETY: the node was unlinked by this test and is retired exactly once.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -506,6 +536,7 @@ mod tests {
         g.dup(1, 4);
         assert_ne!(d.slots[0].hazards[1].load(Ordering::SeqCst), 0);
         assert_ne!(d.slots[0].hazards[4].load(Ordering::SeqCst), 0);
+        // SAFETY: `p` is unlinked; this guard's own hazards do not block its later reclamation.
         unsafe { g.retire(p) };
         drop(g);
         for i in 0..MAX_HAZARDS {
@@ -531,6 +562,7 @@ mod tests {
                     let p = g.alloc(1u64);
                     let cell = Atomic::new(p);
                     g.protect(0, &cell);
+                    // SAFETY: `p` is test-local; the published hazard is exactly what keeps this retire from freeing it.
                     unsafe { g.retire(p) };
                     // Leak guard + handle: the hazard stays published and the
                     // slot stays claimed past thread death.
@@ -581,9 +613,11 @@ mod tests {
             let mut worker = d.register();
             {
                 let mut wg = worker.pin();
+                // SAFETY: the node was unlinked by this test and is retired exactly once.
                 unsafe { wg.retire(target) };
                 for i in 0..64u64 {
                     let p = wg.alloc(i);
+                    // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                     unsafe { wg.retire(p) };
                 }
             }
@@ -594,6 +628,7 @@ mod tests {
                 "protected node must survive adoption attempts \
                  (snapshot={snapshot})"
             );
+            // SAFETY: the published hazard pins `target`, so the read cannot race reclamation.
             unsafe { assert_eq!(*target.as_ptr(), 77, "snapshot={snapshot}") };
             drop(g);
             worker.flush();
@@ -636,6 +671,7 @@ mod tests {
         for i in 0..4096u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -666,6 +702,7 @@ mod tests {
                         for i in 0..500u64 {
                             let mut g = h.pin();
                             let p = g.alloc(i);
+                            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                             unsafe { g.retire(p) };
                         }
                         h.flush();

@@ -117,8 +117,9 @@ impl HyBatch {
     }
 }
 
-// The raw header pointers are retired nodes owned by the batch; any thread may
-// flush them (the "any thread reclaims" property).
+// SAFETY: the raw header pointers are retired nodes owned exclusively by the
+// batch; any thread may flush them (the "any thread reclaims" property), and
+// handoff between threads is mediated by the vault mutex.
 unsafe impl Send for HyBatch {}
 
 /// The Hyaline-1S-style reclamation domain.
@@ -167,7 +168,12 @@ impl Smr for Hyaline {
         let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
+        // ORDERING: Relaxed is enough — the slot is not yet visible to
+        // retirers (the claim above publishes it, and `is_claimed` readers
+        // synchronize through the registry), so nobody can observe these
+        // resets out of order.
         self.slots[claim.index].head.store(0, Ordering::Relaxed);
+        // ORDERING: same as the head reset above -- the slot is unclaimed, so this races with nothing.
         self.slots[claim.index].era.store(0, Ordering::Relaxed);
         Ok(HyalineHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
@@ -200,8 +206,15 @@ impl Hyaline {
         let mut freed = 0usize;
         let mut cur = refs_node;
         while !cur.is_null() {
-            let next = (*cur).batch_all.load(Ordering::Relaxed) as *mut Header;
-            pool.free(cur);
+            // SAFETY: the counter reached zero, so this thread is the batch's
+            // sole owner; every node is live until freed below.
+            // ORDERING: Relaxed suffices for `batch_all` — the links were
+            // written before the REFS counter was published with Release, and
+            // the zero-reaching fetch_sub(AcqRel) ordered us after that.
+            let next = unsafe { (*cur).batch_all.load(Ordering::Relaxed) } as *mut Header;
+            // SAFETY: sole ownership as above — each node is unlinked from
+            // every slot list (all acknowledgements arrived) and freed once.
+            unsafe { pool.free(cur) };
             freed += 1;
             cur = next;
         }
@@ -236,10 +249,18 @@ impl Hyaline {
             let hdr = cur as *mut Header;
             // Read the link before decrementing: once we decrement, another
             // thread may free the batch (and with it this node).
-            let next = (*hdr).next.load(Ordering::Acquire);
-            let refs_node = (*hdr).batch_link.load(Ordering::Acquire) as *mut Header;
-            if (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.free_batch(refs_node, slot, pool);
+            // SAFETY: `hdr` is above the acknowledgement boundary, so its
+            // batch counted this thread's reference at push time and cannot
+            // be freed before the decrement below.
+            let next = unsafe { (*hdr).next.load(Ordering::Acquire) };
+            // SAFETY: as above — the node is pinned by our uncollected
+            // reference, and `batch_link` was written before the push.
+            let refs_node = unsafe { (*hdr).batch_link.load(Ordering::Acquire) } as *mut Header;
+            // SAFETY: the REFS node belongs to the same pinned batch.
+            if unsafe { (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) } == 1 {
+                // SAFETY: our fetch_sub observed 1, so we dropped the last
+                // reference — exactly `free_batch`'s contract.
+                unsafe { self.free_batch(refs_node, slot, pool) };
             }
             cur = next;
         }
@@ -248,6 +269,7 @@ impl Hyaline {
     /// Pushes a fully-formed batch to every active, non-exempt slot and drops
     /// the retirer's own reference.  `nodes[0]` is the REFS node and is never
     /// pushed; the remaining nodes provide the per-slot list linkage.
+    // SAFETY: callers must pass fully-initialized retired nodes that no other thread can still reach, plus a held REFS count.
     unsafe fn retire_batch(
         &self,
         nodes: &[*mut Header],
@@ -260,18 +282,30 @@ impl Hyaline {
 
         // Thread the whole batch through `batch_all` so the last acker can
         // free every node, and point every node at the REFS node.
+        // SAFETY (all header writes below): every node is a retired block the
+        // retirer exclusively owns until the push CAS publishes it; no other
+        // thread can reach these headers yet.
+        // ORDERING: the Relaxed link stores are published to ackers by the
+        // Release store of `refs` below (and the AcqRel push CAS); ackers
+        // read them only after acquiring the same locations.
         for w in nodes.windows(2) {
-            (*w[0]).batch_all.store(w[1] as usize, Ordering::Relaxed);
+            // SAFETY: / ORDERING: covered by the batch-threading comment above this loop.
+            unsafe { (*w[0]).batch_all.store(w[1] as usize, Ordering::Relaxed) };
         }
-        (*nodes[nodes.len() - 1])
-            .batch_all
-            .store(0, Ordering::Relaxed);
+        // SAFETY: / ORDERING: covered by the batch-threading comment above this loop.
+        unsafe {
+            (*nodes[nodes.len() - 1])
+                .batch_all
+                .store(0, Ordering::Relaxed);
+        }
         for &n in nodes {
-            (*n).batch_link.store(refs_node as usize, Ordering::Relaxed);
+            // SAFETY: / ORDERING: covered by the batch-threading comment above this loop.
+            unsafe { (*n).batch_link.store(refs_node as usize, Ordering::Relaxed) };
         }
         // The retirer holds one reference for the duration of the push phase
         // so concurrent acknowledgements cannot free the batch under it.
-        (*refs_node).refs.store(1, Ordering::Release);
+        // SAFETY: the REFS node is still unpublished (see above).
+        unsafe { (*refs_node).refs.store(1, Ordering::Release) };
 
         let mut spare = nodes[1..].iter().copied();
         for (i, slot) in self.slots.iter().enumerate() {
@@ -294,9 +328,13 @@ impl Hyaline {
                 // is the only safe fallback: pin it with a permanent reference
                 // rather than skip an active slot that may still acknowledge.
                 debug_assert!(false, "hyaline batch ran out of linkage nodes");
-                (*refs_node)
-                    .refs
-                    .fetch_add(isize::MAX / 2, Ordering::AcqRel);
+                // SAFETY: the retirer's bias reference (set above) keeps the
+                // REFS node alive throughout the push phase.
+                unsafe {
+                    (*refs_node)
+                        .refs
+                        .fetch_add(isize::MAX / 2, Ordering::AcqRel);
+                }
                 break;
             };
             loop {
@@ -307,10 +345,15 @@ impl Hyaline {
                     // cannot hold references to the batch.
                     break;
                 }
-                (*node).next.store(head_ptr, Ordering::Relaxed);
+                // SAFETY: `node` is unpublished until the CAS below succeeds.
+                // ORDERING: the Relaxed `next` store is published by the
+                // AcqRel CAS that installs the node.
+                unsafe { (*node).next.store(head_ptr, Ordering::Relaxed) };
                 // Count the threads that will acknowledge this node *before*
                 // publishing it, so the counter can never be observed too low.
-                (*refs_node).refs.fetch_add(refs as isize, Ordering::AcqRel);
+                // SAFETY: the retirer's bias reference keeps the REFS node
+                // alive during the push phase.
+                unsafe { (*refs_node).refs.fetch_add(refs as isize, Ordering::AcqRel) };
                 let new = pack(refs, node as usize);
                 if slot
                     .head
@@ -320,14 +363,19 @@ impl Hyaline {
                     break;
                 }
                 // Undo the optimistic count and retry with the fresh head.
-                (*refs_node).refs.fetch_sub(refs as isize, Ordering::AcqRel);
+                // SAFETY: bias reference still held — see above.
+                unsafe { (*refs_node).refs.fetch_sub(refs as isize, Ordering::AcqRel) };
             }
         }
 
         // Drop the retirer's bias reference; if nothing else holds the batch
         // (no active slots, or every acknowledgement already arrived), free it.
-        if (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.free_batch(refs_node, slot, pool);
+        // SAFETY: the bias reference dropped here is the one taken above, so
+        // the REFS node is alive up to this fetch_sub.
+        if unsafe { (*refs_node).refs.fetch_sub(1, Ordering::AcqRel) } == 1 {
+            // SAFETY: observed 1 → ours was the last reference, which is
+            // `free_batch`'s contract.
+            unsafe { self.free_batch(refs_node, slot, pool) };
         }
     }
 
@@ -350,15 +398,23 @@ impl Hyaline {
         // freshly allocated dummy blocks.
         while nodes.len() < self.batch_capacity {
             let dummy = pool.alloc(());
+            // SAFETY: `dummy` was just allocated and never published; its
+            // header is exclusively ours.
+            // ORDERING: a Relaxed era read only lags the true era, stamping
+            // the dummy conservatively old — it can only make the batch's
+            // `min_birth` smaller, i.e. more conservative.
             unsafe {
                 let hdr = header_of(dummy);
                 (*hdr)
                     .birth_era
+                    // ORDERING: see the comment above this unsafe block.
                     .store(self.global_era.load(Ordering::Relaxed), Ordering::Relaxed);
                 nodes.push(hdr);
             }
             self.unreclaimed.add(counter_slot, 1);
         }
+        // SAFETY: every node is a retired (or fresh dummy) block owned by
+        // this batch, threaded and padded to full linkage capacity above.
         unsafe { self.retire_batch(&nodes, min_birth, counter_slot, pool) };
     }
 
@@ -405,6 +461,8 @@ impl Drop for Hyaline {
             let mut vault = vault.lock();
             let n = vault.nodes.len();
             for hdr in vault.nodes.drain(..) {
+                // SAFETY: `&mut self` proves all handles are gone; vault
+                // nodes were never pushed, so nothing else references them.
                 unsafe { pool.free(hdr) };
             }
             self.unreclaimed.sub(i, n);
@@ -467,6 +525,7 @@ impl Drop for HyalineHandle {
 }
 
 /// Critical-section guard for [`Hyaline`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct HyalineGuard<'g> {
     handle: &'g mut HyalineHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -509,6 +568,10 @@ impl Drop for HyalineGuard<'_> {
         };
         // Acknowledge every batch pushed during our critical section.
         let domain = self.handle.domain.clone();
+        // SAFETY: this thread held its slot reference continuously from the
+        // enter `fetch_add` (which returned `entry_addr`) until the CAS above
+        // that released it and returned `observed` — exactly `acknowledge`'s
+        // contract.
         unsafe {
             domain.acknowledge(
                 observed,
@@ -560,7 +623,14 @@ impl SmrGuard for HyalineGuard<'_> {
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
         let ptr = self.handle.pool.alloc(value);
+        // ORDERING: a Relaxed era read can only lag the true era, making the
+        // birth stamp conservatively old — strictly more protective for the
+        // `-1S` stalled-reader exemption.  The Relaxed store is published to
+        // retirers by the vault mutex taken at retire time.
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        // SAFETY: `ptr` was just produced by `pool.alloc`; its header is live
+        // and exclusively ours until the pointer is published.
+        // ORDERING: see the era comment just above.
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
         if self
@@ -573,11 +643,20 @@ impl SmrGuard for HyalineGuard<'_> {
         Shared::from_ptr(ptr)
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let hdr = header_of(value);
-        let birth = (*hdr).birth_era.load(Ordering::Relaxed);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain, is unlinked, and is retired exactly once — so the block is
+        // live and its header valid.
+        let hdr = unsafe { header_of(value) };
+        // SAFETY: header valid as above.
+        // ORDERING: Relaxed read — the stamp was written before the pointer
+        // was published, and unlink + retire on this thread ordered us after
+        // any concurrent refresh; the value only feeds the conservative
+        // `min_birth` minimum.
+        let birth = unsafe { (*hdr).birth_era.load(Ordering::Relaxed) };
         let handle = &mut *self.handle;
         let idx = handle.claim.index;
         let full = {
@@ -593,8 +672,12 @@ impl SmrGuard for HyalineGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -629,6 +712,7 @@ mod tests {
         for i in 0..10u64 {
             let mut g = h.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         drop(h);
@@ -654,9 +738,11 @@ mod tests {
         // Worker retires the node plus enough filler to flush a full batch.
         {
             let mut g = worker.pin();
+            // SAFETY: the node was unlinked by this test and is retired exactly once.
             unsafe { g.retire(seen) };
             for i in 0..16u64 {
                 let p = g.alloc(i);
+                // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                 unsafe { g.retire(p) };
             }
         }
@@ -688,12 +774,14 @@ mod tests {
         for i in 0..64u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was never published; dealloc is the owner's fast path.
             unsafe { g.dealloc(p) };
         }
         let before = d.unreclaimed();
         for i in 0..64u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -717,6 +805,7 @@ mod tests {
                 let mut g = h.pin();
                 for i in 0..3u64 {
                     let p = g.alloc(i);
+                    // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                     unsafe { g.retire(p) };
                 }
             }
@@ -763,6 +852,7 @@ mod tests {
         for i in 0..64u64 {
             let mut g = survivor.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         survivor.flush();
@@ -794,6 +884,7 @@ mod tests {
                         // Simulate a short read before retiring.
                         let cell = Atomic::new(p);
                         let seen = g.protect(0, &cell);
+                        // SAFETY: this thread is the only retirer of `seen`; the cell is test-local.
                         unsafe { g.retire(seen) };
                     }
                     h.flush();

@@ -80,9 +80,15 @@ impl Smr for Ibr {
         let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
+        // ORDERING: Relaxed is enough for both resets — the slot is not yet
+        // visible to sweepers (the claim above is what publishes it, and
+        // `is_claimed` readers synchronize through the registry), so no other
+        // thread can observe these stores out of order.
         self.slots[claim.index]
             .lower
+            // ORDERING: the slot is newly claimed and not yet observed by reclamation scans; this reset is owner-only.
             .store(u64::MAX, Ordering::Relaxed);
+        // ORDERING: the slot is newly claimed and not yet observed by reclamation scans; this reset is owner-only.
         self.slots[claim.index].upper.store(0, Ordering::Relaxed);
         Ok(IbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
@@ -150,6 +156,10 @@ impl Ibr {
                 if protected {
                     true
                 } else {
+                    // SAFETY: no active interval overlaps the object's
+                    // lifetime in the snapshot taken after it was retired, so
+                    // no thread can still hold a protected reference; the
+                    // record owns the block and is dropped from the list.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -160,6 +170,9 @@ impl Ibr {
                 if self.is_protected(r.birth_era(), r.retire_era()) {
                     true
                 } else {
+                    // SAFETY: as above — the per-record scan found no
+                    // overlapping interval, so the block is unreachable and
+                    // freed exactly once.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -213,11 +226,15 @@ impl Drop for Ibr {
     fn drop(&mut self) {
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: `&mut self` proves every handle (and so every
+                // guard) is gone; nothing can still protect the block.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: as above — the domain is being dropped, so no interval
+            // can still cover any retired block.
             unsafe { r.free() };
         }
     }
@@ -278,6 +295,7 @@ impl Drop for IbrHandle {
 }
 
 /// Critical-section guard for [`Ibr`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct IbrGuard<'g> {
     handle: &'g mut IbrHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -341,7 +359,15 @@ impl SmrGuard for IbrGuard<'_> {
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
         let ptr = self.handle.pool.alloc(value);
+        // ORDERING: a Relaxed read of the era can only be *older* than the
+        // real current era, which makes the birth stamp conservatively early
+        // — strictly more protective for the interval-overlap test.  The
+        // Relaxed store is published to sweepers by the vault mutex taken at
+        // retire time.
         let era = self.handle.domain.global_era.load(Ordering::Relaxed);
+        // SAFETY: `ptr` was just produced by `pool.alloc`, so its header is
+        // live and exclusively ours until the pointer is published.
+        // ORDERING: a Relaxed era read can only lag, stamping the birth era conservatively old.
         unsafe { (*header_of(ptr)).birth_era.store(era, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
         if self
@@ -354,13 +380,23 @@ impl SmrGuard for IbrGuard<'_> {
         Shared::from_ptr(ptr)
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let retired = Retired::from_value(value);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain, is unlinked, and is retired exactly once.
+        let retired = unsafe { Retired::from_value(value) };
         let handle = &mut *self.handle;
+        // ORDERING: a Relaxed era read here can only lag the true era, which
+        // stamps the retirement conservatively *early* — never unsafe, at
+        // worst it delays reclamation by one interval check.  The stamp is
+        // published to sweepers by the vault mutex acquired just below.
         let era = handle.domain.global_era.load(Ordering::Relaxed);
-        (*retired.hdr).retire_era.store(era, Ordering::Relaxed);
+        // SAFETY: the record was just built from a live block; its header is
+        // valid until the record is freed.
+        // ORDERING: a lagging retire-era stamp only delays reclamation by one scan; safety is unaffected.
+        unsafe { (*retired.hdr).retire_era.store(era, Ordering::Relaxed) };
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
@@ -382,8 +418,12 @@ impl SmrGuard for IbrGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -430,6 +470,7 @@ mod tests {
             }
             {
                 let mut g = worker.pin();
+                // SAFETY: the node was unlinked by this test and is retired exactly once.
                 unsafe { g.retire(target) };
             }
             worker.flush();
@@ -457,6 +498,7 @@ mod tests {
         for i in 0..512u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -478,6 +520,7 @@ mod tests {
                 let p = g.alloc(1u64);
                 let cell = Atomic::new(p);
                 g.protect(0, &cell);
+                // SAFETY: `p` is test-local; the published interval keeps this retire from freeing it.
                 unsafe { g.retire(p) };
                 // Leak guard + handle: the interval stays active and the slot
                 // stays claimed past thread death.
@@ -522,6 +565,7 @@ mod tests {
                     for i in 0..1000u64 {
                         let mut g = h.pin();
                         let p = g.alloc(i);
+                        // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                         unsafe { g.retire(p) };
                     }
                     h.flush();

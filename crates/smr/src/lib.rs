@@ -48,6 +48,7 @@
 //! this contract; nothing in this crate can check it for you.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod block;
 pub mod pool;
@@ -410,6 +411,7 @@ pub trait SmrHandle {
     /// The panic fires *before* any reservation is published, so an adopted
     /// handle can never corrupt the domain; treat it as "this handle died
     /// with its last thread, register a new one".
+    #[must_use = "dropping the guard immediately leaves the critical section"]
     fn pin(&mut self) -> Self::Guard<'_>;
 
     /// Forces a reclamation attempt (limbo scan / epoch advance), regardless
@@ -476,7 +478,9 @@ pub trait SmrGuard {
     /// live for the duration of the call, exactly as for [`Link::as_atomic`].
     #[inline]
     unsafe fn protect_link<T>(&mut self, idx: usize, link: Link<T>) -> Shared<T> {
-        self.protect(idx, link.as_atomic())
+        // SAFETY: forwarded — the caller guarantees the link's owner is live,
+        // which is exactly the `Link::as_atomic` contract.
+        self.protect(idx, unsafe { link.as_atomic() })
     }
 
     /// Copies the protection in slot `from` to slot `to` (`dup` in Figure 1).

@@ -95,11 +95,16 @@ impl Smr for Nbr {
         let claim = self.registry.try_claim().ok_or(SmrError::RegistryFull {
             capacity: self.registry.capacity(),
         })?;
+        // ORDERING: Relaxed is enough for both resets — the slot is not yet
+        // visible to sweepers (the claim above publishes it, and `is_claimed`
+        // readers synchronize through the registry).
         self.slots[claim.index]
             .checkpoint
+            // ORDERING: the slot is newly claimed and not yet observed by reclamation scans; this reset is owner-only.
             .store(INACTIVE, Ordering::Relaxed);
         self.slots[claim.index]
             .neutralize
+            // ORDERING: the slot is newly claimed and not yet observed by reclamation scans; this reset is owner-only.
             .store(false, Ordering::Relaxed);
         Ok(NbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
@@ -146,6 +151,10 @@ impl Nbr {
         let mut freed = 0usize;
         limbo.retain(|r| {
             if r.retire_era().saturating_add(2) <= min {
+                // SAFETY: every active checkpoint is at least two eras past
+                // this entry's retirement, so no thread can still reach the
+                // block (the grace argument above); the record owns the block
+                // and is dropped from the list.
                 unsafe { r.free_into(pool) };
                 freed += 1;
                 false
@@ -175,6 +184,8 @@ impl Nbr {
             }
         }
         if raised > 0 {
+            // ORDERING: Relaxed — a monotonic statistics counter read only by
+            // the diagnostic accessor; no other memory depends on it.
             self.neutralizations.fetch_add(raised, Ordering::Relaxed);
         }
     }
@@ -206,6 +217,9 @@ impl Nbr {
             }
             if let Some(adoption) = self.registry.try_begin_adopt(i) {
                 self.slots[i].checkpoint.store(INACTIVE, Ordering::SeqCst);
+                // ORDERING: Relaxed — the flag is advisory (a progress hint,
+                // never a safety signal) and the dead owner will never poll
+                // it again; the adoption fence publishes it to any claimant.
                 self.slots[i].neutralize.store(false, Ordering::Relaxed);
                 let mut vault = self.vaults[i].lock();
                 if !vault.is_empty() {
@@ -220,6 +234,7 @@ impl Nbr {
 
     /// Total neutralize flags raised so far (diagnostic).
     pub fn neutralizations(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read, see `neutralize_laggards`.
         self.neutralizations.load(Ordering::Relaxed)
     }
 }
@@ -231,11 +246,14 @@ impl Drop for Nbr {
         // the orphan list.
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: `&mut self` proves every handle (and so every
+                // guard) is gone; no checkpoint can still protect the block.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: as above — the domain is being dropped.
             unsafe { r.free() };
         }
     }
@@ -255,6 +273,8 @@ impl NbrHandle {
     /// the shared body of `pin` and `checkpoint`.
     fn announce_checkpoint(&mut self) {
         let slot = &self.domain.slots[self.claim.index];
+        // ORDERING: Relaxed — the flag is a progress hint, not a safety
+        // signal; clearing it late at worst triggers one redundant restart.
         slot.neutralize.store(false, Ordering::Relaxed);
         loop {
             let e = self.domain.global_era.load(Ordering::SeqCst);
@@ -318,6 +338,8 @@ impl Drop for NbrHandle {
         domain.registry.release_with(self.claim, || {
             let slot = &domain.slots[self.claim.index];
             slot.checkpoint.store(INACTIVE, Ordering::SeqCst);
+            // ORDERING: Relaxed — advisory flag; the release_with callback is
+            // published to the next claimant by the registry itself.
             slot.neutralize.store(false, Ordering::Relaxed);
             let mut vault = domain.vaults[self.claim.index].lock();
             if !vault.is_empty() {
@@ -328,6 +350,7 @@ impl Drop for NbrHandle {
 }
 
 /// Critical-section guard for [`Nbr`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct NbrGuard<'g> {
     handle: &'g mut NbrHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -374,15 +397,28 @@ impl SmrGuard for NbrGuard<'_> {
         Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let retired = Retired::from_value(value);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain, is unlinked, and is retired exactly once.
+        let retired = unsafe { Retired::from_value(value) };
         let handle = &mut *self.handle;
-        (*retired.hdr).retire_era.store(
-            handle.domain.global_era.load(Ordering::Relaxed),
-            Ordering::Relaxed,
-        );
+        // SAFETY: the record was just built from a live block; its header is
+        // valid until the record is freed.
+        // ORDERING: a Relaxed era read can only lag the true era, stamping
+        // the retirement conservatively early — at worst it delays
+        // reclamation by one sweep; the stamp is published to sweepers by
+        // the vault mutex acquired just below.
+        unsafe {
+            (*retired.hdr).retire_era.store(
+                // ORDERING: see the comment above this unsafe block.
+                handle.domain.global_era.load(Ordering::Relaxed),
+                // ORDERING: see the comment above this unsafe block.
+                Ordering::Relaxed,
+            );
+        }
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
@@ -395,8 +431,12 @@ impl SmrGuard for NbrGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 
     #[inline]
@@ -431,6 +471,7 @@ mod tests {
         for i in 0..64u64 {
             let mut g = h.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         for _ in 0..4 {
@@ -453,6 +494,7 @@ mod tests {
         for i in 0..64u64 {
             let mut wg = worker.pin();
             let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { wg.retire(p) };
         }
         assert!(
@@ -488,6 +530,7 @@ mod tests {
         for i in 0..32u64 {
             let mut wg = worker.pin();
             let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { wg.retire(p) };
         }
         let before = d.unreclaimed();
@@ -515,6 +558,7 @@ mod tests {
         for i in 0..256u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -549,6 +593,7 @@ mod tests {
                     for i in 0..1000u64 {
                         let mut g = h.pin();
                         let p = g.alloc(t * 10_000 + i);
+                        // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                         unsafe { g.retire(p) };
                         if g.needs_restart() {
                             g.checkpoint();
@@ -577,6 +622,7 @@ mod tests {
                 let mut h = d.register();
                 let mut g = h.pin();
                 let p = g.alloc(1u64);
+                // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                 unsafe { g.retire(p) };
                 // Leak guard + handle: the checkpoint stays published and the
                 // slot stays claimed past thread death.
@@ -605,6 +651,7 @@ mod tests {
             let mut h = d.register();
             let mut g = h.pin();
             let p = g.alloc(1u64);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         assert_eq!(d.unreclaimed(), 1);

@@ -108,6 +108,7 @@ impl SmrHandle for NrHandle {
 }
 
 /// Critical-section guard for [`Nr`]; every operation is a plain load.
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct NrGuard<'g> {
     handle: &'g mut NrHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -142,16 +143,24 @@ impl SmrGuard for NrGuard<'_> {
         Shared::from_ptr(self.handle.pool.alloc(value))
     }
 
+    // SAFETY: NR never frees, so any unlinked pointer is trivially safe to retire.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         // Leak: only account for it so memory-overhead experiments can report
         // the (ever-growing) number of unreclaimed objects.
         debug_assert!(!ptr.is_null());
-        let _ = Retired::from_value(ptr.untagged().as_ptr());
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain; the record is built only to mirror the other schemes'
+        // retire paths and is immediately discarded (NR leaks).
+        let _ = unsafe { Retired::from_value(ptr.untagged().as_ptr()) };
         self.handle.domain.retired.add(self.handle.claim.index, 1);
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // no other thread has observed the block; pool-freeing it runs the
+        // destructor exactly once.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 }
 
@@ -165,6 +174,7 @@ mod tests {
         let mut h = d.register();
         let mut g = h.pin();
         let p = g.alloc(41u64);
+        // SAFETY: `p` was just allocated by this guard and is still live.
         unsafe {
             assert_eq!(*p.deref(), 41);
             g.retire(p);
@@ -181,6 +191,7 @@ mod tests {
         let cell = Atomic::new(p);
         let seen = g.protect(0, &cell);
         assert_eq!(seen, p);
+        // SAFETY: `p` was never shared with another thread; the protect call is test scaffolding.
         unsafe { g.dealloc(p) };
     }
 
@@ -190,6 +201,7 @@ mod tests {
         let mut h = d.register();
         let mut g = h.pin();
         let p = g.alloc(String::from("x"));
+        // SAFETY: `p` was never published; dealloc is the owner's fast path.
         unsafe { g.dealloc(p) };
         assert_eq!(d.unreclaimed(), 0);
     }
@@ -201,6 +213,7 @@ mod tests {
         let mut g = h.pin();
         let p = g.alloc(1u64);
         let addr = p.untagged().into_raw();
+        // SAFETY: `p` was never published; dealloc is the owner's fast path.
         unsafe { g.dealloc(p) };
         let q = g.alloc(2u64);
         assert_eq!(
@@ -208,6 +221,7 @@ mod tests {
             addr,
             "a lost-CAS giveback must be reused by the next allocation"
         );
+        // SAFETY: `q` was never published; dealloc is the owner's fast path.
         unsafe { g.dealloc(q) };
     }
 }

@@ -59,6 +59,12 @@ struct Bin {
 impl Bin {
     #[inline]
     fn push(&mut self, hdr: *mut Header) {
+        // SAFETY: `hdr` is a dead block owned exclusively by this pool (its
+        // payload was dropped before it entered a free list), so rewriting
+        // its repurposed `next` field cannot race another thread.
+        // ORDERING: Relaxed — the free list is single-owner (one thread per
+        // pool tier); transfers between threads synchronize through the
+        // overflow mutex, which fences these writes.
         unsafe { (*hdr).next.store(self.head, Ordering::Relaxed) };
         self.head = hdr as usize;
         self.len += 1;
@@ -70,6 +76,9 @@ impl Bin {
             return None;
         }
         let hdr = self.head as *mut Header;
+        // SAFETY: every block in the free list is dead memory owned by this
+        // pool, so its header stays valid until the pool hands it out.
+        // ORDERING: Relaxed — single-owner list; see `push`.
         self.head = unsafe { (*hdr).next.load(Ordering::Relaxed) };
         self.len -= 1;
         Some(hdr)
@@ -102,9 +111,12 @@ pub struct PoolShared {
     max_overflow: usize,
 }
 
-// FreeBlock addresses refer to dead allocations owned exclusively by the
-// pool; moving them across threads is the entire point of the overflow tier.
+// SAFETY: FreeBlock addresses refer to dead allocations owned exclusively by
+// the pool; moving them across threads is the entire point of the overflow
+// tier.
 unsafe impl Send for PoolShared {}
+// SAFETY: all shared state is behind the overflow mutex or atomic; the raw
+// block addresses inside are only touched by whichever thread takes them out.
 unsafe impl Sync for PoolShared {}
 
 impl PoolShared {
@@ -120,6 +132,8 @@ impl PoolShared {
 
     /// Number of blocks currently parked in the overflow tier.
     pub fn overflow_len(&self) -> usize {
+        // ORDERING: Relaxed — statistics/fast-path hint only; the authoritative
+        // count is re-read under the overflow mutex by `park`/`take`.
         self.overflow_count.load(Ordering::Relaxed)
     }
 
@@ -132,6 +146,9 @@ impl PoolShared {
             return;
         }
         let mut overflow = self.overflow.lock();
+        // ORDERING: Relaxed — `overflow_count` is only *written* under the
+        // overflow mutex (held here), so this read observes the latest value;
+        // the mutex provides the synchronization.
         let mut total = self.overflow_count.load(Ordering::Relaxed);
         let room = self.max_overflow.saturating_sub(total);
         let keep = blocks.len().min(room);
@@ -149,9 +166,15 @@ impl PoolShared {
             overflow[idx].blocks.push(fb.hdr);
             total += 1;
         }
+        // ORDERING: Relaxed — written under the overflow mutex; readers that
+        // need the exact value (park/take) also hold the mutex, and the
+        // lock-free empty-check in `refill` tolerates staleness.
         self.overflow_count.store(total, Ordering::Relaxed);
         drop(overflow);
         for fb in blocks {
+            // SAFETY: blocks entering the pool have had their payload dropped
+            // (`BlockPool::free`), so only the raw memory remains to release,
+            // and `fb.layout` is the block's recorded allocation layout.
             unsafe { dealloc_raw(fb.hdr as *mut Header, fb.layout) };
         }
     }
@@ -168,6 +191,7 @@ impl PoolShared {
         };
         let n = bin.blocks.len().min(want);
         let taken = bin.blocks.split_off(bin.blocks.len() - n);
+        // ORDERING: Relaxed — updated under the overflow mutex; see `park`.
         self.overflow_count.fetch_sub(n, Ordering::Relaxed);
         taken
     }
@@ -178,8 +202,9 @@ impl Drop for PoolShared {
         let mut overflow = self.overflow.lock();
         for bin in overflow.drain(..) {
             for hdr in bin.blocks {
-                // Payloads were dropped before the blocks entered the pool;
-                // only the raw memory remains to release.
+                // SAFETY: payloads were dropped before the blocks entered the
+                // pool; only the raw memory remains to release, and
+                // `bin.layout` is the layout every block in this bin shares.
                 unsafe { dealloc_raw(hdr as *mut Header, bin.layout) };
             }
         }
@@ -203,8 +228,9 @@ pub struct BlockPool {
     len: usize,
 }
 
-// The pooled blocks are dead memory owned exclusively by this pool; the pool
-// moves between threads only as part of its owning handle (`Handle: Send`).
+// SAFETY: the pooled blocks are dead memory owned exclusively by this pool;
+// the pool moves between threads only as part of its owning handle
+// (`Handle: Send`), never concurrently.
 unsafe impl Send for BlockPool {}
 
 impl BlockPool {
@@ -258,11 +284,15 @@ impl BlockPool {
         let bin = self.bin_index(layout);
         if let Some(hdr) = self.bins[bin].pop() {
             self.len -= 1;
+            // SAFETY: the block came out of the bin matching `Block<T>`'s
+            // layout and is dead (payload dropped before it was pooled).
             return unsafe { Self::reinit(hdr, value) };
         }
         if self.refill(bin) {
             if let Some(hdr) = self.bins[bin].pop() {
                 self.len -= 1;
+                // SAFETY: as above — refill only moves blocks of this bin's
+                // layout, and overflow blocks are dead by construction.
                 return unsafe { Self::reinit(hdr, value) };
             }
         }
@@ -278,12 +308,23 @@ impl BlockPool {
     /// block of exactly `Block<T>`'s layout.
     #[inline]
     unsafe fn reinit<T>(hdr: *mut Header, value: T) -> *mut T {
-        let incarnation = (*hdr).version.load(Ordering::Relaxed);
-        let ptr = crate::block::init_block(hdr, value);
-        (*hdr)
-            .version
-            .store(incarnation.wrapping_add(1), Ordering::Release);
-        ptr
+        // SAFETY: the caller guarantees `hdr` is a dead block of exactly
+        // `Block<T>`'s layout, owned by this pool — reading its parked header
+        // and overwriting it with a fresh block is exclusive access.
+        // ORDERING: the Relaxed read is single-owner (the stamp was last
+        // written either by this pool tier or before the block crossed the
+        // overflow mutex); the Release store pairs with the Acquire in
+        // `version_of` so a VBR reader that observes the new stamp also
+        // observes the reinitialized header.
+        unsafe {
+            // ORDERING: see the block comment above -- the stamp is single-owner here.
+            let incarnation = (*hdr).version.load(Ordering::Relaxed);
+            let ptr = crate::block::init_block(hdr, value);
+            (*hdr)
+                .version
+                .store(incarnation.wrapping_add(1), Ordering::Release);
+            ptr
+        }
     }
 
     /// Runs the block's destructor and recycles its memory: into a local bin
@@ -295,10 +336,15 @@ impl BlockPool {
     /// The block must be live, unreachable by any other thread, and not freed
     /// twice — the same contract as [`crate::block::free_block`].
     pub unsafe fn free(&mut self, hdr: *mut Header) {
-        let layout = (*hdr).vtable.layout;
-        drop_value(hdr);
+        // SAFETY: the caller guarantees the block is live and unreachable, so
+        // reading its vtable and running the payload destructor in place is
+        // exclusive access; afterwards the block is dead memory this pool owns.
+        let layout = unsafe { (*hdr).vtable.layout };
+        // SAFETY: as above — live, unreachable, not freed twice.
+        unsafe { drop_value(hdr) };
         if self.capacity == 0 {
-            dealloc_raw(hdr, layout);
+            // SAFETY: payload just dropped; `layout` is the recorded layout.
+            unsafe { dealloc_raw(hdr, layout) };
             return;
         }
         if self.len >= self.capacity {
@@ -306,7 +352,8 @@ impl BlockPool {
         }
         if self.len >= self.capacity {
             // Overflow tier was full too: give the block back for real.
-            dealloc_raw(hdr, layout);
+            // SAFETY: payload just dropped; `layout` is the recorded layout.
+            unsafe { dealloc_raw(hdr, layout) };
             return;
         }
         let bin = self.bin_index(layout);
@@ -345,6 +392,9 @@ impl BlockPool {
     /// (one relaxed load), and uses `try_lock` otherwise: under contention
     /// the global allocator is cheaper than serializing on the mutex.
     fn refill(&mut self, bin: usize) -> bool {
+        // ORDERING: Relaxed — empty-check fast path; a stale non-zero just
+        // costs a `try_lock`, a stale zero falls through to the global
+        // allocator.  Block handoff synchronizes via the overflow mutex.
         if self.shared.overflow_count.load(Ordering::Relaxed) == 0 {
             return false;
         }
@@ -401,12 +451,15 @@ impl ShardedCounter {
     /// Increments `shard` (relaxed; owner-only on the hot path).
     #[inline]
     pub fn add(&self, shard: usize, n: usize) {
+        // ORDERING: Relaxed — statistics only; `sum` is documented as exact
+        // only at quiescence (see the module docs' accuracy model).
         self.shards[shard].fetch_add(n as isize, Ordering::Relaxed);
     }
 
     /// Decrements `shard` (relaxed); may drive the shard negative.
     #[inline]
     pub fn sub(&self, shard: usize, n: usize) {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.shards[shard].fetch_sub(n as isize, Ordering::Relaxed);
     }
 
@@ -414,6 +467,8 @@ impl ShardedCounter {
     /// transiently miss in-flight updates.  Clamped at zero for the same
     /// reason the shards are signed.
     pub fn sum(&self) -> usize {
+        // ORDERING: Relaxed — sampler path; the accuracy model in the module
+        // docs explicitly permits transiently missing in-flight updates.
         let total: isize = self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum();
         total.max(0) as usize
     }
@@ -436,11 +491,13 @@ mod tests {
         let (_shared, mut pool) = pool(8, 1);
         let a = pool.alloc(1u64);
         let addr = a as usize;
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(a)) };
         assert_eq!(pool.cached(), 1);
         let b = pool.alloc(2u64);
         assert_eq!(b as usize, addr, "LIFO reuse of the freed block");
         assert_eq!(pool.cached(), 0);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(b)) };
     }
 
@@ -449,6 +506,7 @@ mod tests {
         let (shared, mut pool) = pool(4, 1);
         let blocks: Vec<*mut u64> = (0..32).map(|i| pool.alloc(i as u64)).collect();
         for b in blocks {
+            // SAFETY: the block was allocated by this pool family and is freed exactly once.
             unsafe { pool.free(header_of(b)) };
         }
         assert!(
@@ -467,6 +525,7 @@ mod tests {
         let mut pool = BlockPool::new(shared.clone(), 2);
         let blocks: Vec<*mut u64> = (0..64).map(|i| pool.alloc(i as u64)).collect();
         for b in blocks {
+            // SAFETY: the block was allocated by this pool family and is freed exactly once.
             unsafe { pool.free(header_of(b)) };
         }
         assert!(pool.cached() <= 2);
@@ -481,6 +540,7 @@ mod tests {
         // Producer frees blocks it never reuses; its pool fills and spills.
         let blocks: Vec<*mut u64> = (0..32).map(|i| producer.alloc(i as u64)).collect();
         for b in blocks {
+            // SAFETY: the block was allocated by this pool family and is freed exactly once.
             unsafe { producer.free(header_of(b)) };
         }
         assert!(shared.overflow_len() > 0, "producer must have spilled");
@@ -491,6 +551,7 @@ mod tests {
             shared.overflow_len() < before,
             "consumer must refill from the shared overflow"
         );
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { consumer.free(header_of(c)) };
     }
 
@@ -498,6 +559,7 @@ mod tests {
     fn zero_capacity_disables_pooling() {
         let (shared, mut pool) = pool(0, 1);
         let a = pool.alloc(1u64);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(a)) };
         assert_eq!(pool.cached(), 0);
         assert_eq!(shared.overflow_len(), 0);
@@ -516,6 +578,7 @@ mod tests {
         const ROUNDS: usize = 100;
         for _ in 0..ROUNDS {
             let p = pool.alloc(DropCounter(count.clone()));
+            // SAFETY: the block was allocated by this pool family and is freed exactly once.
             unsafe { pool.free(header_of(p)) };
         }
         assert_eq!(count.load(Ordering::SeqCst), ROUNDS);
@@ -528,6 +591,7 @@ mod tests {
         let big = pool.alloc([0u8; 128]);
         let small_addr = small as usize;
         let big_addr = big as usize;
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe {
             pool.free(header_of(small));
             pool.free(header_of(big));
@@ -538,6 +602,7 @@ mod tests {
         let small2 = pool.alloc(2u64);
         assert_eq!(big2 as usize, big_addr);
         assert_eq!(small2 as usize, small_addr);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe {
             pool.free(header_of(small2));
             pool.free(header_of(big2));
@@ -551,6 +616,7 @@ mod tests {
             let mut p = BlockPool::new(shared.clone(), 4);
             let blocks: Vec<*mut u64> = (0..4).map(|i| p.alloc(i as u64)).collect();
             for b in blocks {
+                // SAFETY: the block was allocated by this pool family and is freed exactly once.
                 unsafe { p.free(header_of(b)) };
             }
             assert_eq!(p.cached(), 4);
@@ -564,10 +630,12 @@ mod tests {
         // were allocated by a different handle or before pooling kicked in.
         let (_shared, mut pool) = pool(4, 1);
         let raw = alloc_block(9u64);
+        // SAFETY: `raw` came straight from `alloc_block` and has a valid header; the pool takes ownership.
         unsafe { pool.free(header_of(raw)) };
         assert_eq!(pool.cached(), 1);
         let back = pool.alloc(10u64);
         assert_eq!(back as usize, raw as usize);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(back)) };
     }
 
@@ -575,14 +643,20 @@ mod tests {
     fn version_stamp_counts_recycling_incarnations() {
         let (_shared, mut pool) = pool(8, 1);
         let a = pool.alloc(1u64);
+        // SAFETY: the pointer refers to a live block owned by this test.
         assert_eq!(unsafe { crate::block::version_of(a) }, 0, "fresh block");
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(a)) };
         let b = pool.alloc(2u64);
         assert_eq!(b as usize, a as usize, "must reuse the same memory");
+        // SAFETY: the pointer refers to a live block owned by this test.
         assert_eq!(unsafe { crate::block::version_of(b) }, 1);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(b)) };
         let c = pool.alloc(3u64);
+        // SAFETY: the pointer refers to a live block owned by this test.
         assert_eq!(unsafe { crate::block::version_of(c) }, 2);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { pool.free(header_of(c)) };
     }
 
@@ -594,15 +668,20 @@ mod tests {
         // One recycle through the producer gives the block version 1, then
         // its drop parks everything in the shared overflow.
         let a = producer.alloc(1u64);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { producer.free(header_of(a)) };
         let b = producer.alloc(2u64);
+        // SAFETY: the pointer refers to a live block owned by this test.
         assert_eq!(unsafe { crate::block::version_of(b) }, 1);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { producer.free(header_of(b)) };
         drop(producer);
         // The consumer refills from the overflow; the stamp keeps counting.
         let c = consumer.alloc(3u64);
         assert_eq!(c as usize, b as usize);
+        // SAFETY: the pointer refers to a live block owned by this test.
         assert_eq!(unsafe { crate::block::version_of(c) }, 2);
+        // SAFETY: the block was allocated by this pool family and is freed exactly once.
         unsafe { consumer.free(header_of(c)) };
     }
 
@@ -639,12 +718,14 @@ mod tests {
                     let mut pool = BlockPool::new(shared, 16);
                     for i in 0..2000u64 {
                         let p = pool.alloc(t as u64 * 1_000_000 + i);
+                        // SAFETY: the block was allocated by this pool family and is freed exactly once.
                         unsafe { pool.free(header_of(p)) };
                         if i % 7 == 0 {
                             // Burst of allocations to force refills.
                             let burst: Vec<*mut u64> =
                                 (0..8).map(|j| pool.alloc(j as u64)).collect();
                             for b in burst {
+                                // SAFETY: the block was allocated by this pool family and is freed exactly once.
                                 unsafe { pool.free(header_of(b)) };
                             }
                         }

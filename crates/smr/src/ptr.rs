@@ -34,7 +34,13 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut T>,
 }
 
+// SAFETY: `Atomic<T>` is a word-sized atomic cell; the pointer value itself
+// is freely movable between threads, and any thread that *dereferences* it
+// must uphold the `Shared::deref` contract, which requires `T: Send + Sync`
+// for shared structures — mirrored here as the bound on both impls.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: all shared access goes through `&self` atomic operations; there is
+// no unsynchronized interior mutability.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Default for Atomic<T> {
@@ -164,7 +170,9 @@ impl<T> Link<T> {
     /// live, i.e. protected by a hazard slot / era reservation or reachable.
     #[inline]
     pub unsafe fn as_atomic<'a>(&self) -> &'a Atomic<T> {
-        &*self.cell
+        // SAFETY: the caller guarantees the link's owner is live, so the
+        // `Atomic` cell it embeds is a valid, initialized atomic word.
+        unsafe { &*self.cell }
     }
 
     /// Loads through the link.
@@ -174,7 +182,8 @@ impl<T> Link<T> {
     /// be live when the load executes.
     #[inline]
     pub unsafe fn load(&self, ord: Ordering) -> Shared<T> {
-        self.as_atomic().load(ord)
+        // SAFETY: forwarded — the caller upholds the `as_atomic` contract.
+        unsafe { self.as_atomic() }.load(ord)
     }
 
     /// CAS through the link.
@@ -184,7 +193,8 @@ impl<T> Link<T> {
     /// be live when the CAS executes.
     #[inline]
     pub unsafe fn cas(&self, current: Shared<T>, new: Shared<T>) -> Result<(), Shared<T>> {
-        self.as_atomic().cas(current, new)
+        // SAFETY: forwarded — the caller upholds the `as_atomic` contract.
+        unsafe { self.as_atomic() }.cas(current, new)
     }
 }
 
@@ -298,7 +308,10 @@ impl<T> Shared<T> {
     /// (e.g. still reachable and the traversal validated per SCOT).
     #[inline]
     pub unsafe fn deref<'a>(&self) -> &'a T {
-        &*self.as_ptr()
+        // SAFETY: the caller guarantees the pointee is live (protected or
+        // validated per SCOT), and `as_ptr` strips the tag bits so the
+        // address is the true allocation address.
+        unsafe { &*self.as_ptr() }
     }
 
     /// Like [`Shared::deref`] but returns `None` for null.
@@ -307,7 +320,9 @@ impl<T> Shared<T> {
     /// Same contract as [`Shared::deref`] when non-null.
     #[inline]
     pub unsafe fn as_ref<'a>(&self) -> Option<&'a T> {
-        self.as_ptr().as_ref()
+        // SAFETY: the caller guarantees the pointee is live when non-null;
+        // `as_ref` returns `None` for null without dereferencing.
+        unsafe { self.as_ptr().as_ref() }
     }
 
     /// Dereferences the pointer, tying the borrow's lifetime to an SMR guard.
@@ -328,7 +343,10 @@ impl<T> Shared<T> {
     /// that for callers who only mutate guards through `&mut`.
     #[inline]
     pub unsafe fn deref_guarded<'g, G: crate::SmrGuard>(&self, _guard: &'g G) -> &'g T {
-        &*self.as_ptr()
+        // SAFETY: the caller guarantees a protection covering the pointee
+        // stays published for the guard's remaining lifetime, which is the
+        // lifetime of the returned borrow.
+        unsafe { &*self.as_ptr() }
     }
 }
 
@@ -357,6 +375,7 @@ mod tests {
         let m2 = m.with_tag(0b11);
         assert_eq!(m2.tag(), 0b11);
         assert_eq!(m2.untagged(), s);
+        // SAFETY: the pointee is a live Box-backed value owned by this test; tags never change the address.
         unsafe {
             assert_eq!(*m2.deref(), 42);
             drop(Box::from_raw(x));
@@ -380,6 +399,7 @@ mod tests {
         let prev = a.swap(Shared::null(), Ordering::AcqRel);
         assert_eq!(prev.as_ptr(), x);
         assert!(a.load(Ordering::Acquire).is_null());
+        // SAFETY: `x` came from `Box::into_raw` above and is reclaimed exactly once.
         unsafe { drop(Box::from_raw(x)) };
     }
 
@@ -394,6 +414,7 @@ mod tests {
         // Successful CAS installs the new value.
         a.cas(Shared::from_ptr(x), Shared::from_ptr(y)).unwrap();
         assert_eq!(a.load(Ordering::Acquire).as_ptr(), y);
+        // SAFETY: both pointers came from `Box::into_raw` above and are reclaimed exactly once.
         unsafe {
             drop(Box::from_raw(x));
             drop(Box::from_raw(y));
@@ -413,6 +434,7 @@ mod tests {
         let x = Box::into_raw(Box::new(5u32));
         let a: Atomic<u32> = Atomic::null();
         let link = a.as_link();
+        // SAFETY: the link view aliases `a`, which outlives it; `x` is reclaimed exactly once below.
         unsafe {
             assert!(link.load(Ordering::Acquire).is_null());
             link.cas(Shared::null(), Shared::from_ptr(x)).unwrap();

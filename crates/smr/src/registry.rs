@@ -345,6 +345,7 @@ impl SlotRegistry {
 
 /// Exclusive license to tear down one orphaned slot; see
 /// [`SlotRegistry::try_begin_adopt`].
+#[must_use = "an adoption must be finished or poisoned, never dropped on the floor"]
 pub struct AdoptGuard<'a> {
     entry: &'a SlotEntry,
     beacon: MutexGuard<'a, Option<Arc<Beacon>>>,

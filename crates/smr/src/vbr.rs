@@ -111,6 +111,7 @@ impl Smr for Vbr {
         })?;
         self.slots[claim.index]
             .epoch
+            // ORDERING: the slot is newly claimed and not yet observed by reclamation scans; this reset is owner-only.
             .store(INACTIVE, Ordering::Relaxed);
         Ok(VbrHandle {
             pool: BlockPool::new(self.pool.clone(), self.config.pool_blocks()),
@@ -162,6 +163,7 @@ impl Vbr {
         while let Some(front) = recycle.front() {
             if front.retire_era().saturating_add(2) <= min {
                 let r = recycle.pop_front().expect("front was just observed");
+                // SAFETY: two full epochs have passed since retirement, so no reader can still be validating this incarnation.
                 unsafe { r.free_into(pool) };
                 freed += 1;
             } else {
@@ -215,6 +217,7 @@ impl Vbr {
             let mut freed = 0usize;
             orphans.retain(|r| {
                 if r.retire_era().saturating_add(2) <= min {
+                    // SAFETY: two full epochs have passed since the orphan was retired; no reader can still address it.
                     unsafe { r.free_into(pool) };
                     freed += 1;
                     false
@@ -238,11 +241,13 @@ impl Drop for Vbr {
     fn drop(&mut self) {
         for vault in self.vaults.iter() {
             for r in vault.lock().drain(..) {
+                // SAFETY: the domain is being dropped, so no handle can still reference the block.
                 unsafe { r.free() };
             }
         }
         let mut orphans = self.orphans.lock();
         for r in orphans.drain(..) {
+            // SAFETY: the domain is being dropped, so no handle can still reference the block.
             unsafe { r.free() };
         }
     }
@@ -314,6 +319,7 @@ impl Drop for VbrHandle {
 }
 
 /// Critical-section guard for [`Vbr`].
+#[must_use = "dropping a guard unpublishes every protection it holds"]
 pub struct VbrGuard<'g> {
     handle: &'g mut VbrHandle,
     /// Makes the guard `!Send`/`!Sync`: a guard is the pinning thread's
@@ -359,7 +365,10 @@ impl SmrGuard for VbrGuard<'_> {
 
     fn alloc<T: Send + 'static>(&mut self, value: T) -> Shared<T> {
         let ptr = self.handle.pool.alloc(value);
+        // ORDERING: an approximate epoch read is fine here -- VBR safety rests on version-stamp validation, not on epoch precision.
         let epoch = self.handle.domain.global_epoch.load(Ordering::Relaxed);
+        // SAFETY: `ptr` was just handed out by the pool, so the header is initialized and unaliased.
+        // ORDERING: the birth-era stamp becomes visible via the Release publish that first links the block.
         unsafe { (*header_of(ptr)).birth_era.store(epoch, Ordering::Relaxed) };
         self.handle.alloc_count += 1;
         if self
@@ -377,13 +386,23 @@ impl SmrGuard for VbrGuard<'_> {
         Shared::from_ptr(ptr)
     }
 
+    // SAFETY: callers must guarantee `ptr` has been unlinked from every shared location before retiring it.
     unsafe fn retire<T: Send + 'static>(&mut self, ptr: Shared<T>) {
         let value = ptr.untagged().as_ptr();
         debug_assert!(!value.is_null());
-        let retired = Retired::from_value(value);
+        // SAFETY: the caller guarantees `ptr` came from `alloc` on this
+        // domain and is already unlinked, so its block header is live.
+        let retired = unsafe { Retired::from_value(value) };
         let handle = &mut *self.handle;
+        // ORDERING: a stale epoch read only delays reclamation; safety comes from the two-era grace-period check.
         let epoch = handle.domain.global_epoch.load(Ordering::Relaxed);
-        (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed);
+        // SAFETY: the block is unlinked but not yet in any vault; this
+        // thread has exclusive access to its header stamp.
+        // ORDERING: Relaxed on both — the stamp only has to be no older than
+        // the epoch this thread announced at its last checkpoint (published
+        // with SeqCst there), and it is handed to the recycler through the
+        // vault mutex acquired just below, which orders the store.
+        unsafe { (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed) };
         let slot = handle.claim.index;
         let pending = {
             let mut vault = handle.domain.vaults[slot].lock();
@@ -410,8 +429,14 @@ impl SmrGuard for VbrGuard<'_> {
         }
     }
 
+    // SAFETY: callers must guarantee `ptr` was never published to other threads.
     unsafe fn dealloc<T>(&mut self, ptr: Shared<T>) {
-        self.handle.pool.free(header_of(ptr.untagged().as_ptr()));
+        // SAFETY: the caller guarantees the pointer was never published, so
+        // this thread is the only one that has ever seen the block; freeing
+        // it through the pool runs its destructor exactly once. VBR's version
+        // stamp is irrelevant here — an unpublished block has no readers to
+        // displace.
+        unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
 
     #[inline]
@@ -458,6 +483,7 @@ mod tests {
         for i in 0..64u64 {
             let mut g = h.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         for _ in 0..4 {
@@ -476,7 +502,9 @@ mod tests {
         for i in 0..512u64 {
             let mut g = h.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` is live and owned by this test.
             max_version = max_version.max(unsafe { version_of(p.as_ptr()) });
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         assert!(
@@ -499,6 +527,7 @@ mod tests {
         for i in 0..64u64 {
             let mut wg = worker.pin();
             let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { wg.retire(p) };
         }
         assert!(
@@ -530,6 +559,7 @@ mod tests {
         for i in 0..128u64 {
             let mut wg = worker.pin();
             let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { wg.retire(p) };
             if g.needs_restart() {
                 g.checkpoint();
@@ -561,6 +591,7 @@ mod tests {
         for i in 0..256u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         worker.flush();
@@ -585,6 +616,7 @@ mod tests {
         for i in 0..2u64 {
             let mut g = worker.pin();
             let p = g.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         // ...epoch moves two ahead, a reader pins at the new epoch...
@@ -595,6 +627,7 @@ mod tests {
             let mut wg = worker.pin();
             for i in 10..12u64 {
                 let p = wg.alloc(i);
+                // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                 unsafe { wg.retire(p) };
             }
         }
@@ -619,6 +652,7 @@ mod tests {
                 let mut g = h.pin();
                 for i in 0..3u64 {
                     let p = g.alloc(i);
+                    // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                     unsafe { g.retire(p) };
                 }
             }
@@ -654,6 +688,7 @@ mod tests {
                     for i in 0..1000u64 {
                         let mut g = h.pin();
                         let p = g.alloc(t * 10_000 + i);
+                        // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
                         unsafe { g.retire(p) };
                         if g.needs_restart() {
                             g.checkpoint();
@@ -681,6 +716,7 @@ mod tests {
         {
             let mut g = h.pin();
             let p = g.alloc(1u64);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
             unsafe { g.retire(p) };
         }
         // A pinned reader keeps the entry ineligible, so the handle drop must
