@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scot::{ConcurrentSet, HarrisList};
-use scot_harness::{run_fixed_ops, DsKind, Mix, RunConfig, SmrKind};
+use scot_harness::{run_fixed_ops, DsKind, LatencyHistogram, Mix, RunConfig, SmrKind};
 use scot_smr::{Hp, Smr, SmrConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -209,11 +209,40 @@ fn ablation_block_pool(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_latency_recording(c: &mut Criterion) {
+    // The service scenario's measurement-stays-out-of-the-hot-path claim
+    // rests on a histogram record being a shift plus an array increment —
+    // cheap enough that stamping 1-in-16 ops is the only real cost.
+    let mut group = c.benchmark_group("ablation_latency_recording");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_THREAD));
+    group.bench_function(BenchmarkId::new("LatencyHistogram", "record"), |b| {
+        b.iter_custom(|iters| {
+            let mut h = LatencyHistogram::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let start = Instant::now();
+            for _ in 0..iters * OPS_PER_THREAD {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x % 1_000_000);
+            }
+            let elapsed = start.elapsed();
+            std::hint::black_box(h.p99());
+            elapsed
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_recovery,
     ablation_snapshot_scan,
     ablation_scan_threshold,
-    ablation_block_pool
+    ablation_block_pool,
+    ablation_latency_recording
 );
 criterion_main!(benches);

@@ -26,8 +26,9 @@
 
 use scot_harness::experiments::{
     cache_table, compatibility_matrix, faults_table, pool_table, restart_table, run_experiment,
-    run_faults_experiment, scan_table, skiplist_table, write_bench_artifact, write_fault_artifact,
-    ExperimentOptions, ALL_EXPERIMENTS,
+    run_faults_experiment, run_service_experiment, scan_table, service_table, skiplist_table,
+    write_bench_artifact, write_fault_artifact, write_service_artifact, ExperimentOptions,
+    ALL_EXPERIMENTS,
 };
 use scot_harness::{run_timed, DsKind, FaultKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
@@ -43,7 +44,7 @@ fn usage() -> ! {
     let schemes: Vec<&str> = SmrKind::ALL.iter().map(|s| s.name()).collect();
     let faults: Vec<&str> = FaultKind::ALL.iter().map(|f| f.name()).collect();
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--faults A,B,..] [--json DIR] [--bench-dir DIR]\n  scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}\nfault classes:   {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--faults A,B,..] [--zipf-theta T] [--json DIR] [--bench-dir DIR]\n  scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT] [--max-latency-regress PCT]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}\nfault classes:   {}",
         schemes.join(" "),
         ALL_EXPERIMENTS.join(" "),
         faults.join(" ")
@@ -130,6 +131,7 @@ fn cmd_run(args: &[String]) {
         pool: true,
         value_bytes: 0,
         scan_len,
+        zipf_theta: 0.0,
     };
     let result = run_timed(ds, smr, &cfg);
     println!("{}", result.row());
@@ -202,6 +204,15 @@ fn cmd_exp(args: &[String]) {
                     .map(|t| parse(t, "--scan-lens"))
                     .collect();
             }
+            "--zipf-theta" => {
+                let theta: f64 = parse(next_arg(args, &mut i, "--zipf-theta"), "--zipf-theta");
+                if !theta.is_finite() || theta < 0.0 {
+                    fail(&format!(
+                        "--zipf-theta must be finite and non-negative (got {theta})"
+                    ));
+                }
+                opts.zipf_theta = theta;
+            }
             "--json" => {
                 json_dir = Some(next_arg(args, &mut i, "--json").to_string());
             }
@@ -229,7 +240,7 @@ fn cmd_exp(args: &[String]) {
             // bypasses the generic RunResult plumbing.
             let reports = run_faults_experiment(&opts, |r| {
                 println!(
-                    "{:<10} {:<7} {:<16} baseline={:<8} peak={:<8} residual={:<6} {}",
+                    "{:<10} {:<7} {:<16} warmup-end={:<8} peak={:<8} residual={:<6} {}",
                     r.ds, r.smr, r.fault, r.baseline, r.peak, r.residual, r.verdict
                 )
             });
@@ -245,6 +256,40 @@ fn cmd_exp(args: &[String]) {
                 Ok(path) => println!("wrote {path}"),
                 Err(e) => {
                     eprintln!("cannot write fault artifact: {e}");
+                    std::process::exit(1);
+                }
+            }
+            println!();
+            continue;
+        }
+        if id == "service" {
+            // The service runner renders per-phase latency rows, not uniform
+            // throughput rows, so it bypasses the RunResult plumbing too.
+            let reports = run_service_experiment(&opts, |r| {
+                println!(
+                    "{:<10} {:<7} {:<14} ops/s={:<12.0} p50={}ns p99={}ns p999={}ns peak={}",
+                    r.ds,
+                    r.smr,
+                    r.phase,
+                    r.ops_per_sec,
+                    r.p50_ns.unwrap_or(0),
+                    r.p99_ns.unwrap_or(0),
+                    r.p999_ns.unwrap_or(0),
+                    r.peak_unreclaimed,
+                )
+            });
+            println!("\n{}", service_table(&reports));
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("cannot create output directory");
+                let path = format!("{dir}/service.json");
+                let json = serde_json::to_string_pretty(&reports).unwrap();
+                std::fs::write(&path, json).expect("cannot write results file");
+                println!("wrote {path}");
+            }
+            match write_service_artifact(&bench_dir, &reports) {
+                Ok(path) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("cannot write service artifact: {e}");
                     std::process::exit(1);
                 }
             }
@@ -288,7 +333,24 @@ struct DiffRecord {
     smr: String,
     threads: u64,
     ops_per_sec: f64,
+    /// `p50` latency in nanoseconds where the preset records it (`null` in
+    /// the throughput presets' artifacts, which parses to `None` here).  The
+    /// gate keys on the *median* deliberately: p99/p999 on sub-second smoke
+    /// phases ride on a handful of samples at the stall cliff and swing
+    /// orders of magnitude between identical runs, while p50 is stable and
+    /// still catches any systematic hot-path slowdown.
+    p50_ns: Option<f64>,
+    /// Latency samples behind the percentiles, where the artifact records
+    /// them.  Rows with fewer than [`LATENCY_SAMPLE_FLOOR`] samples on
+    /// either side are exempt from the latency gate.
+    samples: Option<f64>,
 }
+
+/// Minimum samples on both sides for a row's median to be gated: below
+/// this, run-to-run median drift is dominated by sampling noise rather
+/// than code changes (the thin scan/insert classes of quick-mode service
+/// runs record a dozen samples per phase).
+const LATENCY_SAMPLE_FLOOR: f64 = 64.0;
 
 /// Extracts the `records` rows of a `BENCH_*.json` artifact with a
 /// line-oriented scanner.  The vendored `serde_json` is serialize-only, and
@@ -302,6 +364,7 @@ fn parse_bench_records(body: &str) -> Vec<DiffRecord> {
     let mut records = Vec::new();
     let mut in_records = false;
     let (mut ds, mut smr, mut threads, mut ops) = (None::<String>, None::<String>, None, None);
+    let (mut p50, mut samples) = (None, None);
     for line in body.lines() {
         if line.trim_start().starts_with("\"records\"") {
             in_records = true;
@@ -318,6 +381,11 @@ fn parse_bench_records(body: &str) -> Vec<DiffRecord> {
             threads = v.parse::<u64>().ok();
         } else if let Some(v) = field(line, "ops_per_sec") {
             ops = v.parse::<f64>().ok();
+        } else if let Some(v) = field(line, "p50_ns") {
+            // `null` (the throughput presets) fails the parse and stays None.
+            p50 = v.parse::<f64>().ok();
+        } else if let Some(v) = field(line, "samples") {
+            samples = v.parse::<f64>().ok();
         } else if line.trim() == "}" || line.trim() == "}," {
             // End of one record object: emit it if complete.
             if let (Some(d), Some(s), Some(t), Some(o)) = (&ds, &smr, threads, ops) {
@@ -326,28 +394,41 @@ fn parse_bench_records(body: &str) -> Vec<DiffRecord> {
                     smr: s.clone(),
                     threads: t,
                     ops_per_sec: o,
+                    p50_ns: p50,
+                    samples,
                 });
             }
             (ds, smr, threads, ops) = (None, None, None, None);
+            (p50, samples) = (None, None);
         }
     }
     records
 }
 
-/// `bench-diff <baseline.json> <fresh.json> [--max-regress PCT]`: compares
-/// two trajectory artifacts point by point and exits non-zero if any point's
-/// throughput regressed by more than the threshold.  The CI regression gate
-/// runs this against the committed artifacts.
+/// `bench-diff <baseline.json> <fresh.json> [--max-regress PCT]
+/// [--max-latency-regress PCT]`: compares two trajectory artifacts point by
+/// point and exits non-zero if any point's throughput regressed — or, where
+/// the artifact records `p50_ns`, its median latency *increased* — by more
+/// than the respective threshold.  Latency gets its own, much looser default
+/// (tail nanoseconds on a shared CI box are far noisier than throughput).
+/// The CI regression gate runs this against the committed artifacts.
 fn cmd_bench_diff(args: &[String]) {
     if args.len() < 2 {
         usage();
     }
     let mut max_regress = 25.0f64;
+    let mut max_latency_regress = 150.0f64;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--max-regress" => {
                 max_regress = parse(next_arg(args, &mut i, "--max-regress"), "--max-regress");
+            }
+            "--max-latency-regress" => {
+                max_latency_regress = parse(
+                    next_arg(args, &mut i, "--max-latency-regress"),
+                    "--max-latency-regress",
+                );
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -399,20 +480,40 @@ fn cmd_bench_diff(args: &[String]) {
         } else {
             0.0
         };
-        let flag = if change < -max_regress {
+        let mut flag = if change < -max_regress {
             regressions += 1;
             "  << REGRESSION"
         } else {
             ""
         };
+        // Latency gate: only where both sides recorded p50 (a latency
+        // regression is an *increase*, hence the sign flip).  A row whose
+        // sample count is recorded and below the floor on either side is
+        // shown but not gated — its median is sampling noise.
+        let thin = |s: Option<f64>| s.is_some_and(|v| v < LATENCY_SAMPLE_FLOOR);
+        let mut lat_col = String::new();
+        if let (Some(b), Some(fr)) = (base.p50_ns, f.p50_ns) {
+            if b > 0.0 {
+                let lat_change = 100.0 * (fr - b) / b;
+                if thin(base.samples) || thin(f.samples) {
+                    lat_col = format!("  p50 {lat_change:+.1}% (thin)");
+                } else {
+                    lat_col = format!("  p50 {lat_change:+.1}%");
+                    if lat_change > max_latency_regress {
+                        regressions += 1;
+                        flag = "  << LATENCY REGRESSION";
+                    }
+                }
+            }
+        }
         println!(
-            "{:<12}{:<10}{:>8}{:>16.0}{:>16.0}{:>+9.1}%{}",
-            f.ds, f.smr, f.threads, base.ops_per_sec, f.ops_per_sec, change, flag
+            "{:<12}{:<10}{:>8}{:>16.0}{:>16.0}{:>+9.1}%{}{}",
+            f.ds, f.smr, f.threads, base.ops_per_sec, f.ops_per_sec, change, lat_col, flag
         );
     }
     println!(
         "{compared} points compared, {regressions} regressed beyond {max_regress}% \
-         (threshold applies to throughput only)"
+         (latency threshold {max_latency_regress}% where p50 is recorded)"
     );
     if regressions > 0 {
         std::process::exit(1);

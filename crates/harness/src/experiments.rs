@@ -19,6 +19,7 @@
 //! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
 //! | skiplist | (extension) | skip-list 50r/50w sweep over every scheme variant |
 //! | scan   | (extension) | guard-scoped range scans, scan-length sweep × every scheme variant |
+//! | service | (extension) | phased cache-server soak: Zipfian keys, p50/p99/p999 per op-class |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
 //! the host (`default_thread_counts`), and fig12's 50M-key range can be scaled
@@ -27,6 +28,7 @@
 
 use crate::faults::{run_fault_scenario, FaultKind, FaultPlan, FaultReport};
 use crate::kv::run_timed_kv;
+use crate::service::{run_service_scenario, ServicePlan, ServiceReport};
 use crate::workload::{run_timed, DsKind, Mix, RunConfig, RunResult};
 use crate::{default_thread_counts, SmrKind};
 
@@ -53,6 +55,9 @@ pub struct ExperimentOptions {
     /// Fault classes injected by the `faults` experiment (the `--faults` CLI
     /// knob); defaults to all of [`FaultKind::ALL`].
     pub faults: Vec<FaultKind>,
+    /// Zipfian skew exponent used by the `service` experiment's key draws
+    /// (the `--zipf-theta` CLI knob; the YCSB-style default is 0.99).
+    pub zipf_theta: f64,
 }
 
 impl Default for ExperimentOptions {
@@ -65,6 +70,7 @@ impl Default for ExperimentOptions {
             value_bytes: 64,
             scan_lens: vec![16, 64, 256],
             faults: FaultKind::ALL.to_vec(),
+            zipf_theta: 0.99,
         }
     }
 }
@@ -80,6 +86,7 @@ impl ExperimentOptions {
             value_bytes: 64,
             scan_lens: vec![8, 64],
             faults: FaultKind::ALL.to_vec(),
+            zipf_theta: 0.99,
         }
     }
 }
@@ -105,9 +112,9 @@ pub struct ExperimentSpec {
 /// key-value `cache` workload, the `skiplist` structure sweep and the
 /// `faults` robustness validation are this reproduction's own additions and
 /// come last).
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults",
+    "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults", "service",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -286,6 +293,32 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 512,
             memory_metric: true,
         },
+        "service" => ExperimentSpec {
+            id: "service",
+            description: "Phased cache-server soak: Zipfian keys, per-phase p50/p99/p999 \
+                 latency per op-class, robust vs non-robust scheme spread",
+            // Quick sweeps keep the matrix affordable with one structure over
+            // a small range; the full run spans list/tree/skip-list over
+            // millions of keys.
+            structures: if opts.duration <= Duration::from_millis(150) {
+                vec![DsKind::ListLf]
+            } else {
+                vec![DsKind::ListLf, DsKind::Tree, DsKind::SkipList]
+            },
+            schemes: vec![
+                SmrKind::Ebr,
+                SmrKind::Hp,
+                SmrKind::Ibr,
+                SmrKind::Nbr,
+                SmrKind::Vbr,
+            ],
+            key_range: if opts.duration <= Duration::from_millis(150) {
+                4096
+            } else {
+                2_000_000
+            },
+            memory_metric: false,
+        },
         _ => return None,
     };
     Some(s)
@@ -318,6 +351,22 @@ pub fn run_experiment(
     }
     if id == "scan" {
         return Some(run_scan_experiment(&spec, opts, progress));
+    }
+    if id == "service" {
+        // The service runner has its own richer report type; expose the
+        // per-phase throughput through the uniform `RunResult` plumbing and
+        // let the CLI call `run_service_experiment` directly for the full
+        // latency table.
+        let reports = run_service_experiment(opts, |_| {});
+        let results: Vec<RunResult> = reports
+            .iter()
+            .filter(|r| r.op_class == "get")
+            .map(service_run_result)
+            .collect();
+        for r in &results {
+            progress(r);
+        }
+        return Some(results);
     }
     // Single-point presets render one table row per scheme at the largest
     // requested thread count instead of sweeping the full thread range.
@@ -501,6 +550,154 @@ fn fault_run_result(r: &FaultReport) -> RunResult {
     }
 }
 
+/// Derives the service phase schedule from the options: the requested
+/// per-run duration is the *total* across the four phases, split by
+/// [`ServicePlan::new`], with the options' Zipfian skew.
+fn service_plan_for(opts: &ExperimentOptions) -> ServicePlan {
+    ServicePlan::new(opts.duration, opts.zipf_theta)
+}
+
+/// Runs the service experiment: every structure × scheme pair of the
+/// `service` spec through the four-phase cache-server scenario, at the
+/// largest requested thread count.  Returns one row per (structure, scheme,
+/// phase, op-class); `progress` fires once per phase (on its `get` row).
+/// This is the entry point the CLI uses so it can render the latency table;
+/// [`run_experiment`] wraps it for uniform `RunResult` plumbing.
+pub fn run_service_experiment(
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&ServiceReport),
+) -> Vec<ServiceReport> {
+    let spec = spec("service", opts).expect("service spec always exists");
+    let threads = *opts.threads.last().unwrap_or(&2);
+    let plan = service_plan_for(opts);
+    let mut reports = Vec::new();
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            let cfg = RunConfig::paper_default(threads, spec.key_range);
+            let rows = run_service_scenario(ds, smr, &cfg, &plan);
+            for r in &rows {
+                if r.op_class == "get" {
+                    progress(r);
+                }
+            }
+            reports.extend(rows);
+        }
+    }
+    reports
+}
+
+/// Projects a service row onto the uniform [`RunResult`] shape (per-phase
+/// throughput and footprint only; the latency numbers live in
+/// [`ServiceReport`]).
+fn service_run_result(r: &ServiceReport) -> RunResult {
+    RunResult {
+        ds: r.ds.clone(),
+        smr: format!("{}/{}", r.smr, r.phase),
+        threads: r.threads,
+        key_range: 0,
+        ops: r.ops,
+        ops_per_sec: r.ops_per_sec,
+        avg_unreclaimed: None,
+        max_unreclaimed: Some(r.peak_unreclaimed),
+        restarts: r.restarts,
+        recoveries: r.recoveries,
+        scan_len: 0,
+        scanned_keys: 0,
+        elapsed_secs: 0.0,
+    }
+}
+
+/// Renders the service experiment: one row per structure × scheme × phase ×
+/// op-class with the phase throughput, the class's latency percentiles (`-`
+/// where the class recorded no samples), and the per-phase footprint and
+/// restart/recovery counters.
+pub fn service_table(reports: &[ServiceReport]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Service scenario: Zipfian cache-server phases \
+         (warmup -> read-storm -> churn-spike -> reader-stall)\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:<8}{:<14}{:<8}{:>7}{:>14}{:>10}{:>10}{:>10}{:>9}{:>10}{:>10}{:>11}\n",
+        "structure",
+        "scheme",
+        "phase",
+        "class",
+        "robust",
+        "ops/s",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "samples",
+        "peak",
+        "restarts",
+        "recoveries"
+    ));
+    let fmt_ns = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |ns| ns.to_string());
+    for r in reports {
+        out.push_str(&format!(
+            "{:<10}{:<8}{:<14}{:<8}{:>7}{:>14.0}{:>10}{:>10}{:>10}{:>9}{:>10}{:>10}{:>11}\n",
+            r.ds,
+            r.smr,
+            r.phase,
+            r.op_class,
+            if r.is_robust { "yes" } else { "no" },
+            r.ops_per_sec,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.p999_ns),
+            r.samples,
+            r.peak_unreclaimed,
+            r.restarts,
+            r.recoveries,
+        ));
+    }
+    out
+}
+
+/// Normalizes service rows into [`BenchRecord`]s: one record per (structure,
+/// scheme, phase, op-class), with the percentile fields populated and the
+/// phase throughput as `ops_per_sec`.
+pub fn service_bench_records(reports: &[ServiceReport]) -> Vec<BenchRecord> {
+    reports
+        .iter()
+        .map(|r| BenchRecord {
+            ds: r.ds.clone(),
+            smr: r.smr.clone(),
+            threads: r.threads,
+            is_robust: r.is_robust,
+            ops_per_sec: r.ops_per_sec,
+            restarts: r.restarts,
+            recoveries: r.recoveries,
+            peak_unreclaimed: Some(r.peak_unreclaimed),
+            phase: Some(r.phase.clone()),
+            op_class: Some(r.op_class.clone()),
+            samples: Some(r.samples),
+            p50_ns: r.p50_ns,
+            p99_ns: r.p99_ns,
+            p999_ns: r.p999_ns,
+        })
+        .collect()
+}
+
+/// Writes the `BENCH_service.json` artifact into `dir` and returns the path
+/// written.  Unlike the throughput presets the records carry `phase`,
+/// `op_class` and the latency percentiles, so `bench-diff` can gate tail
+/// latency separately from throughput.
+pub fn write_service_artifact(dir: &str, reports: &[ServiceReport]) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/BENCH_service.json");
+    let artifact = BenchArtifact {
+        preset: "service".to_string(),
+        schemes: SmrKind::ALL.iter().map(|s| s.name().to_string()).collect(),
+        records: service_bench_records(reports),
+    };
+    let json = serde_json::to_string_pretty(&artifact)
+        .expect("service artifact serialization cannot fail");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
 /// Whether a result-table scheme label (possibly carrying the pool ablation's
 /// `+pool`/`-pool` suffix) names a robust scheme.
 fn smr_is_robust(smr: &str) -> bool {
@@ -538,7 +735,7 @@ pub fn faults_table(reports: &[FaultReport]) -> String {
         "scheme",
         "fault",
         "robust",
-        "baseline",
+        "warmup-end",
         "peak",
         "bound",
         "residual",
@@ -827,6 +1024,26 @@ pub struct BenchRecord {
     /// Peak sampled retired-but-unreclaimed objects (`None` where the paper
     /// skips the metric, e.g. Hyaline).
     pub peak_unreclaimed: Option<usize>,
+    /// Service phase name (`None` for the throughput presets, which have no
+    /// phases; serialized as `null`).
+    pub phase: Option<String>,
+    /// Operation class (`None` for the throughput presets, which do not
+    /// split by class).
+    pub op_class: Option<String>,
+    /// Latency samples behind the percentiles below (`None` where latency is
+    /// not measured).  `bench-diff` skips the latency gate on rows with
+    /// fewer samples than its stability floor — a median over a handful of
+    /// samples is noise, not signal.
+    pub samples: Option<u64>,
+    /// Median latency in nanoseconds (`None` where latency is not measured).
+    /// The separate, looser `bench-diff` latency gate keys on this field:
+    /// p50 is stable run-to-run, while p99/p999 on smoke-length phases ride
+    /// on a handful of tail samples and are recorded for trend reading only.
+    pub p50_ns: Option<u64>,
+    /// 99th-percentile latency in nanoseconds (`None` where not measured).
+    pub p99_ns: Option<u64>,
+    /// 99.9th-percentile latency in nanoseconds (`None` where not measured).
+    pub p999_ns: Option<u64>,
 }
 
 /// The top-level shape of a `BENCH_<preset>.json` artifact.
@@ -857,6 +1074,12 @@ pub fn bench_artifact(id: &str, results: &[RunResult]) -> BenchArtifact {
                 restarts: r.restarts,
                 recoveries: r.recoveries,
                 peak_unreclaimed: r.max_unreclaimed,
+                phase: None,
+                op_class: None,
+                samples: None,
+                p50_ns: None,
+                p99_ns: None,
+                p999_ns: None,
             })
             .collect(),
     }
@@ -1156,6 +1379,86 @@ mod tests {
         }
         let table = faults_table(&reports);
         assert!(table.contains("thread-death"));
+    }
+
+    fn synthetic_service_row(phase: &str, class: &str, samples: u64) -> ServiceReport {
+        ServiceReport {
+            ds: "HList".into(),
+            smr: "NBR".into(),
+            threads: 2,
+            phase: phase.into(),
+            op_class: class.into(),
+            is_robust: true,
+            ops: 2469,
+            ops_per_sec: 12345.0,
+            samples,
+            p50_ns: (samples > 0).then_some(800),
+            p99_ns: (samples > 0).then_some(9_000),
+            p999_ns: (samples > 0).then_some(55_000),
+            peak_unreclaimed: 42,
+            restarts: 3,
+            recoveries: 1,
+        }
+    }
+
+    #[test]
+    fn service_spec_scales_with_duration_and_spreads_robustness() {
+        let quick = spec("service", &ExperimentOptions::quick()).unwrap();
+        assert_eq!(quick.structures, vec![DsKind::ListLf]);
+        assert_eq!(quick.key_range, 4096);
+        let full = spec("service", &ExperimentOptions::default()).unwrap();
+        assert_eq!(
+            full.structures,
+            vec![DsKind::ListLf, DsKind::Tree, DsKind::SkipList]
+        );
+        assert_eq!(full.key_range, 2_000_000);
+        // The scheme spread must mix robust and non-robust schemes, or the
+        // tail-latency comparison has no baseline.
+        assert!(full.schemes.iter().any(|s| s.is_robust()));
+        assert!(full.schemes.iter().any(|s| !s.is_robust()));
+    }
+
+    #[test]
+    fn service_table_renders_percentiles_and_dashes() {
+        let rows = vec![
+            synthetic_service_row("read-storm", "get", 100),
+            synthetic_service_row("read-storm", "scan", 0),
+        ];
+        let table = service_table(&rows);
+        assert!(table.contains("read-storm"));
+        assert!(table.contains("p999_ns"));
+        assert!(table.contains("9000"), "table:\n{table}");
+        // Empty classes render as a dash, not a fake zero.
+        let scan_line = table.lines().find(|l| l.contains("scan")).unwrap();
+        assert!(scan_line.contains('-'), "line: {scan_line}");
+    }
+
+    #[test]
+    fn service_artifact_carries_phase_class_and_percentiles() {
+        let rows = vec![synthetic_service_row("churn-spike", "insert", 50)];
+        let records = service_bench_records(&rows);
+        assert_eq!(records[0].phase.as_deref(), Some("churn-spike"));
+        assert_eq!(records[0].op_class.as_deref(), Some("insert"));
+        assert_eq!(records[0].p99_ns, Some(9_000));
+        let dir = std::env::temp_dir().join("scot-service-artifact-test");
+        let dir = dir.to_str().unwrap();
+        let path = write_service_artifact(dir, &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("BENCH_service.json"));
+        for field in [
+            "\"phase\"",
+            "\"op_class\"",
+            "\"p50_ns\"",
+            "\"p99_ns\"",
+            "\"p999_ns\"",
+        ] {
+            assert!(body.contains(field), "missing {field} in:\n{body}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+        // The throughput presets serialize the new fields as null, keeping
+        // one schema across every BENCH_*.json.
+        let artifact = bench_artifact("smoke", &[]);
+        assert!(artifact.records.is_empty());
     }
 
     #[test]

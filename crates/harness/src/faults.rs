@@ -41,6 +41,9 @@
 //! Rather than silently fold that into the verdict, each report carries the
 //! worst case explicitly as [`FaultReport::pool_leak_bound`].
 
+use crate::phases::{
+    do_op, drive_phases, silence_injected_panics, stall_actor, wait_for_phase, PhaseEvent,
+};
 use crate::workload::{
     op_loop, prefill, smr_config, with_target, DsKind, FastRng, RunConfig, Target,
 };
@@ -60,6 +63,12 @@ pub const PHASE_FAULT: u8 = 1;
 pub const PHASE_RECOVERY: u8 = 2;
 /// Phase word value: everyone exits.
 pub const PHASE_STOP: u8 = 3;
+
+/// Phase names, indexed by the phase word — the single source of truth for
+/// the verdict table, the CLI progress lines, and the docs (the warmup phase
+/// *ends* with the `baseline` measurement, hence `warmup-end` in table
+/// headers).
+pub const FAULT_PHASE_NAMES: [&str; 3] = ["warmup", "fault", "recovery"];
 
 /// The fault classes the harness can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,69 +214,6 @@ pub struct FaultOutput {
     pub samples: Vec<(u8, usize)>,
 }
 
-/// Installs (once) a panic hook that swallows panics raised on fault-actor
-/// threads: injected panics are the *point* of [`FaultKind::PanicDuringOp`],
-/// and the default hook's backtrace spam would drown the verdict table.
-/// Panics on any other thread still reach the previously installed hook.
-fn silence_injected_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let injected = std::thread::current()
-                .name()
-                .is_some_and(|n| n.starts_with("fault-actor"));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
-}
-
-/// Sleeps until the phase word reaches `at_least`.
-fn wait_for_phase(phase: &AtomicU8, at_least: u8) {
-    while phase.load(Ordering::Acquire) < at_least {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
-
-/// One random set operation through a plain handle (no explicit guard).
-fn do_op<C: ConcurrentMap<u64, ()>>(
-    set: &C,
-    handle: &mut <C as ConcurrentMap<u64, ()>>::Handle,
-    rng: &mut FastRng,
-    key_range: u64,
-) {
-    let r = rng.next_u64();
-    let key = r % key_range.max(1);
-    match (r >> 48) % 3 {
-        0 => {
-            ConcurrentSet::contains(set, handle, &key);
-        }
-        1 => {
-            ConcurrentSet::insert(set, handle, key);
-        }
-        _ => {
-            ConcurrentSet::remove(set, handle, &key);
-        }
-    }
-}
-
-/// [`FaultKind::ReaderStall`]: pin, look up once, then hold the guard until
-/// the fault phase ends.
-fn stall_actor<C: ConcurrentMap<u64, ()>>(set: &C, phase: &AtomicU8, key_range: u64, idx: usize) {
-    let mut handle = ConcurrentMap::handle(set);
-    wait_for_phase(phase, PHASE_FAULT);
-    let mut guard = set.pin(&mut handle);
-    let key = idx as u64 % key_range.max(1);
-    let _ = set.get(&mut guard, &key);
-    while phase.load(Ordering::Acquire) == PHASE_FAULT {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-    // Recovery: the guard drops here, releasing whatever the scheme was
-    // holding back; the handle drop then releases the slot cleanly.
-}
-
 /// [`FaultKind::ThreadDeath`]: retire some garbage, then exit without
 /// releasing the handle.  The slot stays claimed until the thread's exit
 /// beacon fires, at which point survivors adopt it.
@@ -392,7 +338,9 @@ pub(crate) fn faults_inner<C: ConcurrentMap<u64, ()> + 'static>(
             std::thread::Builder::new()
                 .name(format!("fault-actor-{v}"))
                 .spawn_scoped(s, move || match kind {
-                    FaultKind::ReaderStall => stall_actor(set.as_ref(), &phase, key_range, v),
+                    FaultKind::ReaderStall => {
+                        stall_actor(set.as_ref(), &phase, key_range, v, PHASE_FAULT)
+                    }
                     FaultKind::ThreadDeath => death_actor(set.as_ref(), &phase, key_range, seed),
                     FaultKind::PanicDuringOp => panic_actor(set.as_ref(), &phase, key_range, seed),
                     FaultKind::ChurnSpike => churn_actor(set.as_ref(), &phase, key_range, seed),
@@ -402,46 +350,42 @@ pub(crate) fn faults_inner<C: ConcurrentMap<u64, ()> + 'static>(
                 })
                 .expect("failed to spawn fault actor");
         }
-        // The main thread is the phase clock and the footprint sampler.
-        // Unlike the timed runner, Hyaline is sampled too: robustness is
-        // precisely a question about footprint under faults.
-        let fault_at = start + plan.warmup;
-        let recover_at = fault_at + plan.fault;
-        let stop_at = recover_at + plan.recovery;
-        loop {
-            let now = Instant::now();
-            let cur = phase.load(Ordering::Acquire);
-            let next_edge = match cur {
-                PHASE_WARMUP => fault_at,
-                PHASE_FAULT => recover_at,
-                _ => stop_at,
-            };
-            if now >= next_edge {
-                match cur {
-                    PHASE_WARMUP => {
-                        baseline = (target.unreclaimed)();
-                        phase.store(PHASE_FAULT, Ordering::Release);
-                    }
-                    PHASE_FAULT => {
-                        end_of_fault = (target.unreclaimed)();
-                        peak = peak.max(end_of_fault);
-                        phase.store(PHASE_RECOVERY, Ordering::Release);
-                    }
-                    _ => {
-                        phase.store(PHASE_STOP, Ordering::Release);
-                        stop.store(true, Ordering::SeqCst);
-                        break;
+        // The main thread is the phase clock and the footprint sampler
+        // (shared with the service runner via [`crate::phases`]).  Unlike
+        // the timed runner, Hyaline is sampled too: robustness is precisely
+        // a question about footprint under faults.
+        drive_phases(
+            &phase,
+            &[plan.warmup, plan.fault, plan.recovery],
+            cfg.sample_interval,
+            target.unreclaimed.as_ref(),
+            |ev| match ev {
+                PhaseEvent::Edge {
+                    phase: PHASE_WARMUP,
+                    unreclaimed,
+                    ..
+                } => baseline = unreclaimed,
+                PhaseEvent::Edge {
+                    phase: PHASE_FAULT,
+                    unreclaimed,
+                    ..
+                } => {
+                    end_of_fault = unreclaimed;
+                    peak = peak.max(unreclaimed);
+                }
+                PhaseEvent::Edge { .. } => {}
+                PhaseEvent::Sample {
+                    phase: p,
+                    unreclaimed,
+                } => {
+                    samples.push((p, unreclaimed));
+                    if p >= PHASE_FAULT {
+                        peak = peak.max(unreclaimed);
                     }
                 }
-                continue;
-            }
-            let n = (target.unreclaimed)();
-            samples.push((cur, n));
-            if cur >= PHASE_FAULT {
-                peak = peak.max(n);
-            }
-            std::thread::sleep(cfg.sample_interval.min(next_edge - now));
-        }
+            },
+        );
+        stop.store(true, Ordering::SeqCst);
     });
     let elapsed = start.elapsed().as_secs_f64();
     // Every worker and actor has joined; dead actors' exit beacons have

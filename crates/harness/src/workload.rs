@@ -38,6 +38,130 @@ impl FastRng {
     pub(crate) fn below(&mut self, bound: u64) -> u64 {
         self.next_u64() % bound.max(1)
     }
+
+    /// Uniform `f64` in `[0, 1)` built from the top 53 bits of one draw.
+    #[inline]
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Zipfian rank generator over `[0, n)` using Hörmann–Derflinger
+/// rejection-inversion (the algorithm behind Apache Commons'
+/// `RejectionInversionZipfSampler`): O(1) amortized per sample with no
+/// precomputed tables, so it scales to the service preset's multi-million-key
+/// ranges, and it is driven entirely by the harness's seedable [`FastRng`],
+/// so runs stay repeatable.
+///
+/// `theta` is the skew exponent: rank `k` (0-based) is drawn with probability
+/// proportional to `1 / (k + 1)^theta`.  `theta = 0` degenerates to the
+/// uniform distribution (the existing draw); `theta ≈ 0.99` is the YCSB-style
+/// hot-key skew the service workload uses.
+///
+/// [`Zipf::key`] additionally scrambles the rank with a fixed bit-mix so the
+/// hot ranks scatter across the key space instead of clustering at the head
+/// of the structure (rank and key popularity stay deterministic per rank).
+#[derive(Debug, Clone)]
+pub(crate) struct Zipf {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `[0, n)` with skew exponent `theta >= 0`.
+    pub(crate) fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty range");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf skew must be finite and non-negative (got {theta})"
+        );
+        let h_x1 = Self::h_integral(1.5, theta) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, theta);
+        let s = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        Self {
+            n,
+            theta,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// `H(x)`, a primitive of the density `h(x) = x^-theta`.
+    fn h_integral(x: f64, theta: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - theta) * log_x) * log_x
+    }
+
+    /// The density `h(x) = x^-theta`.
+    fn h(x: f64, theta: f64) -> f64 {
+        (-theta * x.ln()).exp()
+    }
+
+    /// Inverse of [`Zipf::h_integral`].
+    fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+        let mut t = x * (1.0 - theta);
+        if t < -1.0 {
+            // Limit damage from floating-point round-off outside the domain.
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// `log1p(x) / x`, with a Taylor fallback near zero.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25))
+        }
+    }
+
+    /// `expm1(x) / x`, with a Taylor fallback near zero.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25))
+        }
+    }
+
+    /// Draws a 0-based rank in `[0, n)`; rank 0 is the most frequent.
+    pub(crate) fn sample(&self, rng: &mut FastRng) -> u64 {
+        loop {
+            let u = self.h_n + rng.unit_f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse(u, self.theta);
+            // Clamp to the valid rank range; x can stray just outside it.
+            let k64 = x.round().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            // Accept if k is close enough to x, or by the exact density test.
+            if k64 - x <= self.s
+                || u >= Self::h_integral(k64 + 0.5, self.theta) - Self::h(k64, self.theta)
+            {
+                return k - 1;
+            }
+        }
+    }
+
+    /// Deterministic rank → key scatter: a splitmix64-style finalizer mixed
+    /// rank reduced into `[0, n)`.  Distinct hot ranks land on unrelated keys
+    /// (instead of all crowding the head of an ordered structure); the map is
+    /// fixed, so a rank's key never changes across threads or runs.
+    fn scramble(&self, rank: u64) -> u64 {
+        let mut z = rank.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) % self.n
+    }
+
+    /// Draws a Zipf-distributed *key* in `[0, n)` (scrambled rank).
+    pub(crate) fn key(&self, rng: &mut FastRng) -> u64 {
+        self.scramble(self.sample(rng))
+    }
 }
 
 /// The data structures evaluated by the paper (plus the hash-map extension).
@@ -202,6 +326,11 @@ pub struct RunConfig {
     /// uniformly and scans `[lo, lo + scan_len)`.  Only consulted when
     /// [`Mix::scan_pct`] is non-zero.
     pub scan_len: u64,
+    /// Zipfian skew exponent for key draws: `0.0` (the default) keeps the
+    /// paper's uniform draw; any positive value routes keys through the
+    /// rejection-inversion Zipf sampler (`--zipf-theta`; the service preset
+    /// uses ≈0.99).  Ignored by the key-value workloads, which stay uniform.
+    pub zipf_theta: f64,
 }
 
 impl RunConfig {
@@ -218,6 +347,7 @@ impl RunConfig {
             pool: true,
             value_bytes: 0,
             scan_len: 64,
+            zipf_theta: 0.0,
         }
     }
 
@@ -412,6 +542,10 @@ type FixedRunner = Box<dyn FnOnce(&RunConfig, u64) -> FixedOutput + Send>;
 /// Boxed fault-scenario entry point of a monomorphized target.
 type FaultRunner =
     Box<dyn FnOnce(&RunConfig, &crate::faults::FaultPlan) -> crate::faults::FaultOutput + Send>;
+/// Boxed service-scenario entry point of a monomorphized target.
+type ServiceRunner = Box<
+    dyn FnOnce(&RunConfig, &crate::service::ServicePlan) -> crate::service::ServiceOutput + Send,
+>;
 
 /// Type-erased target: the generic runner functions below are instantiated per
 /// concrete set type through this enum-free trampoline.
@@ -419,6 +553,7 @@ pub(crate) struct TargetAny {
     pub(crate) run_timed: TimedRunner,
     pub(crate) run_fixed: FixedRunner,
     pub(crate) run_faults: FaultRunner,
+    pub(crate) run_service: ServiceRunner,
 }
 
 impl<C> From<Target<C>> for TargetAny
@@ -435,10 +570,12 @@ where
         };
         let t2 = clone(&target);
         let t3 = clone(&target);
+        let t4 = clone(&target);
         TargetAny {
             run_timed: Box::new(move |cfg| timed_inner(&target, cfg)),
             run_fixed: Box::new(move |cfg, ops| fixed_inner(&t2, cfg, ops)),
             run_faults: Box::new(move |cfg, plan| crate::faults::faults_inner(&t3, cfg, plan)),
+            run_service: Box::new(move |cfg, plan| crate::service::service_inner(&t4, cfg, plan)),
         }
     }
 }
@@ -495,7 +632,7 @@ pub(crate) fn prefill<C: ConcurrentSet<u64>>(set: &C, key_range: u64, seed: u64,
 /// fly: every key in bounds, no duplicates, and (for ordered structures)
 /// strictly ascending.  A violation is a traversal/reclamation bug, so the
 /// harness panics rather than recording garbage throughput.
-fn scan_once<C: ConcurrentMap<u64, ()>>(
+pub(crate) fn scan_once<C: ConcurrentMap<u64, ()>>(
     set: &C,
     handle: &mut C::Handle,
     lo: u64,
@@ -553,6 +690,7 @@ pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
     // handle-level set operations go through UFCS.
     let mut handle = ConcurrentMap::handle(set);
     let mut rng = FastRng::new(cfg.seed ^ (thread_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+    let zipf = (cfg.zipf_theta > 0.0).then(|| Zipf::new(cfg.key_range.max(1), cfg.zipf_theta));
     let mut ops = 0u64;
     let mut scanned = 0u64;
     loop {
@@ -568,10 +706,15 @@ pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
         }
         // One RNG draw per operation, as in the original C++ harness: the low
         // bits choose the key (key ranges stay far below 2^48) and the high 16
-        // bits choose the operation, so the two stay independent.
+        // bits choose the operation, so the two stay independent.  With a
+        // Zipfian skew requested, the key comes from the sampler instead (it
+        // draws from the same per-thread RNG, so runs stay repeatable).
         let r = rng.next_u64();
-        let key = r % cfg.key_range.max(1);
         let op = ((r >> 48) % 100) as u32;
+        let key = match &zipf {
+            Some(z) => z.key(&mut rng),
+            None => r % cfg.key_range.max(1),
+        };
         if op < cfg.mix.read_pct {
             ConcurrentSet::contains(set, &mut handle, &key);
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
@@ -824,6 +967,108 @@ mod tests {
         let (ops, elapsed, _) = run_fixed_ops(DsKind::Tree, SmrKind::Ebr, &cfg, 1_000);
         assert_eq!(ops, 2 * 1_000);
         assert!(elapsed > 0.0);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_under_a_seed() {
+        let z = Zipf::new(10_000, 0.99);
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = FastRng::new(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same rank stream");
+        // (FastRng forces the seed odd, so pick seeds two apart.)
+        assert_ne!(draw(42), draw(44), "different seeds must diverge");
+        // Keys are a fixed function of rank: replaying the seed replays them.
+        let keys = |seed: u64| -> Vec<u64> {
+            let mut rng = FastRng::new(seed);
+            (0..256).map(|_| z.key(&mut rng)).collect()
+        };
+        assert_eq!(keys(7), keys(7));
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_follow_the_skew() {
+        // With theta near 1, rank 0 must dominate and frequency must fall
+        // with rank; higher theta concentrates more mass on the head.
+        let n = 1000u64;
+        let count_head = |theta: f64| -> (u64, Vec<u64>) {
+            let z = Zipf::new(n, theta);
+            let mut rng = FastRng::new(0x5eed);
+            let mut counts = vec![0u64; n as usize];
+            for _ in 0..200_000 {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            (counts[0], counts)
+        };
+        let (head_skewed, counts) = count_head(0.99);
+        // Expected rank-0 mass at theta=0.99 over 1000 ranks is ~12%; uniform
+        // would be 0.1%.  Frequencies must be (noisily) decreasing in rank:
+        // compare decade aggregates, which are monotone even with noise.
+        assert!(
+            head_skewed > 10_000,
+            "rank 0 drew only {head_skewed} of 200k at theta=0.99"
+        );
+        let decade = |lo: usize, hi: usize| counts[lo..hi].iter().sum::<u64>();
+        let (d0, d1, d2) = (decade(0, 10), decade(10, 100), decade(100, 1000));
+        assert!(
+            d0 > d1 / 9 && d1 / 90 > d2 / 900,
+            "per-rank mass must fall with rank: {d0}/10 vs {d1}/90 vs {d2}/900"
+        );
+        // More skew, more head mass.
+        let (head_flatter, _) = count_head(0.5);
+        assert!(
+            head_skewed > head_flatter,
+            "theta=0.99 head mass ({head_skewed}) must exceed theta=0.5 ({head_flatter})"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform_by_chi_squared() {
+        // At theta=0 the sampler must degenerate to the uniform draw: a
+        // chi-squared goodness-of-fit smoke over 50 cells.  With 49 degrees
+        // of freedom the 99.9th percentile of chi² is ~85; use 100 for slack
+        // (the RNG and sampler are deterministic, so this cannot flake).
+        let cells = 50u64;
+        let per_cell = 4000u64;
+        let z = Zipf::new(cells, 0.0);
+        let mut rng = FastRng::new(0xc41);
+        let mut counts = vec![0u64; cells as usize];
+        for _ in 0..cells * per_cell {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - per_cell as f64;
+                d * d / per_cell as f64
+            })
+            .sum();
+        assert!(
+            chi2 < 100.0,
+            "theta=0 sample deviates from uniform (chi2 = {chi2:.1}, counts {counts:?})"
+        );
+    }
+
+    #[test]
+    fn zipf_keys_stay_in_range_and_op_loop_honours_theta() {
+        let z = Zipf::new(97, 0.99);
+        let mut rng = FastRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.key(&mut rng) < 97);
+            assert!(z.sample(&mut rng) < 97);
+        }
+        // A skewed timed run completes operations like a uniform one.
+        let mut cfg = RunConfig::paper_default(2, 512).quick();
+        cfg.zipf_theta = 0.99;
+        let r = run_timed(DsKind::ListLf, SmrKind::Hp, &cfg);
+        assert!(r.ops > 0, "zipfian run completed no operations");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn zipf_rejects_negative_theta() {
+        let _ = Zipf::new(10, -0.5);
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist", "faults",
+        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults", "service",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
@@ -361,6 +361,117 @@ fn exp_faults_renders_the_verdict_table_and_artifact() {
     for key in ["\"is_robust\"", "\"verdict\"", "\"peak\"", "\"drained\""] {
         assert!(body.contains(key), "fault artifact missing {key}:\n{body}");
     }
+}
+
+#[test]
+fn exp_service_renders_latency_table_and_artifact() {
+    // The CI latency-smoke lane runs this same invocation (with `--bench-dir .`).
+    // The quick preset pins the phase schedule at its floors (~150ms total per
+    // cell), so 5 schemes x 1 structure stays affordable for a CLI test.
+    let bench = BenchDir::new("service");
+    let out = scot_bench(&[
+        "exp",
+        "service",
+        "--quick",
+        "--threads",
+        "1",
+        "--zipf-theta",
+        "0.9",
+        "--bench-dir",
+        bench.arg(),
+    ]);
+    assert!(
+        out.status.success(),
+        "exp service must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    for phase in ["warmup", "read-storm", "churn-spike", "reader-stall"] {
+        assert!(
+            text.contains(phase),
+            "service table missing {phase}:\n{text}"
+        );
+    }
+    for col in [
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "peak",
+        "restarts",
+        "recoveries",
+    ] {
+        assert!(text.contains(col), "service table missing {col}:\n{text}");
+    }
+    for class in ["get", "insert", "remove", "scan"] {
+        assert!(
+            text.contains(class),
+            "service table missing op class {class}:\n{text}"
+        );
+    }
+    for smr in ["EBR", "HP", "IBR", "NBR", "VBR"] {
+        assert!(text.contains(smr), "service table missing {smr}:\n{text}");
+    }
+    let body = std::fs::read_to_string(bench.artifact("service"))
+        .expect("exp service must write BENCH_service.json");
+    for key in [
+        "\"phase\"",
+        "\"op_class\"",
+        "\"samples\"",
+        "\"p50_ns\"",
+        "\"p99_ns\"",
+        "\"p999_ns\"",
+    ] {
+        assert!(
+            body.contains(key),
+            "service artifact missing {key}:\n{body}"
+        );
+    }
+}
+
+#[test]
+fn exp_arm_rejects_negative_zipf_theta() {
+    let out = scot_bench(&["exp", "service", "--quick", "--zipf-theta", "-1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--zipf-theta"));
+}
+
+#[test]
+fn bench_diff_gates_median_latency_regressions() {
+    let bench = BenchDir::new("latdiff");
+    let base = bench.0.join("base.json");
+    let slow = bench.0.join("slow.json");
+    // Same throughput in both artifacts: only the latency gate can fire.
+    // The gate keys on p50 (stable across runs), not p99 (a handful of tail
+    // samples on smoke-length phases).
+    let record = |p50: u64| {
+        format!(
+            "{{\n  \"records\": [\n    {{\n      \"ds\": \"HList\",\n      \"smr\": \"HP\",\n      \"threads\": 1,\n      \"ops_per_sec\": 1000.0,\n      \"p50_ns\": {p50}\n    }}\n  ]\n}}\n"
+        )
+    };
+    std::fs::write(&base, record(1000)).unwrap();
+    std::fs::write(&slow, record(10000)).unwrap();
+
+    let same = scot_bench(&["bench-diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(
+        same.status.success(),
+        "identical latency must pass: {}",
+        stderr(&same)
+    );
+
+    let bad = scot_bench(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--max-latency-regress",
+        "100",
+    ]);
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "a 10x p50 blowup must fail the gate: {}",
+        stdout(&bad)
+    );
+    assert!(stdout(&bad).contains("LATENCY REGRESSION"));
 }
 
 #[test]

@@ -16,6 +16,7 @@ fn tiny() -> ExperimentOptions {
         value_bytes: 16,
         scan_lens: vec![8],
         faults: vec![scot_harness::FaultKind::ThreadDeath],
+        zipf_theta: 0.99,
     }
 }
 
@@ -82,6 +83,7 @@ fn checkpoint_schemes_run_timed_and_report_counters() {
         pool: true,
         value_bytes: 0,
         scan_len: 64,
+        zipf_theta: 0.0,
     };
     for smr in [SmrKind::Nbr, SmrKind::Vbr] {
         let r = run_timed(DsKind::SkipList, smr, &cfg);
@@ -131,6 +133,28 @@ fn faults_experiment_flows_through_run_experiment() {
 }
 
 #[test]
+fn service_experiment_flows_through_run_experiment() {
+    // The service preset projects onto the common result shape by keeping one
+    // row per (scheme, phase) for the `get` class; quick mode pins a single
+    // structure and five schemes spanning the robust/non-robust divide.
+    let results = run_experiment("service", &tiny(), |_| {}).unwrap();
+    assert_eq!(results.len(), 5 * 4, "5 schemes x 4 phases");
+    for phase in ["warmup", "read-storm", "churn-spike", "reader-stall"] {
+        assert!(
+            results.iter().any(|r| r.smr.ends_with(phase)),
+            "service results missing phase {phase}"
+        );
+    }
+    for r in &results {
+        assert_eq!(r.ds, "HList");
+    }
+    assert!(
+        results.iter().any(|r| r.ops > 0),
+        "service run completed no operations at all"
+    );
+}
+
+#[test]
 fn all_experiment_ids_resolve() {
     let opts = tiny();
     for id in ALL_EXPERIMENTS {
@@ -155,6 +179,7 @@ fn custom_mix_run_matches_requested_shape() {
         pool: true,
         value_bytes: 0,
         scan_len: 64,
+        zipf_theta: 0.0,
     };
     let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
     assert!(r.ops > 0);
