@@ -25,12 +25,12 @@
 //! ```
 
 use scot_harness::experiments::{
-    cache_table, compatibility_matrix, faults_table, pool_table, restart_table, run_experiment,
-    run_faults_experiment, run_service_experiment, scan_table, service_table, skiplist_table,
-    write_bench_artifact, write_fault_artifact, write_service_artifact, ExperimentOptions,
-    ALL_EXPERIMENTS,
+    cache_table, compatibility_matrix, cursor_table, faults_table, pool_table, restart_table,
+    run_experiment, run_faults_experiment, run_service_experiment, scan_table, service_table,
+    skiplist_table, write_bench_artifact, write_fault_artifact, write_service_artifact,
+    ExperimentOptions, ALL_EXPERIMENTS,
 };
-use scot_harness::{run_timed, DsKind, FaultKind, Mix, RunConfig, RunResult, SmrKind};
+use scot_harness::{run_timed, BackoffMode, DsKind, FaultKind, Mix, RunConfig, RunResult, SmrKind};
 use std::time::Duration;
 
 /// Upper bound on `--threads`/`<threads>`: far above any sane benchmark
@@ -44,7 +44,7 @@ fn usage() -> ! {
     let schemes: Vec<&str> = SmrKind::ALL.iter().map(|s| s.name()).collect();
     let faults: Vec<&str> = FaultKind::ALL.iter().map(|f| f.name()).collect();
     eprintln!(
-        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--faults A,B,..] [--zipf-theta T] [--json DIR] [--bench-dir DIR]\n  scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT] [--max-latency-regress PCT]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}\nfault classes:   {}",
+        "usage:\n  scot-bench run <ds> <seconds> <key_range> <threads> <read%> <ins%> <del%> <SMR> [scan% [scan_len]] [--pin-batch N] [--backoff none|bounded] [--no-prefetch] [--no-chain-batch]\n  scot-bench exp <id|all> [--quick] [--seconds N] [--runs N] [--threads A,B,..] [--value-bytes N] [--scan-lens A,B,..] [--faults A,B,..] [--zipf-theta T] [--pin-batch N] [--backoff none|bounded] [--json DIR] [--bench-dir DIR]\n  scot-bench bench-diff <baseline.json> <fresh.json> [--max-regress PCT] [--max-latency-regress PCT]\n  scot-bench list\n\ndata structures: listlf listwf hmlist tree hashmap skiplist\nSMR schemes:     {}\nexperiments:     {}\nfault classes:   {}",
         schemes.join(" "),
         ALL_EXPERIMENTS.join(" "),
         faults.join(" ")
@@ -96,22 +96,62 @@ fn next_arg<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
         .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
 }
 
+/// Parses and validates a `--pin-batch` value: at least 1 (a batch of 0
+/// operations per pin would never repin).
+fn parse_pin_batch(v: &str) -> u64 {
+    let n: u64 = parse(v, "--pin-batch");
+    if n == 0 {
+        fail("--pin-batch must be at least 1");
+    }
+    n
+}
+
+/// Parses and validates a `--backoff` mode name.
+fn parse_backoff(v: &str) -> BackoffMode {
+    BackoffMode::parse(v).unwrap_or_else(|| {
+        fail(&format!(
+            "unknown backoff mode `{v}` (known: none, bounded)"
+        ))
+    })
+}
+
 fn cmd_run(args: &[String]) {
-    if !(8..=10).contains(&args.len()) {
+    // Tuning flags may trail the positional arguments; split them off first.
+    let mut pos: Vec<&String> = Vec::new();
+    let mut pin_batch = 1u64;
+    let mut backoff = BackoffMode::Bounded;
+    let mut prefetch = true;
+    let mut chain_batch = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pin-batch" => {
+                pin_batch = parse_pin_batch(next_arg(args, &mut i, "--pin-batch"));
+            }
+            "--backoff" => {
+                backoff = parse_backoff(next_arg(args, &mut i, "--backoff"));
+            }
+            "--no-prefetch" => prefetch = false,
+            "--no-chain-batch" => chain_batch = false,
+            _ => pos.push(&args[i]),
+        }
+        i += 1;
+    }
+    if !(8..=10).contains(&pos.len()) {
         usage();
     }
-    let ds = DsKind::parse(&args[0]).unwrap_or_else(|| usage());
-    let seconds: f64 = parse(&args[1], "seconds");
+    let ds = DsKind::parse(pos[0]).unwrap_or_else(|| usage());
+    let seconds: f64 = parse(pos[1], "seconds");
     check_seconds(seconds);
-    let key_range: u64 = parse(&args[2], "key range");
-    let threads: usize = parse(&args[3], "threads");
+    let key_range: u64 = parse(pos[2], "key range");
+    let threads: usize = parse(pos[3], "threads");
     check_threads(threads);
-    let read: u32 = parse(&args[4], "read%");
-    let ins: u32 = parse(&args[5], "insert%");
-    let del: u32 = parse(&args[6], "delete%");
-    let smr = SmrKind::parse(&args[7]).unwrap_or_else(|| usage());
-    let scan: u32 = args.get(8).map_or(0, |a| parse(a, "scan%"));
-    let scan_len: u64 = args.get(9).map_or(64, |a| parse(a, "scan_len"));
+    let read: u32 = parse(pos[4], "read%");
+    let ins: u32 = parse(pos[5], "insert%");
+    let del: u32 = parse(pos[6], "delete%");
+    let smr = SmrKind::parse(pos[7]).unwrap_or_else(|| usage());
+    let scan: u32 = pos.get(8).map_or(0, |a| parse(a, "scan%"));
+    let scan_len: u64 = pos.get(9).map_or(64, |a| parse(a, "scan_len"));
     if u64::from(read) + u64::from(ins) + u64::from(del) + u64::from(scan) != 100 {
         eprintln!("operation mix must sum to 100% (got {read}+{ins}+{del}+{scan})");
         std::process::exit(2);
@@ -132,6 +172,10 @@ fn cmd_run(args: &[String]) {
         value_bytes: 0,
         scan_len,
         zipf_theta: 0.0,
+        pin_batch,
+        backoff,
+        prefetch,
+        chain_batch,
     };
     let result = run_timed(ds, smr, &cfg);
     println!("{}", result.row());
@@ -203,6 +247,12 @@ fn cmd_exp(args: &[String]) {
                     .split(',')
                     .map(|t| parse(t, "--scan-lens"))
                     .collect();
+            }
+            "--pin-batch" => {
+                opts.pin_batch = parse_pin_batch(next_arg(args, &mut i, "--pin-batch"));
+            }
+            "--backoff" => {
+                opts.backoff = parse_backoff(next_arg(args, &mut i, "--backoff"));
             }
             "--zipf-theta" => {
                 let theta: f64 = parse(next_arg(args, &mut i, "--zipf-theta"), "--zipf-theta");
@@ -307,6 +357,7 @@ fn cmd_exp(args: &[String]) {
             "cache" => println!("\n{}", cache_table(&results, opts.value_bytes)),
             "skiplist" => println!("\n{}", skiplist_table(&results)),
             "scan" => println!("\n{}", scan_table(&results)),
+            "cursor" => println!("\n{}", cursor_table(&results)),
             _ => {}
         }
         if let Some(dir) = &json_dir {
@@ -454,6 +505,10 @@ fn cmd_bench_diff(args: &[String]) {
     );
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    // Rows present on only one side are a gate failure, not a skip: a fresh
+    // row with no baseline means the committed artifact is stale, and a
+    // baseline row with no fresh counterpart means coverage silently shrank.
+    let mut unmatched = 0usize;
     // Occurrence-indexed matching: presets that sweep an extra dimension
     // (e.g. scan lengths) emit several rows per (ds, smr, threads) key, in a
     // stable order.
@@ -468,8 +523,9 @@ fn cmd_bench_diff(args: &[String]) {
             .nth(*occurrence);
         *occurrence += 1;
         let Some(base) = base else {
+            unmatched += 1;
             println!(
-                "{:<12}{:<10}{:>8}{:>16}{:>16.0}{:>10}",
+                "{:<12}{:<10}{:>8}{:>16}{:>16.0}{:>10}  << NOT IN BASELINE",
                 f.ds, f.smr, f.threads, "(new)", f.ops_per_sec, "-"
             );
             continue;
@@ -511,11 +567,27 @@ fn cmd_bench_diff(args: &[String]) {
             f.ds, f.smr, f.threads, base.ops_per_sec, f.ops_per_sec, change, lat_col, flag
         );
     }
+    // The reverse direction: baseline rows the fresh artifact never matched.
+    let mut base_seen: std::collections::HashMap<(String, String, u64), usize> =
+        std::collections::HashMap::new();
+    for b in &baseline {
+        let key = (b.ds.clone(), b.smr.clone(), b.threads);
+        let occurrence = base_seen.entry(key.clone()).or_insert(0);
+        if *occurrence >= seen.get(&key).copied().unwrap_or(0) {
+            unmatched += 1;
+            println!(
+                "{:<12}{:<10}{:>8}{:>16.0}{:>16}{:>10}  << MISSING FROM FRESH",
+                b.ds, b.smr, b.threads, b.ops_per_sec, "(gone)", "-"
+            );
+        }
+        *occurrence += 1;
+    }
     println!(
-        "{compared} points compared, {regressions} regressed beyond {max_regress}% \
+        "{compared} points compared, {regressions} regressed beyond {max_regress}%, \
+         {unmatched} present on only one side \
          (latency threshold {max_latency_regress}% where p50 is recorded)"
     );
-    if regressions > 0 {
+    if regressions > 0 || unmatched > 0 {
         std::process::exit(1);
     }
 }

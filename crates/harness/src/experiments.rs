@@ -19,6 +19,7 @@
 //! | pool   | (ablation) | block pool on vs off, write-only, HMList + NMTree |
 //! | skiplist | (extension) | skip-list 50r/50w sweep over every scheme variant |
 //! | scan   | (extension) | guard-scoped range scans, scan-length sweep × every scheme variant |
+//! | cursor | (ablation) | hot-path pass: repin/prefetch/backoff/batched-retire arms vs all-off base |
 //! | service | (extension) | phased cache-server soak: Zipfian keys, p50/p99/p999 per op-class |
 //!
 //! Key ranges and mixes match the paper exactly; thread counts are scaled to
@@ -29,7 +30,7 @@
 use crate::faults::{run_fault_scenario, FaultKind, FaultPlan, FaultReport};
 use crate::kv::run_timed_kv;
 use crate::service::{run_service_scenario, ServicePlan, ServiceReport};
-use crate::workload::{run_timed, DsKind, Mix, RunConfig, RunResult};
+use crate::workload::{run_timed, BackoffMode, DsKind, Mix, RunConfig, RunResult};
 use crate::{default_thread_counts, SmrKind};
 
 use std::time::Duration;
@@ -58,6 +59,15 @@ pub struct ExperimentOptions {
     /// Zipfian skew exponent used by the `service` experiment's key draws
     /// (the `--zipf-theta` CLI knob; the YCSB-style default is 0.99).
     pub zipf_theta: f64,
+    /// Operations per guard pin in the measurement hot loops (the
+    /// `--pin-batch` CLI knob).  1 preserves the paper's pin-per-operation
+    /// protocol; larger values exercise repin elision.  The `cursor`
+    /// ablation's repin arms use this value when it is above 1, and 16
+    /// otherwise.
+    pub pin_batch: u64,
+    /// Contention backoff mode for the traversal retry ladder (the
+    /// `--backoff` CLI knob).
+    pub backoff: BackoffMode,
 }
 
 impl Default for ExperimentOptions {
@@ -71,6 +81,8 @@ impl Default for ExperimentOptions {
             scan_lens: vec![16, 64, 256],
             faults: FaultKind::ALL.to_vec(),
             zipf_theta: 0.99,
+            pin_batch: 1,
+            backoff: BackoffMode::Bounded,
         }
     }
 }
@@ -87,7 +99,19 @@ impl ExperimentOptions {
             scan_lens: vec![8, 64],
             faults: FaultKind::ALL.to_vec(),
             zipf_theta: 0.99,
+            pin_batch: 1,
+            backoff: BackoffMode::Bounded,
         }
+    }
+
+    /// Base [`RunConfig`] for a preset point with this options set's tuning
+    /// knobs (duration, pin batch, backoff) already applied.
+    fn base_config(&self, threads: usize, key_range: u64) -> RunConfig {
+        let mut cfg = RunConfig::paper_default(threads, key_range);
+        cfg.duration = self.duration;
+        cfg.pin_batch = self.pin_batch;
+        cfg.backoff = self.backoff;
+        cfg
     }
 }
 
@@ -112,9 +136,9 @@ pub struct ExperimentSpec {
 /// key-value `cache` workload, the `skiplist` structure sweep and the
 /// `faults` robustness validation are this reproduction's own additions and
 /// come last).
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-    "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults", "service",
+    "tab1", "tab2", "pool", "cache", "skiplist", "scan", "cursor", "faults", "service",
 ];
 
 /// The scheme list used by the paper's figures, in legend order.
@@ -278,6 +302,15 @@ pub fn spec(id: &str, opts: &ExperimentOptions) -> Option<ExperimentSpec> {
             key_range: 8192,
             memory_metric: false,
         },
+        "cursor" => ExperimentSpec {
+            id: "cursor",
+            description: "Cursor hot-path ablation: repin elision, prefetch, CAS backoff and \
+                 batched retire, each arm against an all-off base (skip list + NM tree)",
+            structures: vec![DsKind::SkipList, DsKind::Tree],
+            schemes: vec![SmrKind::Ebr, SmrKind::Hp, SmrKind::Ibr, SmrKind::Vbr],
+            key_range: 8192,
+            memory_metric: false,
+        },
         "faults" => ExperimentSpec {
             id: "faults",
             description: "Fault-injection robustness: stalled, dying and panicking threads \
@@ -352,6 +385,9 @@ pub fn run_experiment(
     if id == "scan" {
         return Some(run_scan_experiment(&spec, opts, progress));
     }
+    if id == "cursor" {
+        return Some(run_cursor_ablation(&spec, opts, progress));
+    }
     if id == "service" {
         // The service runner has its own richer report type; expose the
         // per-phase throughput through the uniform `RunResult` plumbing and
@@ -379,8 +415,7 @@ pub fn run_experiment(
     for &ds in &spec.structures {
         for &smr in &spec.schemes {
             for &threads in &thread_counts {
-                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
-                cfg.duration = opts.duration;
+                let mut cfg = opts.base_config(threads, spec.key_range);
                 cfg.mix = Mix::READ_50;
                 // Median of `runs` repetitions, as in the paper.
                 let mut runs: Vec<RunResult> =
@@ -410,8 +445,7 @@ fn run_pool_ablation(
     for &ds in &spec.structures {
         for &smr in &spec.schemes {
             for pool in [true, false] {
-                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
-                cfg.duration = opts.duration;
+                let mut cfg = opts.base_config(threads, spec.key_range);
                 cfg.mix = Mix::WRITE_ONLY;
                 cfg.pool = pool;
                 let mut runs: Vec<RunResult> =
@@ -440,8 +474,7 @@ fn run_cache_experiment(
     let threads = *opts.threads.last().unwrap_or(&2);
     for &ds in &spec.structures {
         for &smr in &spec.schemes {
-            let mut cfg = RunConfig::paper_default(threads, spec.key_range);
-            cfg.duration = opts.duration;
+            let mut cfg = opts.base_config(threads, spec.key_range);
             cfg.mix = Mix::READ_90;
             cfg.value_bytes = opts.value_bytes;
             let mut runs: Vec<RunResult> = (0..opts.runs)
@@ -472,14 +505,107 @@ fn run_scan_experiment(
     for &ds in &spec.structures {
         for &smr in &spec.schemes {
             for &scan_len in &opts.scan_lens {
-                let mut cfg = RunConfig::paper_default(threads, spec.key_range);
-                cfg.duration = opts.duration;
+                let mut cfg = opts.base_config(threads, spec.key_range);
                 cfg.mix = Mix::SCAN_HEAVY;
                 cfg.scan_len = scan_len;
                 let mut runs: Vec<RunResult> =
                     (0..opts.runs).map(|_| run_timed(ds, smr, &cfg)).collect();
                 runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
                 let median = runs.swap_remove(runs.len() / 2);
+                progress(&median);
+                results.push(median);
+            }
+        }
+    }
+    results
+}
+
+/// One arm of the cursor hot-path ablation: a scheme-label suffix plus the
+/// tuning knobs it enables on top of the everything-off base.
+#[derive(Clone, Copy)]
+struct CursorArm {
+    /// Appended to the scheme name in results (e.g. `EBR+repin`), mirroring
+    /// the pool ablation's `+pool`/`-pool` labelling.
+    suffix: &'static str,
+    pin_batch: u64,
+    prefetch: bool,
+    backoff: BackoffMode,
+    chain_batch: bool,
+}
+
+/// The six ablation arms: the all-off base, each optimization alone, and all
+/// four together.  `repin_batch` is the guard-refresh interval used by the
+/// repin arms.
+fn cursor_arms(repin_batch: u64) -> [CursorArm; 6] {
+    let base = CursorArm {
+        suffix: "+base",
+        pin_batch: 1,
+        prefetch: false,
+        backoff: BackoffMode::None,
+        chain_batch: false,
+    };
+    [
+        base,
+        CursorArm {
+            suffix: "+repin",
+            pin_batch: repin_batch,
+            ..base
+        },
+        CursorArm {
+            suffix: "+prefetch",
+            prefetch: true,
+            ..base
+        },
+        CursorArm {
+            suffix: "+backoff",
+            backoff: BackoffMode::Bounded,
+            ..base
+        },
+        CursorArm {
+            suffix: "+batch",
+            chain_batch: true,
+            ..base
+        },
+        CursorArm {
+            suffix: "+all",
+            pin_batch: repin_batch,
+            prefetch: true,
+            backoff: BackoffMode::Bounded,
+            chain_batch: true,
+        },
+    ]
+}
+
+/// Runs the cursor hot-path ablation: every structure × scheme pair of the
+/// spec at the largest requested thread count, once per arm, with the arm
+/// suffix carried on the scheme label (as the pool ablation does), so the
+/// JSON artifact and [`cursor_table`] can compute per-arm deltas.
+fn run_cursor_ablation(
+    spec: &ExperimentSpec,
+    opts: &ExperimentOptions,
+    mut progress: impl FnMut(&RunResult),
+) -> Vec<RunResult> {
+    let threads = *opts.threads.last().unwrap_or(&2);
+    let repin_batch = if opts.pin_batch > 1 {
+        opts.pin_batch
+    } else {
+        16
+    };
+    let mut results = Vec::new();
+    for &ds in &spec.structures {
+        for &smr in &spec.schemes {
+            for arm in cursor_arms(repin_batch) {
+                let mut cfg = opts.base_config(threads, spec.key_range);
+                cfg.mix = Mix::READ_50;
+                cfg.pin_batch = arm.pin_batch;
+                cfg.prefetch = arm.prefetch;
+                cfg.backoff = arm.backoff;
+                cfg.chain_batch = arm.chain_batch;
+                let mut runs: Vec<RunResult> =
+                    (0..opts.runs).map(|_| run_timed(ds, smr, &cfg)).collect();
+                runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+                let mut median = runs.swap_remove(runs.len() / 2);
+                median.smr = format!("{}{}", smr.name(), arm.suffix);
                 progress(&median);
                 results.push(median);
             }
@@ -544,6 +670,7 @@ fn fault_run_result(r: &FaultReport) -> RunResult {
         max_unreclaimed: Some(r.peak),
         restarts: 0,
         recoveries: 0,
+        spins: 0,
         scan_len: 0,
         scanned_keys: 0,
         elapsed_secs: r.elapsed_secs,
@@ -601,6 +728,7 @@ fn service_run_result(r: &ServiceReport) -> RunResult {
         max_unreclaimed: Some(r.peak_unreclaimed),
         restarts: r.restarts,
         recoveries: r.recoveries,
+        spins: 0,
         scan_len: 0,
         scanned_keys: 0,
         elapsed_secs: 0.0,
@@ -698,14 +826,31 @@ pub fn write_service_artifact(dir: &str, reports: &[ServiceReport]) -> std::io::
     Ok(path)
 }
 
-/// Whether a result-table scheme label (possibly carrying the pool ablation's
-/// `+pool`/`-pool` suffix) names a robust scheme.
+/// Ablation suffixes a result-table scheme label may carry: the pool
+/// ablation's on/off pair and the cursor ablation's arms.
+const SCHEME_LABEL_SUFFIXES: [&str; 8] = [
+    "+pool",
+    "-pool",
+    "+base",
+    "+repin",
+    "+prefetch",
+    "+backoff",
+    "+batch",
+    "+all",
+];
+
+/// Strips a known ablation suffix off a scheme label, if present.
+fn strip_scheme_suffix(smr: &str) -> &str {
+    SCHEME_LABEL_SUFFIXES
+        .iter()
+        .find_map(|s| smr.strip_suffix(s))
+        .unwrap_or(smr)
+}
+
+/// Whether a result-table scheme label (possibly carrying an ablation
+/// suffix) names a robust scheme.
 fn smr_is_robust(smr: &str) -> bool {
-    let base = smr
-        .strip_suffix("+pool")
-        .or_else(|| smr.strip_suffix("-pool"))
-        .unwrap_or(smr);
-    SmrKind::parse(base).is_some_and(|k| k.is_robust())
+    SmrKind::parse(strip_scheme_suffix(smr)).is_some_and(|k| k.is_robust())
 }
 
 /// `yes`/`no` robustness column value for a scheme label.
@@ -929,6 +1074,77 @@ pub fn pool_table(results: &[RunResult]) -> String {
             on.restarts,
             on.recoveries,
             delta
+        ));
+    }
+    out
+}
+
+/// Renders the cursor hot-path ablation: one row per structure × scheme with
+/// the all-off base throughput and each arm's delta against it, plus the
+/// backoff spin count of the `+all` arm (0 proves the arm's backoff never
+/// fired; a large count flags a contention-bound configuration).
+pub fn cursor_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Cursor hot-path ablation: 50% read / 50% write, arms relative to the all-off base\n",
+    );
+    out.push_str(&format!(
+        "{:<12}{:<8}{:>7}{:>8}{:>14}{:>9}{:>11}{:>10}{:>8}{:>8}{:>12}\n",
+        "structure",
+        "scheme",
+        "robust",
+        "threads",
+        "base ops/s",
+        "+repin",
+        "+prefetch",
+        "+backoff",
+        "+batch",
+        "+all",
+        "spins(all)"
+    ));
+    for base in results {
+        let Some(scheme) = base.smr.strip_suffix("+base") else {
+            continue;
+        };
+        let arm = |suffix: &str| {
+            results
+                .iter()
+                .find(|r| {
+                    r.ds == base.ds
+                        && r.threads == base.threads
+                        && r.smr == format!("{scheme}{suffix}")
+                })
+                .map(|r| {
+                    if base.ops_per_sec > 0.0 {
+                        format!(
+                            "{:+.1}%",
+                            100.0 * (r.ops_per_sec - base.ops_per_sec) / base.ops_per_sec
+                        )
+                    } else {
+                        "-".to_string()
+                    }
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let all_spins = results
+            .iter()
+            .find(|r| {
+                r.ds == base.ds && r.threads == base.threads && r.smr == format!("{scheme}+all")
+            })
+            .map_or(0, |r| r.spins);
+        out.push_str(&format!(
+            "{:<12}{:<8}{:>7}{:>8}{:>14.0}{:>9}{:>11}{:>10}{:>8}{:>8}{:>12}\n",
+            base.ds,
+            scheme,
+            robust_cell(scheme),
+            base.threads,
+            base.ops_per_sec,
+            arm("+repin"),
+            arm("+prefetch"),
+            arm("+backoff"),
+            arm("+batch"),
+            arm("+all"),
+            all_spins,
         ));
     }
     out
@@ -1217,6 +1433,61 @@ mod tests {
     }
 
     #[test]
+    fn quick_cursor_ablation_runs_and_renders_deltas() {
+        let opts = ExperimentOptions::quick();
+        let results = run_experiment("cursor", &opts, |_| {}).unwrap();
+        // 2 structures × 4 schemes × 6 arms.
+        assert_eq!(results.len(), 48);
+        for arm in ["+base", "+repin", "+prefetch", "+backoff", "+batch", "+all"] {
+            assert!(
+                results
+                    .iter()
+                    .any(|r| r.smr == format!("EBR{arm}") && r.ops > 0),
+                "cursor ablation idle on arm {arm}"
+            );
+        }
+        let table = cursor_table(&results);
+        assert!(table.contains("SkipList") && table.contains("NMTree"));
+        assert!(table.contains("spins(all)"));
+        // One delta row per structure × scheme pair.
+        let rows = table
+            .lines()
+            .filter(|l| l.starts_with("SkipList") || l.starts_with("NMTree"))
+            .count();
+        assert_eq!(rows, 8, "table:\n{table}");
+    }
+
+    #[test]
+    fn cursor_arm_labels_do_not_hide_robustness() {
+        assert!(
+            smr_is_robust("HP+all"),
+            "+all must not hide HP's robustness"
+        );
+        assert!(smr_is_robust("IBR+repin"));
+        assert!(!smr_is_robust("EBR+base"));
+        assert_eq!(strip_scheme_suffix("VBR+prefetch"), "VBR");
+        assert_eq!(strip_scheme_suffix("EBR"), "EBR");
+    }
+
+    #[test]
+    fn cursor_arms_toggle_exactly_one_knob_each() {
+        let arms = cursor_arms(16);
+        let base = &arms[0];
+        assert_eq!(base.suffix, "+base");
+        assert_eq!(base.pin_batch, 1);
+        assert!(!base.prefetch && !base.chain_batch);
+        assert_eq!(base.backoff, BackoffMode::None);
+        let by_suffix = |s: &str| arms.iter().find(|a| a.suffix == s).unwrap();
+        assert_eq!(by_suffix("+repin").pin_batch, 16);
+        assert!(by_suffix("+prefetch").prefetch);
+        assert_eq!(by_suffix("+backoff").backoff, BackoffMode::Bounded);
+        assert!(by_suffix("+batch").chain_batch);
+        let all = by_suffix("+all");
+        assert!(all.pin_batch == 16 && all.prefetch && all.chain_batch);
+        assert_eq!(all.backoff, BackoffMode::Bounded);
+    }
+
+    #[test]
     fn bench_artifact_is_normalized_and_writable() {
         let results = vec![RunResult {
             ds: "SkipList".into(),
@@ -1229,6 +1500,7 @@ mod tests {
             max_unreclaimed: Some(3),
             restarts: 7,
             recoveries: 2,
+            spins: 0,
             scan_len: 0,
             scanned_keys: 0,
             elapsed_secs: 0.1,
@@ -1344,6 +1616,7 @@ mod tests {
             max_unreclaimed: None,
             restarts: 0,
             recoveries: 0,
+            spins: 0,
             scan_len: 0,
             scanned_keys: 0,
             elapsed_secs: 0.1,

@@ -239,9 +239,10 @@ fn kv_prefill<C: ConcurrentMap<u64, Payload>>(
     });
 }
 
-/// The kv measurement hot loop: one guard pin per operation, `get` reads the
-/// value bytes (with the integrity check described in the module docs),
-/// `insert` builds a fresh payload, `remove` evicts.
+/// The kv measurement hot loop: one guard held for the whole loop and
+/// refreshed in place every `pin_batch` operations, `get` reads the value
+/// bytes (with the integrity check described in the module docs), `insert`
+/// builds a fresh payload, `remove` evicts.
 fn kv_op_loop<C: ConcurrentMap<u64, Payload>>(
     map: &C,
     cfg: &RunConfig,
@@ -255,14 +256,20 @@ fn kv_op_loop<C: ConcurrentMap<u64, Payload>>(
     let mut scanned = 0u64;
     // Accumulated so the value reads cannot be optimized away.
     let mut sink = 0u64;
+    let pin_batch = cfg.pin_batch.max(1);
+    let mut g = map.pin(&mut handle);
+    let mut in_batch = 0u64;
     loop {
         if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
             break;
         }
+        if in_batch >= pin_batch {
+            map.repin(&mut g);
+            in_batch = 0;
+        }
         let r = rng.next_u64();
         let key = r % cfg.key_range.max(1);
         let op = ((r >> 48) % 100) as u32;
-        let mut g = map.pin(&mut handle);
         if op < cfg.mix.read_pct {
             if let Some(v) = map.get(&mut g, &key) {
                 assert!(
@@ -321,9 +328,10 @@ fn kv_op_loop<C: ConcurrentMap<u64, Payload>>(
                 assert_eq!(seen.len(), len, "kv scan [{lo}, {hi}) yielded duplicates");
             }
         }
-        drop(g);
         ops += 1;
+        in_batch += 1;
     }
+    drop(g);
     std::hint::black_box(sink);
     (ops, scanned)
 }
@@ -332,6 +340,7 @@ fn kv_timed_inner<C: ConcurrentMap<u64, Payload>>(
     target: &KvTarget<C>,
     cfg: &RunConfig,
 ) -> TimedOutput {
+    cfg.apply_tuning();
     kv_prefill(
         target.map.as_ref(),
         cfg.key_range,
@@ -403,6 +412,7 @@ pub fn run_timed_kv(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
         max_unreclaimed: max,
         restarts: stats.restarts,
         recoveries: stats.recoveries,
+        spins: stats.spins,
         scan_len: if cfg.mix.scan_pct > 0 {
             cfg.scan_len
         } else {

@@ -300,6 +300,51 @@ impl Mix {
     }
 }
 
+/// Backoff policy applied by the shared cursor's restart ladder
+/// (`--backoff`): either retry immediately (the seed behavior) or wait out a
+/// bounded-exponential number of spin hints between consecutive failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffMode {
+    /// Retry failed CASes and restarts immediately.
+    None,
+    /// Bounded exponential backoff (doubling spin hints, capped well below a
+    /// scheduling quantum) between consecutive failures.
+    Bounded,
+}
+
+impl BackoffMode {
+    /// Parses the CLI spelling (`none` / `bounded`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "off" => Some(BackoffMode::None),
+            "bounded" | "exp" | "exponential" => Some(BackoffMode::Bounded),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name (round-trips through [`BackoffMode::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackoffMode::None => "none",
+            BackoffMode::Bounded => "bounded",
+        }
+    }
+}
+
+impl std::fmt::Display for BackoffMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// The vendored serde stub derives only structs; render the mode as its
+// canonical CLI spelling.
+impl Serialize for BackoffMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
 /// One benchmark configuration (a single point of a figure).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunConfig {
@@ -331,6 +376,21 @@ pub struct RunConfig {
     /// rejection-inversion Zipf sampler (`--zipf-theta`; the service preset
     /// uses ≈0.99).  Ignored by the key-value workloads, which stay uniform.
     pub zipf_theta: f64,
+    /// Operations executed under one guard before the worker calls
+    /// [`ConcurrentMap::repin`] (`--pin-batch`).  `1` refreshes the critical
+    /// section after every operation (the per-op pin/unpin discipline of the
+    /// seed harness, minus the full fence when the scheme can elide it);
+    /// larger batches amortize the repin across N operations, bounding the
+    /// reclamation delay to one batch instead of one op.  Must be ≥ 1.
+    pub pin_batch: u64,
+    /// Backoff policy of the cursor's restart ladder (`--backoff`).
+    pub backoff: BackoffMode,
+    /// Whether the cursor issues the one-hop successor prefetch (ablation
+    /// knob of the `exp cursor` preset; no CLI flag).
+    pub prefetch: bool,
+    /// Whether unlinked marked chains retire through `retire_batch` (ablation
+    /// knob of the `exp cursor` preset; no CLI flag).
+    pub chain_batch: bool,
 }
 
 impl RunConfig {
@@ -348,7 +408,20 @@ impl RunConfig {
             value_bytes: 0,
             scan_len: 64,
             zipf_theta: 0.0,
+            pin_batch: 1,
+            backoff: BackoffMode::Bounded,
+            prefetch: true,
+            chain_batch: true,
         }
+    }
+
+    /// Applies this configuration's process-global cursor tuning (prefetch,
+    /// backoff, chain batching) — called by every runner before its workers
+    /// start, so each run measures exactly the knobs it was configured with.
+    pub(crate) fn apply_tuning(&self) {
+        scot::tuning::set_prefetch(self.prefetch);
+        scot::tuning::set_backoff(self.backoff == BackoffMode::Bounded);
+        scot::tuning::set_chain_batch(self.chain_batch);
     }
 
     /// Shrinks the run duration (used by `--quick` sweeps and unit tests).
@@ -383,6 +456,9 @@ pub struct RunResult {
     /// Total §3.2.1 recoveries (dangerous-zone escapes and skip-list ladder
     /// re-entries that avoided a full restart).
     pub recoveries: u64,
+    /// Total backoff spin iterations waited by the cursor's restart ladder
+    /// (0 when the run's [`RunConfig::backoff`] is [`BackoffMode::None`]).
+    pub spins: u64,
     /// Range-scan window width of this run (0 when the mix has no scans).
     pub scan_len: u64,
     /// Total keys yielded by range scans over the whole run.
@@ -395,7 +471,7 @@ impl RunResult {
     /// One-line human-readable summary (the format the binary prints).
     pub fn row(&self) -> String {
         format!(
-            "{:<10} {:<7} thr={:<4} range={:<10} ops/s={:<14.0} unreclaimed(avg)={:<12} restarts={:<8} recoveries={}",
+            "{:<10} {:<7} thr={:<4} range={:<10} ops/s={:<14.0} unreclaimed(avg)={:<12} restarts={:<8} recoveries={:<8} spins={}",
             self.ds,
             self.smr,
             self.threads,
@@ -406,6 +482,7 @@ impl RunResult {
                 .unwrap_or_else(|| "n/a".into()),
             self.restarts,
             self.recoveries,
+            self.spins,
         )
     }
 }
@@ -639,9 +716,21 @@ pub(crate) fn scan_once<C: ConcurrentMap<u64, ()>>(
     scan_len: u64,
     ordered: bool,
 ) -> u64 {
-    let hi = lo.saturating_add(scan_len.max(1));
     let mut guard = set.pin(handle);
-    let mut scan = set.scan(&mut guard, lo, Some(hi));
+    scan_once_pinned(set, &mut guard, lo, scan_len, ordered)
+}
+
+/// [`scan_once`] against an already-pinned guard — what the batched op loop
+/// uses so a scan rides the same critical section as the point ops around it.
+pub(crate) fn scan_once_pinned<C: ConcurrentMap<u64, ()>>(
+    set: &C,
+    guard: &mut C::Guard<'_>,
+    lo: u64,
+    scan_len: u64,
+    ordered: bool,
+) -> u64 {
+    let hi = lo.saturating_add(scan_len.max(1));
+    let mut scan = set.scan(&mut *guard, lo, Some(hi));
     let mut prev: Option<u64> = None;
     // Unordered (hash-map) scans: ascending order cannot prove uniqueness, so
     // the yielded keys are collected and dedup-checked after the scan.  The
@@ -686,13 +775,19 @@ pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
     max_ops: Option<u64>,
     ordered: bool,
 ) -> (u64, u64) {
-    // `ConcurrentSet` and `ConcurrentMap` overlap in method names, so the
-    // handle-level set operations go through UFCS.
     let mut handle = ConcurrentMap::handle(set);
     let mut rng = FastRng::new(cfg.seed ^ (thread_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
     let zipf = (cfg.zipf_theta > 0.0).then(|| Zipf::new(cfg.key_range.max(1), cfg.zipf_theta));
+    let pin_batch = cfg.pin_batch.max(1);
     let mut ops = 0u64;
     let mut scanned = 0u64;
+    // One guard held for the whole loop, refreshed in place every `pin_batch`
+    // operations: the guard-entry/exit fences are paid once per batch (and
+    // elided entirely by the epoch/era schemes while the epoch stands still)
+    // instead of once per operation, while reclamation still advances at
+    // every batch edge.
+    let mut guard = set.pin(&mut handle);
+    let mut in_batch = 0u64;
     loop {
         if let Some(limit) = max_ops {
             if ops >= limit {
@@ -703,6 +798,10 @@ pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
         // tight, as the original benchmark does.
         if ops.is_multiple_of(64) && stop.load(Ordering::Relaxed) {
             break;
+        }
+        if in_batch >= pin_batch {
+            set.repin(&mut guard);
+            in_batch = 0;
         }
         // One RNG draw per operation, as in the original C++ harness: the low
         // bits choose the key (key ranges stay far below 2^48) and the high 16
@@ -716,15 +815,16 @@ pub(crate) fn op_loop<C: ConcurrentMap<u64, ()>>(
             None => r % cfg.key_range.max(1),
         };
         if op < cfg.mix.read_pct {
-            ConcurrentSet::contains(set, &mut handle, &key);
+            ConcurrentMap::contains(set, &mut guard, &key);
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct {
-            ConcurrentSet::insert(set, &mut handle, key);
+            let _ = ConcurrentMap::insert(set, &mut guard, key, ());
         } else if op < cfg.mix.read_pct + cfg.mix.insert_pct + cfg.mix.delete_pct {
-            ConcurrentSet::remove(set, &mut handle, &key);
+            ConcurrentMap::remove(set, &mut guard, &key);
         } else {
-            scanned += scan_once(set, &mut handle, key, cfg.scan_len, ordered);
+            scanned += scan_once_pinned(set, &mut guard, key, cfg.scan_len, ordered);
         }
         ops += 1;
+        in_batch += 1;
     }
     (ops, scanned)
 }
@@ -734,6 +834,7 @@ fn timed_inner<C: ConcurrentMap<u64, ()> + 'static>(
     cfg: &RunConfig,
 ) -> TimedOutput {
     cfg.mix.validate();
+    cfg.apply_tuning();
     prefill(target.set.as_ref(), cfg.key_range, cfg.seed, cfg.threads);
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
@@ -784,6 +885,7 @@ fn fixed_inner<C: ConcurrentMap<u64, ()> + 'static>(
     ops_per_thread: u64,
 ) -> FixedOutput {
     cfg.mix.validate();
+    cfg.apply_tuning();
     prefill(target.set.as_ref(), cfg.key_range, cfg.seed, cfg.threads);
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
@@ -841,6 +943,7 @@ pub fn run_timed(ds: DsKind, smr: SmrKind, cfg: &RunConfig) -> RunResult {
         max_unreclaimed: max,
         restarts: stats.restarts,
         recoveries: stats.recoveries,
+        spins: stats.spins,
         scan_len: if cfg.mix.scan_pct > 0 {
             cfg.scan_len
         } else {
@@ -1084,5 +1187,81 @@ mod tests {
                 assert!(r.ops > 0, "{ds} under {smr} completed no operations");
             }
         }
+    }
+
+    #[test]
+    fn backoff_mode_parse_roundtrip() {
+        for m in [BackoffMode::None, BackoffMode::Bounded] {
+            assert_eq!(
+                BackoffMode::parse(m.name()),
+                Some(m),
+                "display name {} must round-trip",
+                m.name()
+            );
+            assert_eq!(m.to_string(), m.name());
+        }
+        // CLI aliases, case-insensitively.
+        assert_eq!(BackoffMode::parse("OFF"), Some(BackoffMode::None));
+        assert_eq!(BackoffMode::parse("exp"), Some(BackoffMode::Bounded));
+        assert_eq!(
+            BackoffMode::parse("Exponential"),
+            Some(BackoffMode::Bounded)
+        );
+        assert_eq!(BackoffMode::parse("frantic"), None);
+    }
+
+    #[test]
+    fn every_scheme_variant_is_correct_with_a_batched_pin() {
+        // The `--pin-batch 16` counterpart of the Table-1 smoke: the
+        // held-guard hot loop (one guard per run, refreshed in place at batch
+        // edges) must stay correct under every scheme variant's repin
+        // implementation.  The in-loop scan oracles (window bounds, ordering,
+        // uniqueness) turn each run into a semantics check.
+        let cfg = RunConfig {
+            duration: Duration::from_millis(40),
+            pin_batch: 16,
+            mix: Mix {
+                read_pct: 40,
+                insert_pct: 20,
+                delete_pct: 20,
+                scan_pct: 20,
+            },
+            ..RunConfig::paper_default(2, 64)
+        };
+        for ds in [DsKind::ListLf, DsKind::Tree, DsKind::SkipList] {
+            for smr in SmrKind::ALL {
+                let r = run_timed(ds, smr, &cfg);
+                assert!(
+                    r.ops > 0,
+                    "{ds} under {smr} with pin_batch=16 completed no operations"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn held_guard_with_repin_keeps_unreclaimed_bounded() {
+        // The repin-elision hot loop holds ONE guard for the whole run and
+        // refreshes it in place every `pin_batch` operations.  Under an epoch
+        // scheme a guard held forever would pin the epoch and let the retire
+        // backlog grow with the operation count; repinning at batch edges
+        // must keep the peak bounded by a constant independent of run length.
+        let mut cfg = RunConfig::paper_default(2, 256);
+        cfg.duration = Duration::from_millis(120);
+        cfg.mix = Mix::WRITE_ONLY;
+        cfg.pin_batch = 16;
+        let r = run_timed(DsKind::HmList, SmrKind::Ebr, &cfg);
+        assert!(
+            r.ops > 5_000,
+            "run too short to observe churn: {} ops",
+            r.ops
+        );
+        let peak = r.max_unreclaimed.expect("EBR reports memory overhead");
+        assert!(
+            peak < 20_000,
+            "peak unreclaimed {peak} scales with the {} completed ops — \
+             repin is not advancing the reclamation epoch",
+            r.ops
+        );
     }
 }

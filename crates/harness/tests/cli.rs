@@ -62,7 +62,8 @@ fn list_prints_every_experiment_id() {
     let text = stdout(&out);
     for id in [
         "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a",
-        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist", "scan", "faults", "service",
+        "fig12b", "tab1", "tab2", "pool", "cache", "skiplist", "scan", "cursor", "faults",
+        "service",
     ] {
         assert!(text.contains(id), "list output missing {id}:\n{text}");
     }
@@ -567,6 +568,159 @@ fn bench_diff_passes_identical_artifacts_and_flags_regressions() {
 fn bench_diff_rejects_missing_files() {
     let out = scot_bench(&["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exp_cursor_renders_ablation_arms_and_deltas() {
+    // This is also the exact invocation the CI cursor-smoke lane runs (CI
+    // passes `--bench-dir .` instead, committing the artifact at the root).
+    let bench = BenchDir::new("cursor");
+    let out = scot_bench(&[
+        "exp",
+        "cursor",
+        "--seconds",
+        "0.05",
+        "--runs",
+        "1",
+        "--threads",
+        "1",
+        "--bench-dir",
+        bench.arg(),
+    ]);
+    assert!(
+        out.status.success(),
+        "exp cursor must exit 0: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    // Every arm label appears for at least one scheme...
+    for arm in ["+base", "+repin", "+prefetch", "+backoff", "+batch", "+all"] {
+        assert!(
+            text.contains(&format!("EBR{arm}")),
+            "cursor output missing arm {arm}:\n{text}"
+        );
+    }
+    // ...both structures are swept, and the delta table renders.
+    assert!(text.contains("SkipList") && text.contains("NMTree"));
+    for col in ["base ops/s", "+repin", "spins(all)"] {
+        assert!(text.contains(col), "cursor table missing {col}:\n{text}");
+    }
+    let body = std::fs::read_to_string(bench.artifact("cursor"))
+        .expect("exp cursor must write BENCH_cursor.json");
+    assert!(body.contains("\"EBR+all\"") && body.contains("\"VBR+base\""));
+}
+
+#[test]
+fn run_arm_accepts_tuning_flags_anywhere() {
+    let out = scot_bench(&[
+        "run",
+        "listlf",
+        "0.05",
+        "64",
+        "1",
+        "50",
+        "25",
+        "25",
+        "EBR",
+        "--pin-batch",
+        "16",
+        "--backoff",
+        "none",
+        "--no-prefetch",
+        "--no-chain-batch",
+    ]);
+    assert!(out.status.success(), "run must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("spins="), "row output missing spins:\n{text}");
+    assert!(
+        text.contains("\"ops_per_sec\""),
+        "JSON result missing:\n{text}"
+    );
+}
+
+#[test]
+fn run_arm_rejects_zero_pin_batch() {
+    let out = scot_bench(&[
+        "run",
+        "listlf",
+        "0.05",
+        "64",
+        "1",
+        "50",
+        "25",
+        "25",
+        "EBR",
+        "--pin-batch",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--pin-batch"));
+}
+
+#[test]
+fn run_arm_rejects_unknown_backoff_mode() {
+    let out = scot_bench(&[
+        "run",
+        "listlf",
+        "0.05",
+        "64",
+        "1",
+        "50",
+        "25",
+        "25",
+        "EBR",
+        "--backoff",
+        "frantic",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown backoff mode") && err.contains("bounded"),
+        "error must name the bad mode and list the known ones:\n{err}"
+    );
+}
+
+#[test]
+fn exp_arm_rejects_zero_pin_batch() {
+    let out = scot_bench(&["exp", "tab2", "--quick", "--pin-batch", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--pin-batch"));
+}
+
+#[test]
+fn bench_diff_fails_on_rows_missing_in_either_direction() {
+    let bench = BenchDir::new("missingdiff");
+    let two = bench.0.join("two.json");
+    let one = bench.0.join("one.json");
+    let record = |smr: &str| {
+        format!(
+            "    {{\n      \"ds\": \"HList\",\n      \"smr\": \"{smr}\",\n      \"threads\": 1,\n      \"ops_per_sec\": 1000.0\n    }}"
+        )
+    };
+    std::fs::write(
+        &two,
+        format!(
+            "{{\n  \"records\": [\n{},\n{}\n  ]\n}}\n",
+            record("HP"),
+            record("EBR")
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &one,
+        format!("{{\n  \"records\": [\n{}\n  ]\n}}\n", record("HP")),
+    )
+    .unwrap();
+
+    // Fresh side lost a row: the coverage shrink must fail the gate.
+    let lost = scot_bench(&["bench-diff", two.to_str().unwrap(), one.to_str().unwrap()]);
+    assert_eq!(lost.status.code(), Some(1), "a lost row must fail the gate");
+    assert!(stdout(&lost).contains("MISSING FROM FRESH"));
+
+    // Fresh side grew a row the baseline lacks: stale baseline, also a failure.
+    let grew = scot_bench(&["bench-diff", one.to_str().unwrap(), two.to_str().unwrap()]);
+    assert_eq!(grew.status.code(), Some(1), "a new row must fail the gate");
+    assert!(stdout(&grew).contains("NOT IN BASELINE"));
 }
 
 #[test]

@@ -351,6 +351,11 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for HarrisList<K, S, V
         handle.smr.pin()
     }
 
+    fn repin<'h>(&self, guard: &mut Self::Guard<'h>) {
+        self.check_guard(&*guard);
+        guard.repin();
+    }
+
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
         let r = self.find(&mut *guard, key, true);

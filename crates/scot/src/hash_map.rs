@@ -222,6 +222,11 @@ impl<K: Key + Hash, S: Smr, V: Value> ConcurrentMap<K, V> for HashMap<K, S, V> {
         handle.inner.smr.pin()
     }
 
+    fn repin<'h>(&self, guard: &mut Self::Guard<'h>) {
+        self.check_guard(&*guard);
+        scot_smr::SmrGuard::repin(guard);
+    }
+
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.bucket(key).get(guard, key)
     }

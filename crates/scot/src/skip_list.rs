@@ -683,6 +683,11 @@ impl<K: Key, S: Smr, V: Value> crate::ConcurrentMap<K, V> for SkipList<K, S, V> 
         SkipListGuard { g: smr.pin(), rng }
     }
 
+    fn repin<'h>(&self, guard: &mut Self::Guard<'h>) {
+        self.check_guard(&*guard);
+        guard.g.repin();
+    }
+
     fn get<'g, 'h>(&self, guard: &'g mut Self::Guard<'h>, key: &K) -> Option<&'g V> {
         self.check_guard(&*guard);
         let pos = self.find(&mut guard.g, key, false, true, 0);

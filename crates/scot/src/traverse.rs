@@ -87,6 +87,7 @@ pub struct TraversalStats {
     restarts: AtomicU64,
     recoveries: AtomicU64,
     zone_entries: AtomicU64,
+    spins: AtomicU64,
 }
 
 impl TraversalStats {
@@ -110,6 +111,12 @@ impl TraversalStats {
         self.zone_entries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` backoff spin iterations waited before a retry.
+    #[inline]
+    pub(crate) fn record_spins(&self, n: u64) {
+        self.spins.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of full restarts recorded so far.
     #[inline]
     pub fn restarts(&self) -> u64 {
@@ -128,13 +135,20 @@ impl TraversalStats {
         self.zone_entries.load(Ordering::Relaxed)
     }
 
-    /// Reads all three counters at once (not atomically across counters; the
+    /// Total backoff spin iterations waited so far.
+    #[inline]
+    pub fn spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
+    }
+
+    /// Reads all counters at once (not atomically across counters; the
     /// numbers are statistics, not invariants).
     pub fn snapshot(&self) -> TraversalSnapshot {
         TraversalSnapshot {
             restarts: self.restarts(),
             recoveries: self.recoveries(),
             zone_entries: self.zone_entries(),
+            spins: self.spins(),
         }
     }
 }
@@ -150,6 +164,9 @@ pub struct TraversalSnapshot {
     pub recoveries: u64,
     /// Dangerous-zone entries (marked-chain traversals begun).
     pub zone_entries: u64,
+    /// Backoff spin iterations waited before retries (0 when backoff is
+    /// disabled through [`crate::tuning::set_backoff`]).
+    pub spins: u64,
 }
 
 impl TraversalSnapshot {
@@ -159,6 +176,7 @@ impl TraversalSnapshot {
             restarts: self.restarts + other.restarts,
             recoveries: self.recoveries + other.recoveries,
             zone_entries: self.zone_entries + other.zone_entries,
+            spins: self.spins + other.spins,
         }
     }
 }
@@ -180,6 +198,91 @@ pub(crate) unsafe fn validate_link<T>(link: Link<T>, expected: Shared<T>) -> boo
     // subsequent deref of `expected`'s pointee, so the load must synchronize
     // with the release store that published the link.
     unsafe { link.load(Ordering::Acquire) == expected }
+}
+
+/// One-hop software prefetch: while the cursor still examines the current
+/// node, warm the cache line of the already-protected successor snapshot so
+/// the upcoming `advance` dereferences into L1 instead of missing to memory.
+/// Pointer-chasing traversals expose no instruction-level parallelism on
+/// their own — every key comparison waits for the previous load — so this is
+/// where list walks spend their cycles; overlapping the next miss with the
+/// current comparison is the classic fix.
+///
+/// A pure hint: issued only on targets with a portable prefetch instruction
+/// and compiled out under Miri (which does not model prefetch intrinsics).
+/// The tag bit is stripped first so the hint lands on the node's actual
+/// address.
+#[inline(always)]
+fn prefetch_next<N>(next: Shared<N>) {
+    if !crate::tuning::prefetch_enabled() {
+        return;
+    }
+    let ptr = next.untagged().as_ptr();
+    if ptr.is_null() {
+        return;
+    }
+    #[cfg(all(not(miri), target_arch = "x86_64"))]
+    // SAFETY: `prefetcht0` is an architectural hint — it never faults and
+    // performs no access visible to the abstract machine, so any address
+    // (even one concurrently retired) is sound to pass.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
+    }
+    #[cfg(all(not(miri), target_arch = "aarch64"))]
+    // SAFETY: `prfm pldl1keep` is an architectural hint — it never faults and
+    // performs no access visible to the abstract machine; the asm reads no
+    // memory, touches no stack, and preserves flags.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr,
+            options(nostack, preserves_flags)
+        );
+    }
+    #[cfg(any(miri, not(any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    let _ = ptr;
+}
+
+/// Cap of the restart-ladder backoff: at most `1 << BACKOFF_MAX_SHIFT` spin
+/// hints (a few hundred cycles), far below a scheduling quantum — backoff can
+/// delay a retry but never park a lock-free operation.
+const BACKOFF_MAX_SHIFT: u32 = 6;
+
+std::thread_local! {
+    /// Per-thread bounded-exponential backoff state: the next wait is
+    /// `1 << shift` spin hints, doubling per consecutive failure up to
+    /// [`BACKOFF_MAX_SHIFT`] and reset by the next successful positioning.
+    /// Thread-local (not per-cursor) so the state survives the cursor
+    /// re-creation that every restart performs, with no cross-thread traffic.
+    static BACKOFF_SHIFT: core::cell::Cell<u32> = const { core::cell::Cell::new(0) };
+}
+
+/// Waits out one backoff step before a retry (after a failed CAS or a
+/// restart-ladder climb), recording the spin count into `stats`.  Under
+/// contention storms every thread otherwise re-enters the same contended
+/// neighborhood in lockstep and fails again; staggered waits let one winner
+/// finish per round.  No-op when disabled through
+/// [`crate::tuning::set_backoff`].
+#[inline]
+fn backoff(stats: &TraversalStats) {
+    if !crate::tuning::backoff_enabled() {
+        return;
+    }
+    let spins = BACKOFF_SHIFT.with(|s| {
+        let shift = s.get();
+        s.set((shift + 1).min(BACKOFF_MAX_SHIFT));
+        1u32 << shift
+    });
+    for _ in 0..spins {
+        core::hint::spin_loop();
+    }
+    stats.record_spins(u64::from(spins));
+}
+
+/// Resets this thread's backoff state after a successful positioning.
+#[inline]
+fn backoff_reset() {
+    BACKOFF_SHIFT.with(|s| s.set(0));
 }
 
 /// A node traversable by the shared cursor: a key, a value, and, per level, a
@@ -385,6 +488,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
             // SAFETY: `curr` was protected against a link of an unmarked
             // owner (tag checked above), hence the protection is durable.
             cursor.next = g.protect(HP_NEXT, unsafe { cursor.curr.deref().successor(level) });
+            prefetch_next(cursor.next);
         }
         Ok(cursor)
     }
@@ -425,6 +529,9 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
         if self.checkpoints && g.needs_restart() {
             g.checkpoint();
             self.stats.record_restart();
+            // A checkpoint storm (the scheme repeatedly neutralizing this
+            // thread) is a restart storm like any other: stagger the retry.
+            backoff(self.stats);
             true
         } else {
             false
@@ -437,14 +544,19 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     /// into `HP_PREV` is sound despite copying downwards); otherwise
     /// restart from the level head.
     fn climb<G: SmrGuard>(&mut self, g: &mut G) -> Restart {
-        if self.pred != self.entry && !self.entry.is_null() {
+        let rung = if self.pred != self.entry && !self.entry.is_null() {
             self.stats.record_recovery();
             g.announce(HP_PREV, self.entry);
             Restart::Entry
         } else {
             self.stats.record_restart();
             Restart::Head
-        }
+        };
+        // Wait out one backoff step before the caller re-enters: consecutive
+        // climbs mean this neighborhood is churning, and retrying instantly
+        // just collides again.
+        backoff(self.stats);
+        rung
     }
 
     /// One failed validation: attempt the §3.2.1 recovery (rung 1), climbing
@@ -473,6 +585,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
             } else {
                 // SAFETY: protected and validated unmarked just above.
                 self.next = g.protect(HP_NEXT, unsafe { self.curr.deref().successor(self.level) });
+                prefetch_next(self.next);
             }
             Recovery::Recovered
         } else {
@@ -492,6 +605,21 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
     /// protect `prev`/`curr`/`next`, so the caller can immediately use them
     /// for its insert/delete CAS.
     pub(crate) fn seek<G: SmrGuard>(
+        &mut self,
+        g: &mut G,
+        bound: &SeekBound<K>,
+        interrupt: impl FnMut() -> bool,
+    ) -> Seek {
+        let outcome = self.seek_inner(g, bound, interrupt);
+        if outcome == Seek::Positioned {
+            // Progress: the next failure starts the backoff ladder from the
+            // bottom again.
+            backoff_reset();
+        }
+        outcome
+    }
+
+    fn seek_inner<G: SmrGuard>(
         &mut self,
         g: &mut G,
         bound: &SeekBound<K>,
@@ -519,6 +647,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                     // protected by HP_PREV.
                     if unsafe { !validate_link(self.prev, self.curr) } {
                         self.stats.record_restart();
+                        backoff(self.stats);
                         return Seek::Restart(Restart::Head);
                     }
                 }
@@ -542,6 +671,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                 // SAFETY: `curr` was published (HP_NEXT) by the protect that
                 // read it from an unmarked predecessor, hence durable.
                 self.next = g.protect(HP_NEXT, unsafe { self.curr.deref().successor(self.level) });
+                prefetch_next(self.next);
             }
 
             if let ZoneMode::Eager = self.mode {
@@ -551,6 +681,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                 // SAFETY: `prev` is the head or a field of the HP_PREV node.
                 if unsafe { self.prev.cas(self.curr, self.next.untagged()) }.is_err() {
                     self.stats.record_restart();
+                    backoff(self.stats);
                     return Seek::Restart(Restart::Head);
                 }
                 // SAFETY: we won the unlink CAS — unique retirer.
@@ -563,6 +694,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                     self.next =
                         // SAFETY: see the comment above this statement.
                         g.protect(HP_NEXT, unsafe { self.curr.deref().successor(self.level) });
+                    prefetch_next(self.next);
                 }
                 continue 'traverse;
             }
@@ -597,6 +729,7 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
                 // still linked after that publication, so the protection is
                 // durable (Theorem 2, applied per level).
                 self.next = g.protect(HP_NEXT, unsafe { self.curr.deref().successor(self.level) });
+                prefetch_next(self.next);
             }
         }
     }
@@ -682,16 +815,49 @@ impl<'t, K: Ord + Copy, N: SlotNode<K>> Cursor<'t, K, N> {
             return Err(self.climb(g));
         }
         if retire {
-            let mut cur = self.chain;
-            while cur != self.curr {
-                debug_assert!(!cur.is_null(), "marked chain must end at `curr`");
-                // SAFETY: we won the unlink CAS, so this thread exclusively
-                // owns (and retires) every node of the chain; the successor
-                // links of unlinked nodes are no longer written by anyone.
-                unsafe {
-                    let next = cur.deref().successor(self.level).load(Ordering::Acquire);
-                    g.retire(cur);
+            if crate::tuning::chain_batch_enabled() {
+                // Hand the scheme whole chain segments through `retire_batch`
+                // so the domain's retire bookkeeping (one vault mutex per
+                // batch) is paid once per chunk instead of once per node.
+                // The chunk buffer lives on the stack — no allocation on the
+                // unlink path.
+                const CHUNK: usize = 16;
+                let mut buf = [Shared::null(); CHUNK];
+                let mut n = 0;
+                let mut cur = self.chain;
+                while cur != self.curr {
+                    debug_assert!(!cur.is_null(), "marked chain must end at `curr`");
+                    // SAFETY: we won the unlink CAS, so this thread
+                    // exclusively owns every node of the chain; the successor
+                    // links of unlinked nodes are no longer written by anyone.
+                    let next = unsafe { cur.deref().successor(self.level).load(Ordering::Acquire) };
+                    buf[n] = cur;
+                    n += 1;
+                    if n == CHUNK {
+                        // SAFETY: the unlink winner is the unique retirer of
+                        // each chain node, and each appears in the batch once.
+                        unsafe { g.retire_batch(&buf[..n]) };
+                        n = 0;
+                    }
                     cur = next.untagged();
+                }
+                if n > 0 {
+                    // SAFETY: as above — unique retirer, no duplicates.
+                    unsafe { g.retire_batch(&buf[..n]) };
+                }
+            } else {
+                let mut cur = self.chain;
+                while cur != self.curr {
+                    debug_assert!(!cur.is_null(), "marked chain must end at `curr`");
+                    // SAFETY: we won the unlink CAS, so this thread
+                    // exclusively owns (and retires) every node of the chain;
+                    // the successor links of unlinked nodes are no longer
+                    // written by anyone.
+                    unsafe {
+                        let next = cur.deref().successor(self.level).load(Ordering::Acquire);
+                        g.retire(cur);
+                        cur = next.untagged();
+                    }
                 }
             }
         }
@@ -838,13 +1004,17 @@ mod tests {
         stats.record_zone_entry();
         stats.record_zone_entry();
         stats.record_zone_entry();
+        stats.record_spins(40);
+        stats.record_spins(2);
         let snap = stats.snapshot();
         assert_eq!(snap.restarts, 2);
         assert_eq!(snap.recoveries, 1);
         assert_eq!(snap.zone_entries, 3);
+        assert_eq!(snap.spins, 42);
         assert_eq!(stats.restarts(), 2);
         assert_eq!(stats.recoveries(), 1);
         assert_eq!(stats.zone_entries(), 3);
+        assert_eq!(stats.spins(), 42);
     }
 
     #[test]
@@ -853,11 +1023,13 @@ mod tests {
             restarts: 1,
             recoveries: 2,
             zone_entries: 3,
+            spins: 4,
         };
         let b = TraversalSnapshot {
             restarts: 10,
             recoveries: 20,
             zone_entries: 30,
+            spins: 40,
         };
         assert_eq!(
             a.merged(b),
@@ -865,9 +1037,31 @@ mod tests {
                 restarts: 11,
                 recoveries: 22,
                 zone_entries: 33,
+                spins: 44,
             }
         );
         assert_eq!(TraversalSnapshot::default().merged(a), a);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_resets() {
+        let _serial = crate::tuning::TEST_TOGGLE_LOCK.lock().unwrap();
+        let stats = TraversalStats::default();
+        // Fresh thread-local state on this test thread: consecutive failures
+        // double the wait up to the cap.
+        for _ in 0..8 {
+            backoff(&stats);
+        }
+        // 1 + 2 + 4 + 8 + 16 + 32 + 64 + 64 (capped).
+        assert_eq!(stats.spins(), 191);
+        backoff_reset();
+        backoff(&stats);
+        assert_eq!(stats.spins(), 192, "reset restarts the ladder at 1 spin");
+        backoff_reset();
+        crate::tuning::set_backoff(false);
+        backoff(&stats);
+        assert_eq!(stats.spins(), 192, "disabled backoff is a strict no-op");
+        crate::tuning::set_backoff(true);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Process-global tuning toggles for the shared cursor's hot path.
+//!
+//! Each toggle gates one independently ablatable optimization of the
+//! [`traverse`](crate::traverse) cursor:
+//!
+//! * **prefetch** — the one-hop software prefetch of the already-protected
+//!   successor snapshot, issued while the cursor still examines the current
+//!   node (see `Cursor::seek`).
+//! * **backoff** — bounded exponential backoff before retrying after a failed
+//!   CAS or a restart-ladder climb, de-synchronizing threads that would
+//!   otherwise hammer the same contended link in lockstep.
+//! * **chain batching** — retiring an unlinked marked chain through
+//!   `SmrGuard::retire_batch` (one domain-vault lock per chunk) instead of
+//!   one `retire` call per node.
+//!
+//! All three default to **enabled**; the benchmark harness's `exp cursor`
+//! ablation flips them off arm by arm to measure each one's contribution.
+//! The toggles are plain process-global flags, not per-structure
+//! configuration, because they tune machine behavior (cache residency,
+//! contention burstiness, lock amortization) that does not vary per map
+//! instance — and a global read is one relaxed load on the hot path.
+//!
+//! Toggles are meant to be set **before** worker threads start; flipping them
+//! mid-run is safe (they only select between two correct code paths) but the
+//! switch-over point is unsynchronized and therefore unobservable.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+static PREFETCH: AtomicBool = AtomicBool::new(true);
+static BACKOFF: AtomicBool = AtomicBool::new(true);
+static CHAIN_BATCH: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the cursor's one-hop successor prefetch.
+pub fn set_prefetch(enabled: bool) {
+    // ORDERING: Relaxed — a pure hint toggle set before workers spawn (the
+    // spawn itself orders the write); a stale read merely issues or skips one
+    // prefetch instruction, never affecting correctness.
+    PREFETCH.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the one-hop successor prefetch is enabled.
+#[inline]
+pub fn prefetch_enabled() -> bool {
+    // ORDERING: Relaxed — see `set_prefetch`.
+    PREFETCH.load(Ordering::Relaxed)
+}
+
+/// Enables or disables bounded exponential backoff on cursor retries.
+pub fn set_backoff(enabled: bool) {
+    // ORDERING: Relaxed — selects between two correct retry paths; set
+    // before workers spawn (the spawn orders the write).
+    BACKOFF.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether bounded exponential backoff on cursor retries is enabled.
+#[inline]
+pub fn backoff_enabled() -> bool {
+    // ORDERING: Relaxed — see `set_backoff`.
+    BACKOFF.load(Ordering::Relaxed)
+}
+
+/// Enables or disables batched retirement of unlinked marked chains.
+pub fn set_chain_batch(enabled: bool) {
+    // ORDERING: Relaxed — selects between two correct retire paths; set
+    // before workers spawn (the spawn orders the write).
+    CHAIN_BATCH.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether batched retirement of unlinked marked chains is enabled.
+#[inline]
+pub fn chain_batch_enabled() -> bool {
+    // ORDERING: Relaxed — see `set_chain_batch`.
+    CHAIN_BATCH.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that flip the process-global toggles, so a concurrently
+/// running test never observes a mid-flip state it asserts on.
+#[cfg(test)]
+pub(crate) static TEST_TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggles_default_on_and_round_trip() {
+        let _serial = TEST_TOGGLE_LOCK.lock().unwrap();
+        assert!(prefetch_enabled());
+        assert!(backoff_enabled());
+        assert!(chain_batch_enabled());
+        set_prefetch(false);
+        set_backoff(false);
+        set_chain_batch(false);
+        assert!(!prefetch_enabled());
+        assert!(!backoff_enabled());
+        assert!(!chain_batch_enabled());
+        set_prefetch(true);
+        set_backoff(true);
+        set_chain_batch(true);
+    }
+}

@@ -134,21 +134,26 @@ impl Ebr {
     /// exact — see [`ShardedCounter`]).
     fn sweep(&self, limbo: &mut Vec<Retired>, slot: usize, pool: &mut BlockPool) {
         let global = self.global_epoch.load(Ordering::SeqCst);
-        let mut freed = 0usize;
+        // Collect the expired blocks first, then hand them to the pool in one
+        // batch: `free_batch` amortizes the bin lookup and spill bookkeeping
+        // across the whole sweep instead of paying them per node.
+        let mut expired: Vec<*mut crate::block::Header> = Vec::new();
         limbo.retain(|r| {
             if r.retire_era().saturating_add(2) <= global {
-                // SAFETY: the global epoch advanced two past the retire
-                // epoch, so every thread active at retirement has since
-                // passed a quiescent point; no protected reference remains.
-                unsafe { r.free_into(pool) };
-                freed += 1;
+                expired.push(r.hdr);
                 false
             } else {
                 true
             }
         });
-        if freed > 0 {
-            self.unreclaimed.sub(slot, freed);
+        if !expired.is_empty() {
+            // SAFETY: the global epoch advanced two past each block's retire
+            // epoch, so every thread active at retirement has since passed a
+            // quiescent point; no protected reference remains.  Each block
+            // appears in exactly one limbo entry, so the batch has no
+            // duplicates and each block is freed exactly once.
+            unsafe { pool.free_batch(&expired) };
+            self.unreclaimed.sub(slot, expired.len());
         }
     }
 
@@ -245,15 +250,16 @@ impl SmrHandle for EbrHandle {
         // Publish the epoch we observed and confirm it is still current; if it
         // moved we re-announce so we never run a critical section under an
         // announcement older than the epoch we entered at.
-        loop {
+        let announced = loop {
             let e = self.domain.global_epoch.load(Ordering::SeqCst);
             slot.epoch.store(e, Ordering::SeqCst);
             if self.domain.global_epoch.load(Ordering::SeqCst) == e {
-                break;
+                break e;
             }
-        }
+        };
         EbrGuard {
             handle: self,
+            announced,
             _thread_bound: std::marker::PhantomData,
         }
     }
@@ -292,6 +298,11 @@ pub struct EbrGuard<'g> {
     /// crossed threads could see its protections neutralized when the
     /// pinning thread exits.
     _thread_bound: std::marker::PhantomData<*mut ()>,
+    /// The epoch this guard's slot currently announces; [`SmrGuard::repin`]
+    /// elides the re-announce fences whenever the global epoch still equals
+    /// it (the common case, since the announcement itself is what holds the
+    /// epoch back).
+    announced: u64,
 }
 
 impl Drop for EbrGuard<'_> {
@@ -373,6 +384,62 @@ impl SmrGuard for EbrGuard<'_> {
         // this thread is the only one that has ever seen the block; freeing
         // it through the pool runs its destructor exactly once.
         unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
+    }
+
+    #[inline]
+    fn repin(&mut self) {
+        // Repin elision: while the global epoch still equals the epoch this
+        // guard announced, a drop+pin pair would re-announce the very same
+        // value — skip the store/re-read fence sequence entirely.  One SeqCst
+        // load replaces the SeqCst store + SeqCst re-read of a full pin.
+        let domain = &self.handle.domain;
+        let global = domain.global_epoch.load(Ordering::SeqCst);
+        if global == self.announced {
+            return;
+        }
+        let slot = &domain.slots[self.handle.claim.index];
+        self.announced = loop {
+            let e = domain.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if domain.global_epoch.load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the per-node retire contract.
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        // ORDERING: Relaxed — same argument as the single-node `retire`: the
+        // stamp is published to sweepers through the vault mutex below.
+        let epoch = handle.domain.global_epoch.load(Ordering::Relaxed);
+        let slot = handle.claim.index;
+        let pending = {
+            // One vault lock per batch instead of one per node — the whole
+            // point of the batched fast path.
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees each pointer came from `alloc`
+                // on this domain and is unlinked, so its header is live.
+                let retired = unsafe { Retired::from_value(value) };
+                // SAFETY: unlinked but not yet in any limbo list — this
+                // thread has exclusive access to the header stamp.
+                // ORDERING: Relaxed — published through the vault mutex.
+                unsafe { (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed) };
+                vault.push(retired);
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        if pending >= handle.domain.config.scan_threshold {
+            handle.scan();
+        }
     }
 }
 
@@ -477,6 +544,72 @@ mod tests {
             d.unreclaimed(),
             0,
             "a survivor must adopt the dead thread's slot and drain its vault"
+        );
+    }
+
+    #[test]
+    fn repin_elides_until_epoch_moves_and_reannounces_after() {
+        let d = Ebr::new(small_config());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let announced = d.slots[0].epoch.load(Ordering::SeqCst);
+        g.repin();
+        assert_eq!(
+            d.slots[0].epoch.load(Ordering::SeqCst),
+            announced,
+            "repin with an unmoved epoch must elide the re-announce"
+        );
+        // Our announcement equals the global epoch, so it is free to advance.
+        d.try_advance();
+        g.repin();
+        assert_eq!(
+            d.slots[0].epoch.load(Ordering::SeqCst),
+            announced + 1,
+            "repin must re-announce once the epoch moved"
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        let d = Ebr::new(small_config());
+        let mut h = d.register();
+        {
+            let mut g = h.pin();
+            let batch: Vec<_> = (0..32u64).map(|i| g.alloc(i)).collect();
+            // SAFETY: each block was just allocated and never published, so
+            // this thread is its sole owner and retires it exactly once.
+            unsafe { g.retire_batch(&batch) };
+        }
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn guard_held_across_repins_does_not_freeze_the_epoch() {
+        // The pin-batch scenario: one guard held across many operations with
+        // repin at each boundary must not behave like a stalled reader.
+        let d = Ebr::new(small_config());
+        let mut holder = d.register();
+        let mut worker = d.register();
+        let mut g = holder.pin();
+        for i in 0..256u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
+            unsafe { wg.retire(p) };
+            drop(wg);
+            g.repin();
+        }
+        worker.flush();
+        drop(g);
+        worker.flush();
+        assert!(
+            d.unreclaimed() < 128,
+            "repin at op boundaries must let the epoch advance (got {})",
+            d.unreclaimed()
         );
     }
 

@@ -262,8 +262,10 @@ impl SmrHandle for HeHandle {
         self.domain
             .registry
             .check_owner_and_bind(self.claim, &mut self.binding);
+        let repin_era = self.domain.global_era.load(Ordering::SeqCst);
         HeGuard {
             handle: self,
+            repin_era,
             _thread_bound: std::marker::PhantomData,
         }
     }
@@ -301,6 +303,10 @@ pub struct HeGuard<'g> {
     /// crossed threads could see its protections neutralized when the
     /// pinning thread exits.
     _thread_bound: std::marker::PhantomData<*mut ()>,
+    /// Global era observed at pin (or the last non-elided repin).  While the
+    /// global era still equals it, every reservation this guard published
+    /// names the *current* era, so [`SmrGuard::repin`] can skip the clears.
+    repin_era: u64,
 }
 
 impl Drop for HeGuard<'_> {
@@ -438,6 +444,70 @@ impl SmrGuard for HeGuard<'_> {
         // no other thread has observed the block; pool-freeing it runs the
         // destructor exactly once.
         unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
+    }
+
+    /// Releases every era reservation — equivalent to drop + pin without the
+    /// registry owner check — unless the global era still equals the one
+    /// observed at the last (re)pin.  In that case every published
+    /// reservation names the current era, which the next operation would
+    /// immediately re-reserve anyway, so holding it is bounded
+    /// over-protection and the [`MAX_HAZARDS`] clear-stores are skipped.
+    #[inline]
+    fn repin(&mut self) {
+        let era = self.handle.domain.global_era.load(Ordering::SeqCst);
+        if era == self.repin_era {
+            return;
+        }
+        for e in &self.handle.domain.slots[self.handle.claim.index].eras {
+            e.store(NONE, Ordering::Release);
+        }
+        self.repin_era = era;
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        // ORDERING: a lagging retire-era stamp only delays reclamation by one
+        // scan; safety is unaffected (same argument as single `retire`).
+        let era = handle.domain.global_era.load(Ordering::Relaxed);
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                let retired = unsafe { Retired::from_value(value) };
+                // SAFETY: the record was just built from a live block; its
+                // header is valid until the record is freed.
+                // ORDERING: published to sweepers by the vault mutex.
+                unsafe { (*retired.hdr).retire_era.store(era, Ordering::Relaxed) };
+                vault.push(retired);
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        // Preserve the per-retire era cadence across the batch: bump the era
+        // once per epoch-frequency multiple the batch crossed.
+        let freq = handle.domain.config.epoch_freq();
+        let before = handle.retire_count;
+        handle.retire_count += batch.len();
+        let bumps = (handle.retire_count / freq - before / freq) as u64;
+        if bumps > 0 {
+            handle.domain.global_era.fetch_add(bumps, Ordering::SeqCst);
+        }
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
+        }
     }
 }
 
@@ -585,6 +655,52 @@ mod tests {
             0,
             "adoption must clear the dead thread's eras and drain its vault"
         );
+    }
+
+    #[test]
+    fn repin_elides_until_era_moves_then_clears_reservations() {
+        let d = He::new(config(false));
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(1u64);
+        let cell = Atomic::new(p);
+        g.protect(0, &cell);
+        let reserved = d.slots[0].eras[0].load(Ordering::SeqCst);
+        assert_ne!(reserved, NONE);
+        g.repin();
+        assert_eq!(
+            d.slots[0].eras[0].load(Ordering::SeqCst),
+            reserved,
+            "repin with an unmoved era must elide the clears"
+        );
+        d.global_era.fetch_add(1, Ordering::SeqCst);
+        g.repin();
+        for e in &d.slots[0].eras {
+            assert_eq!(
+                e.load(Ordering::SeqCst),
+                NONE,
+                "repin after an era advance must release every reservation"
+            );
+        }
+        // SAFETY: `p` was never published to another thread.
+        unsafe { g.dealloc(p) };
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        for snapshot in [false, true] {
+            let d = He::new(config(snapshot));
+            let mut h = d.register();
+            {
+                let mut g = h.pin();
+                let batch: Vec<_> = (0..48u64).map(|i| g.alloc(i)).collect();
+                // SAFETY: each block was just allocated and never published,
+                // so this thread is its sole owner and retires it exactly once.
+                unsafe { g.retire_batch(&batch) };
+            }
+            h.flush();
+            assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
+        }
     }
 
     #[test]

@@ -423,6 +423,51 @@ impl SmrGuard for HpGuard<'_> {
         // destructor exactly once.
         unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
+
+    /// Hazard pointers have no epoch to elide, but a repin boundary is the
+    /// moment the caller promises it holds no guard-derived references, so we
+    /// unpublish everything — equivalent to drop + pin without re-running the
+    /// registry owner check.
+    #[inline]
+    fn repin(&mut self) {
+        if self.used != 0 {
+            for (idx, hazard) in self.hazards().iter().enumerate() {
+                if self.used & (1 << idx) != 0 {
+                    hazard.store(0, Ordering::Release);
+                }
+            }
+            self.used = 0;
+        }
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                vault.push(unsafe { Retired::from_value(value) });
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -548,6 +593,53 @@ mod tests {
         }
         h.flush();
         assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn repin_unpublishes_every_hazard() {
+        let d = Hp::new(config(false));
+        let mut h = d.register();
+        let mut g = h.pin();
+        let p = g.alloc(11u64);
+        let cell = Atomic::new(p);
+        g.protect(1, &cell);
+        g.dup(1, 5);
+        assert_ne!(d.slots[0].hazards[1].load(Ordering::SeqCst), 0);
+        assert_ne!(d.slots[0].hazards[5].load(Ordering::SeqCst), 0);
+        g.repin();
+        for i in 0..MAX_HAZARDS {
+            assert_eq!(
+                d.slots[0].hazards[i].load(Ordering::SeqCst),
+                0,
+                "hazard {i} must be unpublished by repin"
+            );
+        }
+        // The guard is still usable after repin.
+        let seen = g.protect(0, &cell);
+        assert_eq!(seen, p);
+        g.clear(0);
+        // SAFETY: `p` is unlinked and no hazard names it any more.
+        unsafe { g.retire(p) };
+        drop(g);
+        h.flush();
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        for snapshot in [false, true] {
+            let d = Hp::new(config(snapshot));
+            let mut h = d.register();
+            {
+                let mut g = h.pin();
+                let batch: Vec<_> = (0..48u64).map(|i| g.alloc(i)).collect();
+                // SAFETY: each block was just allocated and never published,
+                // so this thread is its sole owner and retires it exactly once.
+                unsafe { g.retire_batch(&batch) };
+            }
+            h.flush();
+            assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
+        }
     }
 
     #[test]

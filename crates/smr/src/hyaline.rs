@@ -679,6 +679,92 @@ impl SmrGuard for HyalineGuard<'_> {
         // destructor exactly once.
         unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
     }
+
+    /// Fast path: if nothing was pushed onto our slot list since entry (the
+    /// head pointer still equals the entry boundary), there is no batch to
+    /// acknowledge and the held reference can simply carry over — the whole
+    /// leave/re-enter round trip is elided.  (A recycled block landing back
+    /// at the exact boundary address would also elide; that is the same
+    /// accepted address-ABA class as the leave traversal's boundary, see the
+    /// module docs — batches are never freed early.)  Otherwise this is a
+    /// genuine leave + re-enter, minus the registry owner re-check.
+    fn repin(&mut self) {
+        let idx = self.handle.claim.index;
+        let domain = self.handle.domain.clone();
+        let slot = &domain.slots[idx];
+        let (_, head_ptr) = unpack(slot.head.load(Ordering::Acquire));
+        if head_ptr == self.entry_addr {
+            return;
+        }
+        // Leave: drop our reference, detaching the list if we are last.
+        let observed = loop {
+            let cur = slot.head.load(Ordering::Acquire);
+            let (refs, ptr) = unpack(cur);
+            debug_assert!(refs >= 1, "repin leave without matching enter");
+            let new = if refs == 1 {
+                pack(0, 0)
+            } else {
+                pack(refs - 1, ptr)
+            };
+            if slot
+                .head
+                .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break ptr;
+            }
+        };
+        // SAFETY: this thread held its slot reference continuously from the
+        // enter `fetch_add` that produced `entry_addr` until the CAS above
+        // that released it and returned `observed` — exactly `acknowledge`'s
+        // contract.
+        unsafe { domain.acknowledge(observed, self.entry_addr, idx, &mut self.handle.pool) };
+        // Re-enter with a fresh era and acknowledgement boundary.
+        let era = domain.global_era.load(Ordering::SeqCst);
+        slot.era.store(era, Ordering::SeqCst);
+        self.cached_era = era;
+        let prev = slot.head.fetch_add(REF_ONE, Ordering::AcqRel);
+        let (_, entry_addr) = unpack(prev);
+        self.entry_addr = entry_addr;
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        let idx = handle.claim.index;
+        let full = {
+            let mut vault = handle.domain.vaults[idx].lock();
+            vault.nodes.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                let hdr = unsafe { header_of(value) };
+                // SAFETY: header valid as above.
+                // ORDERING: Relaxed read — the stamp was written before the
+                // pointer was published; it only feeds the conservative
+                // `min_birth` minimum (same argument as single `retire`).
+                let birth = unsafe { (*hdr).birth_era.load(Ordering::Relaxed) };
+                vault.min_birth = vault.min_birth.min(birth);
+                vault.nodes.push(hdr);
+            }
+            vault.nodes.len() >= handle.domain.batch_capacity
+        };
+        handle.domain.unreclaimed.add(idx, batch.len());
+        if full {
+            // One oversized push is fine: the batch carries *at least* one
+            // linkage node per slot, and the vault mutex was touched once for
+            // the whole batch instead of once per node.
+            let domain = handle.domain.clone();
+            domain.flush_vault(idx, idx, &mut handle.pool);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -793,6 +879,62 @@ mod tests {
             d.unreclaimed()
         );
         drop(stalled_guard);
+    }
+
+    #[test]
+    fn repin_elides_on_untouched_list_and_acknowledges_otherwise() {
+        let d = Hyaline::new(config());
+        let mut holder = d.register();
+        let mut worker = d.register();
+
+        let mut g = holder.pin();
+        let entry_before = g.entry_addr;
+        // Nothing pushed onto our slot yet: repin must keep the boundary.
+        g.repin();
+        assert_eq!(g.entry_addr, entry_before, "untouched list elides repin");
+        let (refs, _) = unpack(d.slots[0].head.load(Ordering::SeqCst));
+        assert_eq!(refs, 1, "the elided repin must keep the reference held");
+
+        // Worker churn pushes batches onto every active slot — ours included.
+        for i in 0..16u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
+            unsafe { wg.retire(p) };
+        }
+        worker.flush();
+        let pinned = d.unreclaimed();
+        assert!(pinned > 0, "batches must be pinned by the held guard");
+
+        // Repin now acknowledges everything pushed during the old critical
+        // section: as the last holder the guard frees the pinned batches.
+        g.repin();
+        worker.flush();
+        assert!(
+            d.unreclaimed() < pinned,
+            "repin must acknowledge and release pinned batches (got {} of {})",
+            d.unreclaimed(),
+            pinned
+        );
+        drop(g);
+        drop(worker);
+        drop(holder);
+        assert_eq!(d.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        let d = Hyaline::new(config());
+        let mut h = d.register();
+        {
+            let mut g = h.pin();
+            let batch: Vec<_> = (0..10u64).map(|i| g.alloc(i)).collect();
+            // SAFETY: each block was just allocated and never published, so
+            // this thread is its sole owner and retires it exactly once.
+            unsafe { g.retire_batch(&batch) };
+        }
+        drop(h);
+        assert_eq!(d.unreclaimed(), 0);
     }
 
     #[test]

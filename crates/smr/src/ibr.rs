@@ -266,6 +266,7 @@ impl SmrHandle for IbrHandle {
         slot.lower.store(era, Ordering::SeqCst);
         IbrGuard {
             cached_upper: era,
+            cached_lower: era,
             handle: self,
             _thread_bound: std::marker::PhantomData,
         }
@@ -307,6 +308,9 @@ pub struct IbrGuard<'g> {
     /// Local cache of the published `upper`, avoiding an atomic load per
     /// protect call on the fast path.
     cached_upper: u64,
+    /// Local cache of the published `lower`; [`SmrGuard::repin`] elides the
+    /// interval reset when the interval is already the point `[era, era]`.
+    cached_lower: u64,
 }
 
 impl Drop for IbrGuard<'_> {
@@ -424,6 +428,73 @@ impl SmrGuard for IbrGuard<'_> {
         // no other thread has observed the block; pool-freeing it runs the
         // destructor exactly once.
         unsafe { self.handle.pool.free(header_of(ptr.untagged().as_ptr())) };
+    }
+
+    /// Collapses the interval back to the point `[era, era]`, releasing every
+    /// era the previous operations stretched it over.  Elided entirely when
+    /// the interval is already that point — the common no-churn case, which
+    /// skips both SeqCst stores.
+    #[inline]
+    fn repin(&mut self) {
+        let domain = &self.handle.domain;
+        let era = domain.global_era.load(Ordering::SeqCst);
+        if era == self.cached_upper && era == self.cached_lower {
+            return;
+        }
+        let slot = &domain.slots[self.handle.claim.index];
+        // Same publication order as `pin`: extend `upper` first so the
+        // interval never transiently excludes an era we might still observe,
+        // then raise `lower` to drop the old coverage.
+        slot.upper.store(era, Ordering::SeqCst);
+        slot.lower.store(era, Ordering::SeqCst);
+        self.cached_upper = era;
+        self.cached_lower = era;
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        // ORDERING: a lagging retire-era stamp only delays reclamation by one
+        // scan; safety is unaffected (same argument as single `retire`).
+        let era = handle.domain.global_era.load(Ordering::Relaxed);
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                let retired = unsafe { Retired::from_value(value) };
+                // SAFETY: the record was just built from a live block; its
+                // header is valid until the record is freed.
+                // ORDERING: published to sweepers by the vault mutex.
+                unsafe { (*retired.hdr).retire_era.store(era, Ordering::Relaxed) };
+                vault.push(retired);
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        // Preserve the per-retire era cadence across the batch: bump the era
+        // once per epoch-frequency multiple the batch crossed.
+        let freq = handle.domain.config.epoch_freq();
+        let before = handle.retire_count;
+        handle.retire_count += batch.len();
+        let bumps = (handle.retire_count / freq - before / freq) as u64;
+        if bumps > 0 {
+            handle.domain.global_era.fetch_add(bumps, Ordering::SeqCst);
+        }
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.sweep_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
+        }
     }
 }
 
@@ -552,6 +623,72 @@ mod tests {
         }
         assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), u64::MAX);
         assert_eq!(d.slots[0].upper.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn repin_collapses_a_stretched_interval() {
+        let d = Ibr::new(config(false));
+        let mut h = d.register();
+        let mut g = h.pin();
+        let lower_at_pin = d.slots[0].lower.load(Ordering::SeqCst);
+        // Stretch the interval: advance the era, then observe it via protect.
+        d.global_era.fetch_add(3, Ordering::SeqCst);
+        let p = g.alloc(1u64);
+        let cell = Atomic::new(p);
+        g.protect(0, &cell);
+        assert!(d.slots[0].upper.load(Ordering::SeqCst) > lower_at_pin);
+        assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), lower_at_pin);
+        g.repin();
+        let era = d.global_era.load(Ordering::SeqCst);
+        assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), era);
+        assert_eq!(d.slots[0].upper.load(Ordering::SeqCst), era);
+        // A second repin with an unmoved era is the elided path: the interval
+        // must stay the point [era, era].
+        g.repin();
+        assert_eq!(d.slots[0].lower.load(Ordering::SeqCst), era);
+        assert_eq!(d.slots[0].upper.load(Ordering::SeqCst), era);
+        // SAFETY: `p` was never published to another thread.
+        unsafe { g.dealloc(p) };
+    }
+
+    #[test]
+    fn guard_held_across_repins_does_not_freeze_reclamation() {
+        let d = Ibr::new(config(true));
+        let mut holder = d.register();
+        let mut worker = d.register();
+        let mut g = holder.pin();
+        for i in 0..512u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
+            unsafe { wg.retire(p) };
+            drop(wg);
+            g.repin();
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() < 64,
+            "repin at op boundaries must keep the interval narrow (got {})",
+            d.unreclaimed()
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        for snapshot in [false, true] {
+            let d = Ibr::new(config(snapshot));
+            let mut h = d.register();
+            {
+                let mut g = h.pin();
+                let batch: Vec<_> = (0..48u64).map(|i| g.alloc(i)).collect();
+                // SAFETY: each block was just allocated and never published,
+                // so this thread is its sole owner and retires it exactly once.
+                unsafe { g.retire_batch(&batch) };
+            }
+            h.flush();
+            assert_eq!(d.unreclaimed(), 0, "snapshot={snapshot}");
+        }
     }
 
     #[test]

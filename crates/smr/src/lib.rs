@@ -543,6 +543,53 @@ pub trait SmrGuard {
     /// sound.  No-op for schemes without the checkpoint protocol.
     #[inline]
     fn checkpoint(&mut self) {}
+
+    /// Refreshes this guard between operations, as if it had been dropped and
+    /// re-pinned — the hot-loop alternative to a per-operation pin/unpin pair
+    /// (the DEBRA-style amortization: one guard held across a batch of
+    /// operations, with `repin` at each operation boundary).
+    ///
+    /// The epoch/era-family schemes (EBR, IBR, HE, NBR, VBR) override this to
+    /// **elide** the publication fences entirely when the global epoch/era has
+    /// not advanced since the last pin/repin — the common case, turning the
+    /// per-operation SeqCst announce sequence into one relaxed-ish load.  HP
+    /// clears its published hazards (a true drop+pin, which for HP publishes
+    /// nothing); Hyaline re-enters only when batches were pushed onto its
+    /// slot during the critical section.
+    ///
+    /// The default (keep every protection, do nothing) is always *sound*:
+    /// continuing the critical section can only over-protect, never
+    /// under-protect.  What callers give up by batching is reclamation
+    /// granularity — memory retired during the batch may stay pinned until
+    /// the batch edge where the guard is dropped or the scheme's elision
+    /// check fires — which is exactly the bounded cost the `--pin-batch`
+    /// harness knob measures.
+    ///
+    /// After this call **all previously read pointers are void**, exactly as
+    /// for [`SmrGuard::checkpoint`]: callers must hold no `Shared` pointers
+    /// or value borrows across it (the `&mut self` receiver statically ends
+    /// any guard-scoped `&V` borrows).
+    #[inline]
+    fn repin(&mut self) {}
+
+    /// Retires a batch of unlinked nodes in one call — the fast path for
+    /// churn-heavy workloads (a traversal unlinking a whole marked chain
+    /// retires every node of the chain at once).  Scheme overrides take the
+    /// domain's retire-vault mutex **once per batch** instead of once per
+    /// node and run the amortized era/scan bookkeeping once; the default
+    /// simply loops over [`SmrGuard::retire`].
+    ///
+    /// # Safety
+    /// Every pointer in `batch` must individually satisfy the
+    /// [`SmrGuard::retire`] contract: produced by [`SmrGuard::alloc`] on this
+    /// domain, physically unlinked, and retired exactly once.
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        for &ptr in batch {
+            // SAFETY: forwarded — the caller guarantees the per-node retire
+            // contract for every element of the batch.
+            unsafe { self.retire(ptr) };
+        }
+    }
 }
 
 /// Result of [`drain_with_timeout`].

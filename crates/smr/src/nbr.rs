@@ -450,6 +450,57 @@ impl SmrGuard for NbrGuard<'_> {
     fn checkpoint(&mut self) {
         self.handle.announce_checkpoint();
     }
+
+    /// An op-boundary repin is semantically a checkpoint: re-announce the
+    /// current era so the minimum checkpoint keeps rising.  Elided when this
+    /// slot already announces the current era and no sweep has asked us to
+    /// restart — then the announcement is already as fresh as it can get.
+    #[inline]
+    fn repin(&mut self) {
+        let slot = &self.handle.domain.slots[self.handle.claim.index];
+        let era = self.handle.domain.global_era.load(Ordering::SeqCst);
+        // ORDERING: Relaxed — our own checkpoint is single-writer (only this
+        // thread stores real eras into it), so the read needs no ordering.
+        if era == slot.checkpoint.load(Ordering::Relaxed) && !self.needs_restart() {
+            return;
+        }
+        self.handle.announce_checkpoint();
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        // ORDERING: a lagging retire-era stamp only delays reclamation by one
+        // sweep; safety is unaffected (same argument as single `retire`).
+        let era = handle.domain.global_era.load(Ordering::Relaxed);
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                let retired = unsafe { Retired::from_value(value) };
+                // SAFETY: the record was just built from a live block; its
+                // header is valid until the record is freed.
+                // ORDERING: published to sweepers by the vault mutex.
+                unsafe { (*retired.hdr).retire_era.store(era, Ordering::Relaxed) };
+                vault.push(retired);
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        if pending >= handle.domain.config.scan_threshold {
+            handle.scan();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +627,72 @@ mod tests {
         d.slots[0].neutralize.store(true, Ordering::SeqCst);
         let g = h.pin();
         assert!(!g.needs_restart(), "pin starts a fresh checkpoint");
+    }
+
+    #[test]
+    fn repin_reannounces_and_clears_a_pending_neutralize() {
+        let d = Nbr::new(small_config());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let announced = d.slots[0].checkpoint.load(Ordering::SeqCst);
+        g.repin();
+        assert_eq!(
+            d.slots[0].checkpoint.load(Ordering::SeqCst),
+            announced,
+            "repin with an unmoved era and no pending flag must elide"
+        );
+        // A blocked sweep bumps the era and flags us; repin must behave like
+        // a checkpoint.
+        d.neutralize_laggards();
+        assert!(g.needs_restart());
+        g.repin();
+        assert!(!g.needs_restart(), "repin must acknowledge the flag");
+        assert_eq!(
+            d.slots[0].checkpoint.load(Ordering::SeqCst),
+            d.global_era.load(Ordering::SeqCst),
+            "repin must re-announce the current era"
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn guard_held_across_repins_does_not_block_reclamation() {
+        let d = Nbr::new(small_config());
+        let mut holder = d.register();
+        let mut worker = d.register();
+        let mut g = holder.pin();
+        for i in 0..256u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
+            unsafe { wg.retire(p) };
+            drop(wg);
+            g.repin();
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() < 128,
+            "a reader repinning at op boundaries is cooperative (got {})",
+            d.unreclaimed()
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        let d = Nbr::new(small_config());
+        let mut h = d.register();
+        {
+            let mut g = h.pin();
+            let batch: Vec<_> = (0..48u64).map(|i| g.alloc(i)).collect();
+            // SAFETY: each block was just allocated and never published, so
+            // this thread is its sole owner and retires it exactly once.
+            unsafe { g.retire_batch(&batch) };
+        }
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
     }
 
     #[test]

@@ -445,6 +445,85 @@ impl SmrGuard for VbrGuard<'_> {
         global.saturating_sub(self.op_epoch) >= DISPLACEMENT_SLACK
     }
 
+    /// Re-announces the current epoch at an op boundary — same announcement
+    /// protocol as `checkpoint`, but without bumping the displacement
+    /// diagnostic (a repin is routine housekeeping, not a sweep-forced
+    /// restart).  Elided entirely when the epoch has not moved.
+    #[inline]
+    fn repin(&mut self) {
+        let domain = &self.handle.domain;
+        let global = domain.global_epoch.load(Ordering::SeqCst);
+        if global == self.op_epoch {
+            return;
+        }
+        let slot = &domain.slots[self.handle.claim.index];
+        // The loop breaks with exactly the epoch stored into the slot, so the
+        // cached `op_epoch` can never run ahead of the announcement (a cached
+        // value ahead of the slot would elide forever while the stale
+        // announcement pins the recycle queues).
+        self.op_epoch = loop {
+            let e = domain.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if domain.global_epoch.load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+    }
+
+    // SAFETY: callers must guarantee every pointer in `batch` satisfies the
+    // per-node `retire` contract (unlinked, owned, retired exactly once).
+    unsafe fn retire_batch<T: Send + 'static>(&mut self, batch: &[Shared<T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let handle = &mut *self.handle;
+        // ORDERING: a stale epoch read only delays reclamation; safety comes
+        // from the two-era grace-period check (same argument as `retire`).
+        let epoch = handle.domain.global_epoch.load(Ordering::Relaxed);
+        let slot = handle.claim.index;
+        let pending = {
+            let mut vault = handle.domain.vaults[slot].lock();
+            vault.reserve(batch.len());
+            for &ptr in batch {
+                let value = ptr.untagged().as_ptr();
+                debug_assert!(!value.is_null());
+                // SAFETY: the caller guarantees every element came from
+                // `alloc` on this domain and is already unlinked, so each
+                // block header is live.
+                let retired = unsafe { Retired::from_value(value) };
+                // SAFETY: the record was just built from a live block; its
+                // header is valid until the record is freed.
+                // ORDERING: published to the recycler by the vault mutex.
+                unsafe { (*retired.hdr).retire_era.store(epoch, Ordering::Relaxed) };
+                vault.push_back(retired);
+            }
+            vault.len()
+        };
+        handle.domain.unreclaimed.add(slot, batch.len());
+        // Preserve the per-retire epoch cadence across the batch: bump once
+        // per epoch-frequency multiple the batch crossed.
+        let freq = handle.domain.config.epoch_freq();
+        let before = handle.retire_count;
+        handle.retire_count += batch.len();
+        let bumps = (handle.retire_count / freq - before / freq) as u64;
+        if bumps > 0 {
+            handle
+                .domain
+                .global_epoch
+                .fetch_add(bumps, Ordering::SeqCst);
+        }
+        if pending >= handle.domain.config.scan_threshold {
+            let domain = handle.domain.clone();
+            domain.drain_vault(slot, slot, &mut handle.pool);
+            domain.adopt_orphans(slot, &mut handle.pool);
+            if domain.vaults[slot].lock().len() >= domain.config.scan_threshold {
+                // Still blocked: advance the epoch so lagging readers trip
+                // the displacement bound and re-announce.
+                domain.global_epoch.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
     #[inline]
     fn checkpoint(&mut self) {
         let slot = &self.handle.domain.slots[self.handle.claim.index];
@@ -600,6 +679,73 @@ mod tests {
             "VBR must not recycle past an uncooperative reader (got {})",
             d.unreclaimed()
         );
+    }
+
+    #[test]
+    fn repin_reannounces_without_counting_as_displacement() {
+        let d = Vbr::new(small_config());
+        let mut h = d.register();
+        let mut g = h.pin();
+        let announced = d.slots[0].epoch.load(Ordering::SeqCst);
+        g.repin();
+        assert_eq!(
+            d.slots[0].epoch.load(Ordering::SeqCst),
+            announced,
+            "repin with an unmoved epoch must elide"
+        );
+        d.global_epoch.fetch_add(1, Ordering::SeqCst);
+        g.repin();
+        assert_eq!(
+            d.slots[0].epoch.load(Ordering::SeqCst),
+            announced + 1,
+            "repin must re-announce after the epoch moved"
+        );
+        assert!(
+            !g.needs_restart(),
+            "a freshly repinned reader is not displaced"
+        );
+        assert_eq!(d.displacements(), 0, "repin is not a displacement");
+        drop(g);
+    }
+
+    #[test]
+    fn guard_held_across_repins_does_not_block_recycling() {
+        let d = Vbr::new(small_config());
+        let mut holder = d.register();
+        let mut worker = d.register();
+        let mut g = holder.pin();
+        for i in 0..256u64 {
+            let mut wg = worker.pin();
+            let p = wg.alloc(i);
+            // SAFETY: `p` was just allocated and never published, so this thread is its sole owner.
+            unsafe { wg.retire(p) };
+            drop(wg);
+            g.repin();
+        }
+        worker.flush();
+        assert!(
+            d.unreclaimed() < 128,
+            "a reader repinning at op boundaries must not pin the queues (got {})",
+            d.unreclaimed()
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn retire_batch_reclaims_like_per_node_retire() {
+        let d = Vbr::new(small_config());
+        let mut h = d.register();
+        {
+            let mut g = h.pin();
+            let batch: Vec<_> = (0..48u64).map(|i| g.alloc(i)).collect();
+            // SAFETY: each block was just allocated and never published, so
+            // this thread is its sole owner and retires it exactly once.
+            unsafe { g.retire_batch(&batch) };
+        }
+        for _ in 0..4 {
+            h.flush();
+        }
+        assert_eq!(d.unreclaimed(), 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn tiny() -> ExperimentOptions {
         scan_lens: vec![8],
         faults: vec![scot_harness::FaultKind::ThreadDeath],
         zipf_theta: 0.99,
+        ..ExperimentOptions::default()
     }
 }
 
@@ -81,9 +82,7 @@ fn checkpoint_schemes_run_timed_and_report_counters() {
         sample_interval: Duration::from_millis(5),
         seed: 7,
         pool: true,
-        value_bytes: 0,
-        scan_len: 64,
-        zipf_theta: 0.0,
+        ..RunConfig::paper_default(2, 256)
     };
     for smr in [SmrKind::Nbr, SmrKind::Vbr] {
         let r = run_timed(DsKind::SkipList, smr, &cfg);
@@ -177,9 +176,7 @@ fn custom_mix_run_matches_requested_shape() {
         sample_interval: Duration::from_millis(5),
         seed: 42,
         pool: true,
-        value_bytes: 0,
-        scan_len: 64,
-        zipf_theta: 0.0,
+        ..RunConfig::paper_default(2, 1024)
     };
     let r = run_timed(DsKind::Tree, SmrKind::HpOpt, &cfg);
     assert!(r.ops > 0);
